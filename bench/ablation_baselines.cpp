@@ -1,0 +1,107 @@
+// Ablation (extension): the three BNN-acceleration philosophies of the
+// paper's Table IV compared FUNCTIONALLY on one task — same data, same
+// 3-layer-MLP budget:
+//
+//   MCD + IC (this paper) : filter-wise Bernoulli masks, S passes of the
+//                           Bayesian suffix, Bernoulli sampler in hardware
+//   VIBNN-style           : Gaussian weight posterior, every weight redrawn
+//                           per sample from CLT Gaussian RNGs
+//   BYNQNet-style         : quadratic activations, closed-form moment
+//                           propagation, no sampling at all
+//
+// Reported: accuracy, noise aPE, and each scheme's hardware-relevant
+// sampling cost per MC sample (random bits / RNG draws).
+#include <cstdio>
+
+#include "baseline/bynqnet_model.h"
+#include "baseline/vibnn_model.h"
+#include "bayes/predictive.h"
+#include "core/gaussian_sampler.h"
+#include "data/synth.h"
+#include "metrics/metrics.h"
+#include "nn/models.h"
+#include "train/trainer.h"
+#include "util/table.h"
+
+int main() {
+  using namespace bnn;
+  std::printf("=== Ablation: MCD vs VIBNN-style vs BYNQNet-style ===\n\n");
+
+  // Shared task: synthetic digits downsampled to 7x7 (49 features).
+  util::Rng data_rng(81);
+  data::Dataset digits = data::make_synth_digits(900, data_rng);
+  nn::Tensor flat({digits.size(), 49, 1, 1});
+  for (int n = 0; n < digits.size(); ++n)
+    for (int y = 0; y < 7; ++y)
+      for (int x = 0; x < 7; ++x)
+        flat.v4(n, y * 7 + x, 0, 0) = digits.images().v4(n, 0, 4 * y + 2, 4 * x + 2);
+  data::Dataset dataset(std::move(flat), digits.labels(), 10);
+  auto [train_set, test_set] = dataset.split(750);
+  util::Rng noise_rng(82);
+  data::Dataset noise = data::make_gaussian_noise(150, train_set, noise_rng);
+  const int hidden = 64;
+  const int samples = 30;
+
+  // --- MCD (this paper's approach), trained deterministically.
+  util::Rng mcd_rng(83);
+  nn::Model mcd = nn::make_mlp3(mcd_rng, 49, hidden, 10, nn::MlpActivation::relu, true);
+  mcd.set_bayesian_last(0);
+  train::TrainConfig train_config;
+  train_config.epochs = 6;
+  train_config.batch_size = 32;
+  train::fit(mcd, train_set, train_config);
+  mcd.set_bayesian_last(mcd.num_sites());
+  mcd.reseed_sites(84);
+  bayes::PredictiveOptions mcd_options;
+  mcd_options.num_samples = samples;
+  const nn::Tensor mcd_test = bayes::mc_predict(mcd, test_set.images(), mcd_options);
+  mcd.reseed_sites(85);
+  const nn::Tensor mcd_noise = bayes::mc_predict(mcd, noise.images(), mcd_options);
+  // Bernoulli bits per sample: one per masked unit (2 hidden layers).
+  const std::int64_t mcd_bits = 2 * hidden;
+
+  // --- VIBNN-style Gaussian-weight BNN.
+  baseline::VibnnConfig vibnn_config;
+  vibnn_config.hidden = hidden;
+  baseline::VibnnBnn vibnn(49, 10, vibnn_config);
+  vibnn.fit(train_set, 6, 0.05);
+  core::GaussianSamplerConfig grng_config;
+  grng_config.seed = 86;
+  core::GaussianSampler grng(grng_config);
+  const nn::Tensor vibnn_test = vibnn.mc_predict(test_set.images(), samples, grng);
+  const nn::Tensor vibnn_noise = vibnn.mc_predict(noise.images(), samples, grng);
+  const std::int64_t vibnn_draws = vibnn.num_weights();  // per sample!
+
+  // --- BYNQNet-style sampling-free moment propagation.
+  baseline::BynqnetConfig bynq_config;
+  bynq_config.hidden = hidden;
+  baseline::BynqNet bynq(49, 10, bynq_config);
+  bynq.fit(train_set, 10, 0.05);
+  util::Rng out_rng(87);
+  const nn::Tensor bynq_test = bynq.predictive(test_set.images(), samples, out_rng);
+  const nn::Tensor bynq_noise = bynq.predictive(noise.images(), samples, out_rng);
+
+  util::TextTable table("same task, same 49-64-64-10 MLP budget, S=30");
+  table.set_header({"approach", "accuracy [%]", "noise aPE [nats]", "RNG cost / sample",
+                    "supports conv/pool/res?"});
+  table.add_row({"MCD + IC (paper)",
+                 util::fixed(metrics::accuracy(mcd_test, test_set.labels()) * 100.0, 1),
+                 util::fixed(metrics::average_predictive_entropy(mcd_noise), 3),
+                 std::to_string(mcd_bits) + " Bernoulli bits", "yes (this work)"});
+  table.add_row({"VIBNN-style",
+                 util::fixed(metrics::accuracy(vibnn_test, test_set.labels()) * 100.0, 1),
+                 util::fixed(metrics::average_predictive_entropy(vibnn_noise), 3),
+                 std::to_string(vibnn_draws) + " Gaussian draws", "no (FC only)"});
+  table.add_row({"BYNQNet-style",
+                 util::fixed(metrics::accuracy(bynq_test, test_set.labels()) * 100.0, 1),
+                 util::fixed(metrics::average_predictive_entropy(bynq_noise), 3),
+                 "0 (closed form)", "no (FC + quadratic only)"});
+  std::printf("%s\n", table.to_string().c_str());
+
+  std::printf("Why the paper wins on generality: the MCD scheme needs only %lld random\n"
+              "bits per sample (vs %lld Gaussian draws for weight-sampling designs)\n"
+              "and composes with convolutions, pooling and residual connections —\n"
+              "the comparators are locked to small fully-connected networks.\n",
+              static_cast<long long>(mcd_bits), static_cast<long long>(vibnn_draws));
+  return 0;
+}

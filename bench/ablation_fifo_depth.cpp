@@ -1,0 +1,55 @@
+// Ablation: Bernoulli-sampler FIFO depth. The FIFO decouples mask
+// production (1 bit/cycle) from the NNE's bursty consumption (one PF-bit
+// word per filter tile). This bench measures starvation vs depth under a
+// bursty consumption pattern and the M20K cost of deeper FIFOs.
+#include <cstdio>
+
+#include "core/bernoulli_sampler.h"
+#include "util/table.h"
+
+int main() {
+  using namespace bnn::core;
+  std::printf("=== Ablation: sampler FIFO depth ===\n\n");
+
+  // Consumption pattern: a burst of `burst` words back-to-back (deep layers
+  // with many filter tiles), then a long quiet phase (the PE grinding
+  // through channel tiles).
+  const int pf = 64;
+  const int bursts = 200;
+  const int burst = 4;
+  const int quiet_cycles = 4 * pf * burst;  // production catches up in quiet phases
+
+  bnn::util::TextTable table("starvation under bursty mask consumption (PF=64)");
+  table.set_header({"FIFO depth", "starved pops", "stall cycles", "FIFO bits (D*PF*DW)"});
+  for (int depth : {1, 2, 4, 8, 16, 32}) {
+    BernoulliSamplerConfig config;
+    config.p = 0.25;
+    config.pf = pf;
+    config.fifo_depth = depth;
+    config.seed = 7;
+    BernoulliSampler sampler(config);
+
+    int starved = 0;
+    std::vector<std::uint8_t> word;
+    for (int b = 0; b < bursts; ++b) {
+      for (int i = 0; i < quiet_cycles; ++i) sampler.step_cycle();
+      for (int w = 0; w < burst; ++w) {
+        if (!sampler.pop_word(word)) {
+          ++starved;
+          // The DU must wait: emulate by producing until a word exists.
+          while (!sampler.pop_word(word)) sampler.step_cycle();
+        }
+      }
+    }
+    table.add_row({std::to_string(depth), std::to_string(starved),
+                   std::to_string(sampler.stall_cycles()),
+                   std::to_string(depth * pf * 8)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("Reading the table: a depth of ~the largest per-layer burst hides the\n"
+              "sampler's serial production entirely; deeper FIFOs only cost memory\n"
+              "(MEM_FIFO = D*PF*DW, paper Sec. IV-B) while shallower ones make the\n"
+              "Dropout Unit wait. The paper's design uses a FIFO precisely so 'masks\n"
+              "pop out when required'.\n");
+  return 0;
+}

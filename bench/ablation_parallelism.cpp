@@ -1,0 +1,64 @@
+// Ablation: the PC/PF/PV parallelism trade-off behind the paper's final
+// 64/64/1 choice. Sweeps the paper's hardware design space and reports the
+// modelled latency, effective throughput and resource cost of each point on
+// the Arria 10, marking infeasible ones.
+#include <cstdio>
+
+#include "core/perf_model.h"
+#include "core/resource_model.h"
+#include "nn/models.h"
+#include "util/table.h"
+
+int main() {
+  using namespace bnn;
+  std::printf("=== Ablation: fine-grained parallelism (PC, PF, PV) ===\n\n");
+
+  util::Rng rng(1);
+  nn::Model resnet = nn::make_resnet18(rng, 10, 8);
+  const nn::NetworkDesc desc = resnet.describe();
+  const nn::NetworkDesc big = nn::describe_resnet101();
+  const core::FpgaDevice device = core::arria10_sx660();
+
+  util::TextTable table(
+      "ResNet-18 {L=2N/3, S=50} with IC; buffers sized for ResNet-101");
+  table.set_header({"PC", "PF", "PV", "MACs/cyc", "latency [ms]", "eff. GOP/s", "DSP req",
+                    "ALMs", "fits?"});
+  double best_feasible_latency = 1e30;
+  core::NneConfig best;
+  for (int pc : core::pc_domain()) {
+    for (int pf : core::pf_domain()) {
+      for (int pv : core::pv_domain()) {
+        core::NneConfig config;
+        config.pc = pc;
+        config.pf = pf;
+        config.pv = pv;
+        // Keep the sweep readable: only points on the efficiency frontier
+        // of interest (products between 512 and 8192 MACs/cycle).
+        const std::int64_t product = config.macs_per_cycle();
+        if (product < 512 || product > 8192) continue;
+        const core::ResourceUsage usage =
+            core::estimate_resources(config, big, device, 16, 2);
+        const bool ok = core::fits(usage, device);
+        core::PerfConfig perf;
+        perf.nne = config;
+        const core::RunStats stats =
+            core::estimate_mc(desc, perf, (2 * desc.num_sites() + 2) / 3, 50, true);
+        table.add_row({std::to_string(pc), std::to_string(pf), std::to_string(pv),
+                       std::to_string(product), util::fixed(stats.latency_ms, 3),
+                       util::fixed(stats.throughput_gops(), 0),
+                       std::to_string(usage.dsps_required),
+                       std::to_string(usage.alms_used), ok ? "yes" : "NO"});
+        if (ok && stats.latency_ms < best_feasible_latency) {
+          best_feasible_latency = stats.latency_ms;
+          best = config;
+        }
+      }
+    }
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("Best feasible point: PC=%d PF=%d PV=%d -> %.3f ms (the paper selects\n"
+              "PC=PF=64, PV=1 on this device; points above 4096 MACs/cycle blow the\n"
+              "ALM budget once the DSP overflow is priced in).\n",
+              best.pc, best.pf, best.pv, best_feasible_latency);
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Shared setup for the benchmark harnesses: the paper's three evaluation
+// pairs (LeNet-5 / synth-digits, reduced VGG-11 / synth-SVHN, reduced
+// ResNet-18 / synth-objects), trained once and cached on disk so every
+// bench binary does not retrain from scratch (cache dir ./bnn_bench_cache,
+// safe to delete).
+#ifndef BNN_BENCH_COMMON_H
+#define BNN_BENCH_COMMON_H
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <utility>
+
+#include "data/synth.h"
+#include "nn/models.h"
+#include "nn/serialize.h"
+#include "train/trainer.h"
+
+namespace bnnbench {
+
+inline std::string cache_dir() {
+  const std::filesystem::path dir = "bnn_bench_cache";
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+struct Workload {
+  bnn::nn::Model model;
+  bnn::data::Dataset train_set;
+  bnn::data::Dataset test_set;
+  std::string dataset_name;
+};
+
+// Trains (or loads from cache) a model. Training is DETERMINISTIC (all MCD
+// sites inactive) and dropout is applied post-hoc at inference — the
+// channel-reduced substitute models collapse under channel dropout during
+// training, and post-hoc MCD on a pretrained network is exactly what the
+// paper's reference [5] (Stochastic-YOLO) does. Recorded in DESIGN.md and
+// EXPERIMENTS.md.
+inline void train_or_load(bnn::nn::Model& model, const bnn::data::Dataset& train_set,
+                          const std::string& tag, int epochs, double learning_rate,
+                          double lr_decay, int train_bayes_layers = 0) {
+  const std::string path = cache_dir() + "/" + tag + ".weights";
+  const int saved_bayes = model.bayesian_layers();
+  model.set_bayesian_last(train_bayes_layers);
+  if (bnn::nn::load_model_state(model, path)) {
+    std::printf("[setup] loaded cached weights for %s\n", tag.c_str());
+  } else {
+    std::printf("[setup] training %s (%d epochs, %d images)...\n", tag.c_str(), epochs,
+                train_set.size());
+    bnn::train::TrainConfig config;
+    config.epochs = epochs;
+    config.batch_size = 32;
+    config.learning_rate = learning_rate;
+    config.lr_decay = lr_decay;
+    bnn::train::fit(model, train_set, config);
+    bnn::nn::save_model_state(model, path);
+  }
+  model.set_bayesian_last(saved_bayes);
+}
+
+// LeNet-5 on synthetic digits (the paper's MNIST slot).
+inline Workload prepare_lenet5() {
+  bnn::util::Rng rng(101);
+  bnn::nn::Model model = bnn::nn::make_lenet5(rng);
+  bnn::util::Rng data_rng(102);
+  bnn::data::Dataset digits = bnn::data::make_synth_digits(1200, data_rng);
+  auto [train_set, test_set] = digits.split(1050);
+  train_or_load(model, train_set, "lenet5_digits_det", 5, 0.05, 0.7);
+  return {std::move(model), std::move(train_set), std::move(test_set), "synth-digits"};
+}
+
+// Channel-reduced VGG-11 on synthetic SVHN (the paper's SVHN slot).
+inline Workload prepare_vgg11() {
+  bnn::util::Rng rng(201);
+  bnn::nn::Model model = bnn::nn::make_vgg11(rng, 10, /*width_divisor=*/8);
+  bnn::util::Rng data_rng(202);
+  bnn::data::Dataset svhn = bnn::data::make_synth_svhn(1300, data_rng);
+  auto [train_set, test_set] = svhn.split(1150);
+  train_or_load(model, train_set, "vgg11_svhn_det", 14, 0.02, 0.85);
+  return {std::move(model), std::move(train_set), std::move(test_set), "synth-svhn"};
+}
+
+// Channel-reduced ResNet-18 on synthetic objects (the paper's CIFAR slot).
+inline Workload prepare_resnet18() {
+  bnn::util::Rng rng(301);
+  bnn::nn::Model model = bnn::nn::make_resnet18(rng, 10, /*base_width=*/8);
+  bnn::util::Rng data_rng(302);
+  bnn::data::Dataset objects = bnn::data::make_synth_objects(1300, data_rng);
+  auto [train_set, test_set] = objects.split(1150);
+  train_or_load(model, train_set, "resnet18_objects_det", 6, 0.02, 0.7);
+  return {std::move(model), std::move(train_set), std::move(test_set), "synth-objects"};
+}
+
+// The {L, S} pairs of the paper's Table III rows, resolved per network.
+inline std::pair<int, int> l_one(const bnn::nn::Model&) { return {1, 100}; }
+inline std::pair<int, int> l_two_thirds(const bnn::nn::Model& model) {
+  const int sites = model.num_sites();
+  int l = (2 * sites + 2) / 3;  // round(2N/3)
+  if (l < 1) l = 1;
+  return {l, 50};
+}
+
+}  // namespace bnnbench
+
+#endif  // BNN_BENCH_COMMON_H

@@ -1,0 +1,112 @@
+// Reproduces Fig. 6: design-space exploration for ResNet-18 with latency,
+// accuracy and uncertainty constraints under Opt-Confidence. Prints every
+// candidate point (the scatter), the per-metric global optima (the black
+// arrows) and the constrained pick (the red arrow).
+#include <algorithm>
+#include <cstdio>
+
+#include "common.h"
+#include "core/dse.h"
+#include "core/software_metrics.h"
+#include "util/table.h"
+
+int main() {
+  using namespace bnn;
+  std::printf("=== Fig. 6 reproduction: constrained DSE for ResNet-18 ===\n\n");
+
+  bnnbench::Workload workload = bnnbench::prepare_resnet18();
+  nn::Model& model = workload.model;
+  const nn::NetworkDesc desc = model.describe();
+
+  const data::Dataset test = workload.test_set.subset(0, std::min(100, workload.test_set.size()));
+  util::Rng noise_rng(17);
+  const data::Dataset noise = data::make_gaussian_noise(60, workload.train_set, noise_rng);
+  core::SoftwareMetricsProvider provider(model, test, noise);
+
+  core::DseOptions options;
+  options.mode = core::OptMode::confidence;
+  options.sample_grid = {3, 10, 30, 100};
+
+  // Unconstrained sweep first (the full scatter).
+  const core::DseResult sweep = run_dse(desc, provider, options);
+
+  util::TextTable table("candidate points (the Fig. 6 scatter)");
+  table.set_header({"L", "S", "latency [ms]", "accuracy [%]", "aPE [nats]", "ECE [%]"});
+  for (const core::Candidate& candidate : sweep.candidates)
+    table.add_row({std::to_string(candidate.bayes_layers), std::to_string(candidate.num_samples),
+                   util::fixed(candidate.latency_ms, 3),
+                   util::fixed(candidate.metrics.accuracy * 100.0, 1),
+                   util::fixed(candidate.metrics.ape, 3),
+                   util::fixed(candidate.metrics.ece * 100.0, 2)});
+  std::printf("%s\n", table.to_string().c_str());
+
+  // Global optima per metric — the black arrows of Fig. 6.
+  auto extreme = [&sweep](auto better) {
+    const core::Candidate* best = &sweep.candidates.front();
+    for (const core::Candidate& candidate : sweep.candidates)
+      if (better(candidate, *best)) best = &candidate;
+    return best;
+  };
+  const core::Candidate* best_latency = extreme(
+      [](const core::Candidate& a, const core::Candidate& b) { return a.latency_ms < b.latency_ms; });
+  const core::Candidate* best_accuracy = extreme([](const core::Candidate& a, const core::Candidate& b) {
+    return a.metrics.accuracy > b.metrics.accuracy;
+  });
+  const core::Candidate* best_ape = extreme([](const core::Candidate& a, const core::Candidate& b) {
+    return a.metrics.ape > b.metrics.ape;
+  });
+  const core::Candidate* best_ece = extreme([](const core::Candidate& a, const core::Candidate& b) {
+    return a.metrics.ece < b.metrics.ece;
+  });
+  std::printf("global optima (paper's black arrows):\n");
+  std::printf("  Opt-Latency     -> {L=%d, S=%d}\n", best_latency->bayes_layers,
+              best_latency->num_samples);
+  std::printf("  Opt-Accuracy    -> {L=%d, S=%d}\n", best_accuracy->bayes_layers,
+              best_accuracy->num_samples);
+  std::printf("  Opt-Uncertainty -> {L=%d, S=%d}\n", best_ape->bayes_layers,
+              best_ape->num_samples);
+  std::printf("  Opt-Confidence  -> {L=%d, S=%d}\n", best_ece->bayes_layers,
+              best_ece->num_samples);
+
+  // Constrained run — the black box + red arrow. Constraints are placed at
+  // the median of the observed ranges so the feasible box is non-trivial.
+  std::vector<double> latencies, accuracies, apes;
+  for (const core::Candidate& candidate : sweep.candidates) {
+    latencies.push_back(candidate.latency_ms);
+    accuracies.push_back(candidate.metrics.accuracy);
+    apes.push_back(candidate.metrics.ape);
+  }
+  auto median = [](std::vector<double> values) {
+    std::sort(values.begin(), values.end());
+    return values[values.size() / 2];
+  };
+  options.requirements.max_latency_ms = median(latencies);
+  options.requirements.min_accuracy = median(accuracies);
+  options.requirements.min_ape = median(apes);
+  const core::DseResult constrained = run_dse(desc, provider, options);
+
+  std::printf("\nconstraints (the black box): latency <= %.3f ms, accuracy >= %.1f%%, "
+              "aPE >= %.3f\n",
+              *options.requirements.max_latency_ms,
+              *options.requirements.min_accuracy * 100.0, *options.requirements.min_ape);
+  int feasible = 0;
+  for (const core::Candidate& candidate : constrained.candidates)
+    feasible += candidate.feasible ? 1 : 0;
+  std::printf("feasible points: %d of %zu\n", feasible, constrained.candidates.size());
+  if (constrained.best_index >= 0) {
+    const core::Candidate& pick = constrained.best();
+    std::printf("constrained Opt-Confidence pick (the red arrow): {L=%d, S=%d} with "
+                "ECE %.2f%%, latency %.3f ms, accuracy %.1f%%, aPE %.3f\n",
+                pick.bayes_layers, pick.num_samples, pick.metrics.ece * 100.0,
+                pick.latency_ms, pick.metrics.accuracy * 100.0, pick.metrics.ape);
+    std::printf("\nFig. 6 behaviour: the framework returns the lowest-ECE point inside\n"
+                "the feasible region rather than the global ECE optimum: %s\n",
+                (pick.bayes_layers == best_ece->bayes_layers &&
+                 pick.num_samples == best_ece->num_samples)
+                    ? "global optimum happened to be feasible"
+                    : "REPRODUCED (constrained pick differs from global)");
+  } else {
+    std::printf("no feasible point under the median constraints.\n");
+  }
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Microbenchmark of the simulator itself: how fast the cycle-counted NNE
+// datapath and the untiled reference executor run on the host. Useful for
+// sizing experiments; not a claim about FPGA speed (that is what the cycle
+// model is for).
+#include <benchmark/benchmark.h>
+
+#include "data/synth.h"
+#include "core/nne.h"
+#include "nn/models.h"
+#include "quant/qops.h"
+#include "train/trainer.h"
+
+namespace {
+
+using namespace bnn;
+
+struct Setup {
+  Setup() {
+    util::Rng rng(51);
+    model = std::make_unique<nn::Model>(nn::make_tiny_cnn(rng, 10, 1, 12));
+    util::Rng data_rng(52);
+    data::Dataset digits = data::make_synth_digits(64, data_rng);
+    nn::Tensor small({digits.size(), 1, 12, 12});
+    for (int n = 0; n < digits.size(); ++n)
+      for (int y = 0; y < 12; ++y)
+        for (int x = 0; x < 12; ++x)
+          small.v4(n, 0, y, x) = digits.images().v4(n, 0, 2 + 2 * y, 2 + 2 * x);
+    dataset = std::make_unique<data::Dataset>(std::move(small), digits.labels(), 10);
+    model->set_bayesian_last(0);
+    qnet = std::make_unique<quant::QuantNetwork>(quant::quantize_model(*model, *dataset));
+    image = quant::quantize_image(dataset->images(), 0, qnet->input);
+  }
+  std::unique_ptr<nn::Model> model;
+  std::unique_ptr<data::Dataset> dataset;
+  std::unique_ptr<quant::QuantNetwork> qnet;
+  quant::QTensor image;
+};
+
+Setup& setup() {
+  static Setup instance;
+  return instance;
+}
+
+void bm_reference_layer(benchmark::State& state) {
+  auto& s = setup();
+  const quant::QLayer& layer = s.qnet->layers.front();
+  for (auto _ : state) {
+    auto out = quant::ref_run_layer(layer, s.image, nullptr, false, nullptr,
+                                    s.qnet->dropout_keep);
+    benchmark::DoNotOptimize(out.data.data());
+  }
+  state.SetItemsProcessed(state.iterations() * layer.geom.macs());
+}
+BENCHMARK(bm_reference_layer);
+
+void bm_nne_layer(benchmark::State& state) {
+  auto& s = setup();
+  const quant::QLayer& layer = s.qnet->layers.front();
+  core::NneConfig config;
+  config.pc = static_cast<int>(state.range(0));
+  config.pf = static_cast<int>(state.range(1));
+  config.pv = static_cast<int>(state.range(2));
+  for (auto _ : state) {
+    auto result = core::nne_run_layer(layer, s.image, nullptr, false, nullptr,
+                                      s.qnet->dropout_keep, config);
+    benchmark::DoNotOptimize(result.output.data.data());
+  }
+  state.SetItemsProcessed(state.iterations() * layer.geom.macs());
+  state.SetLabel("PC/PF/PV=" + std::to_string(state.range(0)) + "/" +
+                 std::to_string(state.range(1)) + "/" + std::to_string(state.range(2)));
+}
+BENCHMARK(bm_nne_layer)->Args({8, 8, 1})->Args({64, 64, 1})->Args({128, 128, 16});
+
+void bm_full_network_reference(benchmark::State& state) {
+  auto& s = setup();
+  for (auto _ : state) {
+    auto outputs = quant::ref_forward(*s.qnet, s.image, 0, nullptr);
+    benchmark::DoNotOptimize(outputs.back().data.data());
+  }
+  state.SetItemsProcessed(state.iterations() * s.qnet->describe().total_macs());
+}
+BENCHMARK(bm_full_network_reference);
+
+}  // namespace
+
+BENCHMARK_MAIN();

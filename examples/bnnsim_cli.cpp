@@ -1,0 +1,143 @@
+// bnnsim — command-line front end for the accelerator models.
+//
+// Estimates latency, throughput, traffic and resources for any of the
+// built-in networks under a chosen hardware configuration and Bayesian
+// setup, with an optional per-layer breakdown. Everything goes through the
+// public API, so this doubles as an integration example.
+//
+//   bnnsim_cli --net resnet18 --layers            # per-layer breakdown
+//   bnnsim_cli --net resnet101 --L 105 --S 10     # the Table IV workload
+//   bnnsim_cli --net vgg11 --L 6 --S 50 --no-ic --pc 32 --pf 128 --pv 1
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/perf_model.h"
+#include "core/resource_model.h"
+#include "nn/models.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace bnn;
+
+void usage() {
+  std::printf(
+      "bnnsim - BNN FPGA accelerator model (DAC'21 reproduction)\n\n"
+      "  --net NAME    lenet5 | vgg11 | resnet18 | resnet101 | mlp3 (default lenet5)\n"
+      "  --L N         Bayesian sites, counted from the back (default: all)\n"
+      "  --S N         Monte Carlo samples (default 10)\n"
+      "  --pc/--pf/--pv N   parallelism (default 64/64/1)\n"
+      "  --clock MHZ   clock in MHz (default 225)\n"
+      "  --no-ic       disable intermediate-layer caching\n"
+      "  --layers      print the per-layer breakdown of one pass\n"
+      "  --help        this text\n");
+}
+
+nn::NetworkDesc make_desc(const std::string& name) {
+  util::Rng rng(1);
+  if (name == "lenet5") return nn::make_lenet5(rng).describe();
+  if (name == "vgg11") return nn::make_vgg11(rng, 10, 8).describe();
+  if (name == "resnet18") return nn::make_resnet18(rng, 10, 8).describe();
+  if (name == "resnet101") return nn::describe_resnet101();
+  if (name == "mlp3") return nn::describe_mlp3(784, 256, 10);
+  std::fprintf(stderr, "unknown network '%s'\n", name.c_str());
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string net = "lenet5";
+  int bayes_layers = -1;
+  int samples = 10;
+  core::NneConfig nne;
+  bool use_ic = true;
+  bool show_layers = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next_int = [&](int& out) {
+      if (i + 1 >= argc) {
+        usage();
+        std::exit(2);
+      }
+      out = std::atoi(argv[++i]);
+    };
+    if (arg == "--net" && i + 1 < argc) {
+      net = argv[++i];
+    } else if (arg == "--L") {
+      next_int(bayes_layers);
+    } else if (arg == "--S") {
+      next_int(samples);
+    } else if (arg == "--pc") {
+      next_int(nne.pc);
+    } else if (arg == "--pf") {
+      next_int(nne.pf);
+    } else if (arg == "--pv") {
+      next_int(nne.pv);
+    } else if (arg == "--clock") {
+      int clock = 225;
+      next_int(clock);
+      nne.clock_mhz = clock;
+    } else if (arg == "--no-ic") {
+      use_ic = false;
+    } else if (arg == "--layers") {
+      show_layers = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown flag '%s'\n\n", arg.c_str());
+      usage();
+      return 2;
+    }
+  }
+
+  const nn::NetworkDesc desc = make_desc(net);
+  if (bayes_layers < 0) bayes_layers = desc.num_sites();
+  if (bayes_layers > desc.num_sites()) {
+    std::fprintf(stderr, "--L %d exceeds the network's %d sites\n", bayes_layers,
+                 desc.num_sites());
+    return 2;
+  }
+
+  core::PerfConfig perf;
+  perf.nne = nne;
+  std::printf("network   : %s (%d hw layers, %d MCD sites, %.2f GMAC/pass)\n",
+              desc.name.c_str(), desc.num_layers(), desc.num_sites(),
+              static_cast<double>(desc.total_macs()) / 1e9);
+  std::printf("hardware  : PC=%d PF=%d PV=%d @ %.0f MHz (peak %.0f GOP/s)\n", nne.pc, nne.pf,
+              nne.pv, nne.clock_mhz, nne.peak_gops());
+  std::printf("inference : L=%d, S=%d, IC %s\n\n", bayes_layers, samples,
+              use_ic ? "on" : "off");
+
+  const core::RunStats stats =
+      core::estimate_mc(desc, perf, bayes_layers, samples, use_ic);
+  std::printf("latency              : %.4f ms\n", stats.latency_ms);
+  std::printf("effective throughput : %.1f GOP/s\n", stats.throughput_gops());
+  std::printf("DDR traffic          : %.1f KB\n", static_cast<double>(stats.ddr_bytes) / 1024.0);
+  std::printf("mask bits consumed   : %lld\n", static_cast<long long>(stats.mask_bits));
+
+  const core::FpgaDevice device = core::arria10_sx660();
+  const core::ResourceUsage usage = core::estimate_resources(nne, desc, device, 16, 2);
+  std::printf("resources (SX660)    : %d DSP / %lld ALM / %d M20K -> %s\n", usage.dsps_used,
+              static_cast<long long>(usage.alms_used), usage.m20k_used,
+              core::fits(usage, device) ? "fits" : "DOES NOT FIT");
+
+  if (show_layers) {
+    const core::RunStats pass =
+        core::estimate_pass(desc, perf, 0, desc.num_layers() - 1, false, false);
+    util::TextTable table("\nper-layer breakdown (single pass)");
+    table.set_header({"layer", "MACs", "compute cyc", "memory cyc", "bound", "read B",
+                      "write B"});
+    for (const core::LayerTiming& t : pass.per_layer)
+      table.add_row({t.label, std::to_string(t.macs), util::fixed(t.compute_cycles, 0),
+                     util::fixed(t.memory_cycles, 0),
+                     t.compute_cycles >= t.memory_cycles ? "compute" : "memory",
+                     std::to_string(t.ddr_read_bytes), std::to_string(t.ddr_write_bytes)});
+    std::printf("%s", table.to_string().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,94 @@
+// The optimization framework (paper Section IV / Fig. 5) end to end:
+// hardware optimization picks {PC, PF, PV} for the Arria 10, then the
+// algorithmic stage sweeps {L, S}, evaluates latency / accuracy / aPE / ECE,
+// filters by user requirements and reports the best point per mode.
+//
+// Build & run:  ./build/examples/design_space_exploration
+#include <cstdio>
+
+#include "core/dse.h"
+#include "core/software_metrics.h"
+#include "data/synth.h"
+#include "nn/models.h"
+#include "train/trainer.h"
+#include "util/table.h"
+
+int main() {
+  using namespace bnn;
+
+  std::printf("Training a small CNN for the exploration (a few seconds)...\n");
+  util::Rng rng(11);
+  nn::Model model = nn::make_tiny_cnn(rng, 10, 1, 12);
+
+  util::Rng data_rng(12);
+  data::Dataset digits = data::make_synth_digits(700, data_rng);
+  nn::Tensor small({digits.size(), 1, 12, 12});
+  for (int n = 0; n < digits.size(); ++n)
+    for (int y = 0; y < 12; ++y)
+      for (int x = 0; x < 12; ++x)
+        small.v4(n, 0, y, x) = digits.images().v4(n, 0, 2 + 2 * y, 2 + 2 * x);
+  data::Dataset dataset(std::move(small), digits.labels(), 10);
+  auto [train_set, test_set] = dataset.split(560);
+
+  model.set_bayesian_last(model.num_sites());
+  train::TrainConfig train_config;
+  train_config.epochs = 4;
+  train_config.batch_size = 16;
+  train::fit(model, train_set, train_config);
+
+  util::Rng noise_rng(13);
+  data::Dataset noise = data::make_gaussian_noise(100, train_set, noise_rng);
+  core::SoftwareMetricsProvider metrics(model, test_set, noise);
+
+  const nn::NetworkDesc desc = model.describe();
+  core::DseOptions options;
+  options.sample_grid = {3, 5, 10, 30, 100};
+
+  // Stage 1 result is mode-independent; show it once.
+  const core::NneConfig hw =
+      core::optimize_hardware(desc, options.device, options.clock_mhz,
+                              options.sampler_fifo_depth, options.num_lfsrs);
+  std::printf("\nHardware optimization on %s: PC=%d PF=%d PV=%d (%.0f GOP/s peak)\n",
+              options.device.name.c_str(), hw.pc, hw.pf, hw.pv, hw.peak_gops());
+
+  util::TextTable table("\nBest {L, S} per optimization mode (no user constraints):");
+  table.set_header({"Mode", "L", "S", "Latency [ms]", "Accuracy [%]", "aPE [nats]",
+                    "ECE [%]"});
+  for (core::OptMode mode : {core::OptMode::latency, core::OptMode::accuracy,
+                             core::OptMode::uncertainty, core::OptMode::confidence}) {
+    options.mode = mode;
+    const core::DseResult result = run_dse(desc, metrics, options);
+    const core::Candidate& best = result.best();
+    table.add_row({core::opt_mode_name(mode), std::to_string(best.bayes_layers),
+                   std::to_string(best.num_samples), util::fixed(best.latency_ms, 3),
+                   util::fixed(best.metrics.accuracy * 100.0, 2),
+                   util::fixed(best.metrics.ape, 3),
+                   util::fixed(best.metrics.ece * 100.0, 2)});
+  }
+  std::printf("%s", table.to_string().c_str());
+
+  // Constrained run, Fig. 6-style: optimize confidence subject to latency,
+  // accuracy and uncertainty floors.
+  options.mode = core::OptMode::confidence;
+  options.requirements.max_latency_ms = 0.1;
+  options.requirements.min_accuracy = 0.35;
+  options.requirements.min_ape = 1.0;
+  const core::DseResult constrained = run_dse(desc, metrics, options);
+  std::printf("\nConstrained Opt-Confidence (latency <= 0.1 ms, accuracy >= 35%%, "
+              "aPE >= 1.0):\n");
+  if (constrained.best_index < 0) {
+    std::printf("  no feasible configuration - constraints are too tight.\n");
+  } else {
+    const core::Candidate& best = constrained.best();
+    std::printf("  chose {L=%d, S=%d}: %.3f ms, %.1f%% accuracy, %.3f nats, ECE %.2f%%\n",
+                best.bayes_layers, best.num_samples, best.latency_ms,
+                best.metrics.accuracy * 100.0, best.metrics.ape,
+                best.metrics.ece * 100.0);
+  }
+  int feasible = 0;
+  for (const core::Candidate& candidate : constrained.candidates)
+    feasible += candidate.feasible ? 1 : 0;
+  std::printf("  (%d of %zu candidate points were feasible)\n", feasible,
+              constrained.candidates.size());
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Quickstart: the full pipeline in one file.
+//
+//   1. build a small CNN with Monte Carlo Dropout sites,
+//   2. train it on the synthetic digit dataset,
+//   3. post-training-quantize it to 8 bits,
+//   4. run Bayesian inference on the simulated FPGA accelerator,
+//   5. read predictions, uncertainty, modelled latency and resources.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/accelerator.h"
+#include "data/synth.h"
+#include "metrics/metrics.h"
+#include "nn/models.h"
+#include "train/trainer.h"
+#include "util/stopwatch.h"
+
+int main() {
+  using namespace bnn;
+
+  std::printf("== 1. Build a model with MCD sites ==\n");
+  util::Rng rng(42);
+  nn::Model model = nn::make_tiny_cnn(rng, /*num_classes=*/10, /*in_channels=*/1,
+                                      /*image=*/12);
+  std::printf("model '%s': %d candidate Bayesian sites (the paper's N)\n",
+              model.name().c_str(), model.num_sites());
+
+  std::printf("\n== 2. Train on synthetic digits ==\n");
+  util::Rng data_rng(7);
+  data::Dataset digits = data::make_synth_digits(600, data_rng);
+  // The tiny model takes 12x12 inputs: subsample the 28x28 canvas.
+  nn::Tensor small({digits.size(), 1, 12, 12});
+  for (int n = 0; n < digits.size(); ++n)
+    for (int y = 0; y < 12; ++y)
+      for (int x = 0; x < 12; ++x)
+        small.v4(n, 0, y, x) = digits.images().v4(n, 0, 2 + 2 * y, 2 + 2 * x);
+  data::Dataset dataset(std::move(small), digits.labels(), 10);
+  auto [train_set, test_set] = dataset.split(480);
+
+  model.set_bayesian_last(0);  // train the deterministic feature extractor
+  train::TrainConfig train_config;
+  train_config.epochs = 4;
+  train_config.batch_size = 16;
+  util::Stopwatch watch;
+  const auto history = train::fit(model, train_set, train_config);
+  std::printf("trained %d epochs in %.1fs, final train accuracy %.1f%%\n",
+              train_config.epochs, watch.elapsed_seconds(),
+              history.back().train_accuracy * 100.0);
+
+  std::printf("\n== 3. 8-bit linear quantization ==\n");
+  quant::QuantNetwork qnet = quant::quantize_model(model, train_set);
+  std::printf("quantized %d hardware layers; input scale %.4f zero-point %d\n",
+              qnet.num_layers(), qnet.input.scale, qnet.input.zero_point);
+
+  std::printf("\n== 4. Simulated accelerator (PC=64, PF=64, PV=1 @ 225 MHz) ==\n");
+  core::AcceleratorConfig accel_config;  // paper defaults
+  core::Accelerator accelerator(qnet, accel_config);
+
+  const int bayes_layers = 2;  // partial BNN: last 2 of 3 sites Bayesian
+  const int num_samples = 10;
+  const data::Batch batch = test_set.batch(0, 16);
+  const auto prediction = accelerator.predict(batch.images, bayes_layers, num_samples);
+
+  std::printf("\n== 5. Results ==\n");
+  std::printf("batch accuracy      : %.1f%%\n",
+              metrics::accuracy(prediction.probs, batch.labels) * 100.0);
+  std::printf("mean confidence     : %.3f\n", metrics::mean_confidence(prediction.probs));
+  std::printf("predictive entropy  : %.3f nats\n",
+              metrics::average_predictive_entropy(prediction.probs));
+  std::printf("modelled latency    : %.3f ms per image (L=%d, S=%d, with IC)\n",
+              prediction.stats.latency_ms, bayes_layers, num_samples);
+  std::printf("DDR traffic         : %.1f KB per image\n",
+              static_cast<double>(prediction.stats.ddr_bytes) / 1024.0);
+
+  const core::ResourceUsage usage = accelerator.resources(core::arria10_sx660());
+  std::printf("resources (Arria 10): %d DSPs, %ld ALMs, %d M20K -> %s\n",
+              usage.dsps_used, static_cast<long>(usage.alms_used), usage.m20k_used,
+              core::fits(usage, core::arria10_sx660()) ? "fits" : "does NOT fit");
+
+  // Show the single most uncertain sample: the BNN's selling point.
+  int most_uncertain = 0;
+  double best_entropy = -1.0;
+  for (int n = 0; n < prediction.probs.size(0); ++n) {
+    double entropy = 0.0;
+    for (int k = 0; k < 10; ++k) {
+      const double p = prediction.probs.v2(n, k);
+      if (p > 0) entropy -= p * std::log(p);
+    }
+    if (entropy > best_entropy) {
+      best_entropy = entropy;
+      most_uncertain = n;
+    }
+  }
+  std::printf("most uncertain image: #%d (true label %d, entropy %.3f nats)\n",
+              most_uncertain, batch.labels[static_cast<std::size_t>(most_uncertain)],
+              best_entropy);
+  return 0;
+}

@@ -1,0 +1,178 @@
+#include "baseline/bynqnet_model.h"
+
+#include <cmath>
+
+#include "nn/activations.h"
+#include "nn/linear.h"
+#include "train/trainer.h"
+#include "util/check.h"
+#include "util/summary.h"
+
+namespace bnn::baseline {
+
+BynqNet::BynqNet(int in_features, int num_classes, const BynqnetConfig& config)
+    : config_(config),
+      model_([&] {
+        util::Rng rng(config.seed);
+        return nn::make_mlp3(rng, in_features, config.hidden, num_classes,
+                             nn::MlpActivation::quadratic, /*with_mcd_sites=*/false);
+      }()) {
+  // Damp the He initialization: x^2 activations square the scale per layer.
+  for (nn::Param* param : model_.net().params())
+    param->value.scale_(static_cast<float>(config.init_damping));
+}
+
+void BynqNet::fit(const data::Dataset& train_set, int epochs, double learning_rate) {
+  train::TrainConfig config;
+  config.epochs = epochs;
+  config.batch_size = 32;
+  config.learning_rate = learning_rate;
+  train::fit(model_, train_set, config);
+}
+
+std::vector<BynqNet::LinearParams> BynqNet::linears() const {
+  std::vector<LinearParams> out;
+  nn::Network& net = model_.net();
+  for (nn::Network::NodeId id : net.find_nodes(nn::LayerKind::linear)) {
+    auto* linear = static_cast<nn::Linear*>(net.layer(id));
+    LinearParams entry;
+    entry.weight = &linear->weight().value;
+    entry.bias = linear->has_bias() ? &linear->bias().value : nullptr;
+    out.push_back(entry);
+  }
+  util::ensure(out.size() == 3, "bynqnet: expected a three-layer MLP");
+  return out;
+}
+
+MomentOutput BynqNet::propagate_moments(const nn::Tensor& images) const {
+  util::require(images.dim() == 4, "bynqnet: expects NCHW images");
+  const int batch = images.size(0);
+  const int in_features = images.size(1) * images.size(2) * images.size(3);
+  const std::vector<LinearParams> layers = linears();
+
+  // Per-sample working vectors: activation mean and variance.
+  std::vector<double> mean(static_cast<std::size_t>(in_features));
+  std::vector<double> variance(static_cast<std::size_t>(in_features));
+  const int classes = layers.back().weight->size(0);
+  MomentOutput output;
+  output.mean = nn::Tensor({batch, classes});
+  output.variance = nn::Tensor({batch, classes});
+
+  for (int n = 0; n < batch; ++n) {
+    mean.assign(static_cast<std::size_t>(in_features), 0.0);
+    variance.assign(static_cast<std::size_t>(in_features), 0.0);
+    for (int i = 0; i < in_features; ++i)
+      mean[static_cast<std::size_t>(i)] =
+          images[static_cast<std::int64_t>(n) * in_features + i];
+
+    for (std::size_t l = 0; l < layers.size(); ++l) {
+      const nn::Tensor& w = *layers[l].weight;
+      const int out_f = w.size(0);
+      const int in_f = w.size(1);
+      util::ensure(static_cast<std::size_t>(in_f) == mean.size(),
+                   "bynqnet: layer width bookkeeping broken");
+      std::vector<double> out_mean(static_cast<std::size_t>(out_f));
+      std::vector<double> out_var(static_cast<std::size_t>(out_f));
+      for (int j = 0; j < out_f; ++j) {
+        double m = layers[l].bias != nullptr ? (*layers[l].bias)[j] : 0.0;
+        double v = 0.0;
+        for (int i = 0; i < in_f; ++i) {
+          const double mu = w.v2(j, i);
+          const double sd = sigma(mu);
+          const double mi = mean[static_cast<std::size_t>(i)];
+          const double vi = variance[static_cast<std::size_t>(i)];
+          m += mu * mi;
+          v += mu * mu * vi + sd * sd * (mi * mi + vi);
+        }
+        out_mean[static_cast<std::size_t>(j)] = m;
+        out_var[static_cast<std::size_t>(j)] = v;
+      }
+      if (l + 1 < layers.size()) {
+        // Quadratic activation moments under the Gaussian assumption.
+        for (int j = 0; j < out_f; ++j) {
+          const double m = out_mean[static_cast<std::size_t>(j)];
+          const double v = out_var[static_cast<std::size_t>(j)];
+          out_mean[static_cast<std::size_t>(j)] = m * m + v;
+          out_var[static_cast<std::size_t>(j)] = 2.0 * v * v + 4.0 * m * m * v;
+        }
+      }
+      mean = std::move(out_mean);
+      variance = std::move(out_var);
+    }
+    for (int k = 0; k < classes; ++k) {
+      output.mean.v2(n, k) = static_cast<float>(mean[static_cast<std::size_t>(k)]);
+      output.variance.v2(n, k) = static_cast<float>(variance[static_cast<std::size_t>(k)]);
+    }
+  }
+  return output;
+}
+
+nn::Tensor BynqNet::predictive(const nn::Tensor& images, int output_samples,
+                               util::Rng& rng) const {
+  util::require(output_samples >= 1, "bynqnet: need at least one output sample");
+  const MomentOutput moments = propagate_moments(images);
+  const int batch = moments.mean.size(0);
+  const int classes = moments.mean.size(1);
+
+  nn::Tensor probs({batch, classes});
+  nn::Tensor logits({1, classes});
+  for (int n = 0; n < batch; ++n) {
+    nn::Tensor accumulated({1, classes});
+    for (int s = 0; s < output_samples; ++s) {
+      for (int k = 0; k < classes; ++k) {
+        const double sd = std::sqrt(std::max(0.0f, moments.variance.v2(n, k)));
+        logits.v2(0, k) = static_cast<float>(rng.normal(moments.mean.v2(n, k), sd));
+      }
+      accumulated.add_(nn::softmax_rows(logits));
+    }
+    accumulated.scale_(1.0f / static_cast<float>(output_samples));
+    for (int k = 0; k < classes; ++k) probs.v2(n, k) = accumulated.v2(0, k);
+  }
+  return probs;
+}
+
+MomentOutput BynqNet::monte_carlo_moments(const nn::Tensor& images, int num_samples,
+                                          util::Rng& rng) const {
+  util::require(num_samples >= 2, "bynqnet: need at least two samples for variance");
+  nn::Network& net = model_.net();
+  net.set_training(false);
+  const std::vector<nn::Param*> params = net.params();
+  std::vector<nn::Tensor> means;
+  for (nn::Param* param : params) means.push_back(param->value);
+
+  const int batch = images.size(0);
+  const int classes = model_.num_classes();
+  std::vector<util::MeanStd> stats(static_cast<std::size_t>(batch) * classes);
+  for (int s = 0; s < num_samples; ++s) {
+    for (std::size_t p = 0; p < params.size(); ++p) {
+      // Only weight matrices are stochastic; biases are deterministic to
+      // match the moment algebra (bias rows enter the mean only).
+      if (params[p]->value.dim() != 2) continue;
+      for (std::int64_t i = 0; i < means[p].numel(); ++i)
+        params[p]->value[i] = static_cast<float>(
+            rng.normal(means[p][i], sigma(means[p][i])));
+    }
+    const nn::Tensor logits = net.forward(images);
+    for (int n = 0; n < batch; ++n)
+      for (int k = 0; k < classes; ++k)
+        stats[static_cast<std::size_t>(n) * classes + k].add(logits.v2(n, k));
+  }
+  for (std::size_t p = 0; p < params.size(); ++p) params[p]->value = means[p];
+
+  MomentOutput output;
+  output.mean = nn::Tensor({batch, classes});
+  output.variance = nn::Tensor({batch, classes});
+  for (int n = 0; n < batch; ++n)
+    for (int k = 0; k < classes; ++k) {
+      const util::MeanStd& stat = stats[static_cast<std::size_t>(n) * classes + k];
+      output.mean.v2(n, k) = static_cast<float>(stat.mean());
+      output.variance.v2(n, k) = static_cast<float>(stat.stddev() * stat.stddev());
+    }
+  return output;
+}
+
+std::int64_t BynqNet::macs_per_image() const {
+  return model_.net().total_macs({1, model_.input_shape()[0], 1, 1});
+}
+
+}  // namespace bnn::baseline

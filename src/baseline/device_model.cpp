@@ -1,0 +1,46 @@
+#include "baseline/device_model.h"
+
+#include "util/check.h"
+
+namespace bnn::baseline {
+
+DeviceModel cpu_i9_9900k() {
+  // ~40 GOP/s sustained on batch-1 convolutions, ~80 us per op dispatch.
+  return {"Intel i9-9900K (CPU)", 40.0, 0.080, 0.020};
+}
+
+DeviceModel gpu_rtx2080_super() {
+  // Batch-1 small-kernel effective rate with the paper's fp32/4 8-bit
+  // estimate; ~40 us per kernel launch.
+  return {"RTX 2080 SUPER (GPU)", 160.0, 0.040, 0.015};
+}
+
+namespace {
+
+double pass_latency_ms(const nn::NetworkDesc& desc, const DeviceModel& device, int first_layer,
+                       int last_layer) {
+  double total = 0.0;
+  for (int i = first_layer; i <= last_layer; ++i) {
+    const nn::HwLayer& layer = desc.layers[static_cast<std::size_t>(i)];
+    const double ops = static_cast<double>(layer.macs()) * 2.0;
+    total += ops / (device.effective_gops * 1e9) * 1e3 + device.per_layer_overhead_ms;
+  }
+  return total;
+}
+
+}  // namespace
+
+double device_latency_ms(const nn::NetworkDesc& desc, const DeviceModel& device,
+                         int bayes_layers, int num_samples) {
+  util::require(num_samples >= 1, "device_latency_ms: need at least one sample");
+  const int last = desc.num_layers() - 1;
+  if (bayes_layers == 0) return pass_latency_ms(desc, device, 0, last);
+
+  const int cut = desc.cut_layer_for(bayes_layers);
+  const double prefix = pass_latency_ms(desc, device, 0, cut);
+  const double suffix =
+      cut == last ? 0.0 : pass_latency_ms(desc, device, cut + 1, last);
+  return prefix + num_samples * (suffix + device.per_sample_overhead_ms);
+}
+
+}  // namespace bnn::baseline

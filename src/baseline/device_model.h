@@ -1,0 +1,45 @@
+// Analytic latency models for the paper's CPU / GPU baselines (Table I and
+// Table III columns).
+//
+// Substitution note (DESIGN.md): we have neither an i9-9900K nor an RTX
+// 2080 SUPER; the paper uses them only as latency denominators. The model
+// charges each layer its arithmetic at a sustained batch-1 throughput plus
+// a per-layer framework dispatch overhead, and each Monte Carlo sample a
+// loop overhead. Both baselines use the software intermediate-layer caching
+// of Azevedo et al. [5] (prefix once, suffix per sample), which is what the
+// paper's Table III numbers imply: the {L=1, S=100} CPU/GPU latencies are
+// overhead-dominated rather than 100x a full forward pass.
+//
+// The throughput/overhead constants are calibrated so the three paper
+// networks land in the neighbourhood of the published latencies; the shape
+// of the comparison (FPGA < GPU < CPU at batch 1, gap growing with S) is
+// the reproduction target, not the absolute numbers.
+#ifndef BNN_BASELINE_DEVICE_MODEL_H
+#define BNN_BASELINE_DEVICE_MODEL_H
+
+#include <string>
+
+#include "nn/netdesc.h"
+
+namespace bnn::baseline {
+
+struct DeviceModel {
+  std::string name;
+  double effective_gops = 1.0;        // sustained batch-1 arithmetic rate
+  double per_layer_overhead_ms = 0.0; // op dispatch cost
+  double per_sample_overhead_ms = 0.0;
+};
+
+// Intel Core i9-9900K running the PyTorch fp32 path.
+DeviceModel cpu_i9_9900k();
+// NVIDIA RTX 2080 SUPER; the paper estimates its 8-bit latency as fp32/4.
+DeviceModel gpu_rtx2080_super();
+
+// Latency of S-sample inference of a partial BNN (last `bayes_layers`
+// sites Bayesian) on the device, with software IC (prefix once).
+double device_latency_ms(const nn::NetworkDesc& desc, const DeviceModel& device,
+                         int bayes_layers, int num_samples);
+
+}  // namespace bnn::baseline
+
+#endif  // BNN_BASELINE_DEVICE_MODEL_H

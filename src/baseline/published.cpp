@@ -1,0 +1,20 @@
+#include "baseline/published.h"
+
+namespace bnn::baseline {
+
+AcceleratorRow vibnn() {
+  return {"VIBNN", "Cyclone V 5CGTFD9E5F35C7", 212.95, 342, 6.11, 59.6,
+          "3-layer FC BNN (Gaussian weights)"};
+}
+
+AcceleratorRow bynqnet() {
+  return {"BYNQNet", "Zynq XC7Z020", 200.0, 220, 2.76, 24.22,
+          "3-layer FC BNN (quadratic activations)"};
+}
+
+AcceleratorRow our_accelerator(double throughput_gops, int dsps_used) {
+  return {"Ours (simulated)", "Arria 10 SX660", 225.0, dsps_used, 45.0, throughput_gops,
+          "ResNet-101, MCD on every layer"};
+}
+
+}  // namespace bnn::baseline

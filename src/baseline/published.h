@@ -1,0 +1,38 @@
+// Published numbers of the BNN accelerators the paper compares against in
+// Table IV (VIBNN, DAC'18 / ASPLOS'18; BYNQNet, DATE'20), plus the derived
+// efficiency metrics. The paper compares against these reported figures —
+// both comparators only support three-layer fully-connected BNNs — so this
+// module encodes the rows as data and computes the derived columns.
+#ifndef BNN_BASELINE_PUBLISHED_H
+#define BNN_BASELINE_PUBLISHED_H
+
+#include <string>
+
+namespace bnn::baseline {
+
+struct AcceleratorRow {
+  std::string name;
+  std::string fpga;
+  double clock_mhz = 0.0;
+  int dsps = 0;              // as reported in the paper's Table IV
+  double power_w = 0.0;
+  double throughput_gops = 0.0;
+  std::string workload;
+
+  double energy_efficiency() const { return throughput_gops / power_w; }
+  double compute_efficiency() const {
+    return throughput_gops / static_cast<double>(dsps);
+  }
+};
+
+// VIBNN [Cai et al.]: Cyclone V, three-layer FC BNN with Gaussian RNG.
+AcceleratorRow vibnn();
+// BYNQNet [Awano & Hashimoto]: Zynq XC7Z020, quadratic-activation BNN.
+AcceleratorRow bynqnet();
+// Our accelerator's row: throughput measured by the simulator (ResNet-101,
+// MCD on every layer), 45 W board power, DSPs actually mapped.
+AcceleratorRow our_accelerator(double throughput_gops, int dsps_used);
+
+}  // namespace bnn::baseline
+
+#endif  // BNN_BASELINE_PUBLISHED_H

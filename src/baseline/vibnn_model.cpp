@@ -1,0 +1,89 @@
+#include "baseline/vibnn_model.h"
+
+#include <cmath>
+
+#include "nn/activations.h"
+#include "train/trainer.h"
+#include "util/check.h"
+
+namespace bnn::baseline {
+
+VibnnBnn::VibnnBnn(int in_features, int num_classes, const VibnnConfig& config)
+    : config_(config),
+      model_([&] {
+        util::Rng rng(config.seed);
+        return nn::make_mlp3(rng, in_features, config.hidden, num_classes,
+                             nn::MlpActivation::relu, /*with_mcd_sites=*/false);
+      }()) {
+  util::require(config.sigma_scale >= 0.0 && config.sigma_floor >= 0.0,
+                "vibnn: sigma parameters must be non-negative");
+  capture_means();
+}
+
+void VibnnBnn::capture_means() {
+  means_.clear();
+  for (nn::Param* param : model_.net().params()) means_.push_back(param->value);
+}
+
+void VibnnBnn::restore_means() {
+  const std::vector<nn::Param*> params = model_.net().params();
+  util::ensure(params.size() == means_.size(), "vibnn: mean bookkeeping out of sync");
+  for (std::size_t i = 0; i < params.size(); ++i) params[i]->value = means_[i];
+}
+
+void VibnnBnn::fit(const data::Dataset& train_set, int epochs, double learning_rate) {
+  train::TrainConfig config;
+  config.epochs = epochs;
+  config.batch_size = 32;
+  config.learning_rate = learning_rate;
+  train::fit(model_, train_set, config);
+  capture_means();
+}
+
+nn::Tensor VibnnBnn::mean_predict(const nn::Tensor& images) {
+  restore_means();
+  model_.net().set_training(false);
+  return nn::softmax_rows(model_.net().forward(images));
+}
+
+nn::Tensor VibnnBnn::mc_predict(const nn::Tensor& images, int num_samples,
+                                core::GaussianSampler& sampler) {
+  util::require(num_samples >= 1, "vibnn: need at least one sample");
+  model_.net().set_training(false);
+
+  nn::Tensor probs;
+  const std::vector<nn::Param*> params = model_.net().params();
+  for (int s = 0; s < num_samples; ++s) {
+    // w = mu + sigma(mu) * z, one fresh z per weight per sample — exactly
+    // the traffic VIBNN's Gaussian RNG banks must sustain.
+    for (std::size_t p = 0; p < params.size(); ++p) {
+      const nn::Tensor& mu = means_[p];
+      nn::Tensor& value = params[p]->value;
+      for (std::int64_t i = 0; i < mu.numel(); ++i) {
+        const double sigma =
+            config_.sigma_scale * std::fabs(mu[i]) + config_.sigma_floor;
+        value[i] = static_cast<float>(sampler.next(mu[i], sigma));
+      }
+    }
+    nn::Tensor sample_probs = nn::softmax_rows(model_.net().forward(images));
+    if (probs.empty())
+      probs = std::move(sample_probs);
+    else
+      probs.add_(sample_probs);
+  }
+  probs.scale_(1.0f / static_cast<float>(num_samples));
+  restore_means();
+  return probs;
+}
+
+std::int64_t VibnnBnn::macs_per_image() const {
+  return model_.net().total_macs({1, model_.input_shape()[0], 1, 1});
+}
+
+int VibnnBnn::num_weights() const {
+  int count = 0;
+  for (const nn::Tensor& mu : means_) count += static_cast<int>(mu.numel());
+  return count;
+}
+
+}  // namespace bnn::baseline

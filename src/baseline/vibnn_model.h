@@ -1,0 +1,68 @@
+// Functional VIBNN-style baseline (extension).
+//
+// VIBNN [Cai et al., ASPLOS'18] accelerates three-layer fully-connected
+// BNNs whose weights carry Gaussian posteriors, sampling weights in
+// hardware with Gaussian RNGs. The paper under reproduction only quotes
+// VIBNN's published throughput; this module implements the baseline
+// algorithm itself so the comparison in bench/ablation_baselines has a
+// functional substrate:
+//
+//   - posterior means come from ordinary SGD training of the MLP,
+//   - posterior stddevs use the common scaled-magnitude heuristic
+//     sigma = sigma_scale * |mu| + sigma_floor,
+//   - Monte Carlo inference redraws every weight from N(mu, sigma^2) per
+//     sample, using the hardware-style CLT Gaussian sampler
+//     (core/gaussian_sampler.h).
+#ifndef BNN_BASELINE_VIBNN_MODEL_H
+#define BNN_BASELINE_VIBNN_MODEL_H
+
+#include <memory>
+
+#include "core/gaussian_sampler.h"
+#include "data/dataset.h"
+#include "nn/models.h"
+
+namespace bnn::baseline {
+
+struct VibnnConfig {
+  int hidden = 128;
+  double sigma_scale = 0.05;
+  double sigma_floor = 1e-3;
+  std::uint64_t seed = 1;
+};
+
+class VibnnBnn {
+ public:
+  VibnnBnn(int in_features, int num_classes, const VibnnConfig& config);
+
+  // Trains the posterior means as a standard MLP.
+  void fit(const data::Dataset& train_set, int epochs = 4, double learning_rate = 0.05);
+
+  // Monte Carlo predictive distribution (N, K): weights are redrawn from
+  // their Gaussian posterior for every sample via the CLT sampler.
+  nn::Tensor mc_predict(const nn::Tensor& images, int num_samples,
+                        core::GaussianSampler& sampler);
+
+  // Deterministic (posterior-mean) prediction.
+  nn::Tensor mean_predict(const nn::Tensor& images);
+
+  // MACs of one forward pass (for throughput accounting).
+  std::int64_t macs_per_image() const;
+
+  int num_weights() const;
+  nn::Model& model() { return model_; }
+
+ private:
+  VibnnConfig config_;
+  nn::Model model_;
+  // Posterior means, captured after fit(); the model's live weights are
+  // scratch space during sampling.
+  std::vector<nn::Tensor> means_;
+
+  void capture_means();
+  void restore_means();
+};
+
+}  // namespace bnn::baseline
+
+#endif  // BNN_BASELINE_VIBNN_MODEL_H

@@ -1,0 +1,50 @@
+#include "bayes/predictive.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/activations.h"
+#include "util/check.h"
+
+namespace bnn::bayes {
+
+nn::Tensor mc_predict(nn::Model& model, const nn::Tensor& images,
+                      const PredictiveOptions& options) {
+  util::require(options.num_samples >= 1, "mc_predict: need at least one sample");
+  util::require(images.dim() == 4, "mc_predict expects NCHW images");
+
+  nn::Network& net = model.net();
+  net.set_training(false);
+
+  // Deterministic model: one pass is exact.
+  if (model.bayesian_layers() == 0) return nn::softmax_rows(net.forward(images));
+
+  nn::Tensor probs = nn::softmax_rows(net.forward(images));
+  const nn::Network::NodeId cut = model.first_active_site();
+  for (int s = 1; s < options.num_samples; ++s) {
+    const nn::Tensor logits =
+        options.use_intermediate_caching ? net.replay_from(cut) : net.forward(images);
+    probs.add_(nn::softmax_rows(logits));
+  }
+  probs.scale_(1.0f / static_cast<float>(options.num_samples));
+  return probs;
+}
+
+const std::vector<int>& paper_sample_grid() {
+  static const std::vector<int> grid{3, 4, 5, 6, 7, 8, 9, 10, 20, 50, 100};
+  return grid;
+}
+
+std::vector<int> paper_bayes_grid(int num_sites) {
+  util::require(num_sites >= 1, "paper_bayes_grid: need at least one site");
+  auto portion = [num_sites](double fraction) {
+    const int value = static_cast<int>(std::lround(fraction * num_sites));
+    return std::clamp(value, 1, num_sites);
+  };
+  std::vector<int> grid{1, portion(1.0 / 3.0), portion(0.5), portion(2.0 / 3.0), num_sites};
+  std::sort(grid.begin(), grid.end());
+  grid.erase(std::unique(grid.begin(), grid.end()), grid.end());
+  return grid;
+}
+
+}  // namespace bnn::bayes

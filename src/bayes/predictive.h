@@ -1,0 +1,42 @@
+// Monte Carlo predictive inference for partial BNNs (Section II-B/II-C).
+//
+// The predictive distribution is approximated with S stochastic forward
+// passes: p(y|x) ~= 1/S * sum_s softmax(f(x; M_s)) with fresh filter-wise
+// Bernoulli masks M_s at every active MCD site. When the model is partially
+// Bayesian (last L sites active) the runner exploits the software analogue
+// of the paper's intermediate-layer caching: the deterministic prefix runs
+// once, and only the suffix from the first active site is replayed per
+// sample — the exact computation the hardware IC schedule performs.
+#ifndef BNN_BAYES_PREDICTIVE_H
+#define BNN_BAYES_PREDICTIVE_H
+
+#include "nn/models.h"
+#include "nn/tensor.h"
+
+namespace bnn::bayes {
+
+struct PredictiveOptions {
+  int num_samples = 10;
+  // Reuse the cached deterministic prefix (intermediate-layer caching).
+  // Turning this off recomputes all layers every sample; the result is
+  // distributionally identical, only slower — mirroring the hardware's
+  // "w/o IC" mode.
+  bool use_intermediate_caching = true;
+};
+
+// Averaged predictive probabilities, shape (N, num_classes). The model's
+// Bayesian configuration (active sites, p) must be set beforehand; a model
+// with no active site degenerates to a single deterministic pass.
+nn::Tensor mc_predict(nn::Model& model, const nn::Tensor& images,
+                      const PredictiveOptions& options);
+
+// The paper's Monte Carlo sample counts grid (Section V-A).
+const std::vector<int>& paper_sample_grid();
+
+// The paper's Bayesian-portion grid L = {1, N/3, N/2, 2N/3, N} resolved
+// against a model's site count (deduplicated, ascending).
+std::vector<int> paper_bayes_grid(int num_sites);
+
+}  // namespace bnn::bayes
+
+#endif  // BNN_BAYES_PREDICTIVE_H

@@ -1,0 +1,129 @@
+#include "core/accelerator.h"
+
+#include "nn/activations.h"
+#include "util/check.h"
+
+namespace bnn::core {
+
+Accelerator::Accelerator(quant::QuantNetwork network, AcceleratorConfig config)
+    : network_(std::move(network)), config_(config), desc_(network_.describe()) {
+  BernoulliSamplerConfig sampler_config;
+  sampler_config.p = network_.dropout_p;
+  sampler_config.pf = config_.nne.pf;
+  sampler_config.fifo_depth = config_.sampler_fifo_depth;
+  sampler_config.seed = config_.sampler_seed;
+  sampler_ = std::make_unique<BernoulliSampler>(sampler_config);
+}
+
+Accelerator::Prediction Accelerator::predict(const nn::Tensor& images, int bayes_layers,
+                                             int num_samples) {
+  util::require(images.dim() == 4, "accelerator: expects NCHW images");
+  util::require(num_samples >= 1, "accelerator: need at least one sample");
+  util::require(bayes_layers >= 0 && bayes_layers <= network_.num_sites,
+                "accelerator: bayes_layers out of range");
+
+  const int batch = images.size(0);
+  nn::Tensor probs({batch, network_.num_classes});
+  functional_cycles_ = 0;
+
+  const int cut = network_.cut_layer_for(bayes_layers);
+  const int first_active_site = network_.num_sites - bayes_layers;
+  const bool use_ic = config_.use_intermediate_caching && bayes_layers > 0;
+
+  auto run_layer = [this](int index, const std::vector<quant::QTensor>& outputs,
+                          const quant::QTensor& image, bool site_active) {
+    const quant::QLayer& layer = network_.layers[static_cast<std::size_t>(index)];
+    const quant::QTensor& input =
+        layer.input_source < 0 ? image
+                               : outputs[static_cast<std::size_t>(layer.input_source)];
+    const quant::QTensor* shortcut =
+        layer.geom.has_shortcut
+            ? &outputs[static_cast<std::size_t>(layer.shortcut_source)]
+            : nullptr;
+    NneLayerResult result =
+        nne_run_layer(layer, input, shortcut, site_active, sampler_.get(),
+                      network_.dropout_keep, config_.nne);
+    functional_cycles_ += result.compute_cycles;
+    return result;
+  };
+
+  for (int n = 0; n < batch; ++n) {
+    const quant::QTensor image = quantize_image(images, n, network_.input);
+    nn::Tensor accumulated({1, network_.num_classes});
+    const int samples = bayes_layers == 0 ? 1 : num_samples;
+
+    std::vector<quant::QTensor> outputs;
+    outputs.reserve(network_.layers.size());
+
+    if (!use_ic || bayes_layers == 0) {
+      for (int s = 0; s < samples; ++s) {
+        outputs.clear();
+        for (int l = 0; l < network_.num_layers(); ++l) {
+          const quant::QLayer& layer = network_.layers[static_cast<std::size_t>(l)];
+          const bool active = bayes_layers > 0 && layer.geom.is_bayes_site &&
+                              layer.geom.site_index >= first_active_site;
+          outputs.push_back(run_layer(l, outputs, image, active).output);
+        }
+        accumulated.add_(nn::softmax_rows(quant::ref_logits(network_, outputs.back())));
+      }
+    } else {
+      // Prefix once: the cut layer's pre-DU output is the on-chip boundary.
+      for (int l = 0; l <= cut; ++l)
+        outputs.push_back(run_layer(l, outputs, image, /*site_active=*/false).output);
+      const quant::QTensor boundary = outputs.back();
+
+      for (int s = 0; s < samples; ++s) {
+        outputs.resize(static_cast<std::size_t>(cut + 1));
+        // DU pass over the cached boundary with a fresh mask.
+        quant::QTensor masked = boundary;
+        {
+          const quant::QLayer& cut_layer = network_.layers[static_cast<std::size_t>(cut)];
+          const std::int32_t zp = cut_layer.out.zero_point;
+          const int plane = masked.height() * masked.width();
+          for (int f = 0; f < masked.channels(); ++f) {
+            const bool drop = sampler_->next_drop();
+            std::int8_t* row = masked.data.data() + static_cast<std::size_t>(f) * plane;
+            if (drop) {
+              std::fill(row, row + plane, quant::saturate_int8(zp));
+            } else {
+              for (int i = 0; i < plane; ++i)
+                row[i] = quant::saturate_int8(
+                    quant::fixed_multiply(static_cast<std::int32_t>(row[i]) - zp,
+                                          network_.dropout_keep) +
+                    zp);
+            }
+          }
+        }
+        outputs[static_cast<std::size_t>(cut)] = std::move(masked);
+        for (int l = cut + 1; l < network_.num_layers(); ++l) {
+          const quant::QLayer& layer = network_.layers[static_cast<std::size_t>(l)];
+          const bool active = layer.geom.is_bayes_site &&
+                              layer.geom.site_index >= first_active_site;
+          outputs.push_back(run_layer(l, outputs, image, active).output);
+        }
+        accumulated.add_(nn::softmax_rows(quant::ref_logits(network_, outputs.back())));
+      }
+    }
+
+    accumulated.scale_(1.0f / static_cast<float>(samples));
+    for (int k = 0; k < network_.num_classes; ++k) probs.v2(n, k) = accumulated.v2(0, k);
+  }
+
+  Prediction prediction;
+  prediction.probs = std::move(probs);
+  prediction.stats = estimate(bayes_layers, num_samples);
+  return prediction;
+}
+
+RunStats Accelerator::estimate(int bayes_layers, int num_samples) const {
+  PerfConfig perf{config_.nne, config_.ddr};
+  return estimate_mc(desc_, perf, bayes_layers, num_samples,
+                     config_.use_intermediate_caching);
+}
+
+ResourceUsage Accelerator::resources(const FpgaDevice& device) const {
+  return estimate_resources(config_.nne, desc_, device, config_.sampler_fifo_depth,
+                            lfsrs_for_probability(network_.dropout_p));
+}
+
+}  // namespace bnn::core

@@ -1,0 +1,68 @@
+// Top-level accelerator simulator: ties the quantized network, the NNE
+// datapath, the Bernoulli sampler and the IC schedule together.
+//
+// `predict` is the functional path — it executes every layer with the
+// hardware tiling (bit-exact against quant/qops) while drawing Dropout-Unit
+// masks from the simulated LFSR sampler, and reports the modelled latency.
+// `estimate` is the timing-only path for networks too large to execute.
+#ifndef BNN_CORE_ACCELERATOR_H
+#define BNN_CORE_ACCELERATOR_H
+
+#include <memory>
+
+#include "core/bernoulli_sampler.h"
+#include "core/perf_model.h"
+#include "core/resource_model.h"
+#include "quant/qnetwork.h"
+#include "quant/qops.h"
+
+namespace bnn::core {
+
+struct AcceleratorConfig {
+  NneConfig nne;  // paper final design: PC=64, PF=64, PV=1 @ 225 MHz
+  DdrModel ddr;
+  int sampler_fifo_depth = 16;
+  std::uint64_t sampler_seed = 1;
+  bool use_intermediate_caching = true;
+  double board_power_watts = 45.0;  // paper's total board power
+};
+
+class Accelerator {
+ public:
+  Accelerator(quant::QuantNetwork network, AcceleratorConfig config);
+
+  struct Prediction {
+    nn::Tensor probs;  // (N, K) averaged predictive distribution
+    RunStats stats;    // modelled latency/traffic for ONE image's S samples
+  };
+
+  // Runs Monte Carlo inference over a batch of float images (N, C, H, W)
+  // with the last `bayes_layers` sites active and `num_samples` samples per
+  // image. Functional output is bit-exact with the reference executor.
+  Prediction predict(const nn::Tensor& images, int bayes_layers, int num_samples);
+
+  // Timing-only estimate for one image's full MC inference.
+  RunStats estimate(int bayes_layers, int num_samples) const;
+
+  // Resource footprint of this configuration on `device` for this network.
+  ResourceUsage resources(const FpgaDevice& device) const;
+
+  const quant::QuantNetwork& network() const { return network_; }
+  const AcceleratorConfig& config() const { return config_; }
+  BernoulliSampler& sampler() { return *sampler_; }
+
+  // Functional compute-cycle total of the last predict() call, summed over
+  // all layer executions (used by the model-vs-simulation cycle tests).
+  std::int64_t last_functional_compute_cycles() const { return functional_cycles_; }
+
+ private:
+  quant::QuantNetwork network_;
+  AcceleratorConfig config_;
+  nn::NetworkDesc desc_;
+  std::unique_ptr<BernoulliSampler> sampler_;
+  std::int64_t functional_cycles_ = 0;
+};
+
+}  // namespace bnn::core
+
+#endif  // BNN_CORE_ACCELERATOR_H

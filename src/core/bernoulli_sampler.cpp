@@ -1,0 +1,73 @@
+#include "core/bernoulli_sampler.h"
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace bnn::core {
+
+int lfsrs_for_probability(double p) {
+  util::require(p > 0.0 && p < 1.0, "bernoulli sampler: p must be in (0, 1)");
+  const double k_real = -std::log2(p);
+  const int k = static_cast<int>(std::lround(k_real));
+  util::require(k >= 1 && k <= 8 && std::fabs(k_real - k) < 1e-9,
+                "bernoulli sampler: p must be 2^-k with k in [1, 8] "
+                "(AND-tree of k single-bit LFSRs)");
+  return k;
+}
+
+BernoulliSampler::BernoulliSampler(const BernoulliSamplerConfig& config) : config_(config) {
+  util::require(config.pf >= 1, "bernoulli sampler: pf must be positive");
+  util::require(config.fifo_depth >= 1, "bernoulli sampler: fifo_depth must be positive");
+  const int k = lfsrs_for_probability(config.p);
+  // Decorrelate the k register chains with independent non-zero seeds.
+  util::Rng seeder(config.seed);
+  for (int i = 0; i < k; ++i) {
+    std::uint64_t lo = 0;
+    std::uint64_t hi = 0;
+    while (lo == 0 && hi == 0) {
+      lo = seeder.next_u64();
+      hi = seeder.next_u64();
+    }
+    lfsrs_.push_back(make_lfsr128(lo, hi));
+  }
+  sipo_.assign(static_cast<std::size_t>(config.pf), 0);
+}
+
+int BernoulliSampler::raw_drop_bit() {
+  int bit = 1;
+  for (Lfsr& lfsr : lfsrs_) bit &= lfsr.step();
+  ++bits_produced_;
+  return bit;
+}
+
+bool BernoulliSampler::next_drop() { return raw_drop_bit() != 0; }
+
+void BernoulliSampler::step_cycle() {
+  if (sipo_fill_ == config_.pf) {
+    // A full word is waiting; push to the FIFO or stall.
+    if (static_cast<int>(fifo_.size()) >= config_.fifo_depth) {
+      ++stall_cycles_;
+      return;
+    }
+    fifo_.push_back(sipo_);
+    ++words_pushed_;
+    sipo_fill_ = 0;
+  }
+  sipo_[static_cast<std::size_t>(sipo_fill_++)] = static_cast<std::uint8_t>(raw_drop_bit());
+  if (sipo_fill_ == config_.pf && static_cast<int>(fifo_.size()) < config_.fifo_depth) {
+    fifo_.push_back(sipo_);
+    ++words_pushed_;
+    sipo_fill_ = 0;
+  }
+}
+
+bool BernoulliSampler::pop_word(std::vector<std::uint8_t>& word) {
+  if (fifo_.empty()) return false;
+  word = std::move(fifo_.front());
+  fifo_.pop_front();
+  return true;
+}
+
+}  // namespace bnn::core

@@ -1,0 +1,76 @@
+// Hardware Bernoulli sampler (paper Fig. 3).
+//
+// An AND-tree over k independent 128-bit LFSRs produces one drop bit per
+// cycle with P(drop) = 2^-k (k = 1 gives the paper's single-LFSR p = 0.5
+// case; k = 2 with the extra AND gate gives p = 0.25). A serial-in
+// parallel-out (SIPO) register assembles PF bits into one Dropout-Unit mask
+// word, and a FIFO decouples mask production from the NNE's consumption
+// rate.
+//
+// The class is both a cycle-level component (step_cycle / pop_word, used by
+// the timing model and the occupancy tests) and a functional MaskSource
+// (next_drop), so the simulated accelerator and the integer reference
+// executor can consume the exact same mask stream.
+#ifndef BNN_CORE_BERNOULLI_SAMPLER_H
+#define BNN_CORE_BERNOULLI_SAMPLER_H
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "core/lfsr.h"
+#include "nn/dropout.h"
+
+namespace bnn::core {
+
+struct BernoulliSamplerConfig {
+  double p = 0.25;          // drop probability; must be 2^-k, k in [1, 8]
+  int pf = 64;              // mask word width (filter parallelism)
+  int fifo_depth = 16;      // FIFO capacity in PF-bit words
+  std::uint64_t seed = 1;   // seeds all LFSRs (decorrelated per register)
+};
+
+class BernoulliSampler final : public nn::MaskSource {
+ public:
+  explicit BernoulliSampler(const BernoulliSamplerConfig& config);
+
+  // --- functional interface -------------------------------------------
+  // One raw drop decision (advances every LFSR one step).
+  bool next_drop() override;
+
+  // --- cycle-level interface ------------------------------------------
+  // Advances one clock: produces one bit into the SIPO unless the FIFO is
+  // full and the SIPO already holds a complete word (a stall cycle).
+  void step_cycle();
+  // Pops the oldest PF-bit mask word; false when the FIFO is empty.
+  bool pop_word(std::vector<std::uint8_t>& word);
+  int fifo_occupancy() const { return static_cast<int>(fifo_.size()); }
+
+  // --- configuration / statistics -------------------------------------
+  int num_lfsrs() const { return static_cast<int>(lfsrs_.size()); }
+  double p() const { return config_.p; }
+  int pf() const { return config_.pf; }
+  std::uint64_t bits_produced() const { return bits_produced_; }
+  std::uint64_t words_pushed() const { return words_pushed_; }
+  std::uint64_t stall_cycles() const { return stall_cycles_; }
+
+ private:
+  int raw_drop_bit();
+
+  BernoulliSamplerConfig config_;
+  std::vector<Lfsr> lfsrs_;
+  std::vector<std::uint8_t> sipo_;
+  int sipo_fill_ = 0;
+  std::deque<std::vector<std::uint8_t>> fifo_;
+  std::uint64_t bits_produced_ = 0;
+  std::uint64_t words_pushed_ = 0;
+  std::uint64_t stall_cycles_ = 0;
+};
+
+// Number of LFSRs (AND-tree inputs) required for a drop probability of
+// 2^-k; throws unless p is an exact power of two in [2^-8, 0.5].
+int lfsrs_for_probability(double p);
+
+}  // namespace bnn::core
+
+#endif  // BNN_CORE_BERNOULLI_SAMPLER_H

@@ -1,0 +1,31 @@
+// Off-chip memory transfer model.
+//
+// The board carries 1 GB DDR4 SDRAM; the accelerator streams layer inputs,
+// weights and outputs through it (Fig. 2). The model charges bytes at an
+// effective bandwidth plus a fixed per-transfer setup cost, expressed in
+// accelerator clock cycles so it composes with the NNE cycle counts.
+#ifndef BNN_CORE_DDR_H
+#define BNN_CORE_DDR_H
+
+#include <cstdint>
+
+namespace bnn::core {
+
+struct DdrModel {
+  // Effective (post-efficiency) bandwidth. DDR4-2133 x64 peaks at ~17 GB/s;
+  // streaming efficiency of ~75% gives the 12.8 GB/s default.
+  double effective_gbytes_per_s = 12.8;
+  // Burst setup / address latency charged once per transfer.
+  double setup_cycles = 100.0;
+
+  // Cycles at `clock_mhz` to move `bytes` (0 bytes costs nothing).
+  double transfer_cycles(std::int64_t bytes, double clock_mhz) const {
+    if (bytes <= 0) return 0.0;
+    const double seconds = static_cast<double>(bytes) / (effective_gbytes_per_s * 1e9);
+    return seconds * clock_mhz * 1e6 + setup_cycles;
+  }
+};
+
+}  // namespace bnn::core
+
+#endif  // BNN_CORE_DDR_H

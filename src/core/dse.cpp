@@ -1,0 +1,124 @@
+#include "core/dse.h"
+
+#include <algorithm>
+
+#include "bayes/predictive.h"
+#include "util/check.h"
+
+namespace bnn::core {
+
+std::string opt_mode_name(OptMode mode) {
+  switch (mode) {
+    case OptMode::latency: return "Opt-Latency";
+    case OptMode::accuracy: return "Opt-Accuracy";
+    case OptMode::uncertainty: return "Opt-Uncertainty";
+    case OptMode::confidence: return "Opt-Confidence";
+  }
+  return "unknown";
+}
+
+const Candidate& DseResult::best() const {
+  util::require(best_index >= 0 && best_index < static_cast<int>(candidates.size()),
+                "dse: no feasible candidate");
+  return candidates[static_cast<std::size_t>(best_index)];
+}
+
+NneConfig optimize_hardware(const nn::NetworkDesc& desc, const FpgaDevice& device,
+                            double clock_mhz, int sampler_fifo_depth, int num_lfsrs) {
+  NneConfig best;
+  bool found = false;
+  double best_latency = 0.0;
+  std::int64_t best_alms = 0;
+
+  for (int pc : pc_domain()) {
+    for (int pf : pf_domain()) {
+      for (int pv : pv_domain()) {
+        NneConfig config;
+        config.pc = pc;
+        config.pf = pf;
+        config.pv = pv;
+        config.clock_mhz = clock_mhz;
+        const ResourceUsage usage =
+            estimate_resources(config, desc, device, sampler_fifo_depth, num_lfsrs);
+        if (!fits(usage, device)) continue;
+
+        // Modelled single-pass latency on the workload (compute only; the
+        // memory side is identical across configs of equal parallelism).
+        double cycles = 0.0;
+        for (const nn::HwLayer& layer : desc.layers)
+          cycles += static_cast<double>(estimate_layer_cycles(layer, config));
+
+        const bool better =
+            !found ||
+            config.macs_per_cycle() > best.macs_per_cycle() ||
+            (config.macs_per_cycle() == best.macs_per_cycle() && cycles < best_latency) ||
+            (config.macs_per_cycle() == best.macs_per_cycle() && cycles == best_latency &&
+             usage.alms_used < best_alms);
+        if (better) {
+          best = config;
+          best_latency = cycles;
+          best_alms = usage.alms_used;
+          found = true;
+        }
+      }
+    }
+  }
+  util::require(found, "optimize_hardware: no configuration fits the device");
+  return best;
+}
+
+bool candidate_better(const Candidate& a, const Candidate& b, OptMode mode) {
+  switch (mode) {
+    case OptMode::latency: return a.latency_ms < b.latency_ms;
+    case OptMode::accuracy: return a.metrics.accuracy > b.metrics.accuracy;
+    case OptMode::uncertainty: return a.metrics.ape > b.metrics.ape;
+    case OptMode::confidence: return a.metrics.ece < b.metrics.ece;
+  }
+  return false;
+}
+
+DseResult run_dse(const nn::NetworkDesc& desc, MetricsProvider& metrics,
+                  const DseOptions& options) {
+  DseResult result;
+  result.hardware = optimize_hardware(desc, options.device, options.clock_mhz,
+                                      options.sampler_fifo_depth, options.num_lfsrs);
+  result.resources = estimate_resources(result.hardware, desc, options.device,
+                                        options.sampler_fifo_depth, options.num_lfsrs);
+
+  const std::vector<int> bayes_grid =
+      options.bayes_grid.empty() ? bayes::paper_bayes_grid(desc.num_sites())
+                                 : options.bayes_grid;
+  const std::vector<int> sample_grid =
+      options.sample_grid.empty() ? bayes::paper_sample_grid() : options.sample_grid;
+
+  const PerfConfig perf{result.hardware, options.ddr};
+  for (int bayes_layers : bayes_grid) {
+    for (int num_samples : sample_grid) {
+      Candidate candidate;
+      candidate.bayes_layers = bayes_layers;
+      candidate.num_samples = num_samples;
+      candidate.latency_ms = estimate_mc(desc, perf, bayes_layers, num_samples,
+                                         options.use_intermediate_caching)
+                                 .latency_ms;
+      candidate.metrics = metrics.evaluate(bayes_layers, num_samples);
+
+      const Requirements& req = options.requirements;
+      candidate.feasible =
+          (!req.max_latency_ms || candidate.latency_ms <= *req.max_latency_ms) &&
+          (!req.min_accuracy || candidate.metrics.accuracy >= *req.min_accuracy) &&
+          (!req.min_ape || candidate.metrics.ape >= *req.min_ape) &&
+          (!req.max_ece || candidate.metrics.ece <= *req.max_ece);
+
+      if (candidate.feasible &&
+          (result.best_index < 0 ||
+           candidate_better(candidate,
+                            result.candidates[static_cast<std::size_t>(result.best_index)],
+                            options.mode)))
+        result.best_index = static_cast<int>(result.candidates.size());
+      result.candidates.push_back(candidate);
+    }
+  }
+  return result;
+}
+
+}  // namespace bnn::core

@@ -1,0 +1,93 @@
+// Automatic optimization framework (paper Section IV, Fig. 5).
+//
+// Two-stage greedy optimization:
+//   1. Hardware optimization: pick {PC, PF, PV} from the paper's domains
+//      maximizing parallelism under the resource model on the target device
+//      (ties broken by modelled workload latency, then logic cost).
+//   2. Algorithmic optimization: sweep {L, S} over the paper's grids, read
+//      latency from the performance model and algorithmic metrics from a
+//      MetricsProvider, filter by the user's minimum requirements, and pick
+//      the best point for the chosen optimization mode.
+#ifndef BNN_CORE_DSE_H
+#define BNN_CORE_DSE_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/perf_model.h"
+#include "core/resource_model.h"
+#include "nn/netdesc.h"
+
+namespace bnn::core {
+
+enum class OptMode { latency, accuracy, uncertainty, confidence };
+std::string opt_mode_name(OptMode mode);
+
+struct MetricPoint {
+  double accuracy = 0.0;  // fraction
+  double ape = 0.0;       // nats, on noise inputs
+  double ece = 0.0;       // fraction
+};
+
+// Supplies the software-evaluated metrics for a {L, S} configuration (the
+// framework's "algorithm optimization" inputs). Implementations typically
+// wrap a trained model + test/noise datasets and should cache.
+class MetricsProvider {
+ public:
+  virtual ~MetricsProvider() = default;
+  virtual MetricPoint evaluate(int bayes_layers, int num_samples) = 0;
+};
+
+struct Requirements {
+  std::optional<double> max_latency_ms;
+  std::optional<double> min_accuracy;
+  std::optional<double> min_ape;
+  std::optional<double> max_ece;
+};
+
+struct Candidate {
+  int bayes_layers = 0;
+  int num_samples = 0;
+  double latency_ms = 0.0;
+  MetricPoint metrics;
+  bool feasible = true;  // meets all stated requirements
+};
+
+struct DseOptions {
+  OptMode mode = OptMode::latency;
+  Requirements requirements;
+  FpgaDevice device = arria10_sx660();
+  DdrModel ddr;
+  double clock_mhz = 225.0;
+  int sampler_fifo_depth = 16;
+  int num_lfsrs = 2;  // p = 0.25
+  bool use_intermediate_caching = true;
+  // Empty grids default to the paper's L and S grids for the network.
+  std::vector<int> bayes_grid;
+  std::vector<int> sample_grid;
+};
+
+struct DseResult {
+  NneConfig hardware;
+  ResourceUsage resources;
+  std::vector<Candidate> candidates;
+  int best_index = -1;  // -1 when no candidate satisfies the requirements
+
+  const Candidate& best() const;
+};
+
+// Stage 1 only: maximum-parallelism configuration that fits the device.
+NneConfig optimize_hardware(const nn::NetworkDesc& desc, const FpgaDevice& device,
+                            double clock_mhz, int sampler_fifo_depth, int num_lfsrs);
+
+// Full framework run (stage 1 + stage 2).
+DseResult run_dse(const nn::NetworkDesc& desc, MetricsProvider& metrics,
+                  const DseOptions& options);
+
+// Objective comparison: returns true when `a` beats `b` under `mode`.
+bool candidate_better(const Candidate& a, const Candidate& b, OptMode mode);
+
+}  // namespace bnn::core
+
+#endif  // BNN_CORE_DSE_H

@@ -1,0 +1,53 @@
+#include "core/gaussian_sampler.h"
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace bnn::core {
+
+GaussianSampler::GaussianSampler(const GaussianSamplerConfig& config) : config_(config) {
+  util::require(config.clt_terms >= 4 && config.clt_terms <= 64,
+                "gaussian sampler: clt_terms must be in [4, 64]");
+  util::require(config.uniform_bits >= 4 && config.uniform_bits <= 32,
+                "gaussian sampler: uniform_bits must be in [4, 32]");
+
+  util::Rng seeder(config.seed);
+  for (int i = 0; i < config.clt_terms; ++i) {
+    std::uint64_t lo = 0;
+    std::uint64_t hi = 0;
+    while (lo == 0 && hi == 0) {
+      lo = seeder.next_u64();
+      hi = seeder.next_u64();
+    }
+    lfsrs_.push_back(make_lfsr128(lo, hi));
+  }
+
+  const double max_word = std::pow(2.0, config.uniform_bits) - 1.0;
+  mean_ = config.clt_terms * max_word / 2.0;
+  // Var of a discrete uniform on {0..M} is ((M+1)^2 - 1) / 12.
+  const double word_var = ((max_word + 1.0) * (max_word + 1.0) - 1.0) / 12.0;
+  inv_std_ = 1.0 / std::sqrt(config.clt_terms * word_var);
+}
+
+std::uint64_t GaussianSampler::next_uniform() {
+  Lfsr& lfsr = lfsrs_[static_cast<std::size_t>(which_)];
+  which_ = (which_ + 1) % config_.clt_terms;
+  std::uint64_t word = 0;
+  for (int b = 0; b < config_.uniform_bits; ++b) {
+    word = (word << 1) | static_cast<std::uint64_t>(lfsr.step());
+    ++steps_;
+  }
+  return word;
+}
+
+double GaussianSampler::next() {
+  double sum = 0.0;
+  for (int i = 0; i < config_.clt_terms; ++i)
+    sum += static_cast<double>(next_uniform());
+  ++samples_;
+  return (sum - mean_) * inv_std_;
+}
+
+}  // namespace bnn::core

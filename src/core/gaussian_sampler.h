@@ -1,0 +1,61 @@
+// Hardware-style Gaussian random number generator (extension).
+//
+// The paper's main comparator, VIBNN [Cai et al.], accelerates BNNs whose
+// weights are Gaussian posteriors and therefore needs a Gaussian RNG in
+// hardware. The classic FPGA-friendly construction is central-limit
+// summation: add K independent uniform samples (here: W-bit words shifted
+// out of maximal-length LFSRs) and normalize. This module provides that
+// sampler so the VIBNN baseline (src/baseline/vibnn_model.h) can be
+// implemented functionally instead of merely quoting its published numbers.
+//
+// With K uniform W-bit words U_i ~ Uniform{0..2^W-1}:
+//   sum = sum_i U_i,  mean = K*(2^W-1)/2,  var = K*(2^W^2-1)/12 ~ K*2^2W/12
+//   z   = (sum - mean) / sqrt(var)   approximately N(0,1) for K >= 8.
+#ifndef BNN_CORE_GAUSSIAN_SAMPLER_H
+#define BNN_CORE_GAUSSIAN_SAMPLER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "core/lfsr.h"
+
+namespace bnn::core {
+
+struct GaussianSamplerConfig {
+  int clt_terms = 12;        // K: uniforms summed per output sample
+  int uniform_bits = 16;     // W: bits per uniform word
+  std::uint64_t seed = 1;
+};
+
+class GaussianSampler {
+ public:
+  explicit GaussianSampler(const GaussianSamplerConfig& config);
+
+  // One approximately-standard-normal sample. Costs K*W LFSR steps, which
+  // is what the hardware pays in cycles (W bits per uniform, K uniforms).
+  double next();
+
+  // Convenience: z * stddev + mean.
+  double next(double mean, double stddev) { return next() * stddev + mean; }
+
+  int clt_terms() const { return config_.clt_terms; }
+  int uniform_bits() const { return config_.uniform_bits; }
+  std::uint64_t samples_produced() const { return samples_; }
+  // LFSR cycles consumed so far (the hardware cost model).
+  std::uint64_t lfsr_steps() const { return steps_; }
+
+ private:
+  std::uint64_t next_uniform();
+
+  GaussianSamplerConfig config_;
+  std::vector<Lfsr> lfsrs_;  // one per CLT term, stepped W bits per sample
+  double mean_;
+  double inv_std_;
+  std::uint64_t samples_ = 0;
+  std::uint64_t steps_ = 0;
+  int which_ = 0;
+};
+
+}  // namespace bnn::core
+
+#endif  // BNN_CORE_GAUSSIAN_SAMPLER_H

@@ -1,0 +1,51 @@
+// Bit-accurate Fibonacci linear-feedback shift registers.
+//
+// The paper's Bernoulli sampler (Fig. 3) is built from 128-bit 4-tap LFSRs;
+// at 160 MHz a maximal-length 128-bit sequence takes ~1500 years to repeat
+// [Andraka & Phelps 1998]. This module models the register chain exactly:
+// one step per clock cycle, one pseudo-random bit out.
+#ifndef BNN_CORE_LFSR_H
+#define BNN_CORE_LFSR_H
+
+#include <cstdint>
+#include <vector>
+
+namespace bnn::core {
+
+// Fibonacci LFSR of up to 128 bits with XOR feedback. Tap positions use the
+// conventional 1-based numbering (tap `width` is the output register); the
+// highest tap must equal `width`. The all-zero state is forbidden (XOR
+// feedback would lock up), matching real hardware seeding constraints.
+class Lfsr {
+ public:
+  Lfsr(int width, std::vector<int> taps, std::uint64_t seed_lo,
+       std::uint64_t seed_hi = 0);
+
+  // Advances one clock; returns the output bit (the bit shifted out of the
+  // last register).
+  int step();
+
+  int width() const { return width_; }
+  const std::vector<int>& taps() const { return taps_; }
+  std::uint64_t state_lo() const { return state_lo_; }
+  std::uint64_t state_hi() const { return state_hi_; }
+
+ private:
+  int bit(int position_1based) const;
+
+  int width_;
+  std::vector<int> taps_;
+  std::uint64_t state_lo_;
+  std::uint64_t state_hi_;
+};
+
+// The paper's configuration: 128-bit, 4 taps. Taps {128, 126, 101, 99}
+// generate a maximal-length (2^128 - 1) sequence (XAPP052 table).
+Lfsr make_lfsr128(std::uint64_t seed_lo, std::uint64_t seed_hi = 0x9E3779B97F4A7C15ull);
+
+// Maximal-length tap sets for small widths (used by period tests).
+std::vector<int> maximal_taps(int width);
+
+}  // namespace bnn::core
+
+#endif  // BNN_CORE_LFSR_H

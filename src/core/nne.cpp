@@ -1,0 +1,199 @@
+#include "core/nne.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.h"
+
+namespace bnn::core {
+
+const std::vector<int>& pc_domain() {
+  static const std::vector<int> domain{8, 16, 32, 64, 128};
+  return domain;
+}
+const std::vector<int>& pf_domain() {
+  static const std::vector<int> domain{8, 16, 32, 64, 128};
+  return domain;
+}
+const std::vector<int>& pv_domain() {
+  static const std::vector<int> domain{1, 4, 8, 16};
+  return domain;
+}
+
+namespace {
+
+std::int64_t ceil_div(std::int64_t a, std::int64_t b) { return (a + b - 1) / b; }
+
+}  // namespace
+
+std::int64_t estimate_layer_cycles(const nn::HwLayer& layer, const NneConfig& config) {
+  util::require(config.pc >= 1 && config.pf >= 1 && config.pv >= 1,
+                "nne: parallelism degrees must be positive");
+  const std::int64_t filter_tiles = ceil_div(layer.out_c, config.pf);
+  const std::int64_t term_tiles =
+      ceil_div(static_cast<std::int64_t>(layer.in_c) * layer.kernel * layer.kernel, config.pc);
+  const std::int64_t position_tiles =
+      ceil_div(static_cast<std::int64_t>(layer.conv_out_h) * layer.conv_out_w, config.pv);
+  return filter_tiles * term_tiles * position_tiles;
+}
+
+NneLayerResult nne_run_layer(const quant::QLayer& layer, const quant::QTensor& input,
+                             const quant::QTensor* shortcut, bool site_active,
+                             nn::MaskSource* masks, quant::FixedMultiplier dropout_keep,
+                             const NneConfig& config) {
+  const nn::HwLayer& g = layer.geom;
+  const std::int32_t zp_in = layer.in.zero_point;
+  const std::int32_t zp_out = layer.out.zero_point;
+  util::require(!g.has_shortcut || shortcut != nullptr, "nne: missing shortcut operand");
+  util::require(!site_active || masks != nullptr, "nne: active site requires a mask source");
+
+  NneLayerResult result;
+  result.macs_retired = g.macs();
+
+  const int positions = g.conv_out_h * g.conv_out_w;
+  const int terms = g.in_c * g.kernel * g.kernel;
+  const std::int64_t filter_tiles = ceil_div(g.out_c, config.pf);
+  const std::int64_t term_tiles = ceil_div(terms, config.pc);
+  const std::int64_t position_tiles = ceil_div(positions, config.pv);
+
+  quant::QTensor pre({g.out_c, g.conv_out_h, g.conv_out_w}, layer.out);
+  const bool is_linear = g.op == nn::HwLayer::Op::linear;
+  if (is_linear)
+    util::require(input.numel() == g.in_c, "nne: linear input size mismatch");
+  else
+    util::require(input.channels() == g.in_c && input.height() == g.in_h &&
+                      input.width() == g.in_w,
+                  "nne: conv input shape mismatch");
+
+  // Accumulators: one per (PU filter lane, PV position lane).
+  std::vector<std::int32_t> acc(static_cast<std::size_t>(config.pf) * config.pv, 0);
+
+  for (std::int64_t ft = 0; ft < filter_tiles; ++ft) {
+    const int f_base = static_cast<int>(ft) * config.pf;
+    const int f_count = std::min(config.pf, g.out_c - f_base);
+    for (std::int64_t pt = 0; pt < position_tiles; ++pt) {
+      const int p_base = static_cast<int>(pt) * config.pv;
+      const int p_count = std::min(config.pv, positions - p_base);
+
+      // Bias preload into the accumulators.
+      for (int fl = 0; fl < f_count; ++fl)
+        for (int vl = 0; vl < p_count; ++vl)
+          acc[static_cast<std::size_t>(fl) * config.pv + vl] =
+              layer.bias[static_cast<std::size_t>(f_base + fl)];
+
+      // Channel-tile loop: one cycle per tile — PC multipliers + adder tree
+      // per (filter, position) lane.
+      for (std::int64_t ct = 0; ct < term_tiles; ++ct) {
+        const int t_base = static_cast<int>(ct) * config.pc;
+        const int t_count = std::min(config.pc, terms - t_base);
+        for (int fl = 0; fl < f_count; ++fl) {
+          const std::int8_t* w = layer.weight_row(f_base + fl);
+          for (int vl = 0; vl < p_count; ++vl) {
+            const int position = p_base + vl;
+            std::int32_t tree = 0;  // adder-tree partial sum for this cycle
+            if (is_linear) {
+              for (int t = t_base; t < t_base + t_count; ++t)
+                tree += (static_cast<std::int32_t>(input.data[static_cast<std::size_t>(t)]) -
+                         zp_in) *
+                        static_cast<std::int32_t>(w[t]);
+            } else {
+              const int oh = position / g.conv_out_w;
+              const int ow = position % g.conv_out_w;
+              for (int t = t_base; t < t_base + t_count; ++t) {
+                const int c = t / (g.kernel * g.kernel);
+                const int rem = t % (g.kernel * g.kernel);
+                const int ih = oh * g.stride - g.pad + rem / g.kernel;
+                const int iw = ow * g.stride - g.pad + rem % g.kernel;
+                if (ih < 0 || ih >= g.in_h || iw < 0 || iw >= g.in_w) continue;
+                tree += (static_cast<std::int32_t>(input.at(c, ih, iw)) - zp_in) *
+                        static_cast<std::int32_t>(w[t]);
+              }
+            }
+            acc[static_cast<std::size_t>(fl) * config.pv + vl] += tree;
+          }
+        }
+        ++result.compute_cycles;
+      }
+
+      // FU chain on the retiring accumulators: BN requant -> SC -> ReLU.
+      for (int fl = 0; fl < f_count; ++fl) {
+        const int f = f_base + fl;
+        for (int vl = 0; vl < p_count; ++vl) {
+          const int position = p_base + vl;
+          const int oh = position / g.conv_out_w;
+          const int ow = position % g.conv_out_w;
+          std::int32_t q =
+              quant::fixed_multiply(acc[static_cast<std::size_t>(fl) * config.pv + vl],
+                                    layer.requant[static_cast<std::size_t>(f)]) +
+              layer.post_add[static_cast<std::size_t>(f)] + zp_out;
+          if (g.has_shortcut)
+            q += quant::fixed_multiply(
+                static_cast<std::int32_t>(shortcut->at(f, oh, ow)) -
+                    shortcut->params.zero_point,
+                layer.shortcut_rescale);
+          if (g.has_relu) q = std::max(q, zp_out);
+          pre.at(f, oh, ow) = quant::saturate_int8(q);
+        }
+      }
+    }
+  }
+
+  // FU pool stage (pipelined; adds no throughput cycles).
+  quant::QTensor out({g.out_c, g.out_h, g.out_w}, layer.out);
+  if (g.pool_is_global) {
+    const std::int64_t area = static_cast<std::int64_t>(g.conv_out_h) * g.conv_out_w;
+    for (int f = 0; f < g.out_c; ++f) {
+      std::int64_t sum = 0;
+      for (int h = 0; h < g.conv_out_h; ++h)
+        for (int w = 0; w < g.conv_out_w; ++w) sum += pre.at(f, h, w);
+      out.at(f, 0, 0) = quant::saturate_int8(quant::rounded_div(sum, area));
+    }
+  } else if (g.pool_kernel > 0) {
+    for (int f = 0; f < g.out_c; ++f) {
+      for (int oh = 0; oh < g.out_h; ++oh) {
+        for (int ow = 0; ow < g.out_w; ++ow) {
+          if (g.pool_is_max) {
+            std::int8_t best = std::numeric_limits<std::int8_t>::min();
+            for (int kh = 0; kh < g.pool_kernel; ++kh)
+              for (int kw = 0; kw < g.pool_kernel; ++kw)
+                best = std::max(
+                    best, pre.at(f, oh * g.pool_stride + kh, ow * g.pool_stride + kw));
+            out.at(f, oh, ow) = best;
+          } else {
+            std::int64_t sum = 0;
+            for (int kh = 0; kh < g.pool_kernel; ++kh)
+              for (int kw = 0; kw < g.pool_kernel; ++kw)
+                sum += pre.at(f, oh * g.pool_stride + kh, ow * g.pool_stride + kw);
+            out.at(f, oh, ow) = quant::saturate_int8(quant::rounded_div(
+                sum, static_cast<std::int64_t>(g.pool_kernel) * g.pool_kernel));
+          }
+        }
+      }
+    }
+  } else {
+    out = std::move(pre);
+  }
+
+  // DU stage: one drop bit per output filter, ascending filter order.
+  if (site_active) {
+    const int plane = out.height() * out.width();
+    for (int f = 0; f < g.out_c; ++f) {
+      const bool drop = masks->next_drop();
+      ++result.mask_bits_consumed;
+      std::int8_t* row = out.data.data() + static_cast<std::size_t>(f) * plane;
+      if (drop) {
+        std::fill(row, row + plane, quant::saturate_int8(zp_out));
+      } else {
+        for (int i = 0; i < plane; ++i)
+          row[i] = quant::saturate_int8(
+              quant::fixed_multiply(static_cast<std::int32_t>(row[i]) - zp_out, dropout_keep) +
+              zp_out);
+      }
+    }
+  }
+
+  result.output = std::move(out);
+  return result;
+}
+
+}  // namespace bnn::core

@@ -1,0 +1,109 @@
+#include "core/perf_model.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace bnn::core {
+
+namespace {
+
+// Weight traffic: int8 weights plus per-output-channel parameters (int32
+// bias, requantization multiplier+shift, post-add) ~ 12 bytes per channel.
+std::int64_t weight_bytes(const nn::HwLayer& layer) {
+  return static_cast<std::int64_t>(layer.out_c) * layer.in_c * layer.kernel * layer.kernel +
+         12ll * layer.out_c;
+}
+
+}  // namespace
+
+RunStats estimate_pass(const nn::NetworkDesc& desc, const PerfConfig& config, int first_layer,
+                       int last_layer, bool input_from_chip, bool keep_last_on_chip) {
+  util::require(first_layer >= 0 && last_layer < desc.num_layers() &&
+                    first_layer <= last_layer,
+                "estimate_pass: bad layer range");
+  RunStats stats;
+  for (int i = first_layer; i <= last_layer; ++i) {
+    const nn::HwLayer& layer = desc.layers[static_cast<std::size_t>(i)];
+    LayerTiming timing;
+    timing.label = layer.label;
+    timing.macs = layer.macs();
+    timing.compute_cycles = static_cast<double>(estimate_layer_cycles(layer, config.nne)) +
+                            config.nne.pipeline_fill_cycles;
+
+    std::int64_t read = weight_bytes(layer) + layer.shortcut_elems();
+    if (!(i == first_layer && input_from_chip)) read += layer.in_elems();
+    std::int64_t write = layer.out_elems();
+    if (i == last_layer && keep_last_on_chip) write = 0;
+
+    timing.ddr_read_bytes = read;
+    timing.ddr_write_bytes = write;
+    timing.memory_cycles = config.ddr.transfer_cycles(read, config.nne.clock_mhz) +
+                           config.ddr.transfer_cycles(write, config.nne.clock_mhz);
+    timing.cycles = std::max(timing.compute_cycles, timing.memory_cycles);
+
+    stats.total_cycles += timing.cycles;
+    stats.macs += timing.macs;
+    stats.ddr_bytes += read + write;
+    stats.per_layer.push_back(std::move(timing));
+  }
+  stats.latency_ms = stats.total_cycles / (config.nne.clock_mhz * 1e3);
+  return stats;
+}
+
+std::int64_t mask_bits_per_sample(const nn::NetworkDesc& desc, int bayes_layers) {
+  const int sites = desc.num_sites();
+  util::require(bayes_layers >= 0 && bayes_layers <= sites,
+                "mask_bits_per_sample: bayes_layers out of range");
+  const int first_active_site = sites - bayes_layers;
+  std::int64_t bits = 0;
+  for (const nn::HwLayer& layer : desc.layers)
+    if (layer.is_bayes_site && layer.site_index >= first_active_site) bits += layer.out_c;
+  return bits;
+}
+
+RunStats estimate_mc(const nn::NetworkDesc& desc, const PerfConfig& config, int bayes_layers,
+                     int num_samples, bool use_intermediate_caching) {
+  util::require(num_samples >= 1, "estimate_mc: need at least one sample");
+  const int last = desc.num_layers() - 1;
+
+  // Deterministic network: a single pass regardless of S.
+  if (bayes_layers == 0) {
+    RunStats stats = estimate_pass(desc, config, 0, last, false, false);
+    stats.per_layer.clear();
+    return stats;
+  }
+
+  RunStats stats;
+  if (!use_intermediate_caching) {
+    const RunStats full = estimate_pass(desc, config, 0, last, false, false);
+    stats.total_cycles = full.total_cycles * num_samples;
+    stats.macs = full.macs * num_samples;
+    stats.ddr_bytes = full.ddr_bytes * num_samples;
+  } else {
+    const int cut = desc.cut_layer_for(bayes_layers);
+    if (cut == last) {
+      // The whole network is the suffix-carrying layer... only possible when
+      // the final layer carries the first active site; prefix is everything.
+      const RunStats full = estimate_pass(desc, config, 0, last, false, false);
+      stats.total_cycles = full.total_cycles +
+                           0.0;  // masks on the cached output are pipelined
+      stats.macs = full.macs;
+      stats.ddr_bytes = full.ddr_bytes;
+    } else {
+      const RunStats prefix =
+          estimate_pass(desc, config, 0, cut, false, /*keep_last_on_chip=*/true);
+      const RunStats suffix = estimate_pass(desc, config, cut + 1, last,
+                                            /*input_from_chip=*/true, false);
+      stats.total_cycles = prefix.total_cycles + suffix.total_cycles * num_samples;
+      stats.macs = prefix.macs + suffix.macs * num_samples;
+      stats.ddr_bytes = prefix.ddr_bytes + suffix.ddr_bytes * num_samples;
+    }
+  }
+  stats.mask_bits =
+      mask_bits_per_sample(desc, bayes_layers) * static_cast<std::int64_t>(num_samples);
+  stats.latency_ms = stats.total_cycles / (config.nne.clock_mhz * 1e3);
+  return stats;
+}
+
+}  // namespace bnn::core

@@ -1,0 +1,73 @@
+// End-to-end performance model: composes the NNE cycle model (nne.h) with
+// the DDR transfer model (ddr.h) over the layer-by-layer schedule, with and
+// without intermediate-layer caching (paper Section III-C).
+//
+// Conventions (see DESIGN.md §5):
+//   - per layer: compute and memory are double-buffered and overlap, so
+//     layer_cycles = max(compute, memory) + pipeline fill;
+//   - memory traffic = input map + weights (+ per-channel parameters) +
+//     shortcut operand + output map, all 8-bit;
+//   - without IC the full network runs S times;
+//   - with IC layers [0, cut] run once, the cut boundary stays on-chip
+//     (no DDR store, and the first suffix layer's input read is free), and
+//     layers (cut, N) run S times.
+#ifndef BNN_CORE_PERF_MODEL_H
+#define BNN_CORE_PERF_MODEL_H
+
+#include <string>
+#include <vector>
+
+#include "core/ddr.h"
+#include "core/nne.h"
+#include "nn/netdesc.h"
+
+namespace bnn::core {
+
+struct PerfConfig {
+  NneConfig nne;
+  DdrModel ddr;
+};
+
+struct LayerTiming {
+  std::string label;
+  std::int64_t macs = 0;
+  double compute_cycles = 0.0;  // PE cycles + pipeline fill
+  double memory_cycles = 0.0;
+  double cycles = 0.0;  // max(compute, memory)
+  std::int64_t ddr_read_bytes = 0;
+  std::int64_t ddr_write_bytes = 0;
+};
+
+struct RunStats {
+  double total_cycles = 0.0;
+  double latency_ms = 0.0;
+  std::int64_t macs = 0;
+  std::int64_t ddr_bytes = 0;
+  std::int64_t mask_bits = 0;
+  std::vector<LayerTiming> per_layer;  // single-pass detail (empty for MC runs)
+
+  double throughput_gops() const {
+    if (latency_ms <= 0.0) return 0.0;
+    return static_cast<double>(macs) * 2.0 / (latency_ms * 1e6);
+  }
+};
+
+// One pass over layers [first_layer, last_layer].
+//   input_from_chip : the first layer reads its input from on-chip memory
+//                     (the IC boundary) instead of DDR.
+//   keep_last_on_chip: the last layer's output is not stored to DDR (it is
+//                     the IC boundary being cached).
+RunStats estimate_pass(const nn::NetworkDesc& desc, const PerfConfig& config, int first_layer,
+                       int last_layer, bool input_from_chip, bool keep_last_on_chip);
+
+// Full Monte Carlo inference: S samples of a partial BNN with the last
+// `bayes_layers` of the network's sites active.
+RunStats estimate_mc(const nn::NetworkDesc& desc, const PerfConfig& config, int bayes_layers,
+                     int num_samples, bool use_intermediate_caching);
+
+// Mask bits one sample consumes (sum of out_c over active site layers).
+std::int64_t mask_bits_per_sample(const nn::NetworkDesc& desc, int bayes_layers);
+
+}  // namespace bnn::core
+
+#endif  // BNN_CORE_PERF_MODEL_H

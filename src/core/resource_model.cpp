@@ -1,0 +1,82 @@
+#include "core/resource_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace bnn::core {
+
+FpgaDevice arria10_sx660() {
+  return {"Intel Arria 10 SX660", 427200, 1708800, 1518, 2713, 20480};
+}
+
+FpgaDevice cyclone_v_sx() {
+  // 5CGTFD9E5F35C7 (VIBNN's board): 113,560 ALMs, 342 DSP blocks, 1220 M10K.
+  return {"Intel Cyclone V GT", 113560, 454240, 342, 1220, 10240};
+}
+
+FpgaDevice zynq_xc7z020() {
+  // XC7Z020: 53,200 LUTs / 106,400 FFs / 220 DSP48E1 / 140 BRAM36.
+  return {"Xilinx Zynq XC7Z020", 53200, 106400, 220, 140, 36864};
+}
+
+ResourceUsage estimate_resources(const NneConfig& config, const nn::NetworkDesc& desc,
+                                 const FpgaDevice& device, int sampler_fifo_depth,
+                                 int num_lfsrs, const MappingCalibration& cal) {
+  util::require(sampler_fifo_depth >= 1, "estimate_resources: fifo depth must be positive");
+  util::require(num_lfsrs >= 1, "estimate_resources: need at least one LFSR");
+
+  ResourceUsage usage;
+  usage.multipliers = config.macs_per_cycle();
+  usage.dsps_required = static_cast<int>((usage.multipliers + 1) / 2);
+  const int usable =
+      static_cast<int>(std::lround(device.dsps * cal.dsp_usable_fraction));
+  usage.dsps_used = std::min(usage.dsps_required, usable);
+  usage.soft_multipliers =
+      usage.multipliers - static_cast<std::int64_t>(usage.dsps_used) * 2;
+  if (usage.soft_multipliers < 0) usage.soft_multipliers = 0;
+
+  const int dw = config.data_width_bits;
+  // Paper formulas, scaled by replication (double buffering).
+  usage.mem_bits_input = static_cast<std::int64_t>(
+      static_cast<double>(desc.max_input_elems() * dw) * cal.buffer_replication);
+  std::int64_t max_out_elems = 0;
+  std::int64_t max_site_out_elems = 0;
+  for (const nn::HwLayer& layer : desc.layers) {
+    max_out_elems = std::max(max_out_elems, layer.out_elems());
+    if (layer.is_bayes_site)
+      max_site_out_elems = std::max(max_site_out_elems, layer.out_elems());
+  }
+  usage.mem_bits_output = static_cast<std::int64_t>(
+      static_cast<double>(max_out_elems * dw) * cal.buffer_replication);
+  usage.mem_bits_weight = static_cast<std::int64_t>(
+      static_cast<double>(desc.max_filter_weight_elems() * config.pf * dw) *
+      cal.buffer_replication);
+  // Intermediate-layer cache: holds the largest Bayesian boundary once.
+  usage.mem_bits_ic_cache = max_site_out_elems * dw;
+  usage.mem_bits_fifo =
+      static_cast<std::int64_t>(sampler_fifo_depth) * config.pf * dw;
+  usage.mem_bits_total = usage.mem_bits_input + usage.mem_bits_output +
+                         usage.mem_bits_weight + usage.mem_bits_ic_cache +
+                         usage.mem_bits_fifo;
+  usage.m20k_used =
+      static_cast<int>(std::ceil(static_cast<double>(usage.mem_bits_total) /
+                                 (device.m20k_bits_per_block * cal.bram_packing_efficiency))) +
+      cal.controller_m20k;
+
+  usage.alms_used = static_cast<std::int64_t>(
+      cal.base_alms + cal.alms_per_multiplier * static_cast<double>(usage.multipliers) +
+      cal.alms_per_soft_multiplier * static_cast<double>(usage.soft_multipliers) +
+      cal.alms_per_pf_lane * config.pf + cal.alms_per_lfsr * num_lfsrs);
+  usage.registers_used =
+      static_cast<std::int64_t>(cal.registers_per_alm * static_cast<double>(usage.alms_used));
+  return usage;
+}
+
+bool fits(const ResourceUsage& usage, const FpgaDevice& device) {
+  return usage.alms_used <= device.alms && usage.registers_used <= device.registers &&
+         usage.m20k_used <= device.m20k_blocks;
+}
+
+}  // namespace bnn::core

@@ -1,0 +1,37 @@
+#include "core/software_metrics.h"
+
+#include "bayes/predictive.h"
+#include "metrics/metrics.h"
+
+namespace bnn::core {
+
+SoftwareMetricsProvider::SoftwareMetricsProvider(nn::Model& model,
+                                                 const data::Dataset& test_set,
+                                                 const data::Dataset& noise_set,
+                                                 std::uint64_t seed)
+    : model_(model), test_set_(test_set), noise_set_(noise_set), seed_(seed) {}
+
+MetricPoint SoftwareMetricsProvider::evaluate(int bayes_layers, int num_samples) {
+  const auto key = std::make_pair(bayes_layers, num_samples);
+  const auto hit = cache_.find(key);
+  if (hit != cache_.end()) return hit->second;
+
+  model_.set_bayesian_last(bayes_layers);
+  model_.reseed_sites(seed_ + 1000003ull * static_cast<std::uint64_t>(bayes_layers) +
+                      static_cast<std::uint64_t>(num_samples));
+
+  bayes::PredictiveOptions options;
+  options.num_samples = num_samples;
+
+  MetricPoint point;
+  const nn::Tensor test_probs = bayes::mc_predict(model_, test_set_.images(), options);
+  point.accuracy = metrics::accuracy(test_probs, test_set_.labels());
+  point.ece = metrics::expected_calibration_error(test_probs, test_set_.labels());
+  const nn::Tensor noise_probs = bayes::mc_predict(model_, noise_set_.images(), options);
+  point.ape = metrics::average_predictive_entropy(noise_probs);
+
+  cache_.emplace(key, point);
+  return point;
+}
+
+}  // namespace bnn::core

@@ -1,0 +1,36 @@
+// MetricsProvider backed by software evaluation of the float model — the
+// "algorithm optimization" arm of Fig. 5: accuracy and ECE on the test set,
+// aPE on Gaussian noise matched to the training data (Section V-A).
+#ifndef BNN_CORE_SOFTWARE_METRICS_H
+#define BNN_CORE_SOFTWARE_METRICS_H
+
+#include <cstdint>
+#include <map>
+#include <utility>
+
+#include "core/dse.h"
+#include "data/dataset.h"
+#include "nn/models.h"
+
+namespace bnn::core {
+
+class SoftwareMetricsProvider final : public MetricsProvider {
+ public:
+  // References must outlive the provider. `seed` decorrelates the MC mask
+  // streams across (L, S) evaluations deterministically.
+  SoftwareMetricsProvider(nn::Model& model, const data::Dataset& test_set,
+                          const data::Dataset& noise_set, std::uint64_t seed = 1);
+
+  MetricPoint evaluate(int bayes_layers, int num_samples) override;
+
+ private:
+  nn::Model& model_;
+  const data::Dataset& test_set_;
+  const data::Dataset& noise_set_;
+  std::uint64_t seed_;
+  std::map<std::pair<int, int>, MetricPoint> cache_;
+};
+
+}  // namespace bnn::core
+
+#endif  // BNN_CORE_SOFTWARE_METRICS_H

@@ -1,0 +1,93 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "util/check.h"
+
+namespace bnn::data {
+
+Dataset::Dataset(nn::Tensor images, std::vector<int> labels, int num_classes)
+    : images_(std::move(images)), labels_(std::move(labels)), num_classes_(num_classes) {
+  util::require(images_.dim() == 4, "dataset images must be NCHW");
+  util::require(images_.size(0) == static_cast<int>(labels_.size()),
+                "dataset: image/label count mismatch");
+  util::require(num_classes_ > 0, "dataset: num_classes must be positive");
+  for (int label : labels_)
+    util::require(label >= 0 && label < num_classes_, "dataset: label out of range");
+}
+
+std::vector<int> Dataset::image_shape() const {
+  util::require(size() > 0, "dataset: empty");
+  return {images_.size(1), images_.size(2), images_.size(3)};
+}
+
+void Dataset::shuffle(util::Rng& rng) {
+  const int n = size();
+  const std::int64_t stride = images_.numel() / std::max(n, 1);
+  std::vector<float> tmp(static_cast<std::size_t>(stride));
+  for (int i = n - 1; i > 0; --i) {
+    const int j = rng.uniform_int(0, i);
+    if (i == j) continue;
+    std::swap(labels_[static_cast<std::size_t>(i)], labels_[static_cast<std::size_t>(j)]);
+    float* a = images_.data() + static_cast<std::int64_t>(i) * stride;
+    float* b = images_.data() + static_cast<std::int64_t>(j) * stride;
+    std::memcpy(tmp.data(), a, sizeof(float) * static_cast<std::size_t>(stride));
+    std::memcpy(a, b, sizeof(float) * static_cast<std::size_t>(stride));
+    std::memcpy(b, tmp.data(), sizeof(float) * static_cast<std::size_t>(stride));
+  }
+}
+
+Dataset Dataset::subset(int start, int count) const {
+  util::require(start >= 0 && count >= 0 && start + count <= size(),
+                "dataset: subset range out of bounds");
+  nn::Tensor images({count, images_.size(1), images_.size(2), images_.size(3)});
+  const std::int64_t stride = images_.numel() / size();
+  std::memcpy(images.data(), images_.data() + static_cast<std::int64_t>(start) * stride,
+              sizeof(float) * static_cast<std::size_t>(static_cast<std::int64_t>(count) * stride));
+  std::vector<int> labels(labels_.begin() + start, labels_.begin() + start + count);
+  return Dataset(std::move(images), std::move(labels), num_classes_);
+}
+
+std::pair<Dataset, Dataset> Dataset::split(int train_count) const {
+  return {subset(0, train_count), subset(train_count, size() - train_count)};
+}
+
+Batch Dataset::batch(int start, int batch_size) const {
+  util::require(start >= 0 && start < size(), "dataset: batch start out of bounds");
+  const int count = std::min(batch_size, size() - start);
+  Dataset sub = subset(start, count);
+  return Batch{std::move(sub.images_), std::move(sub.labels_)};
+}
+
+void Dataset::channel_stats(std::vector<float>& means, std::vector<float>& stds) const {
+  const int channels = images_.size(1);
+  const std::int64_t per_channel =
+      static_cast<std::int64_t>(size()) * images_.size(2) * images_.size(3);
+  means.assign(static_cast<std::size_t>(channels), 0.0f);
+  stds.assign(static_cast<std::size_t>(channels), 0.0f);
+  for (int c = 0; c < channels; ++c) {
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    for (int n = 0; n < size(); ++n) {
+      const float* plane = images_.data() + images_.index4(n, c, 0, 0);
+      for (int i = 0; i < images_.size(2) * images_.size(3); ++i) {
+        sum += plane[i];
+        sum_sq += static_cast<double>(plane[i]) * plane[i];
+      }
+    }
+    const double mean = sum / static_cast<double>(per_channel);
+    const double var = std::max(0.0, sum_sq / static_cast<double>(per_channel) - mean * mean);
+    means[static_cast<std::size_t>(c)] = static_cast<float>(mean);
+    stds[static_cast<std::size_t>(c)] = static_cast<float>(std::sqrt(var));
+  }
+}
+
+std::vector<int> Dataset::class_histogram() const {
+  std::vector<int> histogram(static_cast<std::size_t>(num_classes_), 0);
+  for (int label : labels_) ++histogram[static_cast<std::size_t>(label)];
+  return histogram;
+}
+
+}  // namespace bnn::data

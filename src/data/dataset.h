@@ -1,0 +1,57 @@
+// In-memory labelled image dataset (NCHW float images + integer labels)
+// with the split/shuffle/minibatch plumbing the trainer and the evaluation
+// harnesses need.
+#ifndef BNN_DATA_DATASET_H
+#define BNN_DATA_DATASET_H
+
+#include <utility>
+#include <vector>
+
+#include "nn/tensor.h"
+#include "util/rng.h"
+
+namespace bnn::data {
+
+struct Batch {
+  nn::Tensor images;        // (B, C, H, W)
+  std::vector<int> labels;  // size B
+};
+
+class Dataset {
+ public:
+  Dataset() = default;
+  Dataset(nn::Tensor images, std::vector<int> labels, int num_classes);
+
+  int size() const { return static_cast<int>(labels_.size()); }
+  int num_classes() const { return num_classes_; }
+  const nn::Tensor& images() const { return images_; }
+  const std::vector<int>& labels() const { return labels_; }
+  std::vector<int> image_shape() const;  // {C, H, W}
+
+  // In-place Fisher-Yates shuffle of the sample order.
+  void shuffle(util::Rng& rng);
+
+  // Copy of samples [start, start+count).
+  Dataset subset(int start, int count) const;
+
+  // Splits off the first `train_count` samples as train, rest as test.
+  std::pair<Dataset, Dataset> split(int train_count) const;
+
+  // Minibatch starting at `start`, clipped to the dataset end.
+  Batch batch(int start, int batch_size) const;
+
+  // Per-channel mean and standard deviation over all pixels.
+  void channel_stats(std::vector<float>& means, std::vector<float>& stds) const;
+
+  // Count of samples per class (diagnostics / balance tests).
+  std::vector<int> class_histogram() const;
+
+ private:
+  nn::Tensor images_;
+  std::vector<int> labels_;
+  int num_classes_ = 0;
+};
+
+}  // namespace bnn::data
+
+#endif  // BNN_DATA_DATASET_H

@@ -1,0 +1,272 @@
+#include "data/synth.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace bnn::data {
+
+namespace {
+
+// 7x5 bitmap font for the ten digits; '#' marks lit pixels.
+constexpr int glyph_rows = 7;
+constexpr int glyph_cols = 5;
+const char* const digit_font[10][glyph_rows] = {
+    {" ### ", "#   #", "#  ##", "# # #", "##  #", "#   #", " ### "},  // 0
+    {"  #  ", " ##  ", "  #  ", "  #  ", "  #  ", "  #  ", " ### "},  // 1
+    {" ### ", "#   #", "    #", "   # ", "  #  ", " #   ", "#####"},  // 2
+    {" ### ", "#   #", "    #", "  ## ", "    #", "#   #", " ### "},  // 3
+    {"   # ", "  ## ", " # # ", "#  # ", "#####", "   # ", "   # "},  // 4
+    {"#####", "#    ", "#### ", "    #", "    #", "#   #", " ### "},  // 5
+    {" ### ", "#    ", "#    ", "#### ", "#   #", "#   #", " ### "},  // 6
+    {"#####", "    #", "   # ", "  #  ", "  #  ", "  #  ", "  #  "},  // 7
+    {" ### ", "#   #", "#   #", " ### ", "#   #", "#   #", " ### "},  // 8
+    {" ### ", "#   #", "#   #", " ####", "    #", "    #", " ### "},  // 9
+};
+
+// Bilinear sample of the glyph bitmap at fractional (row, col); outside the
+// bitmap reads as 0.
+float glyph_sample(int digit, float row, float col) {
+  auto texel = [digit](int r, int c) -> float {
+    if (r < 0 || r >= glyph_rows || c < 0 || c >= glyph_cols) return 0.0f;
+    return digit_font[digit][r][c] == '#' ? 1.0f : 0.0f;
+  };
+  const int r0 = static_cast<int>(std::floor(row));
+  const int c0 = static_cast<int>(std::floor(col));
+  const float fr = row - static_cast<float>(r0);
+  const float fc = col - static_cast<float>(c0);
+  return texel(r0, c0) * (1 - fr) * (1 - fc) + texel(r0 + 1, c0) * fr * (1 - fc) +
+         texel(r0, c0 + 1) * (1 - fr) * fc + texel(r0 + 1, c0 + 1) * fr * fc;
+}
+
+}  // namespace
+
+void render_digit(float* plane, int image, int digit, float scale, float angle_rad,
+                  float shift_x, float shift_y, float intensity) {
+  util::require(digit >= 0 && digit <= 9, "render_digit: digit out of range");
+  const float centre = static_cast<float>(image - 1) / 2.0f;
+  const float cos_a = std::cos(angle_rad);
+  const float sin_a = std::sin(angle_rad);
+  // Pixels per glyph cell: the glyph occupies ~scale fraction of the canvas.
+  const float cell = scale * static_cast<float>(image) / static_cast<float>(glyph_rows + 1);
+  for (int y = 0; y < image; ++y) {
+    for (int x = 0; x < image; ++x) {
+      // Map canvas coordinates back into glyph space (inverse rotation).
+      const float dx = static_cast<float>(x) - centre - shift_x;
+      const float dy = static_cast<float>(y) - centre - shift_y;
+      const float gx = (cos_a * dx + sin_a * dy) / cell + static_cast<float>(glyph_cols - 1) / 2.0f;
+      const float gy = (-sin_a * dx + cos_a * dy) / cell + static_cast<float>(glyph_rows - 1) / 2.0f;
+      const float v = glyph_sample(digit, gy, gx) * intensity;
+      float& px = plane[y * image + x];
+      px = std::max(px, v);
+    }
+  }
+}
+
+Dataset make_synth_digits(int count, util::Rng& rng) {
+  util::require(count > 0, "make_synth_digits: count must be positive");
+  const int image = 28;
+  nn::Tensor images({count, 1, image, image});
+  std::vector<int> labels(static_cast<std::size_t>(count));
+  for (int n = 0; n < count; ++n) {
+    const int digit = n % 10;
+    labels[static_cast<std::size_t>(n)] = digit;
+    float* plane = images.data() + images.index4(n, 0, 0, 0);
+    render_digit(plane, image, digit,
+                 /*scale=*/static_cast<float>(rng.uniform(0.55, 0.8)),
+                 /*angle=*/static_cast<float>(rng.uniform(-0.26, 0.26)),
+                 /*shift_x=*/static_cast<float>(rng.uniform(-3.0, 3.0)),
+                 /*shift_y=*/static_cast<float>(rng.uniform(-3.0, 3.0)),
+                 /*intensity=*/static_cast<float>(rng.uniform(0.7, 1.0)));
+    const float sigma = static_cast<float>(rng.uniform(0.02, 0.08));
+    for (int i = 0; i < image * image; ++i) {
+      plane[i] += static_cast<float>(rng.normal(0.0, sigma));
+      plane[i] = std::clamp(plane[i], 0.0f, 1.0f);
+    }
+  }
+  return Dataset(std::move(images), std::move(labels), 10);
+}
+
+Dataset make_synth_svhn(int count, util::Rng& rng) {
+  util::require(count > 0, "make_synth_svhn: count must be positive");
+  const int image = 32;
+  nn::Tensor images({count, 3, image, image});
+  std::vector<int> labels(static_cast<std::size_t>(count));
+  std::vector<float> mask(static_cast<std::size_t>(image) * image);
+  for (int n = 0; n < count; ++n) {
+    const int digit = n % 10;
+    labels[static_cast<std::size_t>(n)] = digit;
+
+    // Background: smooth two-corner gradient per channel plus clutter boxes.
+    float bg0[3], bg1[3];
+    for (int c = 0; c < 3; ++c) {
+      bg0[c] = static_cast<float>(rng.uniform(0.1, 0.9));
+      bg1[c] = static_cast<float>(rng.uniform(0.1, 0.9));
+    }
+    for (int c = 0; c < 3; ++c) {
+      float* plane = images.data() + images.index4(n, c, 0, 0);
+      for (int y = 0; y < image; ++y)
+        for (int x = 0; x < image; ++x) {
+          const float t = static_cast<float>(x + y) / static_cast<float>(2 * image - 2);
+          plane[y * image + x] = bg0[c] * (1 - t) + bg1[c] * t;
+        }
+    }
+    const int clutter = rng.uniform_int(2, 5);
+    for (int b = 0; b < clutter; ++b) {
+      const int bw = rng.uniform_int(4, 12);
+      const int bh = rng.uniform_int(4, 12);
+      const int bx = rng.uniform_int(0, image - bw);
+      const int by = rng.uniform_int(0, image - bh);
+      float color[3] = {static_cast<float>(rng.uniform(0.0, 1.0)),
+                        static_cast<float>(rng.uniform(0.0, 1.0)),
+                        static_cast<float>(rng.uniform(0.0, 1.0))};
+      const float alpha = static_cast<float>(rng.uniform(0.3, 0.7));
+      for (int c = 0; c < 3; ++c) {
+        float* plane = images.data() + images.index4(n, c, 0, 0);
+        for (int y = by; y < by + bh; ++y)
+          for (int x = bx; x < bx + bw; ++x)
+            plane[y * image + x] = (1 - alpha) * plane[y * image + x] + alpha * color[c];
+      }
+    }
+
+    // Foreground digit rendered into a mask, then blended in a digit color
+    // chosen to contrast with the mean background.
+    std::fill(mask.begin(), mask.end(), 0.0f);
+    render_digit(mask.data(), image, digit,
+                 static_cast<float>(rng.uniform(0.5, 0.75)),
+                 static_cast<float>(rng.uniform(-0.2, 0.2)),
+                 static_cast<float>(rng.uniform(-4.0, 4.0)),
+                 static_cast<float>(rng.uniform(-4.0, 4.0)), 1.0f);
+    float fg[3];
+    for (int c = 0; c < 3; ++c) {
+      const float bg_mean = 0.5f * (bg0[c] + bg1[c]);
+      fg[c] = bg_mean > 0.5f ? static_cast<float>(rng.uniform(0.0, 0.3))
+                             : static_cast<float>(rng.uniform(0.7, 1.0));
+    }
+    for (int c = 0; c < 3; ++c) {
+      float* plane = images.data() + images.index4(n, c, 0, 0);
+      for (int i = 0; i < image * image; ++i)
+        plane[i] = (1 - mask[static_cast<std::size_t>(i)]) * plane[i] +
+                   mask[static_cast<std::size_t>(i)] * fg[c];
+    }
+
+    // Sensor noise.
+    const float sigma = static_cast<float>(rng.uniform(0.01, 0.05));
+    for (int c = 0; c < 3; ++c) {
+      float* plane = images.data() + images.index4(n, c, 0, 0);
+      for (int i = 0; i < image * image; ++i)
+        plane[i] = std::clamp(plane[i] + static_cast<float>(rng.normal(0.0, sigma)), 0.0f, 1.0f);
+    }
+  }
+  return Dataset(std::move(images), std::move(labels), 10);
+}
+
+namespace {
+
+// Fills a (3, image, image) sample with one of the ten parametric object
+// classes. fg/bg are per-channel colors.
+void render_object(float* planes, int image, int cls, const float* fg, const float* bg,
+                   util::Rng& rng) {
+  const float cx = static_cast<float>(image) / 2.0f + static_cast<float>(rng.uniform(-3.0, 3.0));
+  const float cy = static_cast<float>(image) / 2.0f + static_cast<float>(rng.uniform(-3.0, 3.0));
+  const float radius = static_cast<float>(image) * static_cast<float>(rng.uniform(0.22, 0.38));
+  const int period = rng.uniform_int(4, 8);
+
+  for (int c = 0; c < 3; ++c) {
+    float* plane = planes + static_cast<std::size_t>(c) * image * image;
+    for (int i = 0; i < image * image; ++i) plane[i] = bg[c];
+  }
+
+  auto set_fg = [&](int x, int y, float weight) {
+    if (x < 0 || x >= image || y < 0 || y >= image || weight <= 0.0f) return;
+    for (int c = 0; c < 3; ++c) {
+      float* plane = planes + static_cast<std::size_t>(c) * image * image;
+      float& px = plane[y * image + x];
+      px = (1 - weight) * px + weight * fg[c];
+    }
+  };
+
+  for (int y = 0; y < image; ++y) {
+    for (int x = 0; x < image; ++x) {
+      const float dx = static_cast<float>(x) - cx;
+      const float dy = static_cast<float>(y) - cy;
+      const float r = std::sqrt(dx * dx + dy * dy);
+      bool on = false;
+      switch (cls) {
+        case 0: on = r <= radius; break;                                   // disc
+        case 1: on = r <= radius && r >= radius * 0.55f; break;            // ring
+        case 2: on = std::max(std::fabs(dx), std::fabs(dy)) <= radius * 0.85f; break;  // square
+        case 3:  // triangle: below the apex, inside the slanted sides
+          on = dy >= -radius && dy <= radius * 0.8f &&
+               std::fabs(dx) <= (dy + radius) * 0.6f;
+          break;
+        case 4:  // plus
+          on = (std::fabs(dx) <= radius * 0.3f && std::fabs(dy) <= radius) ||
+               (std::fabs(dy) <= radius * 0.3f && std::fabs(dx) <= radius);
+          break;
+        case 5: on = (y / period) % 2 == 0; break;                          // h-stripes
+        case 6: on = (x / period) % 2 == 0; break;                          // v-stripes
+        case 7: on = ((x / period) + (y / period)) % 2 == 0; break;         // checkerboard
+        case 8: {  // diagonal gradient: blend instead of binary
+          const float t = static_cast<float>(x + y) / static_cast<float>(2 * image - 2);
+          set_fg(x, y, t);
+          continue;
+        }
+        case 9: on = std::fabs(dx) + std::fabs(dy) <= radius * 1.1f; break;  // diamond
+        default: break;
+      }
+      if (on) set_fg(x, y, 1.0f);
+    }
+  }
+}
+
+}  // namespace
+
+Dataset make_synth_objects(int count, util::Rng& rng) {
+  util::require(count > 0, "make_synth_objects: count must be positive");
+  const int image = 32;
+  nn::Tensor images({count, 3, image, image});
+  std::vector<int> labels(static_cast<std::size_t>(count));
+  for (int n = 0; n < count; ++n) {
+    const int cls = n % 10;
+    labels[static_cast<std::size_t>(n)] = cls;
+    float fg[3], bg[3];
+    for (int c = 0; c < 3; ++c) {
+      bg[c] = static_cast<float>(rng.uniform(0.0, 0.45));
+      fg[c] = static_cast<float>(rng.uniform(0.55, 1.0));
+    }
+    // Occasionally swap for inverted-contrast variants.
+    if (rng.bernoulli(0.25)) std::swap(fg[rng.uniform_int(0, 2)], bg[rng.uniform_int(0, 2)]);
+    render_object(images.data() + images.index4(n, 0, 0, 0), image, cls, fg, bg, rng);
+    const float sigma = static_cast<float>(rng.uniform(0.01, 0.06));
+    for (int c = 0; c < 3; ++c) {
+      float* plane = images.data() + images.index4(n, c, 0, 0);
+      for (int i = 0; i < image * image; ++i)
+        plane[i] = std::clamp(plane[i] + static_cast<float>(rng.normal(0.0, sigma)), 0.0f, 1.0f);
+    }
+  }
+  return Dataset(std::move(images), std::move(labels), 10);
+}
+
+Dataset make_gaussian_noise(int count, const Dataset& reference, util::Rng& rng) {
+  util::require(count > 0, "make_gaussian_noise: count must be positive");
+  const std::vector<int> shape = reference.image_shape();
+  std::vector<float> means;
+  std::vector<float> stds;
+  reference.channel_stats(means, stds);
+
+  nn::Tensor images({count, shape[0], shape[1], shape[2]});
+  for (int n = 0; n < count; ++n) {
+    for (int c = 0; c < shape[0]; ++c) {
+      float* plane = images.data() + images.index4(n, c, 0, 0);
+      for (int i = 0; i < shape[1] * shape[2]; ++i)
+        plane[i] = static_cast<float>(
+            rng.normal(means[static_cast<std::size_t>(c)], stds[static_cast<std::size_t>(c)]));
+    }
+  }
+  std::vector<int> labels(static_cast<std::size_t>(count), 0);
+  return Dataset(std::move(images), std::move(labels), reference.num_classes());
+}
+
+}  // namespace bnn::data

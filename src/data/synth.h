@@ -1,0 +1,41 @@
+// Procedural synthetic datasets standing in for the paper's MNIST / SVHN /
+// CIFAR-10 (see DESIGN.md for the substitution rationale). All three are
+// image-classification tasks of increasing difficulty with deterministic
+// seeded generation:
+//
+//   synth_digits   1x28x28 grayscale digit glyphs, affine jitter + noise
+//   synth_svhn     3x32x32 colored digits over cluttered color backgrounds
+//   synth_objects  3x32x32 ten parametric shape/texture classes
+//
+// plus the Gaussian-noise set used by the paper's uncertainty experiments
+// (noise with the mean/std of the training data).
+#ifndef BNN_DATA_SYNTH_H
+#define BNN_DATA_SYNTH_H
+
+#include "data/dataset.h"
+
+namespace bnn::data {
+
+// Balanced over the 10 digit classes (label i -> digit i).
+Dataset make_synth_digits(int count, util::Rng& rng);
+
+// Balanced over the 10 digit classes, colored, cluttered background.
+Dataset make_synth_svhn(int count, util::Rng& rng);
+
+// Balanced over 10 shape/texture classes:
+// 0 disc, 1 ring, 2 square, 3 triangle, 4 plus, 5 horizontal stripes,
+// 6 vertical stripes, 7 checkerboard, 8 diagonal gradient, 9 diamond.
+Dataset make_synth_objects(int count, util::Rng& rng);
+
+// Per-channel Gaussian noise images N(mean_c, std_c^2); labels are dummy 0.
+// `reference` supplies the channel statistics (pass the training set).
+Dataset make_gaussian_noise(int count, const Dataset& reference, util::Rng& rng);
+
+// Renders one digit glyph (0-9) into an existing plane of size `image` x
+// `image` with the given affine jitter. Exposed for tests.
+void render_digit(float* plane, int image, int digit, float scale, float angle_rad,
+                  float shift_x, float shift_y, float intensity);
+
+}  // namespace bnn::data
+
+#endif  // BNN_DATA_SYNTH_H

@@ -1,0 +1,126 @@
+#include "metrics/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace bnn::metrics {
+
+namespace {
+
+void check_probs(const nn::Tensor& probs) {
+  util::require(probs.dim() == 2 && probs.size(0) > 0 && probs.size(1) > 1,
+                "metrics expect a non-empty (N, K) probability tensor");
+}
+
+}  // namespace
+
+std::vector<int> argmax_rows(const nn::Tensor& probs) {
+  check_probs(probs);
+  std::vector<int> out(static_cast<std::size_t>(probs.size(0)));
+  for (int n = 0; n < probs.size(0); ++n) {
+    int best = 0;
+    for (int k = 1; k < probs.size(1); ++k)
+      if (probs.v2(n, k) > probs.v2(n, best)) best = k;
+    out[static_cast<std::size_t>(n)] = best;
+  }
+  return out;
+}
+
+double accuracy(const nn::Tensor& probs, const std::vector<int>& labels) {
+  check_probs(probs);
+  util::require(static_cast<int>(labels.size()) == probs.size(0),
+                "accuracy: label count mismatch");
+  const std::vector<int> predictions = argmax_rows(probs);
+  int correct = 0;
+  for (std::size_t n = 0; n < labels.size(); ++n)
+    if (predictions[n] == labels[n]) ++correct;
+  return static_cast<double>(correct) / static_cast<double>(labels.size());
+}
+
+double average_predictive_entropy(const nn::Tensor& probs) {
+  check_probs(probs);
+  double total = 0.0;
+  for (int n = 0; n < probs.size(0); ++n) {
+    double entropy = 0.0;
+    for (int k = 0; k < probs.size(1); ++k) {
+      const double p = probs.v2(n, k);
+      if (p > 0.0) entropy -= p * std::log(p);
+    }
+    total += entropy;
+  }
+  return total / static_cast<double>(probs.size(0));
+}
+
+std::vector<CalibrationBin> reliability_diagram(const nn::Tensor& probs,
+                                                const std::vector<int>& labels, int num_bins) {
+  check_probs(probs);
+  util::require(static_cast<int>(labels.size()) == probs.size(0),
+                "reliability_diagram: label count mismatch");
+  util::require(num_bins >= 1, "reliability_diagram: need at least one bin");
+
+  std::vector<CalibrationBin> bins(static_cast<std::size_t>(num_bins));
+  for (int b = 0; b < num_bins; ++b) {
+    bins[static_cast<std::size_t>(b)].confidence_lo = static_cast<double>(b) / num_bins;
+    bins[static_cast<std::size_t>(b)].confidence_hi = static_cast<double>(b + 1) / num_bins;
+  }
+  const std::vector<int> predictions = argmax_rows(probs);
+  for (int n = 0; n < probs.size(0); ++n) {
+    const double confidence = probs.v2(n, predictions[static_cast<std::size_t>(n)]);
+    int b = static_cast<int>(confidence * num_bins);
+    b = std::clamp(b, 0, num_bins - 1);  // confidence == 1.0 lands in the top bin
+    CalibrationBin& bin = bins[static_cast<std::size_t>(b)];
+    ++bin.count;
+    bin.mean_confidence += confidence;
+    bin.accuracy += predictions[static_cast<std::size_t>(n)] == labels[static_cast<std::size_t>(n)]
+                        ? 1.0
+                        : 0.0;
+  }
+  for (CalibrationBin& bin : bins) {
+    if (bin.count == 0) continue;
+    bin.mean_confidence /= bin.count;
+    bin.accuracy /= bin.count;
+  }
+  return bins;
+}
+
+double expected_calibration_error(const nn::Tensor& probs, const std::vector<int>& labels,
+                                  int num_bins) {
+  const std::vector<CalibrationBin> bins = reliability_diagram(probs, labels, num_bins);
+  const double total = static_cast<double>(probs.size(0));
+  double ece = 0.0;
+  for (const CalibrationBin& bin : bins) {
+    if (bin.count == 0) continue;
+    ece += (bin.count / total) * std::fabs(bin.accuracy - bin.mean_confidence);
+  }
+  return ece;
+}
+
+std::vector<double> confidence_histogram(const nn::Tensor& probs, int num_bins) {
+  check_probs(probs);
+  util::require(num_bins >= 1, "confidence_histogram: need at least one bin");
+  const double lo = 1.0 / probs.size(1);
+  const double width = (1.0 - lo) / num_bins;
+  std::vector<double> histogram(static_cast<std::size_t>(num_bins), 0.0);
+  const std::vector<int> predictions = argmax_rows(probs);
+  for (int n = 0; n < probs.size(0); ++n) {
+    const double confidence = probs.v2(n, predictions[static_cast<std::size_t>(n)]);
+    int b = static_cast<int>((confidence - lo) / width);
+    b = std::clamp(b, 0, num_bins - 1);
+    histogram[static_cast<std::size_t>(b)] += 1.0;
+  }
+  for (double& v : histogram) v /= probs.size(0);
+  return histogram;
+}
+
+double mean_confidence(const nn::Tensor& probs) {
+  check_probs(probs);
+  const std::vector<int> predictions = argmax_rows(probs);
+  double total = 0.0;
+  for (int n = 0; n < probs.size(0); ++n)
+    total += probs.v2(n, predictions[static_cast<std::size_t>(n)]);
+  return total / probs.size(0);
+}
+
+}  // namespace bnn::metrics

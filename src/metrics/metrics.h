@@ -1,0 +1,55 @@
+// Algorithmic evaluation metrics from the paper's Section V:
+//   - top-1 accuracy,
+//   - average predictive entropy (aPE, in nats) for uncertainty quality,
+//   - expected calibration error (ECE, 10 bins) for confidence quality,
+//   - confidence histograms (Fig. 1).
+// All operate on predictive probability tensors of shape (N, K).
+#ifndef BNN_METRICS_METRICS_H
+#define BNN_METRICS_METRICS_H
+
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace bnn::metrics {
+
+// Index of the most probable class per row.
+std::vector<int> argmax_rows(const nn::Tensor& probs);
+
+// Fraction of rows whose argmax equals the label.
+double accuracy(const nn::Tensor& probs, const std::vector<int>& labels);
+
+// aPE = 1/E * sum_e [ -sum_k p(y_k|x_e) log p(y_k|x_e) ], in nats.
+// Maximized (ln K) by uniform predictions, 0 for one-hot predictions.
+double average_predictive_entropy(const nn::Tensor& probs);
+
+// Expected calibration error over equal-width confidence bins:
+// sum_b (|B_b|/N) * |acc(B_b) - conf(B_b)|. Confidence is the max
+// probability; empty bins contribute nothing. Returned as a fraction
+// (multiply by 100 for the paper's percent).
+double expected_calibration_error(const nn::Tensor& probs, const std::vector<int>& labels,
+                                  int num_bins = 10);
+
+struct CalibrationBin {
+  double confidence_lo = 0.0;
+  double confidence_hi = 0.0;
+  int count = 0;
+  double mean_confidence = 0.0;
+  double accuracy = 0.0;
+};
+
+// Per-bin reliability diagram data backing expected_calibration_error.
+std::vector<CalibrationBin> reliability_diagram(const nn::Tensor& probs,
+                                                const std::vector<int>& labels,
+                                                int num_bins = 10);
+
+// Normalized histogram (sums to 1) of per-row max-probability confidence
+// over [1/K, 1], the quantity plotted in Fig. 1.
+std::vector<double> confidence_histogram(const nn::Tensor& probs, int num_bins = 16);
+
+// Mean of per-row maximum probability.
+double mean_confidence(const nn::Tensor& probs);
+
+}  // namespace bnn::metrics
+
+#endif  // BNN_METRICS_METRICS_H

@@ -1,0 +1,85 @@
+#include "nn/activations.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace bnn::nn {
+
+Tensor ReLU::forward(const Tensor& x) {
+  Tensor y(x.shape());
+  for (std::int64_t i = 0; i < x.numel(); ++i) y[i] = x[i] > 0.0f ? x[i] : 0.0f;
+  if (training_) cached_input_ = x;
+  return y;
+}
+
+Tensor ReLU::backward(const Tensor& grad_out) {
+  util::ensure(!cached_input_.empty(), "relu backward without cached forward");
+  Tensor grad_in(grad_out.shape());
+  for (std::int64_t i = 0; i < grad_out.numel(); ++i)
+    grad_in[i] = cached_input_[i] > 0.0f ? grad_out[i] : 0.0f;
+  return grad_in;
+}
+
+Tensor Quadratic::forward(const Tensor& x) {
+  Tensor y(x.shape());
+  for (std::int64_t i = 0; i < x.numel(); ++i) y[i] = x[i] * x[i];
+  if (training_) cached_input_ = x;
+  return y;
+}
+
+Tensor Quadratic::backward(const Tensor& grad_out) {
+  util::ensure(!cached_input_.empty(), "quadratic backward without cached forward");
+  Tensor grad_in(grad_out.shape());
+  for (std::int64_t i = 0; i < grad_out.numel(); ++i)
+    grad_in[i] = 2.0f * cached_input_[i] * grad_out[i];
+  return grad_in;
+}
+
+Tensor softmax_rows(const Tensor& logits) {
+  util::require(logits.dim() == 2, "softmax expects (N, K) input");
+  const int batch = logits.size(0);
+  const int classes = logits.size(1);
+  Tensor probs(logits.shape());
+  for (int n = 0; n < batch; ++n) {
+    const float* row = logits.data() + logits.index2(n, 0);
+    float* out = probs.data() + probs.index2(n, 0);
+    const float row_max = *std::max_element(row, row + classes);
+    float denom = 0.0f;
+    for (int k = 0; k < classes; ++k) {
+      out[k] = std::exp(row[k] - row_max);
+      denom += out[k];
+    }
+    for (int k = 0; k < classes; ++k) out[k] /= denom;
+  }
+  return probs;
+}
+
+std::vector<int> Softmax::out_shape(const std::vector<int>& in_shape) const {
+  util::require(in_shape.size() == 2, "softmax expects (N, K) input");
+  return in_shape;
+}
+
+Tensor Softmax::forward(const Tensor& x) {
+  Tensor y = softmax_rows(x);
+  if (training_) cached_output_ = y;
+  return y;
+}
+
+Tensor Softmax::backward(const Tensor& grad_out) {
+  util::ensure(!cached_output_.empty(), "softmax backward without cached forward");
+  const Tensor& y = cached_output_;
+  const int batch = y.size(0);
+  const int classes = y.size(1);
+  Tensor grad_in(y.shape());
+  for (int n = 0; n < batch; ++n) {
+    float dot = 0.0f;
+    for (int k = 0; k < classes; ++k) dot += grad_out.v2(n, k) * y.v2(n, k);
+    for (int k = 0; k < classes; ++k)
+      grad_in.v2(n, k) = (grad_out.v2(n, k) - dot) * y.v2(n, k);
+  }
+  return grad_in;
+}
+
+}  // namespace bnn::nn

@@ -1,0 +1,61 @@
+// Pointwise activations: ReLU and (row-wise) Softmax.
+#ifndef BNN_NN_ACTIVATIONS_H
+#define BNN_NN_ACTIVATIONS_H
+
+#include "nn/layer.h"
+
+namespace bnn::nn {
+
+class ReLU final : public Layer {
+ public:
+  LayerKind kind() const override { return LayerKind::relu; }
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<int> out_shape(const std::vector<int>& in_shape) const override {
+    return in_shape;
+  }
+
+ private:
+  Tensor cached_input_;
+};
+
+// Numerically-stable softmax over the last axis of a (N, K) tensor. Used to
+// turn logits into the predictive probabilities that the Bayesian runner
+// averages; training uses the fused softmax-cross-entropy loss instead.
+class Softmax final : public Layer {
+ public:
+  LayerKind kind() const override { return LayerKind::softmax; }
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<int> out_shape(const std::vector<int>& in_shape) const override;
+
+ private:
+  Tensor cached_output_;
+};
+
+// Elementwise square, y = x^2 — the polynomial nonlinearity BYNQNet
+// (Awano & Hashimoto, DATE'20) relies on for sampling-free moment
+// propagation. Used by the functional BYNQNet baseline, not by the
+// accelerator's FU chain.
+class Quadratic final : public Layer {
+ public:
+  LayerKind kind() const override { return LayerKind::quadratic; }
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<int> out_shape(const std::vector<int>& in_shape) const override {
+    return in_shape;
+  }
+
+ private:
+  Tensor cached_input_;
+};
+
+// Free-function softmax over rows of a (N, K) tensor.
+Tensor softmax_rows(const Tensor& logits);
+
+}  // namespace bnn::nn
+
+#endif  // BNN_NN_ACTIVATIONS_H

@@ -1,0 +1,140 @@
+#include "nn/batchnorm.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace bnn::nn {
+
+BatchNorm2d::BatchNorm2d(int channels, float eps, float momentum)
+    : channels_(channels), eps_(eps), momentum_(momentum) {
+  util::require(channels > 0, "batch_norm: channels must be positive");
+  util::require(eps > 0.0f, "batch_norm: eps must be positive");
+  gamma_.value = Tensor::full({channels_}, 1.0f);
+  beta_.value = Tensor({channels_});
+  running_mean_ = Tensor({channels_});
+  running_var_ = Tensor::full({channels_}, 1.0f);
+}
+
+std::vector<int> BatchNorm2d::out_shape(const std::vector<int>& in_shape) const {
+  util::require(in_shape.size() == 4, "batch_norm expects NCHW input");
+  util::require(in_shape[1] == channels_, "batch_norm: channel mismatch");
+  return in_shape;
+}
+
+Tensor BatchNorm2d::forward(const Tensor& x) {
+  (void)out_shape(x.shape());
+  const int batch = x.size(0);
+  const int height = x.size(2);
+  const int width = x.size(3);
+  const int plane = height * width;
+  const std::int64_t per_channel = static_cast<std::int64_t>(batch) * plane;
+
+  Tensor y(x.shape());
+  if (training_) {
+    cached_xhat_ = Tensor(x.shape());
+    cached_inv_std_.assign(static_cast<std::size_t>(channels_), 0.0f);
+    for (int c = 0; c < channels_; ++c) {
+      double sum = 0.0;
+      double sum_sq = 0.0;
+      for (int n = 0; n < batch; ++n) {
+        const float* src = x.data() + x.index4(n, c, 0, 0);
+        for (int i = 0; i < plane; ++i) {
+          sum += src[i];
+          sum_sq += static_cast<double>(src[i]) * src[i];
+        }
+      }
+      const double mean = sum / static_cast<double>(per_channel);
+      const double var = sum_sq / static_cast<double>(per_channel) - mean * mean;
+      const double inv_std = 1.0 / std::sqrt(var + eps_);
+      cached_inv_std_[static_cast<std::size_t>(c)] = static_cast<float>(inv_std);
+
+      // Running stats use the unbiased variance estimate, PyTorch-style.
+      const double unbiased =
+          per_channel > 1 ? var * static_cast<double>(per_channel) / (per_channel - 1) : var;
+      running_mean_[c] =
+          (1.0f - momentum_) * running_mean_[c] + momentum_ * static_cast<float>(mean);
+      running_var_[c] =
+          (1.0f - momentum_) * running_var_[c] + momentum_ * static_cast<float>(unbiased);
+
+      const float g = gamma_.value[c];
+      const float b = beta_.value[c];
+      for (int n = 0; n < batch; ++n) {
+        const float* src = x.data() + x.index4(n, c, 0, 0);
+        float* xhat = cached_xhat_.data() + cached_xhat_.index4(n, c, 0, 0);
+        float* dst = y.data() + y.index4(n, c, 0, 0);
+        for (int i = 0; i < plane; ++i) {
+          xhat[i] = static_cast<float>((src[i] - mean) * inv_std);
+          dst[i] = g * xhat[i] + b;
+        }
+      }
+    }
+  } else {
+    std::vector<float> scale;
+    std::vector<float> shift;
+    inference_affine(scale, shift);
+    for (int c = 0; c < channels_; ++c) {
+      const float a = scale[static_cast<std::size_t>(c)];
+      const float b = shift[static_cast<std::size_t>(c)];
+      for (int n = 0; n < batch; ++n) {
+        const float* src = x.data() + x.index4(n, c, 0, 0);
+        float* dst = y.data() + y.index4(n, c, 0, 0);
+        for (int i = 0; i < plane; ++i) dst[i] = a * src[i] + b;
+      }
+    }
+  }
+  return y;
+}
+
+Tensor BatchNorm2d::backward(const Tensor& grad_out) {
+  util::ensure(!cached_xhat_.empty(), "batch_norm backward without cached training forward");
+  const int batch = grad_out.size(0);
+  const int plane = grad_out.size(2) * grad_out.size(3);
+  const double per_channel = static_cast<double>(batch) * plane;
+
+  if (!gamma_.grad.same_shape(gamma_.value)) gamma_.zero_grad();
+  if (!beta_.grad.same_shape(beta_.value)) beta_.zero_grad();
+
+  Tensor grad_in(grad_out.shape());
+  for (int c = 0; c < channels_; ++c) {
+    double sum_dy = 0.0;
+    double sum_dy_xhat = 0.0;
+    for (int n = 0; n < batch; ++n) {
+      const float* dy = grad_out.data() + grad_out.index4(n, c, 0, 0);
+      const float* xhat = cached_xhat_.data() + cached_xhat_.index4(n, c, 0, 0);
+      for (int i = 0; i < plane; ++i) {
+        sum_dy += dy[i];
+        sum_dy_xhat += static_cast<double>(dy[i]) * xhat[i];
+      }
+    }
+    gamma_.grad[c] += static_cast<float>(sum_dy_xhat);
+    beta_.grad[c] += static_cast<float>(sum_dy);
+
+    const double g_inv_std =
+        static_cast<double>(gamma_.value[c]) * cached_inv_std_[static_cast<std::size_t>(c)];
+    for (int n = 0; n < batch; ++n) {
+      const float* dy = grad_out.data() + grad_out.index4(n, c, 0, 0);
+      const float* xhat = cached_xhat_.data() + cached_xhat_.index4(n, c, 0, 0);
+      float* dx = grad_in.data() + grad_in.index4(n, c, 0, 0);
+      for (int i = 0; i < plane; ++i) {
+        dx[i] = static_cast<float>(
+            g_inv_std * (dy[i] - sum_dy / per_channel - xhat[i] * sum_dy_xhat / per_channel));
+      }
+    }
+  }
+  return grad_in;
+}
+
+std::vector<Param*> BatchNorm2d::params() { return {&gamma_, &beta_}; }
+
+void BatchNorm2d::inference_affine(std::vector<float>& scale, std::vector<float>& shift) const {
+  scale.assign(static_cast<std::size_t>(channels_), 0.0f);
+  shift.assign(static_cast<std::size_t>(channels_), 0.0f);
+  for (int c = 0; c < channels_; ++c) {
+    const float inv_std = 1.0f / std::sqrt(running_var_[c] + eps_);
+    scale[static_cast<std::size_t>(c)] = gamma_.value[c] * inv_std;
+    shift[static_cast<std::size_t>(c)] = beta_.value[c] - gamma_.value[c] * running_mean_[c] * inv_std;
+  }
+}
+
+}  // namespace bnn::nn

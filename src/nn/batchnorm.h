@@ -1,0 +1,54 @@
+// Batch normalization over NCHW feature maps (per-channel statistics).
+//
+// Training mode normalizes with batch statistics and maintains running
+// estimates; evaluation mode uses the running estimates, which is the affine
+// y = a*x + b form the accelerator's Functional Unit implements.
+#ifndef BNN_NN_BATCHNORM_H
+#define BNN_NN_BATCHNORM_H
+
+#include "nn/layer.h"
+
+namespace bnn::nn {
+
+class BatchNorm2d final : public Layer {
+ public:
+  explicit BatchNorm2d(int channels, float eps = 1e-5f, float momentum = 0.1f);
+
+  LayerKind kind() const override { return LayerKind::batch_norm; }
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param*> params() override;
+
+  std::vector<int> out_shape(const std::vector<int>& in_shape) const override;
+
+  int channels() const { return channels_; }
+  float eps() const { return eps_; }
+
+  Param& gamma() { return gamma_; }
+  Param& beta() { return beta_; }
+  const Tensor& running_mean() const { return running_mean_; }
+  const Tensor& running_var() const { return running_var_; }
+  Tensor& running_mean() { return running_mean_; }
+  Tensor& running_var() { return running_var_; }
+
+  // Inference-time per-channel affine coefficients: y = scale*x + shift.
+  // Only valid outside training (uses running statistics).
+  void inference_affine(std::vector<float>& scale, std::vector<float>& shift) const;
+
+ private:
+  int channels_;
+  float eps_;
+  float momentum_;
+  Param gamma_;
+  Param beta_;
+  Tensor running_mean_;
+  Tensor running_var_;
+  // Backward caches (training mode).
+  Tensor cached_xhat_;
+  std::vector<float> cached_inv_std_;
+};
+
+}  // namespace bnn::nn
+
+#endif  // BNN_NN_BATCHNORM_H

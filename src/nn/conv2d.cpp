@@ -1,0 +1,121 @@
+#include "nn/conv2d.h"
+
+#include <cmath>
+
+#include "nn/gemm.h"
+#include "util/check.h"
+
+namespace bnn::nn {
+
+Conv2d::Conv2d(int in_channels, int out_channels, int kernel, int stride, int pad, bool has_bias)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      pad_(pad),
+      has_bias_(has_bias) {
+  util::require(in_channels > 0 && out_channels > 0, "conv2d: channels must be positive");
+  util::require(kernel >= 1 && stride >= 1 && pad >= 0, "conv2d: bad geometry");
+  weight_.value = Tensor({out_channels_, in_channels_, kernel_, kernel_});
+  if (has_bias_) bias_.value = Tensor({out_channels_});
+}
+
+void Conv2d::init_kaiming(util::Rng& rng) {
+  const double fan_in = static_cast<double>(in_channels_) * kernel_ * kernel_;
+  const double stddev = std::sqrt(2.0 / fan_in);
+  for (std::int64_t i = 0; i < weight_.value.numel(); ++i)
+    weight_.value[i] = static_cast<float>(rng.normal(0.0, stddev));
+  if (has_bias_) bias_.value.fill(0.0f);
+}
+
+std::vector<int> Conv2d::out_shape(const std::vector<int>& in_shape) const {
+  util::require(in_shape.size() == 4, "conv2d expects NCHW input");
+  util::require(in_shape[1] == in_channels_, "conv2d: channel mismatch");
+  const int out_h = conv_out_extent(in_shape[2], kernel_, stride_, pad_);
+  const int out_w = conv_out_extent(in_shape[3], kernel_, stride_, pad_);
+  return {in_shape[0], out_channels_, out_h, out_w};
+}
+
+std::int64_t Conv2d::macs(const std::vector<int>& in_shape) const {
+  const std::vector<int> out = out_shape(in_shape);
+  return static_cast<std::int64_t>(in_shape[0]) * out_channels_ * in_channels_ * kernel_ *
+         kernel_ * out[2] * out[3];
+}
+
+Tensor Conv2d::forward(const Tensor& x) {
+  const std::vector<int> out_dims = out_shape(x.shape());
+  const int batch = x.size(0);
+  const int in_h = x.size(2);
+  const int in_w = x.size(3);
+  const int out_h = out_dims[2];
+  const int out_w = out_dims[3];
+  const int patch = in_channels_ * kernel_ * kernel_;
+  const int positions = out_h * out_w;
+
+  Tensor y(out_dims);
+  std::vector<float> columns(static_cast<std::size_t>(patch) * positions);
+  for (int n = 0; n < batch; ++n) {
+    im2col(x.data() + x.index4(n, 0, 0, 0), in_channels_, in_h, in_w, kernel_, stride_, pad_,
+           out_h, out_w, columns.data());
+    gemm(out_channels_, positions, patch, weight_.value.data(), columns.data(),
+         y.data() + y.index4(n, 0, 0, 0), /*accumulate=*/false);
+    if (has_bias_) {
+      for (int f = 0; f < out_channels_; ++f) {
+        float* plane = y.data() + y.index4(n, f, 0, 0);
+        const float b = bias_.value[f];
+        for (int i = 0; i < positions; ++i) plane[i] += b;
+      }
+    }
+  }
+  if (training_) cached_input_ = x;
+  return y;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_out) {
+  util::ensure(!cached_input_.empty(), "conv2d backward without cached forward");
+  const Tensor& x = cached_input_;
+  const int batch = x.size(0);
+  const int in_h = x.size(2);
+  const int in_w = x.size(3);
+  const int out_h = grad_out.size(2);
+  const int out_w = grad_out.size(3);
+  const int patch = in_channels_ * kernel_ * kernel_;
+  const int positions = out_h * out_w;
+
+  if (!weight_.grad.same_shape(weight_.value)) weight_.zero_grad();
+  if (has_bias_ && !bias_.grad.same_shape(bias_.value)) bias_.zero_grad();
+
+  Tensor grad_in(x.shape());
+  std::vector<float> columns(static_cast<std::size_t>(patch) * positions);
+  std::vector<float> grad_columns(static_cast<std::size_t>(patch) * positions);
+  for (int n = 0; n < batch; ++n) {
+    im2col(x.data() + x.index4(n, 0, 0, 0), in_channels_, in_h, in_w, kernel_, stride_, pad_,
+           out_h, out_w, columns.data());
+    const float* dy = grad_out.data() + grad_out.index4(n, 0, 0, 0);
+    // dW[F, patch] += dY[F, positions] * col[patch, positions]^T
+    gemm_bt(out_channels_, patch, positions, dy, columns.data(), weight_.grad.data(),
+            /*accumulate=*/true);
+    // dcol[patch, positions] = W[F, patch]^T * dY[F, positions]
+    gemm_at(patch, positions, out_channels_, weight_.value.data(), dy, grad_columns.data(),
+            /*accumulate=*/false);
+    col2im(grad_columns.data(), in_channels_, in_h, in_w, kernel_, stride_, pad_, out_h, out_w,
+           grad_in.data() + grad_in.index4(n, 0, 0, 0));
+    if (has_bias_) {
+      for (int f = 0; f < out_channels_; ++f) {
+        const float* plane = dy + static_cast<std::size_t>(f) * positions;
+        float acc = 0.0f;
+        for (int i = 0; i < positions; ++i) acc += plane[i];
+        bias_.grad[f] += acc;
+      }
+    }
+  }
+  return grad_in;
+}
+
+std::vector<Param*> Conv2d::params() {
+  std::vector<Param*> out{&weight_};
+  if (has_bias_) out.push_back(&bias_);
+  return out;
+}
+
+}  // namespace bnn::nn

@@ -1,0 +1,54 @@
+// 2-D convolution (NCHW, square kernel) via im2col + GEMM, with backprop.
+#ifndef BNN_NN_CONV2D_H
+#define BNN_NN_CONV2D_H
+
+#include "nn/layer.h"
+
+namespace bnn::nn {
+
+class Conv2d final : public Layer {
+ public:
+  Conv2d(int in_channels, int out_channels, int kernel, int stride = 1, int pad = 0,
+         bool has_bias = true);
+
+  LayerKind kind() const override { return LayerKind::conv2d; }
+
+  // He/Kaiming-normal initialization (fan-in), biases zero.
+  void init_kaiming(util::Rng& rng);
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param*> params() override;
+
+  std::vector<int> out_shape(const std::vector<int>& in_shape) const override;
+  std::int64_t macs(const std::vector<int>& in_shape) const override;
+
+  int in_channels() const { return in_channels_; }
+  int out_channels() const { return out_channels_; }
+  int kernel() const { return kernel_; }
+  int stride() const { return stride_; }
+  int pad() const { return pad_; }
+  bool has_bias() const { return has_bias_; }
+
+  // Weight tensor [F, C, K, K]; contiguous layout doubles as the row-major
+  // [F, C*K*K] GEMM operand.
+  Param& weight() { return weight_; }
+  const Param& weight() const { return weight_; }
+  Param& bias() { return bias_; }
+  const Param& bias() const { return bias_; }
+
+ private:
+  int in_channels_;
+  int out_channels_;
+  int kernel_;
+  int stride_;
+  int pad_;
+  bool has_bias_;
+  Param weight_;
+  Param bias_;
+  Tensor cached_input_;  // retained in training mode for backward
+};
+
+}  // namespace bnn::nn
+
+#endif  // BNN_NN_CONV2D_H

@@ -1,0 +1,87 @@
+// Monte Carlo Dropout (Gal & Ghahramani 2016), filter-wise as in the paper:
+// one Bernoulli drop decision per output channel, dropped channels zeroed,
+// survivors scaled by 1/(1-p). Unlike standard dropout it stays active at
+// inference when the layer is marked active, which is what turns a point
+// network into an MCD Bayesian network.
+//
+// The drop decisions come from a MaskSource so the same layer can be driven
+// either by a software RNG (float reference path) or by the simulated
+// LFSR-based hardware Bernoulli sampler (src/core/bernoulli_sampler.h).
+#ifndef BNN_NN_DROPOUT_H
+#define BNN_NN_DROPOUT_H
+
+#include <memory>
+
+#include "nn/layer.h"
+#include "util/rng.h"
+
+namespace bnn::nn {
+
+// Stream of drop decisions; next_drop() is true with probability p.
+class MaskSource {
+ public:
+  virtual ~MaskSource() = default;
+  virtual bool next_drop() = 0;
+};
+
+// Software mask source backed by the deterministic Rng.
+class RngMaskSource final : public MaskSource {
+ public:
+  RngMaskSource(double p, util::Rng rng) : p_(p), rng_(rng) {}
+  bool next_drop() override { return rng_.bernoulli(p_); }
+  double p() const { return p_; }
+
+ private:
+  double p_;
+  util::Rng rng_;
+};
+
+class McDropout final : public Layer {
+ public:
+  // `p` is the drop probability (the paper uses p = 0.25 everywhere).
+  explicit McDropout(double p, std::uint64_t seed = 1);
+
+  LayerKind kind() const override { return LayerKind::mc_dropout; }
+
+  // Accepts (N, C, H, W) — channel-wise mask — or (N, F) — feature-wise.
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<int> out_shape(const std::vector<int>& in_shape) const override {
+    return in_shape;
+  }
+
+  // Inactive dropout is the identity: a partial BNN disables the sites in
+  // the deterministic prefix.
+  void set_active(bool active) { active_ = active; }
+  bool active() const { return active_; }
+
+  double p() const { return p_; }
+  void set_p(double p);
+
+  // Re-seed the built-in software source (used to decorrelate MC samples
+  // across repeats deterministically).
+  void reseed(std::uint64_t seed);
+
+  // Use an external mask source (e.g. the simulated hardware sampler); the
+  // caller keeps ownership. Pass nullptr to return to the built-in source.
+  void set_mask_source(MaskSource* source) { external_source_ = source; }
+
+  // Scaled mask of the last active forward, shape (N, C): 0 for dropped
+  // channels, 1/(1-p) for kept ones.
+  const Tensor& last_mask() const { return mask_; }
+
+ private:
+  MaskSource& source();
+
+  double p_;
+  bool active_ = false;
+  std::uint64_t seed_;
+  std::unique_ptr<RngMaskSource> owned_source_;
+  MaskSource* external_source_ = nullptr;
+  Tensor mask_;
+  bool forward_was_active_ = false;
+};
+
+}  // namespace bnn::nn
+
+#endif  // BNN_NN_DROPOUT_H

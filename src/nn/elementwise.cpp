@@ -1,0 +1,47 @@
+#include "nn/elementwise.h"
+
+#include "util/check.h"
+
+namespace bnn::nn {
+
+Tensor Add::forward(const Tensor& x) {
+  (void)x;
+  util::ensure(false, "add requires two inputs; use forward2");
+  return {};
+}
+
+Tensor Add::forward2(const Tensor& a, const Tensor& b) {
+  util::require(a.same_shape(b), "add: operand shape mismatch");
+  Tensor y = a;
+  y.add_(b);
+  return y;
+}
+
+Tensor Add::backward(const Tensor& grad_out) {
+  (void)grad_out;
+  util::ensure(false, "add requires two inputs; use backward2");
+  return {};
+}
+
+std::pair<Tensor, Tensor> Add::backward2(const Tensor& grad_out) {
+  return {grad_out, grad_out};
+}
+
+std::vector<int> Flatten::out_shape(const std::vector<int>& in_shape) const {
+  util::require(!in_shape.empty(), "flatten: empty shape");
+  int rest = 1;
+  for (std::size_t i = 1; i < in_shape.size(); ++i) rest *= in_shape[i];
+  return {in_shape[0], rest};
+}
+
+Tensor Flatten::forward(const Tensor& x) {
+  if (training_) cached_in_shape_ = x.shape();
+  return x.reshaped(out_shape(x.shape()));
+}
+
+Tensor Flatten::backward(const Tensor& grad_out) {
+  util::ensure(!cached_in_shape_.empty(), "flatten backward without cached forward");
+  return grad_out.reshaped(cached_in_shape_);
+}
+
+}  // namespace bnn::nn

@@ -1,0 +1,40 @@
+// Structural layers: residual addition (the paper's Shortcut/SC functional
+// unit stage) and flattening.
+#ifndef BNN_NN_ELEMENTWISE_H
+#define BNN_NN_ELEMENTWISE_H
+
+#include "nn/layer.h"
+
+namespace bnn::nn {
+
+// Two-input elementwise addition; realizes residual shortcuts.
+class Add final : public Layer {
+ public:
+  LayerKind kind() const override { return LayerKind::add; }
+
+  Tensor forward(const Tensor& x) override;  // throws: Add needs two inputs
+  Tensor forward2(const Tensor& a, const Tensor& b) override;
+  Tensor backward(const Tensor& grad_out) override;  // throws
+  std::pair<Tensor, Tensor> backward2(const Tensor& grad_out) override;
+
+  std::vector<int> out_shape(const std::vector<int>& in_shape) const override {
+    return in_shape;
+  }
+};
+
+// (N, C, H, W) -> (N, C*H*W); identity on already-2-D input.
+class Flatten final : public Layer {
+ public:
+  LayerKind kind() const override { return LayerKind::flatten; }
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<int> out_shape(const std::vector<int>& in_shape) const override;
+
+ private:
+  std::vector<int> cached_in_shape_;
+};
+
+}  // namespace bnn::nn
+
+#endif  // BNN_NN_ELEMENTWISE_H

@@ -1,0 +1,110 @@
+#include "nn/gemm.h"
+
+#include <cstring>
+
+#include "util/check.h"
+
+namespace bnn::nn {
+
+void gemm(int m, int n, int k, const float* a, const float* b, float* c, bool accumulate) {
+  if (!accumulate) std::memset(c, 0, sizeof(float) * static_cast<std::size_t>(m) * n);
+  for (int i = 0; i < m; ++i) {
+    const float* a_row = a + static_cast<std::size_t>(i) * k;
+    float* c_row = c + static_cast<std::size_t>(i) * n;
+    for (int kk = 0; kk < k; ++kk) {
+      const float a_ik = a_row[kk];
+      if (a_ik == 0.0f) continue;
+      const float* b_row = b + static_cast<std::size_t>(kk) * n;
+      for (int j = 0; j < n; ++j) c_row[j] += a_ik * b_row[j];
+    }
+  }
+}
+
+void gemm_at(int m, int n, int k, const float* a, const float* b, float* c, bool accumulate) {
+  if (!accumulate) std::memset(c, 0, sizeof(float) * static_cast<std::size_t>(m) * n);
+  for (int kk = 0; kk < k; ++kk) {
+    const float* a_row = a + static_cast<std::size_t>(kk) * m;
+    const float* b_row = b + static_cast<std::size_t>(kk) * n;
+    for (int i = 0; i < m; ++i) {
+      const float a_ki = a_row[i];
+      if (a_ki == 0.0f) continue;
+      float* c_row = c + static_cast<std::size_t>(i) * n;
+      for (int j = 0; j < n; ++j) c_row[j] += a_ki * b_row[j];
+    }
+  }
+}
+
+void gemm_bt(int m, int n, int k, const float* a, const float* b, float* c, bool accumulate) {
+  for (int i = 0; i < m; ++i) {
+    const float* a_row = a + static_cast<std::size_t>(i) * k;
+    float* c_row = c + static_cast<std::size_t>(i) * n;
+    for (int j = 0; j < n; ++j) {
+      const float* b_row = b + static_cast<std::size_t>(j) * k;
+      float acc = 0.0f;
+      for (int kk = 0; kk < k; ++kk) acc += a_row[kk] * b_row[kk];
+      if (accumulate)
+        c_row[j] += acc;
+      else
+        c_row[j] = acc;
+    }
+  }
+}
+
+int conv_out_extent(int in_extent, int kernel, int stride, int pad) {
+  util::require(kernel >= 1 && stride >= 1 && pad >= 0, "bad convolution geometry");
+  const int extent = (in_extent + 2 * pad - kernel) / stride + 1;
+  util::require(extent >= 1, "convolution window does not fit input");
+  return extent;
+}
+
+void im2col(const float* image, int channels, int height, int width, int kernel, int stride,
+            int pad, int out_h, int out_w, float* columns) {
+  const int patch = kernel * kernel;
+  for (int c = 0; c < channels; ++c) {
+    const float* plane = image + static_cast<std::size_t>(c) * height * width;
+    for (int p = 0; p < patch; ++p) {
+      const int kh = p / kernel;
+      const int kw = p % kernel;
+      float* col_row = columns + (static_cast<std::size_t>(c) * patch + p) * out_h * out_w;
+      for (int oh = 0; oh < out_h; ++oh) {
+        const int ih = oh * stride - pad + kh;
+        if (ih < 0 || ih >= height) {
+          std::memset(col_row + static_cast<std::size_t>(oh) * out_w, 0,
+                      sizeof(float) * static_cast<std::size_t>(out_w));
+          continue;
+        }
+        const float* img_row = plane + static_cast<std::size_t>(ih) * width;
+        float* dst = col_row + static_cast<std::size_t>(oh) * out_w;
+        for (int ow = 0; ow < out_w; ++ow) {
+          const int iw = ow * stride - pad + kw;
+          dst[ow] = (iw >= 0 && iw < width) ? img_row[iw] : 0.0f;
+        }
+      }
+    }
+  }
+}
+
+void col2im(const float* columns, int channels, int height, int width, int kernel, int stride,
+            int pad, int out_h, int out_w, float* image) {
+  const int patch = kernel * kernel;
+  for (int c = 0; c < channels; ++c) {
+    float* plane = image + static_cast<std::size_t>(c) * height * width;
+    for (int p = 0; p < patch; ++p) {
+      const int kh = p / kernel;
+      const int kw = p % kernel;
+      const float* col_row = columns + (static_cast<std::size_t>(c) * patch + p) * out_h * out_w;
+      for (int oh = 0; oh < out_h; ++oh) {
+        const int ih = oh * stride - pad + kh;
+        if (ih < 0 || ih >= height) continue;
+        float* img_row = plane + static_cast<std::size_t>(ih) * width;
+        const float* src = col_row + static_cast<std::size_t>(oh) * out_w;
+        for (int ow = 0; ow < out_w; ++ow) {
+          const int iw = ow * stride - pad + kw;
+          if (iw >= 0 && iw < width) img_row[iw] += src[ow];
+        }
+      }
+    }
+  }
+}
+
+}  // namespace bnn::nn

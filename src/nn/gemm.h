@@ -1,0 +1,35 @@
+// Minimal single-threaded GEMM and im2col used by the float reference
+// convolution / linear layers. The loop order (i, k, j with A[i,k] held in a
+// register) lets the compiler vectorize the j-loop, which is enough
+// throughput to train the reduced evaluation networks on one core.
+#ifndef BNN_NN_GEMM_H
+#define BNN_NN_GEMM_H
+
+namespace bnn::nn {
+
+// C[M,N] (+)= A[M,K] * B[K,N]; all row-major. When `accumulate` is false the
+// destination is overwritten.
+void gemm(int m, int n, int k, const float* a, const float* b, float* c, bool accumulate);
+
+// C[M,N] (+)= A[K,M]^T * B[K,N].
+void gemm_at(int m, int n, int k, const float* a, const float* b, float* c, bool accumulate);
+
+// C[M,N] (+)= A[M,K] * B[N,K]^T.
+void gemm_bt(int m, int n, int k, const float* a, const float* b, float* c, bool accumulate);
+
+// Expands one image (C,H,W) into columns for a KxK convolution with the
+// given stride/padding: out has shape [C*K*K, Hout*Wout], row-major.
+void im2col(const float* image, int channels, int height, int width, int kernel, int stride,
+            int pad, int out_h, int out_w, float* columns);
+
+// Reverse of im2col: scatters column gradients back onto the image
+// (accumulating where patches overlap). `image` must be zeroed by the caller.
+void col2im(const float* columns, int channels, int height, int width, int kernel, int stride,
+            int pad, int out_h, int out_w, float* image);
+
+// Output spatial extent of a convolution/pooling window.
+int conv_out_extent(int in_extent, int kernel, int stride, int pad);
+
+}  // namespace bnn::nn
+
+#endif  // BNN_NN_GEMM_H

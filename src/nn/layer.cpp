@@ -1,0 +1,38 @@
+#include "nn/layer.h"
+
+#include "util/check.h"
+
+namespace bnn::nn {
+
+std::string layer_kind_name(LayerKind kind) {
+  switch (kind) {
+    case LayerKind::conv2d: return "conv2d";
+    case LayerKind::linear: return "linear";
+    case LayerKind::batch_norm: return "batch_norm";
+    case LayerKind::relu: return "relu";
+    case LayerKind::quadratic: return "quadratic";
+    case LayerKind::max_pool: return "max_pool";
+    case LayerKind::avg_pool: return "avg_pool";
+    case LayerKind::global_avg_pool: return "global_avg_pool";
+    case LayerKind::flatten: return "flatten";
+    case LayerKind::add: return "add";
+    case LayerKind::mc_dropout: return "mc_dropout";
+    case LayerKind::softmax: return "softmax";
+  }
+  return "unknown";
+}
+
+Tensor Layer::forward2(const Tensor& a, const Tensor& b) {
+  (void)a;
+  (void)b;
+  util::ensure(false, name() + " is not a two-input layer");
+  return {};
+}
+
+std::pair<Tensor, Tensor> Layer::backward2(const Tensor& grad_out) {
+  (void)grad_out;
+  util::ensure(false, name() + " is not a two-input layer");
+  return {};
+}
+
+}  // namespace bnn::nn

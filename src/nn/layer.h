@@ -1,0 +1,87 @@
+// Layer abstraction for the float reference path.
+//
+// Layers are stateful objects owning their parameters and, while in training
+// mode, the activations cached for backprop. The Network (network.h) wires
+// them into a DAG; layers themselves are single-input except Add, which
+// overrides the two-input entry points.
+#ifndef BNN_NN_LAYER_H
+#define BNN_NN_LAYER_H
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace bnn::nn {
+
+// Learnable parameter: value plus (lazily allocated) gradient.
+struct Param {
+  Tensor value;
+  Tensor grad;
+
+  // Allocates/zeros the gradient to match the value's shape.
+  void zero_grad() {
+    if (!grad.same_shape(value)) grad = Tensor(value.shape());
+    grad.fill(0.0f);
+  }
+};
+
+enum class LayerKind {
+  conv2d,
+  linear,
+  batch_norm,
+  relu,
+  quadratic,
+  max_pool,
+  avg_pool,
+  global_avg_pool,
+  flatten,
+  add,
+  mc_dropout,
+  softmax,
+};
+
+// Human-readable name of a layer kind ("conv2d", "relu", ...).
+std::string layer_kind_name(LayerKind kind);
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  virtual LayerKind kind() const = 0;
+  virtual std::string name() const { return layer_kind_name(kind()); }
+
+  // Single-input forward. Two-input layers (Add) throw here.
+  virtual Tensor forward(const Tensor& x) = 0;
+  // Two-input forward; only Add implements it.
+  virtual Tensor forward2(const Tensor& a, const Tensor& b);
+
+  // Gradient of the loss w.r.t. this layer's input, given the gradient
+  // w.r.t. its output. Requires a preceding forward() in training mode.
+  // Parameter gradients are accumulated into params()[i]->grad.
+  virtual Tensor backward(const Tensor& grad_out) = 0;
+  virtual std::pair<Tensor, Tensor> backward2(const Tensor& grad_out);
+
+  virtual std::vector<Param*> params() { return {}; }
+
+  // Shape inference: output shape for a given input shape (batch included).
+  virtual std::vector<int> out_shape(const std::vector<int>& in_shape) const = 0;
+  // Multiply-accumulate count for one forward pass at the given input shape
+  // (0 for layers with no MACs). Used by the op-count bookkeeping.
+  virtual std::int64_t macs(const std::vector<int>& in_shape) const {
+    (void)in_shape;
+    return 0;
+  }
+
+  void set_training(bool training) { training_ = training; }
+  bool training() const { return training_; }
+
+ protected:
+  bool training_ = false;
+};
+
+}  // namespace bnn::nn
+
+#endif  // BNN_NN_LAYER_H

@@ -1,0 +1,78 @@
+#include "nn/linear.h"
+
+#include <cmath>
+
+#include "nn/gemm.h"
+#include "util/check.h"
+
+namespace bnn::nn {
+
+Linear::Linear(int in_features, int out_features, bool has_bias)
+    : in_features_(in_features), out_features_(out_features), has_bias_(has_bias) {
+  util::require(in_features > 0 && out_features > 0, "linear: features must be positive");
+  weight_.value = Tensor({out_features_, in_features_});
+  if (has_bias_) bias_.value = Tensor({out_features_});
+}
+
+void Linear::init_kaiming(util::Rng& rng) {
+  const double stddev = std::sqrt(2.0 / static_cast<double>(in_features_));
+  for (std::int64_t i = 0; i < weight_.value.numel(); ++i)
+    weight_.value[i] = static_cast<float>(rng.normal(0.0, stddev));
+  if (has_bias_) bias_.value.fill(0.0f);
+}
+
+std::vector<int> Linear::out_shape(const std::vector<int>& in_shape) const {
+  util::require(in_shape.size() == 2, "linear expects (N, features) input");
+  util::require(in_shape[1] == in_features_, "linear: feature mismatch");
+  return {in_shape[0], out_features_};
+}
+
+std::int64_t Linear::macs(const std::vector<int>& in_shape) const {
+  util::require(in_shape.size() == 2, "linear expects (N, features) input");
+  return static_cast<std::int64_t>(in_shape[0]) * in_features_ * out_features_;
+}
+
+Tensor Linear::forward(const Tensor& x) {
+  const std::vector<int> out_dims = out_shape(x.shape());
+  const int batch = x.size(0);
+  Tensor y(out_dims);
+  // y[N, out] = x[N, in] * W[out, in]^T
+  gemm_bt(batch, out_features_, in_features_, x.data(), weight_.value.data(), y.data(),
+          /*accumulate=*/false);
+  if (has_bias_) {
+    for (int n = 0; n < batch; ++n)
+      for (int f = 0; f < out_features_; ++f) y.v2(n, f) += bias_.value[f];
+  }
+  if (training_) cached_input_ = x;
+  return y;
+}
+
+Tensor Linear::backward(const Tensor& grad_out) {
+  util::ensure(!cached_input_.empty(), "linear backward without cached forward");
+  const Tensor& x = cached_input_;
+  const int batch = x.size(0);
+
+  if (!weight_.grad.same_shape(weight_.value)) weight_.zero_grad();
+  if (has_bias_ && !bias_.grad.same_shape(bias_.value)) bias_.zero_grad();
+
+  // dW[out, in] += dY[N, out]^T * X[N, in]
+  gemm_at(out_features_, in_features_, batch, grad_out.data(), x.data(), weight_.grad.data(),
+          /*accumulate=*/true);
+  // dX[N, in] = dY[N, out] * W[out, in]
+  Tensor grad_in(x.shape());
+  gemm(batch, in_features_, out_features_, grad_out.data(), weight_.value.data(), grad_in.data(),
+       /*accumulate=*/false);
+  if (has_bias_) {
+    for (int n = 0; n < batch; ++n)
+      for (int f = 0; f < out_features_; ++f) bias_.grad[f] += grad_out.v2(n, f);
+  }
+  return grad_in;
+}
+
+std::vector<Param*> Linear::params() {
+  std::vector<Param*> out{&weight_};
+  if (has_bias_) out.push_back(&bias_);
+  return out;
+}
+
+}  // namespace bnn::nn

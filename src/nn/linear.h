@@ -1,0 +1,46 @@
+// Fully-connected layer: y = x W^T + b on (N, in_features) inputs.
+#ifndef BNN_NN_LINEAR_H
+#define BNN_NN_LINEAR_H
+
+#include "nn/layer.h"
+
+namespace bnn::nn {
+
+class Linear final : public Layer {
+ public:
+  Linear(int in_features, int out_features, bool has_bias = true);
+
+  LayerKind kind() const override { return LayerKind::linear; }
+
+  // He/Kaiming-normal initialization (fan-in), biases zero.
+  void init_kaiming(util::Rng& rng);
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param*> params() override;
+
+  std::vector<int> out_shape(const std::vector<int>& in_shape) const override;
+  std::int64_t macs(const std::vector<int>& in_shape) const override;
+
+  int in_features() const { return in_features_; }
+  int out_features() const { return out_features_; }
+  bool has_bias() const { return has_bias_; }
+
+  // Weight tensor [out_features, in_features].
+  Param& weight() { return weight_; }
+  const Param& weight() const { return weight_; }
+  Param& bias() { return bias_; }
+  const Param& bias() const { return bias_; }
+
+ private:
+  int in_features_;
+  int out_features_;
+  bool has_bias_;
+  Param weight_;
+  Param bias_;
+  Tensor cached_input_;
+};
+
+}  // namespace bnn::nn
+
+#endif  // BNN_NN_LINEAR_H

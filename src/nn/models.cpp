@@ -1,0 +1,274 @@
+#include "nn/models.h"
+
+#include "nn/activations.h"
+#include "nn/batchnorm.h"
+#include "nn/conv2d.h"
+#include "nn/elementwise.h"
+#include "nn/linear.h"
+#include "nn/pooling.h"
+#include "util/check.h"
+
+namespace bnn::nn {
+
+Model::Model(std::string name, std::unique_ptr<Network> net,
+             std::vector<Network::NodeId> dropout_sites, std::vector<int> input_chw,
+             int num_classes)
+    : name_(std::move(name)),
+      net_(std::move(net)),
+      sites_(std::move(dropout_sites)),
+      input_chw_(std::move(input_chw)),
+      num_classes_(num_classes) {
+  util::require(net_ != nullptr, "model: null network");
+  for (Network::NodeId id : sites_)
+    util::require(net_->layer(id)->kind() == LayerKind::mc_dropout,
+                  "model: site node is not mc_dropout");
+  set_dropout_p(p_);
+}
+
+void Model::set_bayesian_last(int bayes_layers) {
+  util::require(bayes_layers >= 0 && bayes_layers <= num_sites(),
+                "model: bayes_layers out of range");
+  bayes_layers_ = bayes_layers;
+  const int first_active = num_sites() - bayes_layers;
+  for (int i = 0; i < num_sites(); ++i) site(i).set_active(i >= first_active);
+}
+
+Network::NodeId Model::first_active_site() const {
+  if (bayes_layers_ == 0) return -1;
+  return sites_[static_cast<std::size_t>(num_sites() - bayes_layers_)];
+}
+
+void Model::set_dropout_p(double p) {
+  p_ = p;
+  for (int i = 0; i < num_sites(); ++i) site(i).set_p(p);
+}
+
+void Model::reseed_sites(std::uint64_t seed) {
+  util::Rng root(seed);
+  for (int i = 0; i < num_sites(); ++i)
+    site(i).reseed(root.fork(static_cast<std::uint64_t>(i)).seed());
+}
+
+McDropout& Model::site(int index) {
+  util::require(index >= 0 && index < num_sites(), "model: site index out of range");
+  auto* layer = dynamic_cast<McDropout*>(net_->layer(sites_[static_cast<std::size_t>(index)]));
+  util::ensure(layer != nullptr, "model: site node is not mc_dropout");
+  return *layer;
+}
+
+NetworkDesc Model::describe() const {
+  return describe_network(*net_, input_chw_, name_, num_classes_);
+}
+
+namespace {
+
+// Helper accumulating the usual conv -> BN -> ReLU [-> pool] -> dropout
+// block and recording the dropout node as a Bayesian site.
+struct Builder {
+  Network& net;
+  util::Rng& rng;
+  std::vector<Network::NodeId>& sites;
+
+  Network::NodeId conv_bn_relu(Network::NodeId in, int in_c, int out_c, int k, int stride,
+                               int pad) {
+    auto conv = std::make_unique<Conv2d>(in_c, out_c, k, stride, pad, /*has_bias=*/false);
+    conv->init_kaiming(rng);
+    Network::NodeId id = net.add(std::move(conv), in);
+    id = net.add(std::make_unique<BatchNorm2d>(out_c), id);
+    id = net.add(std::make_unique<ReLU>(), id);
+    return id;
+  }
+
+  Network::NodeId site(Network::NodeId in, double p = 0.25) {
+    const Network::NodeId id = net.add(std::make_unique<McDropout>(p), in);
+    sites.push_back(id);
+    return id;
+  }
+};
+
+}  // namespace
+
+Model make_lenet5(util::Rng& rng, int num_classes) {
+  auto net = std::make_unique<Network>();
+  std::vector<Network::NodeId> sites;
+  Builder b{*net, rng, sites};
+
+  // conv1: 1x28x28 -> 6x28x28 -> pool -> 6x14x14
+  Network::NodeId id = b.conv_bn_relu(Network::input_id, 1, 6, 5, 1, 2);
+  id = net->add(std::make_unique<MaxPool2d>(2), id);
+  id = b.site(id);
+  // conv2: -> 16x10x10 -> pool -> 16x5x5
+  id = b.conv_bn_relu(id, 6, 16, 5, 1, 0);
+  id = net->add(std::make_unique<MaxPool2d>(2), id);
+  id = b.site(id);
+
+  id = net->add(std::make_unique<Flatten>(), id);
+  auto fc1 = std::make_unique<Linear>(16 * 5 * 5, 120);
+  fc1->init_kaiming(rng);
+  id = net->add(std::move(fc1), id);
+  id = net->add(std::make_unique<ReLU>(), id);
+  id = b.site(id);
+  auto fc2 = std::make_unique<Linear>(120, 84);
+  fc2->init_kaiming(rng);
+  id = net->add(std::move(fc2), id);
+  id = net->add(std::make_unique<ReLU>(), id);
+  id = b.site(id);
+  auto fc3 = std::make_unique<Linear>(84, num_classes);
+  fc3->init_kaiming(rng);
+  net->add(std::move(fc3), id);
+
+  return Model("lenet5", std::move(net), std::move(sites), {1, 28, 28}, num_classes);
+}
+
+Model make_vgg11(util::Rng& rng, int num_classes, int width_divisor) {
+  util::require(width_divisor >= 1, "vgg11: width_divisor must be >= 1");
+  auto net = std::make_unique<Network>();
+  std::vector<Network::NodeId> sites;
+  Builder b{*net, rng, sites};
+
+  // VGG-11 configuration: value = conv width, 0 = 2x2 max pool.
+  const int cfg[] = {64, 0, 128, 0, 256, 256, 0, 512, 512, 0, 512, 512, 0};
+  int in_c = 3;
+  Network::NodeId id = Network::input_id;
+  for (int entry : cfg) {
+    if (entry == 0) {
+      id = net->add(std::make_unique<MaxPool2d>(2), id);
+      continue;
+    }
+    const int out_c = std::max(entry / width_divisor, 4);
+    id = b.conv_bn_relu(id, in_c, out_c, 3, 1, 1);
+    in_c = out_c;
+    // Channel-wise masks with non-negative scaling commute with max pooling
+    // on post-ReLU maps, so placing every site directly after ReLU (before
+    // an eventual pool) matches the paper's "optionally pooling" placement.
+    id = b.site(id);
+  }
+
+  id = net->add(std::make_unique<Flatten>(), id);
+  const int feat = std::max(512 / width_divisor, 4);
+  auto fc1 = std::make_unique<Linear>(feat, 128);
+  fc1->init_kaiming(rng);
+  id = net->add(std::move(fc1), id);
+  id = net->add(std::make_unique<ReLU>(), id);
+  id = b.site(id);
+  auto fc2 = std::make_unique<Linear>(128, num_classes);
+  fc2->init_kaiming(rng);
+  net->add(std::move(fc2), id);
+
+  return Model("vgg11", std::move(net), std::move(sites), {3, 32, 32}, num_classes);
+}
+
+Model make_resnet18(util::Rng& rng, int num_classes, int base_width) {
+  util::require(base_width >= 4, "resnet18: base_width must be >= 4");
+  auto net = std::make_unique<Network>();
+  std::vector<Network::NodeId> sites;
+  Builder b{*net, rng, sites};
+
+  // Stem (CIFAR-style: 3x3, no initial pooling).
+  Network::NodeId id = b.conv_bn_relu(Network::input_id, 3, base_width, 3, 1, 1);
+  id = b.site(id);
+
+  auto basic_block = [&](Network::NodeId in, int in_c, int out_c,
+                         int stride) -> Network::NodeId {
+    Network::NodeId main = b.conv_bn_relu(in, in_c, out_c, 3, stride, 1);
+    auto conv2 = std::make_unique<Conv2d>(out_c, out_c, 3, 1, 1, /*has_bias=*/false);
+    conv2->init_kaiming(rng);
+    main = net->add(std::move(conv2), main);
+    main = net->add(std::make_unique<BatchNorm2d>(out_c), main);
+
+    Network::NodeId shortcut = in;
+    if (stride != 1 || in_c != out_c) {
+      auto proj = std::make_unique<Conv2d>(in_c, out_c, 1, stride, 0, /*has_bias=*/false);
+      proj->init_kaiming(rng);
+      shortcut = net->add(std::move(proj), in);
+      shortcut = net->add(std::make_unique<BatchNorm2d>(out_c), shortcut);
+    }
+    Network::NodeId out = net->add(std::make_unique<Add>(), main, shortcut);
+    out = net->add(std::make_unique<ReLU>(), out);
+    return b.site(out);
+  };
+
+  int in_c = base_width;
+  const int stage_width[4] = {base_width, base_width * 2, base_width * 4, base_width * 8};
+  for (int stage = 0; stage < 4; ++stage) {
+    const int out_c = stage_width[stage];
+    const int first_stride = stage == 0 ? 1 : 2;
+    id = basic_block(id, in_c, out_c, first_stride);
+    id = basic_block(id, out_c, out_c, 1);
+    in_c = out_c;
+  }
+
+  id = net->add(std::make_unique<GlobalAvgPool>(), id);
+  id = net->add(std::make_unique<Flatten>(), id);
+  auto fc = std::make_unique<Linear>(in_c, num_classes);
+  fc->init_kaiming(rng);
+  net->add(std::move(fc), id);
+
+  return Model("resnet18", std::move(net), std::move(sites), {3, 32, 32}, num_classes);
+}
+
+Model make_tiny_cnn(util::Rng& rng, int num_classes, int in_channels, int image) {
+  auto net = std::make_unique<Network>();
+  std::vector<Network::NodeId> sites;
+  Builder b{*net, rng, sites};
+
+  Network::NodeId id = b.conv_bn_relu(Network::input_id, in_channels, 8, 3, 1, 1);
+  id = net->add(std::make_unique<MaxPool2d>(2), id);
+  id = b.site(id);
+  id = b.conv_bn_relu(id, 8, 16, 3, 1, 1);
+  id = net->add(std::make_unique<MaxPool2d>(2), id);
+  id = b.site(id);
+
+  id = net->add(std::make_unique<Flatten>(), id);
+  const int feat = 16 * (image / 4) * (image / 4);
+  auto fc1 = std::make_unique<Linear>(feat, 32);
+  fc1->init_kaiming(rng);
+  id = net->add(std::move(fc1), id);
+  id = net->add(std::make_unique<ReLU>(), id);
+  id = b.site(id);
+  auto fc2 = std::make_unique<Linear>(32, num_classes);
+  fc2->init_kaiming(rng);
+  net->add(std::move(fc2), id);
+
+  return Model("tiny_cnn", std::move(net), std::move(sites),
+               {in_channels, image, image}, num_classes);
+}
+
+Model make_mlp3(util::Rng& rng, int in_features, int hidden, int num_classes,
+                MlpActivation activation, bool with_mcd_sites) {
+  util::require(in_features > 0 && hidden > 0 && num_classes > 0,
+                "mlp3: sizes must be positive");
+  auto net = std::make_unique<Network>();
+  std::vector<Network::NodeId> sites;
+
+  auto activation_layer = [activation]() -> std::unique_ptr<Layer> {
+    if (activation == MlpActivation::quadratic) return std::make_unique<Quadratic>();
+    return std::make_unique<ReLU>();
+  };
+
+  Network::NodeId id = net->add(std::make_unique<Flatten>(), Network::input_id);
+  auto fc1 = std::make_unique<Linear>(in_features, hidden);
+  fc1->init_kaiming(rng);
+  id = net->add(std::move(fc1), id);
+  id = net->add(activation_layer(), id);
+  if (with_mcd_sites) {
+    id = net->add(std::make_unique<McDropout>(0.25), id);
+    sites.push_back(id);
+  }
+  auto fc2 = std::make_unique<Linear>(hidden, hidden);
+  fc2->init_kaiming(rng);
+  id = net->add(std::move(fc2), id);
+  id = net->add(activation_layer(), id);
+  if (with_mcd_sites) {
+    id = net->add(std::make_unique<McDropout>(0.25), id);
+    sites.push_back(id);
+  }
+  auto fc3 = std::make_unique<Linear>(hidden, num_classes);
+  fc3->init_kaiming(rng);
+  net->add(std::move(fc3), id);
+
+  // The flattened input is declared as a {features, 1, 1} image.
+  return Model("mlp3", std::move(net), std::move(sites), {in_features, 1, 1}, num_classes);
+}
+
+}  // namespace bnn::nn

@@ -1,0 +1,96 @@
+// Model zoo: the paper's three evaluation networks, built as float reference
+// Networks with Monte Carlo Dropout sites at every position the paper allows
+// ("always following a convolutional, BN and ReLU layers, and optionally
+// pooling", plus after hidden fully-connected layers).
+//
+// A Model owns the Network plus the list of dropout sites; partial Bayesian
+// inference ("last L of N") is configured with set_bayesian_last().
+#ifndef BNN_NN_MODELS_H
+#define BNN_NN_MODELS_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/dropout.h"
+#include "nn/netdesc.h"
+#include "nn/network.h"
+#include "util/rng.h"
+
+namespace bnn::nn {
+
+class Model {
+ public:
+  Model(std::string name, std::unique_ptr<Network> net,
+        std::vector<Network::NodeId> dropout_sites, std::vector<int> input_chw,
+        int num_classes);
+
+  const std::string& name() const { return name_; }
+  Network& net() { return *net_; }
+  const Network& net() const { return *net_; }
+  const std::vector<int>& input_shape() const { return input_chw_; }
+  int num_classes() const { return num_classes_; }
+
+  // The paper's N: number of candidate Bayesian (MCD) sites.
+  int num_sites() const { return static_cast<int>(sites_.size()); }
+  const std::vector<Network::NodeId>& site_nodes() const { return sites_; }
+
+  // Activates the last `bayes_layers` dropout sites (0 = deterministic
+  // point network, num_sites() = full BNN) and deactivates the rest.
+  void set_bayesian_last(int bayes_layers);
+  int bayesian_layers() const { return bayes_layers_; }
+
+  // Node id of the first active dropout site, or -1 when none is active.
+  // This is the replay cut for software intermediate-layer caching.
+  Network::NodeId first_active_site() const;
+
+  // Drop probability at every site (the paper fixes p = 0.25).
+  void set_dropout_p(double p);
+  double dropout_p() const { return p_; }
+
+  // Deterministically reseeds all site mask sources (fork per site).
+  void reseed_sites(std::uint64_t seed);
+
+  McDropout& site(int index);
+
+  // Hardware description of this model (see netdesc.h).
+  NetworkDesc describe() const;
+
+ private:
+  std::string name_;
+  std::unique_ptr<Network> net_;
+  std::vector<Network::NodeId> sites_;
+  std::vector<int> input_chw_;
+  int num_classes_;
+  int bayes_layers_ = 0;
+  double p_ = 0.25;
+};
+
+// LeNet-5 for 1x28x28 inputs: conv blocks (with BN) + 3 FC layers; 4 sites.
+Model make_lenet5(util::Rng& rng, int num_classes = 10);
+
+// Channel-reduced VGG-11 for 3x32x32 inputs (the paper reduces channels to
+// fit memory); width_divisor scales all conv widths; 9 sites.
+Model make_vgg11(util::Rng& rng, int num_classes = 10, int width_divisor = 4);
+
+// Channel-reduced CIFAR-style ResNet-18 for 3x32x32 inputs; base_width is
+// the stem width (the canonical network uses 64); 9 sites.
+Model make_resnet18(util::Rng& rng, int num_classes = 10, int base_width = 16);
+
+// Tiny two-conv + two-fc network used by fast tests and the Fig. 4 example.
+Model make_tiny_cnn(util::Rng& rng, int num_classes = 10, int in_channels = 1,
+                    int image = 12);
+
+enum class MlpActivation { relu, quadratic };
+
+// Three-layer fully-connected network of the kind VIBNN / BYNQNet evaluate
+// on: Flatten -> FC(hidden) -> act -> FC(hidden) -> act -> FC(classes).
+// With `with_mcd_sites` an MCD site follows each hidden activation (2
+// sites); the quadratic variant is the BYNQNet substrate.
+Model make_mlp3(util::Rng& rng, int in_features, int hidden, int num_classes,
+                MlpActivation activation = MlpActivation::relu,
+                bool with_mcd_sites = false);
+
+}  // namespace bnn::nn
+
+#endif  // BNN_NN_MODELS_H

@@ -1,0 +1,304 @@
+#include "nn/netdesc.h"
+
+#include <algorithm>
+
+#include "nn/batchnorm.h"
+#include "nn/conv2d.h"
+#include "nn/dropout.h"
+#include "nn/gemm.h"
+#include "nn/linear.h"
+#include "nn/pooling.h"
+#include "util/check.h"
+
+namespace bnn::nn {
+
+int NetworkDesc::num_sites() const {
+  int count = 0;
+  for (const HwLayer& layer : layers) count += layer.is_bayes_site ? 1 : 0;
+  return count;
+}
+
+std::int64_t NetworkDesc::total_macs() const {
+  std::int64_t total = 0;
+  for (const HwLayer& layer : layers) total += layer.macs();
+  return total;
+}
+
+std::int64_t NetworkDesc::total_weight_count() const {
+  std::int64_t total = 0;
+  for (const HwLayer& layer : layers) total += layer.weight_count();
+  return total;
+}
+
+int NetworkDesc::cut_layer_for(int bayes_layers) const {
+  const int sites = num_sites();
+  util::require(bayes_layers >= 0 && bayes_layers <= sites,
+                "cut_layer_for: bayes_layers out of range");
+  if (bayes_layers == 0) return num_layers() - 1;
+  const int first_active_site = sites - bayes_layers;
+  int seen = 0;
+  for (int i = 0; i < num_layers(); ++i) {
+    if (!layers[static_cast<std::size_t>(i)].is_bayes_site) continue;
+    if (seen == first_active_site) return i;
+    ++seen;
+  }
+  util::ensure(false, "cut_layer_for: site bookkeeping inconsistent");
+  return -1;
+}
+
+std::int64_t NetworkDesc::max_input_elems() const {
+  std::int64_t best = 0;
+  for (const HwLayer& layer : layers) best = std::max(best, layer.in_elems());
+  return best;
+}
+
+std::int64_t NetworkDesc::max_filter_weight_elems() const {
+  std::int64_t best = 0;
+  for (const HwLayer& layer : layers)
+    best = std::max(best, static_cast<std::int64_t>(layer.in_c) * layer.kernel * layer.kernel);
+  return best;
+}
+
+int NetworkDesc::max_out_channels() const {
+  int best = 0;
+  for (const HwLayer& layer : layers) best = std::max(best, layer.out_c);
+  return best;
+}
+
+NetworkDesc describe_network(const Network& net, const std::vector<int>& chw_input,
+                             const std::string& name, int num_classes) {
+  util::require(chw_input.size() == 3, "describe_network expects a {C,H,W} input shape");
+  NetworkDesc desc;
+  desc.name = name;
+  desc.input_shape = chw_input;
+  desc.num_classes = num_classes;
+
+  const std::vector<int> batched{1, chw_input[0], chw_input[1], chw_input[2]};
+  const auto shapes = net.infer_shapes(batched);
+
+  int site_counter = 0;
+  for (Network::NodeId id = 1; id < net.num_nodes(); ++id) {
+    const Layer* layer = net.layer(id);
+    const std::vector<int>& in_shape =
+        shapes[static_cast<std::size_t>(net.inputs_of(id)[0])];
+    const std::vector<int>& out_shape = shapes[static_cast<std::size_t>(id)];
+
+    switch (layer->kind()) {
+      case LayerKind::conv2d: {
+        const auto* conv = static_cast<const Conv2d*>(layer);
+        HwLayer hw;
+        hw.label = "conv" + std::to_string(desc.layers.size());
+        hw.op = HwLayer::Op::conv;
+        hw.in_c = in_shape[1];
+        hw.in_h = in_shape[2];
+        hw.in_w = in_shape[3];
+        hw.out_c = out_shape[1];
+        hw.conv_out_h = out_shape[2];
+        hw.conv_out_w = out_shape[3];
+        hw.out_h = out_shape[2];
+        hw.out_w = out_shape[3];
+        hw.kernel = conv->kernel();
+        hw.stride = conv->stride();
+        hw.pad = conv->pad();
+        hw.has_bias = conv->has_bias();
+        desc.layers.push_back(hw);
+        break;
+      }
+      case LayerKind::linear: {
+        const auto* linear = static_cast<const Linear*>(layer);
+        HwLayer hw;
+        hw.label = "fc" + std::to_string(desc.layers.size());
+        hw.op = HwLayer::Op::linear;
+        hw.in_c = linear->in_features();
+        hw.out_c = linear->out_features();
+        hw.has_bias = linear->has_bias();
+        desc.layers.push_back(hw);
+        break;
+      }
+      case LayerKind::batch_norm:
+        util::require(!desc.layers.empty(), "describe_network: BN before any conv/linear");
+        desc.layers.back().has_bn = true;
+        break;
+      case LayerKind::relu:
+        util::require(!desc.layers.empty(), "describe_network: ReLU before any conv/linear");
+        desc.layers.back().has_relu = true;
+        break;
+      case LayerKind::quadratic:
+        // Polynomial activation (BYNQNet substrate): same PE cost, executed
+        // in place of ReLU in that design's functional unit; no flag needed
+        // for the cycle model.
+        util::require(!desc.layers.empty(),
+                      "describe_network: activation before any conv/linear");
+        break;
+      case LayerKind::max_pool:
+      case LayerKind::avg_pool: {
+        util::require(!desc.layers.empty(), "describe_network: pool before any conv/linear");
+        HwLayer& hw = desc.layers.back();
+        if (layer->kind() == LayerKind::max_pool) {
+          const auto* pool = static_cast<const MaxPool2d*>(layer);
+          hw.pool_kernel = pool->kernel();
+          hw.pool_stride = pool->stride();
+          hw.pool_is_max = true;
+        } else {
+          const auto* pool = static_cast<const AvgPool2d*>(layer);
+          hw.pool_kernel = pool->kernel();
+          hw.pool_stride = pool->stride();
+          hw.pool_is_max = false;
+        }
+        hw.out_h = out_shape[2];
+        hw.out_w = out_shape[3];
+        break;
+      }
+      case LayerKind::global_avg_pool: {
+        util::require(!desc.layers.empty(), "describe_network: pool before any conv/linear");
+        HwLayer& hw = desc.layers.back();
+        hw.pool_is_global = true;
+        hw.pool_is_max = false;
+        hw.out_h = 1;
+        hw.out_w = 1;
+        break;
+      }
+      case LayerKind::add:
+        util::require(!desc.layers.empty(), "describe_network: add before any conv/linear");
+        desc.layers.back().has_shortcut = true;
+        break;
+      case LayerKind::mc_dropout:
+        util::require(!desc.layers.empty(), "describe_network: dropout before any conv/linear");
+        desc.layers.back().is_bayes_site = true;
+        desc.layers.back().site_index = site_counter++;
+        break;
+      case LayerKind::flatten:
+      case LayerKind::softmax:
+        break;  // host-side bookkeeping, no hardware pass
+    }
+  }
+  return desc;
+}
+
+namespace {
+
+HwLayer make_conv_desc(const std::string& label, int in_c, int in_h, int in_w, int out_c,
+                       int kernel, int stride, int pad, bool bn, bool relu) {
+  HwLayer hw;
+  hw.label = label;
+  hw.op = HwLayer::Op::conv;
+  hw.in_c = in_c;
+  hw.in_h = in_h;
+  hw.in_w = in_w;
+  hw.out_c = out_c;
+  hw.kernel = kernel;
+  hw.stride = stride;
+  hw.pad = pad;
+  hw.conv_out_h = conv_out_extent(in_h, kernel, stride, pad);
+  hw.conv_out_w = conv_out_extent(in_w, kernel, stride, pad);
+  hw.out_h = hw.conv_out_h;
+  hw.out_w = hw.conv_out_w;
+  hw.has_bias = false;  // conv+BN layers carry no separate bias
+  hw.has_bn = bn;
+  hw.has_relu = relu;
+  return hw;
+}
+
+}  // namespace
+
+NetworkDesc describe_resnet101(int image_size, int num_classes) {
+  NetworkDesc desc;
+  desc.name = "resnet101";
+  desc.input_shape = {3, image_size, image_size};
+  desc.num_classes = num_classes;
+
+  int site = 0;
+  auto push = [&desc, &site](HwLayer hw, bool is_site) {
+    if (is_site) {
+      hw.is_bayes_site = true;
+      hw.site_index = site++;
+    }
+    desc.layers.push_back(hw);
+  };
+
+  // Stem: 7x7/2 conv + BN + ReLU + 3x3/2 max pool.
+  HwLayer stem = make_conv_desc("stem", 3, image_size, image_size, 64, 7, 2, 3, true, true);
+  stem.pool_kernel = 3;
+  stem.pool_stride = 2;
+  stem.pool_is_max = true;
+  stem.out_h = (stem.conv_out_h - 1) / 2;  // 3x3/2 pool with pad 1: halves the map
+  stem.out_w = (stem.conv_out_w - 1) / 2;
+  push(stem, true);
+
+  // Bottleneck stages: {blocks, width} with expansion 4.
+  const int stage_blocks[4] = {3, 4, 23, 3};
+  const int stage_width[4] = {64, 128, 256, 512};
+  int h = stem.out_h;
+  int w = stem.out_w;
+  int in_c = 64;
+  for (int stage = 0; stage < 4; ++stage) {
+    const int width = stage_width[stage];
+    const int out_c = width * 4;
+    for (int block = 0; block < stage_blocks[stage]; ++block) {
+      const int stride = (stage > 0 && block == 0) ? 2 : 1;
+      const std::string base =
+          "s" + std::to_string(stage + 1) + "b" + std::to_string(block + 1);
+      push(make_conv_desc(base + "_reduce", in_c, h, w, width, 1, 1, 0, true, true), true);
+      const int mid_h = h;
+      const int mid_w = w;
+      push(make_conv_desc(base + "_3x3", width, mid_h, mid_w, width, 3, stride, 1, true, true),
+           true);
+      h = conv_out_extent(mid_h, 3, stride, 1);
+      w = conv_out_extent(mid_w, 3, stride, 1);
+      if (block == 0) {
+        // Projection shortcut for the stage transition.
+        push(make_conv_desc(base + "_proj", in_c, mid_h, mid_w, out_c, 1, stride, 0, true,
+                            false),
+             true);
+      }
+      HwLayer expand = make_conv_desc(base + "_expand", width, h, w, out_c, 1, 1, 0, true, true);
+      expand.has_shortcut = true;
+      push(expand, true);
+      in_c = out_c;
+    }
+  }
+
+  // Head: global average pool folds into the last conv pass in our schedule,
+  // so model it as a standalone linear layer on the pooled vector.
+  HwLayer fc;
+  fc.label = "fc";
+  fc.op = HwLayer::Op::linear;
+  fc.in_c = in_c;
+  fc.out_c = num_classes;
+  fc.has_bias = true;
+  push(fc, true);
+
+  // Apply the GAP to the previous layer's stored output.
+  HwLayer& last_conv = desc.layers[desc.layers.size() - 2];
+  last_conv.pool_is_global = true;
+  last_conv.pool_is_max = false;
+  last_conv.out_h = 1;
+  last_conv.out_w = 1;
+  return desc;
+}
+
+NetworkDesc describe_mlp3(int in_features, int hidden, int num_classes) {
+  NetworkDesc desc;
+  desc.name = "mlp3";
+  desc.input_shape = {in_features, 1, 1};
+  desc.num_classes = num_classes;
+  int site = 0;
+  auto linear = [&site](const std::string& label, int in, int out, bool relu) {
+    HwLayer hw;
+    hw.label = label;
+    hw.op = HwLayer::Op::linear;
+    hw.in_c = in;
+    hw.out_c = out;
+    hw.has_bias = true;
+    hw.has_relu = relu;
+    hw.is_bayes_site = true;
+    hw.site_index = site++;
+    return hw;
+  };
+  desc.layers.push_back(linear("fc1", in_features, hidden, true));
+  desc.layers.push_back(linear("fc2", hidden, hidden, true));
+  desc.layers.push_back(linear("fc3", hidden, num_classes, false));
+  return desc;
+}
+
+}  // namespace bnn::nn

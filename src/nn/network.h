@@ -1,0 +1,93 @@
+// Single-input DAG of layers executed in insertion (topological) order.
+//
+// The node list doubles as the layer-by-layer schedule the accelerator
+// follows, and retained per-node activations enable `replay_from`, the
+// software analogue of the paper's intermediate-layer caching: recompute
+// only the stochastic suffix for each Monte Carlo sample.
+#ifndef BNN_NN_NETWORK_H
+#define BNN_NN_NETWORK_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace bnn::nn {
+
+class Network {
+ public:
+  using NodeId = int;
+
+  // The implicit network input behaves as node 0; real layers get ids >= 1.
+  static constexpr NodeId input_id = 0;
+
+  Network();
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+  Network(Network&&) = default;
+  Network& operator=(Network&&) = default;
+
+  // Appends a single-input layer; returns its node id. Inputs must refer to
+  // already-added nodes (insertion order is the topological order).
+  NodeId add(std::unique_ptr<Layer> layer, NodeId input);
+  // Appends a two-input layer (Add).
+  NodeId add(std::unique_ptr<Layer> layer, NodeId input_a, NodeId input_b);
+
+  // Full forward pass; per-node activations are retained for replay_from /
+  // backward. Returns the output of the last node.
+  Tensor forward(const Tensor& x);
+
+  // Recomputes nodes with id >= first_node using the activations retained by
+  // the previous forward() for everything earlier. Stochastic layers draw
+  // fresh masks, so repeated replays yield fresh Monte Carlo samples.
+  Tensor replay_from(NodeId first_node);
+
+  // Backpropagates grad_out (gradient w.r.t. the network output) through the
+  // DAG; parameter gradients accumulate in each layer. Returns the gradient
+  // w.r.t. the network input. Requires a forward() in training mode.
+  Tensor backward(const Tensor& grad_out);
+
+  void set_training(bool training);
+  void zero_grad();
+  std::vector<Param*> params();
+
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  NodeId output_node() const { return num_nodes() - 1; }
+  // nullptr for the input pseudo-node (id 0).
+  Layer* layer(NodeId id);
+  const Layer* layer(NodeId id) const;
+  const std::vector<NodeId>& inputs_of(NodeId id) const;
+
+  // Node ids of all layers of the given kind, in topological order.
+  std::vector<NodeId> find_nodes(LayerKind kind) const;
+
+  // Per-node output shapes for a given network input shape (index 0 is the
+  // input itself).
+  std::vector<std::vector<int>> infer_shapes(const std::vector<int>& in_shape) const;
+
+  // Output shape of the whole network.
+  std::vector<int> output_shape(const std::vector<int>& in_shape) const;
+
+  // Total multiply-accumulates of one forward pass.
+  std::int64_t total_macs(const std::vector<int>& in_shape) const;
+
+  // Retained activation of a node from the last forward()/replay_from().
+  const Tensor& activation(NodeId id) const;
+
+ private:
+  struct Node {
+    std::unique_ptr<Layer> layer;  // null for the input pseudo-node
+    std::vector<NodeId> inputs;
+  };
+
+  Tensor run_node(NodeId id);
+
+  std::vector<Node> nodes_;
+  std::vector<Tensor> activations_;
+  bool has_forward_ = false;
+};
+
+}  // namespace bnn::nn
+
+#endif  // BNN_NN_NETWORK_H

@@ -1,0 +1,151 @@
+#include "nn/pooling.h"
+
+#include "nn/gemm.h"
+#include "util/check.h"
+
+namespace bnn::nn {
+
+MaxPool2d::MaxPool2d(int kernel, int stride)
+    : kernel_(kernel), stride_(stride < 0 ? kernel : stride) {
+  util::require(kernel_ >= 1 && stride_ >= 1, "max_pool: bad geometry");
+}
+
+std::vector<int> MaxPool2d::out_shape(const std::vector<int>& in_shape) const {
+  util::require(in_shape.size() == 4, "max_pool expects NCHW input");
+  return {in_shape[0], in_shape[1], conv_out_extent(in_shape[2], kernel_, stride_, 0),
+          conv_out_extent(in_shape[3], kernel_, stride_, 0)};
+}
+
+Tensor MaxPool2d::forward(const Tensor& x) {
+  const std::vector<int> out_dims = out_shape(x.shape());
+  Tensor y(out_dims);
+  if (training_) {
+    cached_in_shape_ = x.shape();
+    cached_argmax_.assign(static_cast<std::size_t>(y.numel()), 0);
+  }
+  const int batch = out_dims[0];
+  const int channels = out_dims[1];
+  const int out_h = out_dims[2];
+  const int out_w = out_dims[3];
+  for (int n = 0; n < batch; ++n) {
+    for (int c = 0; c < channels; ++c) {
+      for (int oh = 0; oh < out_h; ++oh) {
+        for (int ow = 0; ow < out_w; ++ow) {
+          float best = x.v4(n, c, oh * stride_, ow * stride_);
+          std::int64_t best_index = x.index4(n, c, oh * stride_, ow * stride_);
+          for (int kh = 0; kh < kernel_; ++kh) {
+            for (int kw = 0; kw < kernel_; ++kw) {
+              const float v = x.v4(n, c, oh * stride_ + kh, ow * stride_ + kw);
+              if (v > best) {
+                best = v;
+                best_index = x.index4(n, c, oh * stride_ + kh, ow * stride_ + kw);
+              }
+            }
+          }
+          const std::int64_t out_index = y.index4(n, c, oh, ow);
+          y[out_index] = best;
+          if (training_) cached_argmax_[static_cast<std::size_t>(out_index)] = best_index;
+        }
+      }
+    }
+  }
+  return y;
+}
+
+Tensor MaxPool2d::backward(const Tensor& grad_out) {
+  util::ensure(!cached_argmax_.empty(), "max_pool backward without cached forward");
+  Tensor grad_in(cached_in_shape_);
+  for (std::int64_t i = 0; i < grad_out.numel(); ++i)
+    grad_in[cached_argmax_[static_cast<std::size_t>(i)]] += grad_out[i];
+  return grad_in;
+}
+
+AvgPool2d::AvgPool2d(int kernel, int stride)
+    : kernel_(kernel), stride_(stride < 0 ? kernel : stride) {
+  util::require(kernel_ >= 1 && stride_ >= 1, "avg_pool: bad geometry");
+}
+
+std::vector<int> AvgPool2d::out_shape(const std::vector<int>& in_shape) const {
+  util::require(in_shape.size() == 4, "avg_pool expects NCHW input");
+  return {in_shape[0], in_shape[1], conv_out_extent(in_shape[2], kernel_, stride_, 0),
+          conv_out_extent(in_shape[3], kernel_, stride_, 0)};
+}
+
+Tensor AvgPool2d::forward(const Tensor& x) {
+  const std::vector<int> out_dims = out_shape(x.shape());
+  Tensor y(out_dims);
+  if (training_) cached_in_shape_ = x.shape();
+  const float inv_area = 1.0f / static_cast<float>(kernel_ * kernel_);
+  for (int n = 0; n < out_dims[0]; ++n) {
+    for (int c = 0; c < out_dims[1]; ++c) {
+      for (int oh = 0; oh < out_dims[2]; ++oh) {
+        for (int ow = 0; ow < out_dims[3]; ++ow) {
+          float acc = 0.0f;
+          for (int kh = 0; kh < kernel_; ++kh)
+            for (int kw = 0; kw < kernel_; ++kw)
+              acc += x.v4(n, c, oh * stride_ + kh, ow * stride_ + kw);
+          y.v4(n, c, oh, ow) = acc * inv_area;
+        }
+      }
+    }
+  }
+  return y;
+}
+
+Tensor AvgPool2d::backward(const Tensor& grad_out) {
+  util::ensure(!cached_in_shape_.empty(), "avg_pool backward without cached forward");
+  Tensor grad_in(cached_in_shape_);
+  const float inv_area = 1.0f / static_cast<float>(kernel_ * kernel_);
+  for (int n = 0; n < grad_out.size(0); ++n) {
+    for (int c = 0; c < grad_out.size(1); ++c) {
+      for (int oh = 0; oh < grad_out.size(2); ++oh) {
+        for (int ow = 0; ow < grad_out.size(3); ++ow) {
+          const float g = grad_out.v4(n, c, oh, ow) * inv_area;
+          for (int kh = 0; kh < kernel_; ++kh)
+            for (int kw = 0; kw < kernel_; ++kw)
+              grad_in.v4(n, c, oh * stride_ + kh, ow * stride_ + kw) += g;
+        }
+      }
+    }
+  }
+  return grad_in;
+}
+
+std::vector<int> GlobalAvgPool::out_shape(const std::vector<int>& in_shape) const {
+  util::require(in_shape.size() == 4, "global_avg_pool expects NCHW input");
+  return {in_shape[0], in_shape[1], 1, 1};
+}
+
+Tensor GlobalAvgPool::forward(const Tensor& x) {
+  const std::vector<int> out_dims = out_shape(x.shape());
+  if (training_) cached_in_shape_ = x.shape();
+  Tensor y(out_dims);
+  const int plane = x.size(2) * x.size(3);
+  const float inv_area = 1.0f / static_cast<float>(plane);
+  for (int n = 0; n < x.size(0); ++n) {
+    for (int c = 0; c < x.size(1); ++c) {
+      const float* src = x.data() + x.index4(n, c, 0, 0);
+      float acc = 0.0f;
+      for (int i = 0; i < plane; ++i) acc += src[i];
+      y.v4(n, c, 0, 0) = acc * inv_area;
+    }
+  }
+  return y;
+}
+
+Tensor GlobalAvgPool::backward(const Tensor& grad_out) {
+  util::ensure(!cached_in_shape_.empty(), "global_avg_pool backward without cached forward");
+  Tensor grad_in(cached_in_shape_);
+  const int plane = cached_in_shape_[2] * cached_in_shape_[3];
+  const float inv_area = 1.0f / static_cast<float>(plane);
+  for (int n = 0; n < grad_out.size(0); ++n) {
+    for (int c = 0; c < grad_out.size(1); ++c) {
+      const float g = grad_out.v4(n, c, 0, 0) * inv_area;
+      float* dst = grad_in.data() + grad_in.index4(n, c, 0, 0);
+      for (int i = 0; i < plane; ++i) dst[i] = g;
+    }
+  }
+  return grad_in;
+}
+
+}  // namespace bnn::nn

@@ -1,0 +1,64 @@
+// Spatial pooling layers: max, average, and global average pooling.
+#ifndef BNN_NN_POOLING_H
+#define BNN_NN_POOLING_H
+
+#include "nn/layer.h"
+
+namespace bnn::nn {
+
+class MaxPool2d final : public Layer {
+ public:
+  explicit MaxPool2d(int kernel, int stride = -1);  // stride -1 -> kernel
+
+  LayerKind kind() const override { return LayerKind::max_pool; }
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<int> out_shape(const std::vector<int>& in_shape) const override;
+
+  int kernel() const { return kernel_; }
+  int stride() const { return stride_; }
+
+ private:
+  int kernel_;
+  int stride_;
+  std::vector<int> cached_in_shape_;
+  std::vector<std::int64_t> cached_argmax_;  // flat input index of each output element
+};
+
+class AvgPool2d final : public Layer {
+ public:
+  explicit AvgPool2d(int kernel, int stride = -1);
+
+  LayerKind kind() const override { return LayerKind::avg_pool; }
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<int> out_shape(const std::vector<int>& in_shape) const override;
+
+  int kernel() const { return kernel_; }
+  int stride() const { return stride_; }
+
+ private:
+  int kernel_;
+  int stride_;
+  std::vector<int> cached_in_shape_;
+};
+
+// (N, C, H, W) -> (N, C, 1, 1) mean over the spatial extent; the head of the
+// ResNet family.
+class GlobalAvgPool final : public Layer {
+ public:
+  LayerKind kind() const override { return LayerKind::global_avg_pool; }
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<int> out_shape(const std::vector<int>& in_shape) const override;
+
+ private:
+  std::vector<int> cached_in_shape_;
+};
+
+}  // namespace bnn::nn
+
+#endif  // BNN_NN_POOLING_H

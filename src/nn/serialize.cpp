@@ -1,0 +1,80 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <fstream>
+#include <vector>
+
+#include "nn/batchnorm.h"
+#include "util/check.h"
+
+namespace bnn::nn {
+
+namespace {
+
+constexpr std::uint32_t magic = 0x424E4E57;  // "BNNW"
+
+// All mutable tensors of the model in a deterministic order.
+std::vector<Tensor*> state_tensors(Model& model) {
+  std::vector<Tensor*> tensors;
+  Network& net = model.net();
+  for (Network::NodeId id = 1; id < net.num_nodes(); ++id) {
+    Layer* layer = net.layer(id);
+    for (Param* param : layer->params()) tensors.push_back(&param->value);
+    if (layer->kind() == LayerKind::batch_norm) {
+      auto* bn = static_cast<BatchNorm2d*>(layer);
+      tensors.push_back(&bn->running_mean());
+      tensors.push_back(&bn->running_var());
+    }
+  }
+  return tensors;
+}
+
+}  // namespace
+
+void save_model_state(Model& model, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  util::require(out.good(), "save_model_state: cannot open " + path);
+
+  const std::vector<Tensor*> tensors = state_tensors(model);
+  const auto count = static_cast<std::uint32_t>(tensors.size());
+  out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (Tensor* tensor : tensors) {
+    const auto numel = static_cast<std::uint64_t>(tensor->numel());
+    out.write(reinterpret_cast<const char*>(&numel), sizeof(numel));
+    out.write(reinterpret_cast<const char*>(tensor->data()),
+              static_cast<std::streamsize>(sizeof(float) * numel));
+  }
+  util::ensure(out.good(), "save_model_state: write failed for " + path);
+}
+
+bool load_model_state(Model& model, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return false;
+
+  std::uint32_t file_magic = 0;
+  std::uint32_t count = 0;
+  in.read(reinterpret_cast<char*>(&file_magic), sizeof(file_magic));
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!in.good() || file_magic != magic) return false;
+
+  const std::vector<Tensor*> tensors = state_tensors(model);
+  if (count != tensors.size()) return false;
+
+  // Stage into temporaries first so a short file cannot half-update.
+  std::vector<std::vector<float>> staged(tensors.size());
+  for (std::size_t i = 0; i < tensors.size(); ++i) {
+    std::uint64_t numel = 0;
+    in.read(reinterpret_cast<char*>(&numel), sizeof(numel));
+    if (!in.good() || numel != static_cast<std::uint64_t>(tensors[i]->numel())) return false;
+    staged[i].resize(numel);
+    in.read(reinterpret_cast<char*>(staged[i].data()),
+            static_cast<std::streamsize>(sizeof(float) * numel));
+    util::require(in.good(), "load_model_state: truncated file " + path);
+  }
+  for (std::size_t i = 0; i < tensors.size(); ++i)
+    std::copy(staged[i].begin(), staged[i].end(), tensors[i]->data());
+  return true;
+}
+
+}  // namespace bnn::nn

@@ -1,0 +1,23 @@
+// Minimal binary serialization of a Model's learnable state (parameters +
+// BatchNorm running statistics). Used by the benchmark harnesses to cache
+// trained weights across binaries; not a general interchange format.
+#ifndef BNN_NN_SERIALIZE_H
+#define BNN_NN_SERIALIZE_H
+
+#include <string>
+
+#include "nn/models.h"
+
+namespace bnn::nn {
+
+// Writes all parameters and BN running statistics in topological order.
+void save_model_state(Model& model, const std::string& path);
+
+// Restores state written by save_model_state. Returns false (leaving the
+// model untouched) when the file is missing or does not match the model's
+// architecture; throws on a corrupt file.
+bool load_model_state(Model& model, const std::string& path);
+
+}  // namespace bnn::nn
+
+#endif  // BNN_NN_SERIALIZE_H

@@ -1,0 +1,151 @@
+#include "nn/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace bnn::nn {
+
+std::int64_t shape_numel(const std::vector<int>& shape) {
+  std::int64_t n = 1;
+  for (int s : shape) {
+    util::require(s > 0, "tensor shape entries must be positive");
+    n *= s;
+  }
+  return shape.empty() ? 0 : n;
+}
+
+Tensor::Tensor(std::vector<int> shape) : shape_(std::move(shape)) {
+  data_.assign(static_cast<std::size_t>(shape_numel(shape_)), 0.0f);
+}
+
+Tensor Tensor::zeros(std::vector<int> shape) { return Tensor(std::move(shape)); }
+
+Tensor Tensor::full(std::vector<int> shape, float value) {
+  Tensor t(std::move(shape));
+  t.fill(value);
+  return t;
+}
+
+Tensor Tensor::randn(std::vector<int> shape, util::Rng& rng, float mean, float stddev) {
+  Tensor t(std::move(shape));
+  for (std::int64_t i = 0; i < t.numel(); ++i)
+    t[i] = static_cast<float>(rng.normal(mean, stddev));
+  return t;
+}
+
+Tensor Tensor::uniform(std::vector<int> shape, util::Rng& rng, float lo, float hi) {
+  Tensor t(std::move(shape));
+  for (std::int64_t i = 0; i < t.numel(); ++i)
+    t[i] = static_cast<float>(rng.uniform(lo, hi));
+  return t;
+}
+
+Tensor Tensor::from_values(std::vector<int> shape, std::vector<float> values) {
+  Tensor t(std::move(shape));
+  util::require(static_cast<std::int64_t>(values.size()) == t.numel(),
+                "from_values: element count does not match shape");
+  std::copy(values.begin(), values.end(), t.data());
+  return t;
+}
+
+int Tensor::size(int axis) const {
+  const int d = dim();
+  if (axis < 0) axis += d;
+  util::require(axis >= 0 && axis < d, "tensor axis out of range");
+  return shape_[static_cast<std::size_t>(axis)];
+}
+
+float& Tensor::at(std::initializer_list<int> index) {
+  util::require(static_cast<int>(index.size()) == dim(), "at(): rank mismatch");
+  std::int64_t flat = 0;
+  int axis = 0;
+  for (int i : index) {
+    util::require(i >= 0 && i < shape_[static_cast<std::size_t>(axis)], "at(): index out of range");
+    flat = flat * shape_[static_cast<std::size_t>(axis)] + i;
+    ++axis;
+  }
+  return data_[static_cast<std::size_t>(flat)];
+}
+
+float Tensor::at(std::initializer_list<int> index) const {
+  return const_cast<Tensor*>(this)->at(index);
+}
+
+Tensor Tensor::reshaped(std::vector<int> new_shape) const {
+  // Resolve at most one -1 dimension.
+  std::int64_t known = 1;
+  int infer_axis = -1;
+  for (std::size_t i = 0; i < new_shape.size(); ++i) {
+    if (new_shape[i] == -1) {
+      util::require(infer_axis == -1, "reshaped: more than one -1 dimension");
+      infer_axis = static_cast<int>(i);
+    } else {
+      util::require(new_shape[i] > 0, "reshaped: dimensions must be positive or -1");
+      known *= new_shape[i];
+    }
+  }
+  if (infer_axis >= 0) {
+    util::require(known != 0 && numel() % known == 0, "reshaped: cannot infer dimension");
+    new_shape[static_cast<std::size_t>(infer_axis)] = static_cast<int>(numel() / known);
+  }
+  util::require(shape_numel(new_shape) == numel(), "reshaped: element count mismatch");
+  Tensor t;
+  t.shape_ = std::move(new_shape);
+  t.data_ = data_;
+  return t;
+}
+
+void Tensor::fill(float value) { std::fill(data_.begin(), data_.end(), value); }
+
+Tensor& Tensor::add_(const Tensor& other) {
+  util::require(same_shape(other), "add_: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::scale_(float factor) {
+  for (float& v : data_) v *= factor;
+  return *this;
+}
+
+float Tensor::min() const {
+  util::require(!data_.empty(), "min of empty tensor");
+  return *std::min_element(data_.begin(), data_.end());
+}
+
+float Tensor::max() const {
+  util::require(!data_.empty(), "max of empty tensor");
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+float Tensor::sum() const { return std::accumulate(data_.begin(), data_.end(), 0.0f); }
+
+float Tensor::mean() const {
+  util::require(!data_.empty(), "mean of empty tensor");
+  return sum() / static_cast<float>(data_.size());
+}
+
+float Tensor::max_abs_diff(const Tensor& other) const {
+  util::require(same_shape(other), "max_abs_diff: shape mismatch");
+  float worst = 0.0f;
+  for (std::size_t i = 0; i < data_.size(); ++i)
+    worst = std::max(worst, std::fabs(data_[i] - other.data_[i]));
+  return worst;
+}
+
+std::string Tensor::shape_string() const {
+  std::ostringstream out;
+  out << '[';
+  for (std::size_t i = 0; i < shape_.size(); ++i) {
+    if (i) out << 'x';
+    out << shape_[i];
+  }
+  out << ']';
+  return out.str();
+}
+
+}  // namespace bnn::nn

@@ -1,0 +1,98 @@
+// Dense float32 tensor, row-major contiguous, NCHW convention for 4-D data.
+//
+// This is the numeric workhorse of the float reference path (training and
+// the software BNN baseline). It is deliberately a concrete regular type:
+// value semantics, no views, no lazy evaluation — the hardware-simulator
+// path has its own int8 QTensor in src/quant.
+#ifndef BNN_NN_TENSOR_H
+#define BNN_NN_TENSOR_H
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace bnn::nn {
+
+class Tensor {
+ public:
+  Tensor() = default;
+  // Allocates zero-initialized storage of the given shape.
+  explicit Tensor(std::vector<int> shape);
+
+  static Tensor zeros(std::vector<int> shape);
+  static Tensor full(std::vector<int> shape, float value);
+  static Tensor randn(std::vector<int> shape, util::Rng& rng, float mean = 0.0f,
+                      float stddev = 1.0f);
+  static Tensor uniform(std::vector<int> shape, util::Rng& rng, float lo, float hi);
+  // Builds a 1-D tensor from explicit values (test convenience).
+  static Tensor from_values(std::vector<int> shape, std::vector<float> values);
+
+  int dim() const { return static_cast<int>(shape_.size()); }
+  const std::vector<int>& shape() const { return shape_; }
+  // Size along `axis`; negative axes count from the back (Python-style).
+  int size(int axis) const;
+  std::int64_t numel() const { return static_cast<std::int64_t>(data_.size()); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  float& operator[](std::int64_t flat_index) { return data_[static_cast<std::size_t>(flat_index)]; }
+  float operator[](std::int64_t flat_index) const {
+    return data_[static_cast<std::size_t>(flat_index)];
+  }
+
+  // Checked multi-dimensional accessors.
+  float& at(std::initializer_list<int> index);
+  float at(std::initializer_list<int> index) const;
+
+  // Unchecked fast accessors for the hot loops.
+  std::int64_t index4(int n, int c, int h, int w) const {
+    return ((static_cast<std::int64_t>(n) * shape_[1] + c) * shape_[2] + h) * shape_[3] + w;
+  }
+  std::int64_t index2(int n, int f) const {
+    return static_cast<std::int64_t>(n) * shape_[1] + f;
+  }
+  float& v4(int n, int c, int h, int w) { return data_[static_cast<std::size_t>(index4(n, c, h, w))]; }
+  float v4(int n, int c, int h, int w) const {
+    return data_[static_cast<std::size_t>(index4(n, c, h, w))];
+  }
+  float& v2(int n, int f) { return data_[static_cast<std::size_t>(index2(n, f))]; }
+  float v2(int n, int f) const { return data_[static_cast<std::size_t>(index2(n, f))]; }
+
+  // Returns a copy with a new shape of equal element count. One dimension may
+  // be -1 (inferred).
+  Tensor reshaped(std::vector<int> new_shape) const;
+
+  void fill(float value);
+  bool same_shape(const Tensor& other) const { return shape_ == other.shape_; }
+
+  // Elementwise in-place helpers.
+  Tensor& add_(const Tensor& other);
+  Tensor& scale_(float factor);
+
+  // Reductions.
+  float min() const;
+  float max() const;
+  float sum() const;
+  float mean() const;
+
+  // Largest absolute elementwise difference; shapes must match.
+  float max_abs_diff(const Tensor& other) const;
+
+  std::string shape_string() const;
+
+ private:
+  std::vector<int> shape_;
+  std::vector<float> data_;
+};
+
+// Number of elements implied by a shape.
+std::int64_t shape_numel(const std::vector<int>& shape);
+
+}  // namespace bnn::nn
+
+#endif  // BNN_NN_TENSOR_H

@@ -1,0 +1,46 @@
+// Fixed-point arithmetic primitives for 8-bit linear quantization, following
+// the integer-only inference scheme of Jacob et al. (CVPR 2018) that the
+// paper applies to its trained models. The exact rounding semantics here are
+// the specification both the reference integer executor (qops) and the
+// simulated NNE datapath implement, which is what makes the "accelerator
+// output == reference output" tests bit-exact.
+#ifndef BNN_QUANT_FIXED_POINT_H
+#define BNN_QUANT_FIXED_POINT_H
+
+#include <cstdint>
+
+namespace bnn::quant {
+
+// Real multiplier m encoded as mult * 2^(shift - 31) with mult a Q31 value
+// whose magnitude lies in [2^30, 2^31) (or 0 for m == 0).
+struct FixedMultiplier {
+  std::int32_t mult = 0;
+  int shift = 0;
+};
+
+// Encodes an arbitrary finite real multiplier (sign allowed).
+FixedMultiplier quantize_multiplier(double value);
+
+// Decodes back to double (for diagnostics / error-bound tests).
+double multiplier_value(FixedMultiplier m);
+
+// Rounding doubling high multiply: (a*b*2) >> 32 with round-to-nearest and
+// INT32_MIN*INT32_MIN saturation — gemmlowp/TFLite semantics.
+std::int32_t saturating_rounding_doubling_high_mul(std::int32_t a, std::int32_t b);
+
+// x / 2^exponent with round-to-nearest (ties away from zero on the positive
+// side, gemmlowp semantics); exponent >= 0.
+std::int32_t rounding_divide_by_pot(std::int32_t x, int exponent);
+
+// y = x * m (rounded), the requantization workhorse.
+std::int32_t fixed_multiply(std::int32_t x, FixedMultiplier m);
+
+// Clamp to the int8 range.
+std::int8_t saturate_int8(std::int32_t x);
+
+// Integer division with round-half-away-from-zero (used by average pooling).
+std::int32_t rounded_div(std::int64_t numerator, std::int64_t denominator);
+
+}  // namespace bnn::quant
+
+#endif  // BNN_QUANT_FIXED_POINT_H

@@ -1,0 +1,41 @@
+#include "train/loss.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace bnn::train {
+
+LossResult softmax_cross_entropy(const nn::Tensor& logits, const std::vector<int>& labels) {
+  util::require(logits.dim() == 2, "softmax_cross_entropy expects (N, K) logits");
+  const int batch = logits.size(0);
+  const int classes = logits.size(1);
+  util::require(static_cast<int>(labels.size()) == batch,
+                "softmax_cross_entropy: label count mismatch");
+
+  LossResult result;
+  result.grad = nn::Tensor(logits.shape());
+  double total = 0.0;
+  const float inv_batch = 1.0f / static_cast<float>(batch);
+  for (int n = 0; n < batch; ++n) {
+    const int label = labels[static_cast<std::size_t>(n)];
+    util::require(label >= 0 && label < classes, "softmax_cross_entropy: label out of range");
+    const float* row = logits.data() + logits.index2(n, 0);
+    float* grad_row = result.grad.data() + result.grad.index2(n, 0);
+
+    const float row_max = *std::max_element(row, row + classes);
+    double denom = 0.0;
+    for (int k = 0; k < classes; ++k) denom += std::exp(static_cast<double>(row[k] - row_max));
+    const double log_denom = std::log(denom);
+    total += -(static_cast<double>(row[label] - row_max) - log_denom);
+    for (int k = 0; k < classes; ++k) {
+      const double p = std::exp(static_cast<double>(row[k] - row_max)) / denom;
+      grad_row[k] = (static_cast<float>(p) - (k == label ? 1.0f : 0.0f)) * inv_batch;
+    }
+  }
+  result.loss = total / static_cast<double>(batch);
+  return result;
+}
+
+}  // namespace bnn::train

@@ -1,0 +1,21 @@
+// Fused softmax + cross-entropy loss (mean reduction over the batch).
+#ifndef BNN_TRAIN_LOSS_H
+#define BNN_TRAIN_LOSS_H
+
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace bnn::train {
+
+struct LossResult {
+  double loss = 0.0;   // mean negative log-likelihood
+  nn::Tensor grad;     // d loss / d logits, shape (N, K)
+};
+
+// `logits` is (N, K); labels holds N class indices.
+LossResult softmax_cross_entropy(const nn::Tensor& logits, const std::vector<int>& labels);
+
+}  // namespace bnn::train
+
+#endif  // BNN_TRAIN_LOSS_H

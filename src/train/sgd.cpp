@@ -1,0 +1,31 @@
+#include "train/sgd.h"
+
+#include "util/check.h"
+
+namespace bnn::train {
+
+Sgd::Sgd(double learning_rate, double momentum, double weight_decay)
+    : learning_rate_(learning_rate), momentum_(momentum), weight_decay_(weight_decay) {
+  util::require(learning_rate > 0.0, "sgd: learning rate must be positive");
+  util::require(momentum >= 0.0 && momentum < 1.0, "sgd: momentum must be in [0, 1)");
+  util::require(weight_decay >= 0.0, "sgd: weight decay must be non-negative");
+}
+
+void Sgd::step(const std::vector<nn::Param*>& params) {
+  for (nn::Param* param : params) {
+    if (param->grad.empty()) continue;  // parameter untouched by this batch
+    util::ensure(param->grad.same_shape(param->value), "sgd: grad/value shape mismatch");
+    nn::Tensor& velocity = velocity_[param];
+    if (!velocity.same_shape(param->value)) velocity = nn::Tensor(param->value.shape());
+    const float lr = static_cast<float>(learning_rate_);
+    const float mu = static_cast<float>(momentum_);
+    const float wd = static_cast<float>(weight_decay_);
+    for (std::int64_t i = 0; i < param->value.numel(); ++i) {
+      const float g = param->grad[i] + wd * param->value[i];
+      velocity[i] = mu * velocity[i] + g;
+      param->value[i] -= lr * velocity[i];
+    }
+  }
+}
+
+}  // namespace bnn::train

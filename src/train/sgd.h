@@ -1,0 +1,33 @@
+// Stochastic gradient descent with classical momentum and decoupled-from-
+// nothing (standard L2) weight decay.
+#ifndef BNN_TRAIN_SGD_H
+#define BNN_TRAIN_SGD_H
+
+#include <unordered_map>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace bnn::train {
+
+class Sgd {
+ public:
+  Sgd(double learning_rate, double momentum = 0.9, double weight_decay = 0.0);
+
+  double learning_rate() const { return learning_rate_; }
+  void set_learning_rate(double lr) { learning_rate_ = lr; }
+
+  // Applies one update to every parameter; gradients are left untouched
+  // (call Network::zero_grad() before the next backward pass).
+  void step(const std::vector<nn::Param*>& params);
+
+ private:
+  double learning_rate_;
+  double momentum_;
+  double weight_decay_;
+  std::unordered_map<nn::Param*, nn::Tensor> velocity_;
+};
+
+}  // namespace bnn::train
+
+#endif  // BNN_TRAIN_SGD_H

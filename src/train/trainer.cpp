@@ -1,0 +1,76 @@
+#include "train/trainer.h"
+
+#include <cstdio>
+
+#include "train/loss.h"
+#include "train/sgd.h"
+#include "util/check.h"
+
+namespace bnn::train {
+
+std::vector<EpochStats> fit(nn::Model& model, const data::Dataset& train_set,
+                            const TrainConfig& config) {
+  util::require(train_set.size() > 0, "fit: empty training set");
+  util::require(config.epochs >= 1 && config.batch_size >= 1, "fit: bad config");
+
+  nn::Network& net = model.net();
+  net.set_training(true);
+  Sgd optimizer(config.learning_rate, config.momentum, config.weight_decay);
+  util::Rng rng(config.seed);
+
+  data::Dataset shuffled = train_set.subset(0, train_set.size());
+  std::vector<EpochStats> history;
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    shuffled.shuffle(rng);
+    double loss_sum = 0.0;
+    int batches = 0;
+    int correct = 0;
+    for (int start = 0; start < shuffled.size(); start += config.batch_size) {
+      const data::Batch batch = shuffled.batch(start, config.batch_size);
+      net.zero_grad();
+      const nn::Tensor logits = net.forward(batch.images);
+      const LossResult loss = softmax_cross_entropy(logits, batch.labels);
+      net.backward(loss.grad);
+      optimizer.step(net.params());
+
+      loss_sum += loss.loss;
+      ++batches;
+      for (int n = 0; n < logits.size(0); ++n) {
+        int best = 0;
+        for (int k = 1; k < logits.size(1); ++k)
+          if (logits.v2(n, k) > logits.v2(n, best)) best = k;
+        if (best == batch.labels[static_cast<std::size_t>(n)]) ++correct;
+      }
+    }
+    EpochStats stats;
+    stats.mean_loss = loss_sum / static_cast<double>(batches);
+    stats.train_accuracy = static_cast<double>(correct) / shuffled.size();
+    history.push_back(stats);
+    if (config.verbose)
+      std::printf("epoch %d: loss %.4f train-acc %.3f\n", epoch + 1, stats.mean_loss,
+                  stats.train_accuracy);
+    optimizer.set_learning_rate(optimizer.learning_rate() * config.lr_decay);
+  }
+  net.set_training(false);
+  return history;
+}
+
+double evaluate_accuracy(nn::Model& model, const data::Dataset& test_set, int batch_size) {
+  util::require(test_set.size() > 0, "evaluate_accuracy: empty test set");
+  nn::Network& net = model.net();
+  net.set_training(false);
+  int correct = 0;
+  for (int start = 0; start < test_set.size(); start += batch_size) {
+    const data::Batch batch = test_set.batch(start, batch_size);
+    const nn::Tensor logits = net.forward(batch.images);
+    for (int n = 0; n < logits.size(0); ++n) {
+      int best = 0;
+      for (int k = 1; k < logits.size(1); ++k)
+        if (logits.v2(n, k) > logits.v2(n, best)) best = k;
+      if (best == batch.labels[static_cast<std::size_t>(n)]) ++correct;
+    }
+  }
+  return static_cast<double>(correct) / test_set.size();
+}
+
+}  // namespace bnn::train

@@ -1,0 +1,43 @@
+// Minibatch training loop for the float reference networks. This is the
+// substrate replacing the paper's PyTorch training setup: partial-BNN models
+// are trained with their active MCD sites dropping filters exactly as they
+// will at inference time.
+#ifndef BNN_TRAIN_TRAINER_H
+#define BNN_TRAIN_TRAINER_H
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "nn/models.h"
+
+namespace bnn::train {
+
+struct TrainConfig {
+  int epochs = 3;
+  int batch_size = 32;
+  double learning_rate = 0.05;
+  double momentum = 0.9;
+  double weight_decay = 5e-4;
+  // Learning rate is multiplied by lr_decay at each epoch boundary.
+  double lr_decay = 0.7;
+  std::uint64_t seed = 42;
+  bool verbose = false;
+};
+
+struct EpochStats {
+  double mean_loss = 0.0;
+  double train_accuracy = 0.0;
+};
+
+// Trains in place; returns per-epoch statistics.
+std::vector<EpochStats> fit(nn::Model& model, const data::Dataset& train_set,
+                            const TrainConfig& config);
+
+// Deterministic (dropout-free prefix aside) top-1 accuracy of the current
+// weights on a dataset; runs in evaluation mode with active MCD sites left
+// as configured (pass a point network for clean accuracy).
+double evaluate_accuracy(nn::Model& model, const data::Dataset& test_set, int batch_size = 64);
+
+}  // namespace bnn::train
+
+#endif  // BNN_TRAIN_TRAINER_H

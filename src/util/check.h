@@ -1,0 +1,27 @@
+// Precondition / invariant checking helpers.
+//
+// `require` guards public-API preconditions (throws std::invalid_argument);
+// `ensure` guards internal invariants and postconditions (throws
+// std::logic_error). Both are plain functions so call sites stay
+// expression-friendly and macro-free.
+#ifndef BNN_UTIL_CHECK_H
+#define BNN_UTIL_CHECK_H
+
+#include <stdexcept>
+#include <string>
+
+namespace bnn::util {
+
+// Throw std::invalid_argument with `what` unless `condition` holds.
+inline void require(bool condition, const std::string& what) {
+  if (!condition) throw std::invalid_argument(what);
+}
+
+// Throw std::logic_error with `what` unless `condition` holds.
+inline void ensure(bool condition, const std::string& what) {
+  if (!condition) throw std::logic_error(what);
+}
+
+}  // namespace bnn::util
+
+#endif  // BNN_UTIL_CHECK_H

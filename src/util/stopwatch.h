@@ -1,0 +1,29 @@
+// Wall-clock stopwatch for coarse host-side timing (training loops,
+// example programs). Benchmarks use google-benchmark's timers instead.
+#ifndef BNN_UTIL_STOPWATCH_H
+#define BNN_UTIL_STOPWATCH_H
+
+#include <chrono>
+
+namespace bnn::util {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  double elapsed_seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  double elapsed_ms() const { return elapsed_seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace bnn::util
+
+#endif  // BNN_UTIL_STOPWATCH_H

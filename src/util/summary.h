@@ -1,0 +1,40 @@
+// Running mean / standard deviation accumulator (Welford), used to report
+// the paper's "mean ± std over 5 repeats" rows.
+#ifndef BNN_UTIL_SUMMARY_H
+#define BNN_UTIL_SUMMARY_H
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
+namespace bnn::util {
+
+class MeanStd {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+  }
+
+  std::size_t count() const { return n_; }
+  double mean() const { return mean_; }
+
+  // Sample standard deviation (n-1 denominator); 0 for fewer than 2 samples.
+  // m2_ can drift epsilon-negative through float cancellation when all
+  // samples are equal; clamp before the square root.
+  double stddev() const {
+    if (n_ < 2) return 0.0;
+    return std::sqrt(std::max(0.0, m2_) / static_cast<double>(n_ - 1));
+  }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace bnn::util
+
+#endif  // BNN_UTIL_SUMMARY_H

@@ -1,0 +1,71 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace bnn::util {
+
+void TextTable::set_header(std::vector<std::string> header) { header_ = std::move(header); }
+
+void TextTable::add_row(std::vector<std::string> row) {
+  rows_.push_back(Row{std::move(row), false});
+}
+
+void TextTable::add_separator() { rows_.push_back(Row{{}, true}); }
+
+std::string TextTable::to_string() const {
+  // Column widths over header + all rows.
+  std::vector<std::size_t> widths;
+  auto widen = [&widths](const std::vector<std::string>& cells) {
+    if (cells.size() > widths.size()) widths.resize(cells.size(), 0);
+    for (std::size_t i = 0; i < cells.size(); ++i)
+      widths[i] = std::max(widths[i], cells[i].size());
+  };
+  widen(header_);
+  for (const Row& row : rows_)
+    if (!row.separator) widen(row.cells);
+
+  std::ostringstream out;
+  if (!title_.empty()) out << title_ << '\n';
+
+  auto emit = [&](const std::vector<std::string>& cells) {
+    out << '|';
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < cells.size() ? cells[i] : std::string();
+      out << ' ' << cell << std::string(widths[i] - cell.size(), ' ') << " |";
+    }
+    out << '\n';
+  };
+  auto emit_rule = [&] {
+    out << '+';
+    for (std::size_t width : widths) out << std::string(width + 2, '-') << '+';
+    out << '\n';
+  };
+
+  emit_rule();
+  if (!header_.empty()) {
+    emit(header_);
+    emit_rule();
+  }
+  for (const Row& row : rows_) {
+    if (row.separator)
+      emit_rule();
+    else
+      emit(row.cells);
+  }
+  emit_rule();
+  return out.str();
+}
+
+std::string fixed(double value, int digits) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(digits) << value;
+  return out.str();
+}
+
+std::string mean_std(double mean, double stddev, int digits) {
+  return fixed(mean, digits) + " +/- " + fixed(stddev, digits);
+}
+
+}  // namespace bnn::util

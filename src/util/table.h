@@ -1,0 +1,44 @@
+// Plain-text table formatting used by the benchmark harnesses to print
+// paper-style tables (Table I-IV) with aligned columns.
+#ifndef BNN_UTIL_TABLE_H
+#define BNN_UTIL_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace bnn::util {
+
+class TextTable {
+ public:
+  // `title` is printed above the table; pass "" for none.
+  explicit TextTable(std::string title = "") : title_(std::move(title)) {}
+
+  void set_header(std::vector<std::string> header);
+  void add_row(std::vector<std::string> row);
+  void add_separator();
+
+  // Render with single-space-padded columns and '|' separators.
+  std::string to_string() const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator = false;
+  };
+
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+// Format a double with `digits` digits after the decimal point.
+std::string fixed(double value, int digits);
+
+// Format as "mean ± std" with `digits` digits.
+std::string mean_std(double mean, double stddev, int digits);
+
+}  // namespace bnn::util
+
+#endif  // BNN_UTIL_TABLE_H

@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "baseline/device_model.h"
+#include "baseline/published.h"
+#include "nn/models.h"
+
+namespace bnn::baseline {
+namespace {
+
+nn::NetworkDesc lenet_desc() {
+  util::Rng rng(1);
+  nn::Model model = nn::make_lenet5(rng);
+  return model.describe();
+}
+
+TEST(DeviceModel, GpuFasterThanCpu) {
+  const nn::NetworkDesc desc = lenet_desc();
+  const double cpu = device_latency_ms(desc, cpu_i9_9900k(), 4, 50);
+  const double gpu = device_latency_ms(desc, gpu_rtx2080_super(), 4, 50);
+  EXPECT_LT(gpu, cpu);
+}
+
+TEST(DeviceModel, MonotoneInSamples) {
+  const nn::NetworkDesc desc = lenet_desc();
+  double previous = 0.0;
+  for (int samples : {1, 5, 20, 100}) {
+    const double latency = device_latency_ms(desc, cpu_i9_9900k(), 2, samples);
+    EXPECT_GT(latency, previous);
+    previous = latency;
+  }
+}
+
+TEST(DeviceModel, SoftwareIcMakesSmallSuffixCheap) {
+  // {L=1, S=100} must cost far less than 100 full passes (the baselines use
+  // software IC, which is what the paper's Table III numbers imply).
+  const nn::NetworkDesc desc = lenet_desc();
+  const double full_pass = device_latency_ms(desc, cpu_i9_9900k(), 0, 1);
+  const double mc = device_latency_ms(desc, cpu_i9_9900k(), 1, 100);
+  EXPECT_LT(mc, 100.0 * full_pass * 0.5);
+}
+
+TEST(DeviceModel, DeterministicNetworkIgnoresSamples) {
+  const nn::NetworkDesc desc = lenet_desc();
+  EXPECT_DOUBLE_EQ(device_latency_ms(desc, cpu_i9_9900k(), 0, 1),
+                   device_latency_ms(desc, cpu_i9_9900k(), 0, 100));
+}
+
+TEST(DeviceModel, LargerBayesPortionCostsMore) {
+  util::Rng rng(2);
+  nn::Model model = nn::make_resnet18(rng, 10, 16);
+  const nn::NetworkDesc desc = model.describe();
+  const double small = device_latency_ms(desc, gpu_rtx2080_super(), 1, 50);
+  const double large = device_latency_ms(desc, gpu_rtx2080_super(), 6, 50);
+  EXPECT_LT(small, large);
+}
+
+TEST(Published, TableFourDerivedColumns) {
+  const AcceleratorRow v = vibnn();
+  EXPECT_NEAR(v.energy_efficiency(), 9.75, 0.01);     // 59.6 / 6.11
+  EXPECT_NEAR(v.compute_efficiency(), 0.174, 0.001);  // 59.6 / 342
+
+  const AcceleratorRow b = bynqnet();
+  EXPECT_NEAR(b.energy_efficiency(), 8.78, 0.01);     // 24.22 / 2.76
+  EXPECT_NEAR(b.compute_efficiency(), 0.110, 0.001);  // 24.22 / 220
+
+  const AcceleratorRow ours = our_accelerator(1590.0, 1473);
+  EXPECT_NEAR(ours.energy_efficiency(), 35.3, 0.1);   // 1590 / 45
+  EXPECT_NEAR(ours.compute_efficiency(), 1.079, 0.002);
+}
+
+TEST(Published, PaperHeadlineRatiosHold) {
+  // "up to 4x higher energy efficiency and 9x better compute efficiency".
+  const AcceleratorRow ours = our_accelerator(1590.0, 1473);
+  EXPECT_GT(ours.energy_efficiency() / vibnn().energy_efficiency(), 3.0);
+  EXPECT_GT(ours.compute_efficiency() / bynqnet().compute_efficiency(), 6.0);
+}
+
+}  // namespace
+}  // namespace bnn::baseline

@@ -1,0 +1,139 @@
+#include "bayes/predictive.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synth.h"
+#include "metrics/metrics.h"
+#include "nn/activations.h"
+
+namespace bnn::bayes {
+namespace {
+
+TEST(PaperGrids, SampleGridMatchesPaper) {
+  const auto& grid = paper_sample_grid();
+  EXPECT_EQ(grid, (std::vector<int>{3, 4, 5, 6, 7, 8, 9, 10, 20, 50, 100}));
+}
+
+TEST(PaperGrids, BayesGridResolvesFractions) {
+  // N=9 (VGG-11 / ResNet-18 sites): {1, 3, 5 (round 4.5), 6, 9}.
+  EXPECT_EQ(paper_bayes_grid(9), (std::vector<int>{1, 3, 5, 6, 9}));
+  // N=4 (LeNet-5 sites): thirds/halves collapse -> {1, 2, 3, 4}.
+  EXPECT_EQ(paper_bayes_grid(4), (std::vector<int>{1, 2, 3, 4}));
+  EXPECT_EQ(paper_bayes_grid(1), (std::vector<int>{1}));
+}
+
+TEST(McPredict, RowsAreProbabilityDistributions) {
+  util::Rng rng(1);
+  nn::Model model = nn::make_tiny_cnn(rng, 10, 1, 12);
+  model.set_bayesian_last(2);
+  nn::Tensor x = nn::Tensor::randn({4, 1, 12, 12}, rng);
+  PredictiveOptions options;
+  options.num_samples = 5;
+  nn::Tensor probs = mc_predict(model, x, options);
+  ASSERT_EQ(probs.shape(), (std::vector<int>{4, 10}));
+  for (int n = 0; n < 4; ++n) {
+    float row = 0.0f;
+    for (int k = 0; k < 10; ++k) {
+      row += probs.v2(n, k);
+      EXPECT_GE(probs.v2(n, k), 0.0f);
+    }
+    EXPECT_NEAR(row, 1.0f, 1e-5f);
+  }
+}
+
+TEST(McPredict, DeterministicModelIgnoresSampleCount) {
+  util::Rng rng(2);
+  nn::Model model = nn::make_tiny_cnn(rng, 10, 1, 12);
+  model.set_bayesian_last(0);
+  nn::Tensor x = nn::Tensor::randn({2, 1, 12, 12}, rng);
+  PredictiveOptions one;
+  one.num_samples = 1;
+  PredictiveOptions many;
+  many.num_samples = 20;
+  nn::Tensor p1 = mc_predict(model, x, one);
+  nn::Tensor p2 = mc_predict(model, x, many);
+  EXPECT_EQ(p1.max_abs_diff(p2), 0.0f);
+}
+
+// The core intermediate-layer-caching equivalence claim: with identical mask
+// streams, replaying only the Bayesian suffix gives bit-identical
+// predictions to recomputing the whole network every sample.
+TEST(McPredict, CachingIsExactlyEquivalentToFullRecompute) {
+  util::Rng rng(3);
+  nn::Model model = nn::make_tiny_cnn(rng, 10, 1, 12);
+  nn::Tensor x = nn::Tensor::randn({3, 1, 12, 12}, rng);
+
+  for (int bayes_layers : {1, 2, 3}) {
+    model.set_bayesian_last(bayes_layers);
+    PredictiveOptions with_ic;
+    with_ic.num_samples = 7;
+    with_ic.use_intermediate_caching = true;
+    PredictiveOptions without_ic;
+    without_ic.num_samples = 7;
+    without_ic.use_intermediate_caching = false;
+
+    model.reseed_sites(1234);
+    nn::Tensor cached = mc_predict(model, x, with_ic);
+    model.reseed_sites(1234);
+    nn::Tensor recomputed = mc_predict(model, x, without_ic);
+    EXPECT_EQ(cached.max_abs_diff(recomputed), 0.0f)
+        << "IC must not change the predictive distribution (L=" << bayes_layers << ")";
+  }
+}
+
+TEST(McPredict, MoreSamplesReduceVariance) {
+  util::Rng rng(4);
+  nn::Model model = nn::make_tiny_cnn(rng, 10, 1, 12);
+  model.set_bayesian_last(model.num_sites());
+  nn::Tensor x = nn::Tensor::randn({1, 1, 12, 12}, rng);
+
+  auto spread = [&model, &x](int samples, std::uint64_t seed_base) {
+    PredictiveOptions options;
+    options.num_samples = samples;
+    double max_diff = 0.0;
+    model.reseed_sites(seed_base);
+    nn::Tensor reference = mc_predict(model, x, options);
+    for (int repeat = 1; repeat < 6; ++repeat) {
+      model.reseed_sites(seed_base + static_cast<std::uint64_t>(repeat) * 1000);
+      nn::Tensor probs = mc_predict(model, x, options);
+      max_diff = std::max(max_diff, static_cast<double>(probs.max_abs_diff(reference)));
+    }
+    return max_diff;
+  };
+
+  const double few = spread(2, 10);
+  const double many = spread(64, 20);
+  EXPECT_LT(many, few);
+}
+
+TEST(McPredict, BayesianPredictionsAreSofterOnNoise) {
+  // Untrained nets already show the effect qualitatively: MC averaging over
+  // masks smooths the predictive distribution, raising entropy.
+  util::Rng rng(5);
+  nn::Model model = nn::make_tiny_cnn(rng, 10, 1, 12);
+  nn::Tensor noise = nn::Tensor::randn({16, 1, 12, 12}, rng, 0.5f, 0.3f);
+
+  model.set_bayesian_last(0);
+  PredictiveOptions options;
+  options.num_samples = 50;
+  nn::Tensor point_probs = mc_predict(model, noise, options);
+
+  model.set_bayesian_last(model.num_sites());
+  model.reseed_sites(77);
+  nn::Tensor bayes_probs = mc_predict(model, noise, options);
+
+  EXPECT_GT(metrics::average_predictive_entropy(bayes_probs),
+            metrics::average_predictive_entropy(point_probs));
+}
+
+TEST(McPredict, RejectsBadArguments) {
+  util::Rng rng(6);
+  nn::Model model = nn::make_tiny_cnn(rng, 10, 1, 12);
+  nn::Tensor x = nn::Tensor::randn({1, 1, 12, 12}, rng);
+  PredictiveOptions options;
+  options.num_samples = 0;
+  EXPECT_THROW(mc_predict(model, x, options), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bnn::bayes

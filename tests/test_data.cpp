@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "data/dataset.h"
+#include "data/synth.h"
+
+namespace bnn::data {
+namespace {
+
+TEST(Dataset, BasicAccessors) {
+  nn::Tensor images({6, 1, 4, 4});
+  std::vector<int> labels{0, 1, 2, 0, 1, 2};
+  Dataset ds(std::move(images), std::move(labels), 3);
+  EXPECT_EQ(ds.size(), 6);
+  EXPECT_EQ(ds.num_classes(), 3);
+  EXPECT_EQ(ds.image_shape(), (std::vector<int>{1, 4, 4}));
+  EXPECT_EQ(ds.class_histogram(), (std::vector<int>{2, 2, 2}));
+}
+
+TEST(Dataset, RejectsBadConstruction) {
+  EXPECT_THROW(Dataset(nn::Tensor({2, 1, 2, 2}), {0}, 2), std::invalid_argument);
+  EXPECT_THROW(Dataset(nn::Tensor({1, 1, 2, 2}), {5}, 2), std::invalid_argument);
+  EXPECT_THROW(Dataset(nn::Tensor({4, 4}), {0, 0, 0, 0}, 2), std::invalid_argument);
+}
+
+TEST(Dataset, ShufflePermutesConsistently) {
+  const int n = 20;
+  nn::Tensor images({n, 1, 2, 2});
+  std::vector<int> labels(n);
+  for (int i = 0; i < n; ++i) {
+    labels[static_cast<std::size_t>(i)] = i % 5;
+    for (int j = 0; j < 4; ++j) images[i * 4 + j] = static_cast<float>(i);
+  }
+  Dataset ds(std::move(images), std::move(labels), 5);
+  util::Rng rng(42);
+  ds.shuffle(rng);
+  // Image contents still identify the original index; labels must follow.
+  std::vector<int> seen;
+  for (int i = 0; i < n; ++i) {
+    const int original = static_cast<int>(ds.images()[i * 4]);
+    EXPECT_EQ(ds.images()[i * 4 + 3], static_cast<float>(original));
+    EXPECT_EQ(ds.labels()[static_cast<std::size_t>(i)], original % 5);
+    seen.push_back(original);
+  }
+  std::sort(seen.begin(), seen.end());
+  for (int i = 0; i < n; ++i) EXPECT_EQ(seen[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Dataset, SubsetAndSplit) {
+  util::Rng rng(1);
+  Dataset ds = make_synth_digits(30, rng);
+  Dataset sub = ds.subset(10, 5);
+  EXPECT_EQ(sub.size(), 5);
+  EXPECT_EQ(sub.labels()[0], ds.labels()[10]);
+  const auto [train, test] = ds.split(20);
+  EXPECT_EQ(train.size(), 20);
+  EXPECT_EQ(test.size(), 10);
+  EXPECT_THROW(ds.subset(25, 10), std::invalid_argument);
+}
+
+TEST(Dataset, BatchClipsAtEnd) {
+  util::Rng rng(2);
+  Dataset ds = make_synth_digits(10, rng);
+  Batch batch = ds.batch(8, 4);
+  EXPECT_EQ(batch.images.size(0), 2);
+  EXPECT_EQ(batch.labels.size(), 2u);
+}
+
+TEST(SynthDigits, ShapeRangeAndBalance) {
+  util::Rng rng(3);
+  Dataset ds = make_synth_digits(100, rng);
+  EXPECT_EQ(ds.image_shape(), (std::vector<int>{1, 28, 28}));
+  EXPECT_GE(ds.images().min(), 0.0f);
+  EXPECT_LE(ds.images().max(), 1.0f);
+  for (int count : ds.class_histogram()) EXPECT_EQ(count, 10);
+}
+
+TEST(SynthDigits, DeterministicForSameSeed) {
+  util::Rng rng_a(7);
+  util::Rng rng_b(7);
+  Dataset a = make_synth_digits(10, rng_a);
+  Dataset b = make_synth_digits(10, rng_b);
+  EXPECT_EQ(a.images().max_abs_diff(b.images()), 0.0f);
+  util::Rng rng_c(8);
+  Dataset c = make_synth_digits(10, rng_c);
+  EXPECT_GT(a.images().max_abs_diff(c.images()), 0.0f);
+}
+
+TEST(SynthDigits, DigitsAreVisible) {
+  util::Rng rng(4);
+  Dataset ds = make_synth_digits(20, rng);
+  for (int n = 0; n < ds.size(); ++n) {
+    double mass = 0.0;
+    for (int i = 0; i < 28 * 28; ++i)
+      mass += ds.images()[static_cast<std::int64_t>(n) * 28 * 28 + i];
+    EXPECT_GT(mass, 10.0) << "digit " << ds.labels()[static_cast<std::size_t>(n)]
+                          << " rendered almost empty";
+  }
+}
+
+TEST(RenderDigit, CentredGlyphHasInkNearCentre) {
+  std::vector<float> plane(28 * 28, 0.0f);
+  render_digit(plane.data(), 28, 8, 0.7f, 0.0f, 0.0f, 0.0f, 1.0f);
+  double centre_mass = 0.0;
+  for (int y = 10; y < 18; ++y)
+    for (int x = 10; x < 18; ++x) centre_mass += plane[y * 28 + x];
+  EXPECT_GT(centre_mass, 1.0);
+  EXPECT_THROW(render_digit(plane.data(), 28, 11, 0.7f, 0, 0, 0, 1), std::invalid_argument);
+}
+
+TEST(SynthSvhn, ShapeAndColorVariety) {
+  util::Rng rng(5);
+  Dataset ds = make_synth_svhn(40, rng);
+  EXPECT_EQ(ds.image_shape(), (std::vector<int>{3, 32, 32}));
+  EXPECT_GE(ds.images().min(), 0.0f);
+  EXPECT_LE(ds.images().max(), 1.0f);
+  // Channels should differ (it is a color dataset).
+  float channel_diff = 0.0f;
+  for (int n = 0; n < ds.size(); ++n)
+    for (int i = 0; i < 32 * 32; ++i) {
+      const float r = ds.images()[ds.images().index4(n, 0, i / 32, i % 32)];
+      const float g = ds.images()[ds.images().index4(n, 1, i / 32, i % 32)];
+      channel_diff = std::max(channel_diff, std::fabs(r - g));
+    }
+  EXPECT_GT(channel_diff, 0.2f);
+}
+
+TEST(SynthObjects, ShapeBalanceAndClassesDiffer) {
+  util::Rng rng(6);
+  Dataset ds = make_synth_objects(50, rng);
+  EXPECT_EQ(ds.image_shape(), (std::vector<int>{3, 32, 32}));
+  for (int count : ds.class_histogram()) EXPECT_EQ(count, 5);
+  // Mean image of class 0 (disc) and class 5 (stripes) should differ.
+  auto class_mean = [&ds](int cls) {
+    double mass = 0.0;
+    int count = 0;
+    for (int n = 0; n < ds.size(); ++n) {
+      if (ds.labels()[static_cast<std::size_t>(n)] != cls) continue;
+      ++count;
+      for (int i = 0; i < 3 * 32 * 32; ++i)
+        mass += ds.images()[static_cast<std::int64_t>(n) * 3 * 32 * 32 + i];
+    }
+    return mass / count;
+  };
+  EXPECT_NE(class_mean(0), class_mean(5));
+}
+
+TEST(GaussianNoise, MatchesReferenceStatistics) {
+  util::Rng rng(7);
+  Dataset reference = make_synth_svhn(60, rng);
+  Dataset noise = make_gaussian_noise(400, reference, rng);
+  EXPECT_EQ(noise.image_shape(), reference.image_shape());
+
+  std::vector<float> ref_mean, ref_std, noise_mean, noise_std;
+  reference.channel_stats(ref_mean, ref_std);
+  noise.channel_stats(noise_mean, noise_std);
+  for (std::size_t c = 0; c < ref_mean.size(); ++c) {
+    EXPECT_NEAR(noise_mean[c], ref_mean[c], 0.02f);
+    EXPECT_NEAR(noise_std[c], ref_std[c], 0.02f);
+  }
+}
+
+TEST(ChannelStats, HandComputedCase) {
+  nn::Tensor images({2, 1, 1, 2});
+  images[0] = 1.0f;
+  images[1] = 3.0f;
+  images[2] = 5.0f;
+  images[3] = 7.0f;
+  Dataset ds(std::move(images), {0, 0}, 1);
+  std::vector<float> mean, std;
+  ds.channel_stats(mean, std);
+  EXPECT_FLOAT_EQ(mean[0], 4.0f);
+  EXPECT_NEAR(std[0], std::sqrt(5.0f), 1e-5f);
+}
+
+}  // namespace
+}  // namespace bnn::data

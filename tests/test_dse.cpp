@@ -1,0 +1,168 @@
+#include "core/dse.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/models.h"
+
+namespace bnn::core {
+namespace {
+
+nn::NetworkDesc lenet_desc() {
+  util::Rng rng(1);
+  nn::Model model = nn::make_lenet5(rng);
+  return model.describe();
+}
+
+// Deterministic synthetic metrics with the qualitative shapes the paper
+// reports: accuracy rises with S and peaks at moderate L; aPE rises with
+// both L and S; ECE is best at moderate L with enough samples.
+class FakeMetrics final : public MetricsProvider {
+ public:
+  MetricPoint evaluate(int bayes_layers, int num_samples) override {
+    MetricPoint point;
+    const double l = bayes_layers;
+    const double s_gain = 1.0 - std::exp(-num_samples / 10.0);
+    point.accuracy = 0.90 + 0.05 * s_gain - 0.01 * std::fabs(l - 2.0);
+    point.ape = 0.2 + 0.2 * l + 0.3 * s_gain;
+    point.ece = 0.05 - 0.015 * s_gain + 0.01 * std::fabs(l - 3.0);
+    return point;
+  }
+};
+
+DseOptions base_options() {
+  DseOptions options;
+  options.device = arria10_sx660();
+  return options;
+}
+
+TEST(Dse, CandidateGridIsFullCrossProduct) {
+  const nn::NetworkDesc desc = lenet_desc();
+  FakeMetrics metrics;
+  DseOptions options = base_options();
+  const DseResult result = run_dse(desc, metrics, options);
+  // LeNet-5 has 4 sites -> L grid {1,2,3,4}; S grid has 11 entries.
+  EXPECT_EQ(result.candidates.size(), 4u * 11u);
+  EXPECT_GE(result.best_index, 0);
+}
+
+TEST(Dse, OptLatencyPicksCheapestPoint) {
+  const nn::NetworkDesc desc = lenet_desc();
+  FakeMetrics metrics;
+  DseOptions options = base_options();
+  options.mode = OptMode::latency;
+  const DseResult result = run_dse(desc, metrics, options);
+  const Candidate& best = result.best();
+  for (const Candidate& candidate : result.candidates)
+    EXPECT_GE(candidate.latency_ms, best.latency_ms);
+  // Cheapest point of the paper's grids: L=1, S=3.
+  EXPECT_EQ(best.bayes_layers, 1);
+  EXPECT_EQ(best.num_samples, 3);
+}
+
+TEST(Dse, OptUncertaintyPicksFullBnnManySamples) {
+  const nn::NetworkDesc desc = lenet_desc();
+  FakeMetrics metrics;
+  DseOptions options = base_options();
+  options.mode = OptMode::uncertainty;
+  const DseResult result = run_dse(desc, metrics, options);
+  // aPE grows with L and S in the fake model -> L=N, S=100.
+  EXPECT_EQ(result.best().bayes_layers, 4);
+  EXPECT_EQ(result.best().num_samples, 100);
+}
+
+TEST(Dse, OptAccuracyAndConfidenceFollowTheirObjectives) {
+  const nn::NetworkDesc desc = lenet_desc();
+  FakeMetrics metrics;
+  DseOptions options = base_options();
+
+  options.mode = OptMode::accuracy;
+  const DseResult acc = run_dse(desc, metrics, options);
+  for (const Candidate& candidate : acc.candidates)
+    EXPECT_LE(candidate.metrics.accuracy, acc.best().metrics.accuracy + 1e-12);
+
+  options.mode = OptMode::confidence;
+  const DseResult ece = run_dse(desc, metrics, options);
+  for (const Candidate& candidate : ece.candidates)
+    EXPECT_GE(candidate.metrics.ece, ece.best().metrics.ece - 1e-12);
+}
+
+TEST(Dse, RequirementsFilterCandidates) {
+  const nn::NetworkDesc desc = lenet_desc();
+  FakeMetrics metrics;
+  DseOptions options = base_options();
+  options.mode = OptMode::confidence;
+  options.requirements.max_latency_ms = 1.0;
+  options.requirements.min_accuracy = 0.9;
+  const DseResult result = run_dse(desc, metrics, options);
+  const Candidate& best = result.best();
+  EXPECT_LE(best.latency_ms, 1.0);
+  EXPECT_GE(best.metrics.accuracy, 0.9);
+  // Everything feasible satisfies the constraints; infeasible points exist.
+  bool saw_infeasible = false;
+  for (const Candidate& candidate : result.candidates) {
+    if (candidate.feasible) {
+      EXPECT_LE(candidate.latency_ms, 1.0);
+      EXPECT_GE(candidate.metrics.accuracy, 0.9);
+    } else {
+      saw_infeasible = true;
+    }
+  }
+  EXPECT_TRUE(saw_infeasible);
+}
+
+TEST(Dse, ImpossibleRequirementsYieldNoBest) {
+  const nn::NetworkDesc desc = lenet_desc();
+  FakeMetrics metrics;
+  DseOptions options = base_options();
+  options.requirements.min_accuracy = 1.5;  // unattainable
+  const DseResult result = run_dse(desc, metrics, options);
+  EXPECT_EQ(result.best_index, -1);
+  EXPECT_THROW(result.best(), std::invalid_argument);
+}
+
+TEST(Dse, CustomGridsRespected) {
+  const nn::NetworkDesc desc = lenet_desc();
+  FakeMetrics metrics;
+  DseOptions options = base_options();
+  options.bayes_grid = {2};
+  options.sample_grid = {5, 10};
+  const DseResult result = run_dse(desc, metrics, options);
+  ASSERT_EQ(result.candidates.size(), 2u);
+  EXPECT_EQ(result.candidates[0].bayes_layers, 2);
+  EXPECT_EQ(result.candidates[0].num_samples, 5);
+  EXPECT_EQ(result.candidates[1].num_samples, 10);
+}
+
+TEST(Dse, HardwareStageReportsResources) {
+  const nn::NetworkDesc desc = lenet_desc();
+  FakeMetrics metrics;
+  DseOptions options = base_options();
+  const DseResult result = run_dse(desc, metrics, options);
+  EXPECT_EQ(result.hardware.macs_per_cycle(), 4096);
+  EXPECT_TRUE(fits(result.resources, options.device));
+}
+
+TEST(Dse, CandidateBetterComparesPerMode) {
+  Candidate a;
+  a.latency_ms = 1.0;
+  a.metrics = {0.95, 1.2, 0.02};
+  Candidate b;
+  b.latency_ms = 2.0;
+  b.metrics = {0.90, 1.5, 0.05};
+  EXPECT_TRUE(candidate_better(a, b, OptMode::latency));
+  EXPECT_TRUE(candidate_better(a, b, OptMode::accuracy));
+  EXPECT_FALSE(candidate_better(a, b, OptMode::uncertainty));
+  EXPECT_TRUE(candidate_better(a, b, OptMode::confidence));
+}
+
+TEST(Dse, ModeNames) {
+  EXPECT_EQ(opt_mode_name(OptMode::latency), "Opt-Latency");
+  EXPECT_EQ(opt_mode_name(OptMode::accuracy), "Opt-Accuracy");
+  EXPECT_EQ(opt_mode_name(OptMode::uncertainty), "Opt-Uncertainty");
+  EXPECT_EQ(opt_mode_name(OptMode::confidence), "Opt-Confidence");
+}
+
+}  // namespace
+}  // namespace bnn::core

@@ -1,0 +1,236 @@
+// Extension modules: the CLT Gaussian sampler and the functional VIBNN /
+// BYNQNet baseline algorithms (the paper only quotes their numbers; we
+// implement them).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baseline/bynqnet_model.h"
+#include "baseline/vibnn_model.h"
+#include "core/gaussian_sampler.h"
+#include "data/synth.h"
+#include "metrics/metrics.h"
+#include "nn/activations.h"
+#include "train/loss.h"
+
+namespace bnn {
+namespace {
+
+TEST(GaussianSampler, RejectsBadConfig) {
+  core::GaussianSamplerConfig config;
+  config.clt_terms = 2;
+  EXPECT_THROW(core::GaussianSampler{config}, std::invalid_argument);
+  config.clt_terms = 12;
+  config.uniform_bits = 40;
+  EXPECT_THROW(core::GaussianSampler{config}, std::invalid_argument);
+}
+
+TEST(GaussianSampler, StandardMoments) {
+  core::GaussianSamplerConfig config;
+  config.seed = 5;
+  core::GaussianSampler sampler(config);
+  const int n = 40000;
+  double sum = 0.0, sum2 = 0.0, sum3 = 0.0, sum4 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double z = sampler.next();
+    sum += z;
+    sum2 += z * z;
+    sum3 += z * z * z;
+    sum4 += z * z * z * z;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+  EXPECT_NEAR(sum3 / n, 0.0, 0.05);        // symmetric
+  EXPECT_NEAR(sum4 / n, 3.0, 0.25);        // near-Gaussian kurtosis
+  EXPECT_EQ(sampler.samples_produced(), static_cast<std::uint64_t>(n));
+  // Hardware cost: K uniforms of W bits per sample.
+  EXPECT_EQ(sampler.lfsr_steps(),
+            static_cast<std::uint64_t>(n) * config.clt_terms * config.uniform_bits);
+}
+
+TEST(GaussianSampler, TailProbabilityReasonable) {
+  core::GaussianSamplerConfig config;
+  config.seed = 9;
+  core::GaussianSampler sampler(config);
+  const int n = 40000;
+  int beyond_two_sigma = 0;
+  for (int i = 0; i < n; ++i)
+    beyond_two_sigma += std::fabs(sampler.next()) > 2.0 ? 1 : 0;
+  // True value 4.55%; CLT-12 is slightly light-tailed, allow [2.5%, 6%].
+  const double rate = static_cast<double>(beyond_two_sigma) / n;
+  EXPECT_GT(rate, 0.025);
+  EXPECT_LT(rate, 0.06);
+}
+
+TEST(GaussianSampler, AffineTransform) {
+  core::GaussianSamplerConfig config;
+  config.seed = 11;
+  core::GaussianSampler sampler(config);
+  const int n = 20000;
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double z = sampler.next(3.0, 0.5);
+    sum += z;
+    sum2 += z * z;
+  }
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, 3.0, 0.02);
+  EXPECT_NEAR(std::sqrt(sum2 / n - mean * mean), 0.5, 0.02);
+}
+
+TEST(GaussianSampler, DeterministicPerSeed) {
+  core::GaussianSamplerConfig config;
+  config.seed = 21;
+  core::GaussianSampler a(config);
+  core::GaussianSampler b(config);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(QuadraticLayer, ForwardAndGradient) {
+  nn::Quadratic layer;
+  layer.set_training(true);
+  nn::Tensor x = nn::Tensor::from_values({1, 3}, {-2.0f, 0.5f, 3.0f});
+  nn::Tensor y = layer.forward(x);
+  EXPECT_FLOAT_EQ(y[0], 4.0f);
+  EXPECT_FLOAT_EQ(y[1], 0.25f);
+  EXPECT_FLOAT_EQ(y[2], 9.0f);
+  nn::Tensor grad = layer.backward(nn::Tensor::full({1, 3}, 1.0f));
+  EXPECT_FLOAT_EQ(grad[0], -4.0f);  // 2x
+  EXPECT_FLOAT_EQ(grad[2], 6.0f);
+}
+
+TEST(Mlp3Builder, ShapesAndSites) {
+  util::Rng rng(1);
+  nn::Model plain = nn::make_mlp3(rng, 49, 32, 10);
+  EXPECT_EQ(plain.num_sites(), 0);
+  nn::Tensor x = nn::Tensor::randn({2, 49, 1, 1}, rng);
+  EXPECT_EQ(plain.net().forward(x).shape(), (std::vector<int>{2, 10}));
+
+  nn::Model mcd = nn::make_mlp3(rng, 49, 32, 10, nn::MlpActivation::relu, true);
+  EXPECT_EQ(mcd.num_sites(), 2);
+  nn::Model quad = nn::make_mlp3(rng, 49, 32, 10, nn::MlpActivation::quadratic);
+  EXPECT_EQ(quad.net().find_nodes(nn::LayerKind::quadratic).size(), 2u);
+}
+
+// Shared small digit task for the baseline models (7x7 downsample keeps the
+// MLPs small).
+struct BaselineData {
+  BaselineData() {
+    util::Rng data_rng(71);
+    data::Dataset digits = data::make_synth_digits(400, data_rng);
+    nn::Tensor small({digits.size(), 49, 1, 1});
+    for (int n = 0; n < digits.size(); ++n)
+      for (int y = 0; y < 7; ++y)
+        for (int x = 0; x < 7; ++x)
+          small.v4(n, y * 7 + x, 0, 0) = digits.images().v4(n, 0, 4 * y + 2, 4 * x + 2);
+    dataset = std::make_unique<data::Dataset>(std::move(small), digits.labels(), 10);
+  }
+  std::unique_ptr<data::Dataset> dataset;
+};
+
+BaselineData& baseline_data() {
+  static BaselineData instance;
+  return instance;
+}
+
+TEST(Vibnn, TrainsAndPredictsAboveChance) {
+  auto& data = baseline_data();
+  baseline::VibnnConfig config;
+  config.hidden = 64;
+  baseline::VibnnBnn vibnn(49, 10, config);
+  vibnn.fit(*data.dataset, /*epochs=*/5, /*learning_rate=*/0.05);
+
+  const nn::Tensor mean_probs = vibnn.mean_predict(data.dataset->images());
+  EXPECT_GT(metrics::accuracy(mean_probs, data.dataset->labels()), 0.5);
+
+  core::GaussianSamplerConfig sampler_config;
+  sampler_config.seed = 3;
+  core::GaussianSampler sampler(sampler_config);
+  const nn::Tensor mc_probs = vibnn.mc_predict(data.dataset->images(), 8, sampler);
+  EXPECT_GT(metrics::accuracy(mc_probs, data.dataset->labels()), 0.4);
+  // Sampling injects weight noise: predictions soften but stay close.
+  EXPECT_GE(metrics::average_predictive_entropy(mc_probs),
+            metrics::average_predictive_entropy(mean_probs) - 1e-6);
+}
+
+TEST(Vibnn, MeanRestoredAfterSampling) {
+  auto& data = baseline_data();
+  baseline::VibnnConfig config;
+  config.hidden = 32;
+  baseline::VibnnBnn vibnn(49, 10, config);
+  vibnn.fit(*data.dataset, 2, 0.05);
+  const nn::Tensor before = vibnn.mean_predict(data.dataset->images());
+  core::GaussianSamplerConfig sampler_config;
+  core::GaussianSampler sampler(sampler_config);
+  (void)vibnn.mc_predict(data.dataset->images(), 3, sampler);
+  const nn::Tensor after = vibnn.mean_predict(data.dataset->images());
+  EXPECT_EQ(before.max_abs_diff(after), 0.0f);
+}
+
+TEST(Bynqnet, MomentPropagationMatchesMonteCarlo) {
+  // Untrained net, small hidden width: the algebra must match MC sampling.
+  baseline::BynqnetConfig config;
+  config.hidden = 16;
+  config.seed = 4;
+  baseline::BynqNet net(49, 10, config);
+
+  auto& data = baseline_data();
+  const data::Batch batch = data.dataset->batch(0, 3);
+  const baseline::MomentOutput analytic = net.propagate_moments(batch.images);
+  util::Rng mc_rng(5);
+  const baseline::MomentOutput empirical =
+      net.monte_carlo_moments(batch.images, 3000, mc_rng);
+
+  for (int n = 0; n < 3; ++n) {
+    for (int k = 0; k < 10; ++k) {
+      const double m_a = analytic.mean.v2(n, k);
+      const double m_e = empirical.mean.v2(n, k);
+      const double v_a = analytic.variance.v2(n, k);
+      const double v_e = empirical.variance.v2(n, k);
+      EXPECT_NEAR(m_a, m_e, 0.05 * std::max(1.0, std::fabs(m_e)))
+          << "mean mismatch at n=" << n << " k=" << k;
+      EXPECT_NEAR(v_a, v_e, 0.25 * std::max(0.05, v_e))
+          << "variance mismatch at n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(Bynqnet, TrainsWithQuadraticActivations) {
+  auto& data = baseline_data();
+  baseline::BynqnetConfig config;
+  config.hidden = 48;
+  baseline::BynqNet net(49, 10, config);
+
+  // Loss before vs after a short fit.
+  auto current_loss = [&net, &data] {
+    net.model().net().set_training(false);
+    const nn::Tensor logits = net.model().net().forward(data.dataset->images());
+    return train::softmax_cross_entropy(logits, data.dataset->labels()).loss;
+  };
+  const double before = current_loss();
+  net.fit(*data.dataset, 10, 0.05);
+  EXPECT_LT(current_loss(), before);
+
+  util::Rng rng(6);
+  const nn::Tensor probs = net.predictive(data.dataset->images(), 50, rng);
+  EXPECT_GT(metrics::accuracy(probs, data.dataset->labels()), 0.3);
+}
+
+TEST(Bynqnet, PredictiveRowsNormalized) {
+  baseline::BynqnetConfig config;
+  config.hidden = 16;
+  baseline::BynqNet net(49, 10, config);
+  auto& data = baseline_data();
+  util::Rng rng(7);
+  const nn::Tensor probs = net.predictive(data.dataset->batch(0, 4).images, 20, rng);
+  for (int n = 0; n < 4; ++n) {
+    float sum = 0.0f;
+    for (int k = 0; k < 10; ++k) sum += probs.v2(n, k);
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+  }
+}
+
+}  // namespace
+}  // namespace bnn

@@ -1,0 +1,138 @@
+#include "nn/gemm.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace bnn::nn {
+namespace {
+
+std::vector<float> random_matrix(int rows, int cols, util::Rng& rng) {
+  std::vector<float> m(static_cast<std::size_t>(rows) * cols);
+  for (float& v : m) v = static_cast<float>(rng.normal());
+  return m;
+}
+
+void naive_gemm(int m, int n, int k, const std::vector<float>& a, const std::vector<float>& b,
+                std::vector<float>& c) {
+  for (int i = 0; i < m; ++i)
+    for (int j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (int kk = 0; kk < k; ++kk)
+        acc += a[static_cast<std::size_t>(i) * k + kk] * b[static_cast<std::size_t>(kk) * n + j];
+      c[static_cast<std::size_t>(i) * n + j] = acc;
+    }
+}
+
+class GemmShapes : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(GemmShapes, MatchesNaive) {
+  const auto [m, n, k] = GetParam();
+  util::Rng rng(m * 100 + n * 10 + k);
+  const std::vector<float> a = random_matrix(m, k, rng);
+  const std::vector<float> b = random_matrix(k, n, rng);
+  std::vector<float> expected(static_cast<std::size_t>(m) * n);
+  naive_gemm(m, n, k, a, b, expected);
+
+  std::vector<float> got(static_cast<std::size_t>(m) * n, 1e9f);
+  gemm(m, n, k, a.data(), b.data(), got.data(), /*accumulate=*/false);
+  for (std::size_t i = 0; i < got.size(); ++i) EXPECT_NEAR(got[i], expected[i], 1e-4f);
+}
+
+TEST_P(GemmShapes, TransposedVariantsMatch) {
+  const auto [m, n, k] = GetParam();
+  util::Rng rng(m + n + k);
+  const std::vector<float> a = random_matrix(m, k, rng);
+  const std::vector<float> b = random_matrix(k, n, rng);
+  std::vector<float> expected(static_cast<std::size_t>(m) * n);
+  naive_gemm(m, n, k, a, b, expected);
+
+  // gemm_at: pass a stored as [K, M] (the transpose of a).
+  std::vector<float> a_t(a.size());
+  for (int i = 0; i < m; ++i)
+    for (int kk = 0; kk < k; ++kk)
+      a_t[static_cast<std::size_t>(kk) * m + i] = a[static_cast<std::size_t>(i) * k + kk];
+  std::vector<float> got(static_cast<std::size_t>(m) * n);
+  gemm_at(m, n, k, a_t.data(), b.data(), got.data(), false);
+  for (std::size_t i = 0; i < got.size(); ++i) EXPECT_NEAR(got[i], expected[i], 1e-4f);
+
+  // gemm_bt: pass b stored as [N, K] (the transpose of b).
+  std::vector<float> b_t(b.size());
+  for (int kk = 0; kk < k; ++kk)
+    for (int j = 0; j < n; ++j)
+      b_t[static_cast<std::size_t>(j) * k + kk] = b[static_cast<std::size_t>(kk) * n + j];
+  std::fill(got.begin(), got.end(), 0.0f);
+  gemm_bt(m, n, k, a.data(), b_t.data(), got.data(), false);
+  for (std::size_t i = 0; i < got.size(); ++i) EXPECT_NEAR(got[i], expected[i], 1e-4f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, GemmShapes,
+                         ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(3, 5, 7),
+                                           std::make_tuple(8, 8, 8), std::make_tuple(16, 1, 9),
+                                           std::make_tuple(1, 17, 4),
+                                           std::make_tuple(13, 11, 23)));
+
+TEST(Gemm, AccumulateAddsOntoExisting) {
+  util::Rng rng(3);
+  const std::vector<float> a = random_matrix(2, 3, rng);
+  const std::vector<float> b = random_matrix(3, 2, rng);
+  std::vector<float> once(4);
+  gemm(2, 2, 3, a.data(), b.data(), once.data(), false);
+  std::vector<float> twice(4, 0.0f);
+  gemm(2, 2, 3, a.data(), b.data(), twice.data(), true);
+  gemm(2, 2, 3, a.data(), b.data(), twice.data(), true);
+  for (int i = 0; i < 4; ++i) EXPECT_NEAR(twice[static_cast<std::size_t>(i)],
+                                          2.0f * once[static_cast<std::size_t>(i)], 1e-4f);
+}
+
+TEST(ConvExtent, Formula) {
+  EXPECT_EQ(conv_out_extent(28, 5, 1, 2), 28);
+  EXPECT_EQ(conv_out_extent(28, 5, 1, 0), 24);
+  EXPECT_EQ(conv_out_extent(32, 3, 2, 1), 16);
+  EXPECT_EQ(conv_out_extent(4, 2, 2, 0), 2);
+}
+
+TEST(ConvExtent, RejectsImpossibleGeometry) {
+  EXPECT_THROW(conv_out_extent(2, 5, 1, 0), std::invalid_argument);
+  EXPECT_THROW(conv_out_extent(8, 0, 1, 0), std::invalid_argument);
+  EXPECT_THROW(conv_out_extent(8, 3, 0, 0), std::invalid_argument);
+}
+
+// im2col and col2im must be adjoint linear maps: <im2col(x), y> = <x, col2im(y)>.
+TEST(Im2Col, AdjointProperty) {
+  util::Rng rng(11);
+  const int channels = 3, height = 7, width = 6, kernel = 3, stride = 2, pad = 1;
+  const int out_h = conv_out_extent(height, kernel, stride, pad);
+  const int out_w = conv_out_extent(width, kernel, stride, pad);
+  const int cols = channels * kernel * kernel * out_h * out_w;
+
+  std::vector<float> x(static_cast<std::size_t>(channels) * height * width);
+  for (float& v : x) v = static_cast<float>(rng.normal());
+  std::vector<float> y(static_cast<std::size_t>(cols));
+  for (float& v : y) v = static_cast<float>(rng.normal());
+
+  std::vector<float> col_x(static_cast<std::size_t>(cols));
+  im2col(x.data(), channels, height, width, kernel, stride, pad, out_h, out_w, col_x.data());
+  std::vector<float> img_y(x.size(), 0.0f);
+  col2im(y.data(), channels, height, width, kernel, stride, pad, out_h, out_w, img_y.data());
+
+  double lhs = 0.0, rhs = 0.0;
+  for (std::size_t i = 0; i < col_x.size(); ++i) lhs += static_cast<double>(col_x[i]) * y[i];
+  for (std::size_t i = 0; i < x.size(); ++i) rhs += static_cast<double>(x[i]) * img_y[i];
+  EXPECT_NEAR(lhs, rhs, 1e-3);
+}
+
+TEST(Im2Col, IdentityKernelCopiesPixels) {
+  const int channels = 2, height = 3, width = 3;
+  std::vector<float> x(18);
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = static_cast<float>(i);
+  std::vector<float> col(18);
+  im2col(x.data(), channels, height, width, 1, 1, 0, height, width, col.data());
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_EQ(col[i], x[i]);
+}
+
+}  // namespace
+}  // namespace bnn::nn

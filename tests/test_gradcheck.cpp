@@ -1,0 +1,239 @@
+// Numeric gradient checks: every differentiable layer's backward pass is
+// validated against central finite differences of a scalar loss.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "nn/activations.h"
+#include "nn/batchnorm.h"
+#include "nn/conv2d.h"
+#include "nn/dropout.h"
+#include "nn/elementwise.h"
+#include "nn/linear.h"
+#include "nn/models.h"
+#include "nn/pooling.h"
+#include "train/loss.h"
+
+namespace bnn::nn {
+namespace {
+
+// Scalar test loss: weighted sum of the outputs (weights fixed per call so
+// forward() is a deterministic function of the input between perturbations).
+float weighted_sum(const Tensor& y, const Tensor& weights) {
+  float acc = 0.0f;
+  for (std::int64_t i = 0; i < y.numel(); ++i) acc += y[i] * weights[i];
+  return acc;
+}
+
+// Checks d(loss)/d(input) for a single-input layer. `prepare` is invoked
+// before every forward so stochastic layers can be re-seeded identically.
+void check_input_grad(Layer& layer, Tensor x, double tolerance = 2e-2,
+                      const std::function<void()>& prepare = [] {}) {
+  layer.set_training(true);
+  util::Rng rng(123);
+
+  prepare();
+  Tensor y = layer.forward(x);
+  const Tensor loss_weights = Tensor::randn(y.shape(), rng);
+  Tensor analytic = layer.backward(loss_weights);
+
+  const float eps = 1e-3f;
+  util::Rng pick(7);
+  for (int trial = 0; trial < 12; ++trial) {
+    const std::int64_t i = pick.uniform_int(0, static_cast<int>(x.numel() - 1));
+    const float saved = x[i];
+    x[i] = saved + eps;
+    prepare();
+    const float up = weighted_sum(layer.forward(x), loss_weights);
+    x[i] = saved - eps;
+    prepare();
+    const float down = weighted_sum(layer.forward(x), loss_weights);
+    x[i] = saved;
+    const double numeric = (up - down) / (2.0 * eps);
+    EXPECT_NEAR(analytic[i], numeric, tolerance)
+        << "input grad mismatch at flat index " << i;
+  }
+  // Restore the layer's caches for any follow-up parameter check.
+  prepare();
+  (void)layer.forward(x);
+  (void)layer.backward(loss_weights);
+}
+
+// Checks d(loss)/d(theta) for each parameter of the layer.
+void check_param_grads(Layer& layer, Tensor x, double tolerance = 2e-2) {
+  layer.set_training(true);
+  util::Rng rng(321);
+  Tensor y = layer.forward(x);
+  const Tensor loss_weights = Tensor::randn(y.shape(), rng);
+  for (Param* p : layer.params()) p->zero_grad();
+  (void)layer.backward(loss_weights);
+
+  const float eps = 1e-3f;
+  util::Rng pick(19);
+  for (Param* p : layer.params()) {
+    for (int trial = 0; trial < 8; ++trial) {
+      const std::int64_t i = pick.uniform_int(0, static_cast<int>(p->value.numel() - 1));
+      const float saved = p->value[i];
+      p->value[i] = saved + eps;
+      const float up = weighted_sum(layer.forward(x), loss_weights);
+      p->value[i] = saved - eps;
+      const float down = weighted_sum(layer.forward(x), loss_weights);
+      p->value[i] = saved;
+      const double numeric = (up - down) / (2.0 * eps);
+      EXPECT_NEAR(p->grad[i], numeric, tolerance) << "param grad mismatch at index " << i;
+    }
+  }
+}
+
+TEST(GradCheck, Conv2d) {
+  util::Rng rng(2);
+  Conv2d conv(3, 5, 3, 2, 1);
+  conv.init_kaiming(rng);
+  Tensor x = Tensor::randn({2, 3, 7, 7}, rng);
+  check_input_grad(conv, x);
+  check_param_grads(conv, x);
+}
+
+TEST(GradCheck, Conv2dNoBiasUnitStride) {
+  util::Rng rng(3);
+  Conv2d conv(2, 4, 5, 1, 2, /*has_bias=*/false);
+  conv.init_kaiming(rng);
+  Tensor x = Tensor::randn({1, 2, 9, 9}, rng);
+  check_input_grad(conv, x);
+  check_param_grads(conv, x);
+}
+
+TEST(GradCheck, Linear) {
+  util::Rng rng(4);
+  Linear fc(6, 4);
+  fc.init_kaiming(rng);
+  Tensor x = Tensor::randn({3, 6}, rng);
+  check_input_grad(fc, x);
+  check_param_grads(fc, x);
+}
+
+TEST(GradCheck, BatchNorm) {
+  util::Rng rng(5);
+  BatchNorm2d bn(4);
+  for (std::int64_t i = 0; i < 4; ++i) {
+    bn.gamma().value[i] = static_cast<float>(rng.uniform(0.5, 1.5));
+    bn.beta().value[i] = static_cast<float>(rng.normal());
+  }
+  Tensor x = Tensor::randn({4, 4, 3, 3}, rng, 1.0f, 2.0f);
+  check_input_grad(bn, x, 5e-2);
+  check_param_grads(bn, x, 5e-2);
+}
+
+TEST(GradCheck, ReLUAwayFromKink) {
+  util::Rng rng(6);
+  ReLU relu;
+  Tensor x = Tensor::randn({2, 3, 4, 4}, rng);
+  // Push values away from the non-differentiable origin.
+  for (std::int64_t i = 0; i < x.numel(); ++i)
+    if (std::fabs(x[i]) < 0.05f) x[i] = 0.3f;
+  check_input_grad(relu, x);
+}
+
+TEST(GradCheck, MaxPoolAwayFromTies) {
+  util::Rng rng(7);
+  MaxPool2d pool(2);
+  Tensor x = Tensor::randn({2, 2, 6, 6}, rng, 0.0f, 5.0f);  // ties are improbable
+  check_input_grad(pool, x);
+}
+
+TEST(GradCheck, AvgPool) {
+  util::Rng rng(8);
+  AvgPool2d pool(2);
+  Tensor x = Tensor::randn({2, 2, 6, 6}, rng);
+  check_input_grad(pool, x);
+}
+
+TEST(GradCheck, GlobalAvgPool) {
+  util::Rng rng(9);
+  GlobalAvgPool pool;
+  Tensor x = Tensor::randn({2, 3, 5, 5}, rng);
+  check_input_grad(pool, x);
+}
+
+TEST(GradCheck, Flatten) {
+  util::Rng rng(10);
+  Flatten flatten;
+  Tensor x = Tensor::randn({2, 3, 4, 4}, rng);
+  check_input_grad(flatten, x);
+}
+
+TEST(GradCheck, SoftmaxLayer) {
+  util::Rng rng(11);
+  Softmax softmax;
+  Tensor x = Tensor::randn({3, 5}, rng);
+  check_input_grad(softmax, x, 1e-2);
+}
+
+TEST(GradCheck, McDropoutWithFrozenMask) {
+  util::Rng rng(12);
+  McDropout drop(0.5);
+  drop.set_active(true);
+  Tensor x = Tensor::randn({2, 8, 3, 3}, rng);
+  // Re-seed before every forward so each perturbation sees the same mask.
+  check_input_grad(drop, x, 2e-2, [&drop] { drop.reseed(777); });
+}
+
+TEST(GradCheck, SoftmaxCrossEntropyGradient) {
+  util::Rng rng(13);
+  Tensor logits = Tensor::randn({4, 6}, rng);
+  const std::vector<int> labels{0, 3, 5, 2};
+  const train::LossResult base = train::softmax_cross_entropy(logits, labels);
+
+  const float eps = 1e-3f;
+  for (std::int64_t i = 0; i < logits.numel(); i += 5) {
+    const float saved = logits[i];
+    logits[i] = saved + eps;
+    const double up = train::softmax_cross_entropy(logits, labels).loss;
+    logits[i] = saved - eps;
+    const double down = train::softmax_cross_entropy(logits, labels).loss;
+    logits[i] = saved;
+    EXPECT_NEAR(base.grad[i], (up - down) / (2.0 * eps), 1e-3);
+  }
+}
+
+// End-to-end: gradients through a whole DAG (residual model) match numeric
+// differences of the training loss w.r.t. a sample of weights.
+TEST(GradCheck, WholeNetworkThroughResidualDag) {
+  util::Rng rng(14);
+  Model model = make_resnet18(rng, /*num_classes=*/4, /*base_width=*/4);
+  model.set_bayesian_last(0);
+  Network& net = model.net();
+  net.set_training(true);
+
+  Tensor x = Tensor::randn({2, 3, 32, 32}, rng);
+  const std::vector<int> labels{1, 3};
+
+  net.zero_grad();
+  const Tensor logits = net.forward(x);
+  const train::LossResult loss = train::softmax_cross_entropy(logits, labels);
+  (void)net.backward(loss.grad);
+
+  std::vector<Param*> params = net.params();
+  util::Rng pick(15);
+  const float eps = 1e-2f;
+  int checked = 0;
+  for (int trial = 0; trial < 10; ++trial) {
+    Param* p = params[static_cast<std::size_t>(
+        pick.uniform_int(0, static_cast<int>(params.size() - 1)))];
+    const std::int64_t i = pick.uniform_int(0, static_cast<int>(p->value.numel() - 1));
+    const float saved = p->value[i];
+    p->value[i] = saved + eps;
+    const double up = train::softmax_cross_entropy(net.forward(x), labels).loss;
+    p->value[i] = saved - eps;
+    const double down = train::softmax_cross_entropy(net.forward(x), labels).loss;
+    p->value[i] = saved;
+    const double numeric = (up - down) / (2.0 * eps);
+    EXPECT_NEAR(p->grad[i], numeric, 5e-2) << "whole-net grad mismatch";
+    ++checked;
+  }
+  EXPECT_EQ(checked, 10);
+}
+
+}  // namespace
+}  // namespace bnn::nn

@@ -1,0 +1,319 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "nn/activations.h"
+#include "nn/batchnorm.h"
+#include "nn/conv2d.h"
+#include "nn/dropout.h"
+#include "nn/elementwise.h"
+#include "nn/linear.h"
+#include "nn/pooling.h"
+
+namespace bnn::nn {
+namespace {
+
+// Direct (definition-level) convolution used as an oracle for Conv2d.
+Tensor naive_conv(const Tensor& x, const Tensor& w, const Tensor& b, int stride, int pad) {
+  const int batch = x.size(0), in_c = x.size(1), h = x.size(2), wd = x.size(3);
+  const int out_c = w.size(0), k = w.size(2);
+  const int out_h = (h + 2 * pad - k) / stride + 1;
+  const int out_w = (wd + 2 * pad - k) / stride + 1;
+  Tensor y({batch, out_c, out_h, out_w});
+  for (int n = 0; n < batch; ++n)
+    for (int f = 0; f < out_c; ++f)
+      for (int oh = 0; oh < out_h; ++oh)
+        for (int ow = 0; ow < out_w; ++ow) {
+          float acc = b.empty() ? 0.0f : b[f];
+          for (int c = 0; c < in_c; ++c)
+            for (int kh = 0; kh < k; ++kh)
+              for (int kw = 0; kw < k; ++kw) {
+                const int ih = oh * stride - pad + kh;
+                const int iw = ow * stride - pad + kw;
+                if (ih < 0 || ih >= h || iw < 0 || iw >= wd) continue;
+                acc += x.v4(n, c, ih, iw) * w.v4(f, c, kh, kw);
+              }
+          y.v4(n, f, oh, ow) = acc;
+        }
+  return y;
+}
+
+struct ConvCase {
+  int in_c, out_c, kernel, stride, pad, image;
+};
+
+class ConvForward : public ::testing::TestWithParam<ConvCase> {};
+
+TEST_P(ConvForward, MatchesNaiveConvolution) {
+  const ConvCase cp = GetParam();
+  util::Rng rng(17);
+  Conv2d conv(cp.in_c, cp.out_c, cp.kernel, cp.stride, cp.pad);
+  conv.init_kaiming(rng);
+  for (std::int64_t i = 0; i < conv.bias().value.numel(); ++i)
+    conv.bias().value[i] = static_cast<float>(rng.normal());
+  Tensor x = Tensor::randn({2, cp.in_c, cp.image, cp.image}, rng);
+  Tensor got = conv.forward(x);
+  Tensor expected = naive_conv(x, conv.weight().value, conv.bias().value, cp.stride, cp.pad);
+  ASSERT_TRUE(got.same_shape(expected)) << got.shape_string();
+  EXPECT_LT(got.max_abs_diff(expected), 1e-4f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ConvForward,
+                         ::testing::Values(ConvCase{1, 4, 3, 1, 1, 8},
+                                           ConvCase{3, 8, 5, 1, 2, 12},
+                                           ConvCase{4, 6, 3, 2, 1, 9},
+                                           ConvCase{2, 2, 1, 1, 0, 5},
+                                           ConvCase{5, 7, 7, 2, 3, 14},
+                                           ConvCase{6, 16, 5, 1, 0, 10}));
+
+TEST(Conv2d, ShapeInference) {
+  Conv2d conv(3, 8, 3, 2, 1);
+  const std::vector<int> out = conv.out_shape({4, 3, 32, 32});
+  EXPECT_EQ(out, (std::vector<int>{4, 8, 16, 16}));
+  EXPECT_THROW(conv.out_shape({4, 5, 32, 32}), std::invalid_argument);
+}
+
+TEST(Conv2d, MacCount) {
+  Conv2d conv(3, 8, 3, 1, 1);
+  // 8 filters * 3 channels * 3*3 kernel * 32*32 positions = 221184 per image
+  EXPECT_EQ(conv.macs({1, 3, 32, 32}), 221184);
+  EXPECT_EQ(conv.macs({2, 3, 32, 32}), 2 * 221184);
+}
+
+TEST(Linear, MatchesManualProduct) {
+  util::Rng rng(5);
+  Linear fc(3, 2);
+  fc.init_kaiming(rng);
+  fc.bias().value[0] = 0.5f;
+  fc.bias().value[1] = -1.0f;
+  Tensor x = Tensor::from_values({1, 3}, {1.0f, 2.0f, 3.0f});
+  Tensor y = fc.forward(x);
+  const auto& w = fc.weight().value;
+  EXPECT_NEAR(y.v2(0, 0), w.at({0, 0}) * 1 + w.at({0, 1}) * 2 + w.at({0, 2}) * 3 + 0.5f, 1e-5f);
+  EXPECT_NEAR(y.v2(0, 1), w.at({1, 0}) * 1 + w.at({1, 1}) * 2 + w.at({1, 2}) * 3 - 1.0f, 1e-5f);
+}
+
+TEST(Linear, EquivalentToOneByOneConv) {
+  util::Rng rng(5);
+  Linear fc(6, 4);
+  fc.init_kaiming(rng);
+  Conv2d conv(6, 4, 1);
+  for (std::int64_t i = 0; i < fc.weight().value.numel(); ++i)
+    conv.weight().value[i] = fc.weight().value[i];
+  Tensor x = Tensor::randn({3, 6}, rng);
+  Tensor x_img = x.reshaped({3, 6, 1, 1});
+  Tensor y_fc = fc.forward(x);
+  Tensor y_conv = conv.forward(x_img).reshaped({3, 4});
+  EXPECT_LT(y_fc.max_abs_diff(y_conv), 1e-4f);
+}
+
+TEST(BatchNorm, TrainingNormalizesBatch) {
+  util::Rng rng(23);
+  BatchNorm2d bn(3);
+  bn.set_training(true);
+  Tensor x = Tensor::randn({8, 3, 6, 6}, rng, 5.0f, 3.0f);
+  Tensor y = bn.forward(x);
+  for (int c = 0; c < 3; ++c) {
+    double sum = 0.0, sum_sq = 0.0;
+    for (int n = 0; n < 8; ++n)
+      for (int h = 0; h < 6; ++h)
+        for (int w = 0; w < 6; ++w) {
+          const double v = y.v4(n, c, h, w);
+          sum += v;
+          sum_sq += v * v;
+        }
+    const double count = 8 * 6 * 6;
+    EXPECT_NEAR(sum / count, 0.0, 1e-4);
+    EXPECT_NEAR(sum_sq / count, 1.0, 1e-3);
+  }
+}
+
+TEST(BatchNorm, EvalUsesRunningStats) {
+  BatchNorm2d bn(1);
+  bn.running_mean()[0] = 2.0f;
+  bn.running_var()[0] = 4.0f;
+  bn.gamma().value[0] = 3.0f;
+  bn.beta().value[0] = 1.0f;
+  bn.set_training(false);
+  Tensor x = Tensor::full({1, 1, 2, 2}, 4.0f);
+  Tensor y = bn.forward(x);
+  // (4 - 2) / sqrt(4 + eps) * 3 + 1 ~= 4.0
+  EXPECT_NEAR(y.v4(0, 0, 0, 0), 4.0f, 1e-3f);
+}
+
+TEST(BatchNorm, InferenceAffineMatchesEvalForward) {
+  util::Rng rng(3);
+  BatchNorm2d bn(4);
+  // Push the module through a training step to move stats off defaults.
+  bn.set_training(true);
+  (void)bn.forward(Tensor::randn({4, 4, 5, 5}, rng, 2.0f, 1.5f));
+  bn.set_training(false);
+
+  std::vector<float> scale, shift;
+  bn.inference_affine(scale, shift);
+  Tensor x = Tensor::randn({2, 4, 3, 3}, rng);
+  Tensor y = bn.forward(x);
+  for (int n = 0; n < 2; ++n)
+    for (int c = 0; c < 4; ++c)
+      for (int h = 0; h < 3; ++h)
+        for (int w = 0; w < 3; ++w)
+          EXPECT_NEAR(y.v4(n, c, h, w),
+                      scale[static_cast<std::size_t>(c)] * x.v4(n, c, h, w) +
+                          shift[static_cast<std::size_t>(c)],
+                      1e-4f);
+}
+
+TEST(ReLUTest, ClampsNegative) {
+  ReLU relu;
+  Tensor x = Tensor::from_values({1, 4}, {-2, -0.5f, 0, 3});
+  Tensor y = relu.forward(x);
+  EXPECT_EQ(y[0], 0.0f);
+  EXPECT_EQ(y[1], 0.0f);
+  EXPECT_EQ(y[2], 0.0f);
+  EXPECT_EQ(y[3], 3.0f);
+}
+
+TEST(SoftmaxTest, RowsSumToOneAndOrderPreserved) {
+  Tensor logits = Tensor::from_values({2, 3}, {1, 2, 3, -1, -1, -1});
+  Tensor probs = softmax_rows(logits);
+  for (int n = 0; n < 2; ++n) {
+    float sum = 0.0f;
+    for (int k = 0; k < 3; ++k) sum += probs.v2(n, k);
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+  }
+  EXPECT_GT(probs.v2(0, 2), probs.v2(0, 1));
+  EXPECT_NEAR(probs.v2(1, 0), 1.0f / 3.0f, 1e-5f);
+}
+
+TEST(SoftmaxTest, StableForLargeLogits) {
+  Tensor logits = Tensor::from_values({1, 2}, {1000.0f, 999.0f});
+  Tensor probs = softmax_rows(logits);
+  EXPECT_TRUE(std::isfinite(probs.v2(0, 0)));
+  EXPECT_GT(probs.v2(0, 0), probs.v2(0, 1));
+}
+
+TEST(MaxPool, PicksWindowMaximum) {
+  MaxPool2d pool(2);
+  Tensor x = Tensor::from_values({1, 1, 4, 4},
+                                 {1, 2, 5, 6, 3, 4, 7, 8, 9, 10, 13, 14, 11, 12, 15, 16});
+  Tensor y = pool.forward(x);
+  EXPECT_EQ(y.v4(0, 0, 0, 0), 4.0f);
+  EXPECT_EQ(y.v4(0, 0, 0, 1), 8.0f);
+  EXPECT_EQ(y.v4(0, 0, 1, 0), 12.0f);
+  EXPECT_EQ(y.v4(0, 0, 1, 1), 16.0f);
+}
+
+TEST(AvgPool, AveragesWindow) {
+  AvgPool2d pool(2);
+  Tensor x = Tensor::from_values({1, 1, 2, 2}, {1, 3, 5, 7});
+  Tensor y = pool.forward(x);
+  EXPECT_EQ(y.size(2), 1);
+  EXPECT_FLOAT_EQ(y.v4(0, 0, 0, 0), 4.0f);
+}
+
+TEST(GlobalAvgPoolTest, ReducesToOnePixel) {
+  GlobalAvgPool pool;
+  util::Rng rng(1);
+  Tensor x = Tensor::randn({2, 3, 5, 5}, rng);
+  Tensor y = pool.forward(x);
+  EXPECT_EQ(y.shape(), (std::vector<int>{2, 3, 1, 1}));
+  double expected = 0.0;
+  for (int i = 0; i < 25; ++i) expected += x.v4(1, 2, i / 5, i % 5);
+  EXPECT_NEAR(y.v4(1, 2, 0, 0), expected / 25.0, 1e-4);
+}
+
+TEST(AddTest, SumsOperandsAndRejectsSingleInput) {
+  Add add;
+  Tensor a = Tensor::full({1, 2, 2, 2}, 1.0f);
+  Tensor b = Tensor::full({1, 2, 2, 2}, 2.5f);
+  Tensor y = add.forward2(a, b);
+  EXPECT_FLOAT_EQ(y[0], 3.5f);
+  EXPECT_THROW(add.forward(a), std::logic_error);
+  Tensor c = Tensor::full({1, 2, 2, 3}, 0.0f);
+  EXPECT_THROW(add.forward2(a, c), std::invalid_argument);
+}
+
+TEST(FlattenTest, CollapsesTrailingDims) {
+  Flatten flatten;
+  Tensor x = Tensor::randn({2, 3, 4, 5}, *[] { static util::Rng rng(2); return &rng; }());
+  Tensor y = flatten.forward(x);
+  EXPECT_EQ(y.shape(), (std::vector<int>{2, 60}));
+  EXPECT_EQ(y.v2(1, 0), x.v4(1, 0, 0, 0));
+}
+
+TEST(McDropoutTest, InactiveIsIdentity) {
+  McDropout drop(0.5);
+  util::Rng rng(4);
+  Tensor x = Tensor::randn({2, 8, 3, 3}, rng);
+  Tensor y = drop.forward(x);
+  EXPECT_EQ(x.max_abs_diff(y), 0.0f);
+}
+
+TEST(McDropoutTest, ActiveMasksWholeChannels) {
+  McDropout drop(0.5, /*seed=*/11);
+  drop.set_active(true);
+  util::Rng rng(4);
+  Tensor x = Tensor::randn({1, 32, 4, 4}, rng, 10.0f, 0.5f);  // values far from 0
+  Tensor y = drop.forward(x);
+  const float keep_scale = 2.0f;
+  int dropped = 0;
+  for (int c = 0; c < 32; ++c) {
+    const bool is_dropped = y.v4(0, c, 0, 0) == 0.0f;
+    dropped += is_dropped ? 1 : 0;
+    for (int h = 0; h < 4; ++h)
+      for (int w = 0; w < 4; ++w) {
+        if (is_dropped)
+          EXPECT_EQ(y.v4(0, c, h, w), 0.0f);
+        else
+          EXPECT_NEAR(y.v4(0, c, h, w), x.v4(0, c, h, w) * keep_scale, 1e-4f);
+      }
+  }
+  EXPECT_GT(dropped, 0);
+  EXPECT_LT(dropped, 32);
+}
+
+TEST(McDropoutTest, ZeroProbabilityKeepsEverything) {
+  McDropout drop(0.0);
+  drop.set_active(true);
+  util::Rng rng(4);
+  Tensor x = Tensor::randn({2, 4, 3, 3}, rng);
+  Tensor y = drop.forward(x);
+  EXPECT_LT(x.max_abs_diff(y), 1e-6f);
+}
+
+TEST(McDropoutTest, ReseedReproducesMasks) {
+  McDropout drop(0.25);
+  drop.set_active(true);
+  util::Rng rng(4);
+  Tensor x = Tensor::randn({1, 64, 2, 2}, rng);
+  drop.reseed(99);
+  Tensor y1 = drop.forward(x);
+  drop.reseed(99);
+  Tensor y2 = drop.forward(x);
+  EXPECT_EQ(y1.max_abs_diff(y2), 0.0f);
+  Tensor y3 = drop.forward(x);  // stream has advanced -> different masks
+  EXPECT_GT(y1.max_abs_diff(y3), 0.0f);
+}
+
+TEST(McDropoutTest, DropFrequencyNearP) {
+  McDropout drop(0.25, /*seed=*/21);
+  drop.set_active(true);
+  Tensor x = Tensor::full({64, 64}, 1.0f);
+  int dropped = 0;
+  const int trials = 8;
+  for (int t = 0; t < trials; ++t) {
+    Tensor y = drop.forward(x);
+    for (std::int64_t i = 0; i < y.numel(); ++i) dropped += y[i] == 0.0f ? 1 : 0;
+  }
+  const double rate = static_cast<double>(dropped) / (trials * 64.0 * 64.0);
+  EXPECT_NEAR(rate, 0.25, 0.02);
+}
+
+TEST(McDropoutTest, RejectsBadProbability) {
+  EXPECT_THROW(McDropout(-0.1), std::invalid_argument);
+  EXPECT_THROW(McDropout(1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bnn::nn

@@ -1,0 +1,106 @@
+#include "core/lfsr.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace bnn::core {
+namespace {
+
+TEST(Lfsr, RejectsBadConstruction) {
+  EXPECT_THROW(Lfsr(1, {1}, 1), std::invalid_argument);            // too narrow
+  EXPECT_THROW(Lfsr(8, {}, 1), std::invalid_argument);             // no taps
+  EXPECT_THROW(Lfsr(8, {9, 8}, 1), std::invalid_argument);         // tap out of range
+  EXPECT_THROW(Lfsr(8, {6, 5, 4}, 1), std::invalid_argument);      // output not tapped
+  EXPECT_THROW(Lfsr(8, {8, 6, 5, 4}, 0), std::invalid_argument);   // zero seed
+  EXPECT_THROW(Lfsr(64, {64, 63}, 0, 5), std::invalid_argument);   // zero after masking
+}
+
+// Walks the register until the state returns to the seed; for a maximal
+// tap set the period must be exactly 2^width - 1.
+class LfsrPeriod : public ::testing::TestWithParam<int> {};
+
+TEST_P(LfsrPeriod, MaximalTapsGiveFullPeriod) {
+  const int width = GetParam();
+  Lfsr lfsr(width, maximal_taps(width), /*seed=*/1);
+  const std::uint64_t seed_lo = lfsr.state_lo();
+  const std::uint64_t expected_period = (1ull << width) - 1;
+  std::uint64_t steps = 0;
+  do {
+    lfsr.step();
+    ++steps;
+  } while (lfsr.state_lo() != seed_lo && steps <= expected_period);
+  EXPECT_EQ(steps, expected_period);
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallWidths, LfsrPeriod, ::testing::Values(3, 4, 5, 7, 8, 12, 16));
+
+TEST(Lfsr, OutputBalancedOverPeriod) {
+  const int width = 12;
+  Lfsr lfsr(width, maximal_taps(width), 1);
+  const std::uint64_t period = (1ull << width) - 1;
+  std::uint64_t ones = 0;
+  for (std::uint64_t i = 0; i < period; ++i) ones += static_cast<std::uint64_t>(lfsr.step());
+  // A maximal-length sequence has exactly 2^(n-1) ones per period.
+  EXPECT_EQ(ones, 1ull << (width - 1));
+}
+
+TEST(Lfsr, DeterministicPerSeed) {
+  Lfsr a = make_lfsr128(42, 7);
+  Lfsr b = make_lfsr128(42, 7);
+  Lfsr c = make_lfsr128(43, 7);
+  bool diverged = false;
+  for (int i = 0; i < 1000; ++i) {
+    const int bit_a = a.step();
+    EXPECT_EQ(bit_a, b.step());
+    if (bit_a != c.step()) diverged = true;
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(Lfsr, Lfsr128UsesPaperTaps) {
+  Lfsr lfsr = make_lfsr128(1);
+  EXPECT_EQ(lfsr.width(), 128);
+  EXPECT_EQ(lfsr.taps(), (std::vector<int>{128, 126, 101, 99}));
+}
+
+TEST(Lfsr, Lfsr128StateDoesNotRepeatQuickly) {
+  Lfsr lfsr = make_lfsr128(0xDEADBEEFull, 0xFEEDFACEull);
+  const std::uint64_t lo0 = lfsr.state_lo();
+  const std::uint64_t hi0 = lfsr.state_hi();
+  for (int i = 0; i < 200000; ++i) {
+    lfsr.step();
+    ASSERT_FALSE(lfsr.state_lo() == lo0 && lfsr.state_hi() == hi0)
+        << "128-bit LFSR state repeated after " << i << " steps";
+  }
+}
+
+TEST(Lfsr, Lfsr128BitsRoughlyBalanced) {
+  Lfsr lfsr = make_lfsr128(0x1234567890ABCDEFull);
+  const int n = 100000;
+  int ones = 0;
+  for (int i = 0; i < n; ++i) ones += lfsr.step();
+  const double rate = static_cast<double>(ones) / n;
+  EXPECT_NEAR(rate, 0.5, 0.01);
+}
+
+TEST(Lfsr, Lfsr128SuccessivePairsUncorrelated) {
+  Lfsr lfsr = make_lfsr128(0xCAFEBABEull);
+  const int n = 100000;
+  int prev = lfsr.step();
+  int agree = 0;
+  for (int i = 0; i < n; ++i) {
+    const int bit = lfsr.step();
+    agree += bit == prev ? 1 : 0;
+    prev = bit;
+  }
+  EXPECT_NEAR(static_cast<double>(agree) / n, 0.5, 0.01);
+}
+
+TEST(Lfsr, MaximalTapsTableRejectsUnknownWidth) {
+  EXPECT_THROW(maximal_taps(9), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bnn::core

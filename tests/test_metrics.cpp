@@ -1,0 +1,127 @@
+#include "metrics/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.h"
+#include "util/summary.h"
+
+namespace bnn::metrics {
+namespace {
+
+nn::Tensor one_hot_probs(const std::vector<int>& classes, int k, float confidence = 1.0f) {
+  nn::Tensor probs({static_cast<int>(classes.size()), k});
+  const float rest = (1.0f - confidence) / static_cast<float>(k - 1);
+  for (int n = 0; n < probs.size(0); ++n)
+    for (int j = 0; j < k; ++j)
+      probs.v2(n, j) = j == classes[static_cast<std::size_t>(n)] ? confidence : rest;
+  return probs;
+}
+
+TEST(Accuracy, CountsArgmaxHits) {
+  nn::Tensor probs = one_hot_probs({0, 1, 2, 1}, 3, 0.9f);
+  EXPECT_DOUBLE_EQ(accuracy(probs, {0, 1, 2, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(accuracy(probs, {0, 1, 0, 0}), 0.5);
+  EXPECT_THROW(accuracy(probs, {0, 1}), std::invalid_argument);
+}
+
+TEST(ArgmaxRows, PicksLargest) {
+  nn::Tensor probs = nn::Tensor::from_values({2, 3}, {0.2f, 0.5f, 0.3f, 0.7f, 0.1f, 0.2f});
+  EXPECT_EQ(argmax_rows(probs), (std::vector<int>{1, 0}));
+}
+
+TEST(PredictiveEntropy, UniformIsLogK) {
+  const int k = 10;
+  nn::Tensor probs = nn::Tensor::full({5, k}, 1.0f / k);
+  EXPECT_NEAR(average_predictive_entropy(probs), std::log(static_cast<double>(k)), 1e-6);
+}
+
+TEST(PredictiveEntropy, OneHotIsZero) {
+  nn::Tensor probs = one_hot_probs({1, 3}, 5, 1.0f);
+  EXPECT_NEAR(average_predictive_entropy(probs), 0.0, 1e-9);
+}
+
+TEST(PredictiveEntropy, MonotoneInSharpness) {
+  nn::Tensor sharp = one_hot_probs({0, 1}, 4, 0.95f);
+  nn::Tensor soft = one_hot_probs({0, 1}, 4, 0.55f);
+  EXPECT_LT(average_predictive_entropy(sharp), average_predictive_entropy(soft));
+}
+
+TEST(Ece, PerfectlyConfidentAndCorrectIsZero) {
+  nn::Tensor probs = one_hot_probs({0, 1, 2}, 3, 1.0f);
+  EXPECT_NEAR(expected_calibration_error(probs, {0, 1, 2}), 0.0, 1e-9);
+}
+
+TEST(Ece, ConfidentButWrongIsLarge) {
+  nn::Tensor probs = one_hot_probs({0, 0, 0, 0}, 3, 0.99f);
+  // Accuracy 0, confidence 0.99 -> ECE ~= 0.99.
+  EXPECT_NEAR(expected_calibration_error(probs, {1, 1, 1, 1}), 0.99, 1e-6);
+}
+
+TEST(Ece, CalibratedPredictionsScoreLow) {
+  // 70%-confident predictions correct exactly 70% of the time.
+  const int n = 1000;
+  nn::Tensor probs({n, 2});
+  std::vector<int> labels(static_cast<std::size_t>(n));
+  util::Rng rng(5);
+  for (int i = 0; i < n; ++i) {
+    probs.v2(i, 0) = 0.7f;
+    probs.v2(i, 1) = 0.3f;
+    labels[static_cast<std::size_t>(i)] = rng.bernoulli(0.7) ? 0 : 1;
+  }
+  EXPECT_LT(expected_calibration_error(probs, labels), 0.05);
+}
+
+TEST(Ece, MatchesHandComputedBins) {
+  // Two samples in bin (0.5,0.6]: conf .55/.55, one right one wrong.
+  nn::Tensor probs = nn::Tensor::from_values({2, 2}, {0.55f, 0.45f, 0.55f, 0.45f});
+  const double ece = expected_calibration_error(probs, {0, 1}, 10);
+  EXPECT_NEAR(ece, std::fabs(0.5 - 0.55), 1e-6);
+}
+
+TEST(ReliabilityDiagram, BinBookkeeping) {
+  nn::Tensor probs = nn::Tensor::from_values({3, 2}, {0.95f, 0.05f, 0.62f, 0.38f, 0.58f, 0.42f});
+  const auto bins = reliability_diagram(probs, {0, 0, 1}, 10);
+  ASSERT_EQ(bins.size(), 10u);
+  EXPECT_EQ(bins[9].count, 1);  // 0.95
+  EXPECT_EQ(bins[6].count, 1);  // 0.62
+  EXPECT_EQ(bins[5].count, 1);  // 0.58 (prediction 0, label 1 -> wrong)
+  EXPECT_DOUBLE_EQ(bins[5].accuracy, 0.0);
+  EXPECT_DOUBLE_EQ(bins[9].accuracy, 1.0);
+}
+
+TEST(ConfidenceHistogram, NormalizedAndLocalized) {
+  nn::Tensor probs = one_hot_probs({0, 1, 0, 1}, 2, 0.98f);
+  const auto histogram = confidence_histogram(probs, 10);
+  double total = 0.0;
+  for (double v : histogram) total += v;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  // All mass in the top bin (confidence 0.98 with K=2 spans [0.5, 1]).
+  EXPECT_NEAR(histogram.back(), 1.0, 1e-9);
+}
+
+TEST(MeanConfidence, Averages) {
+  nn::Tensor probs = nn::Tensor::from_values({2, 2}, {0.9f, 0.1f, 0.6f, 0.4f});
+  EXPECT_NEAR(mean_confidence(probs), 0.75, 1e-6);
+}
+
+TEST(MeanStdAccumulator, WelfordMatchesDefinition) {
+  util::MeanStd acc;
+  const double values[] = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  for (double v : values) acc.add(v);
+  EXPECT_EQ(acc.count(), 8u);
+  EXPECT_NEAR(acc.mean(), 5.0, 1e-12);
+  // Sample std of the classic dataset is sqrt(32/7).
+  EXPECT_NEAR(acc.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(MeanStdAccumulator, SingleSampleHasZeroStd) {
+  util::MeanStd acc;
+  acc.add(3.0);
+  EXPECT_EQ(acc.stddev(), 0.0);
+}
+
+}  // namespace
+}  // namespace bnn::metrics

@@ -1,0 +1,174 @@
+#include "nn/models.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace bnn::nn {
+namespace {
+
+TEST(Models, LeNet5Shapes) {
+  util::Rng rng(1);
+  Model model = make_lenet5(rng);
+  EXPECT_EQ(model.input_shape(), (std::vector<int>{1, 28, 28}));
+  EXPECT_EQ(model.num_sites(), 4);
+  Tensor x = Tensor::randn({2, 1, 28, 28}, rng);
+  Tensor y = model.net().forward(x);
+  EXPECT_EQ(y.shape(), (std::vector<int>{2, 10}));
+}
+
+TEST(Models, Vgg11Shapes) {
+  util::Rng rng(2);
+  Model model = make_vgg11(rng, 10, /*width_divisor=*/8);
+  EXPECT_EQ(model.num_sites(), 9);
+  Tensor x = Tensor::randn({1, 3, 32, 32}, rng);
+  Tensor y = model.net().forward(x);
+  EXPECT_EQ(y.shape(), (std::vector<int>{1, 10}));
+}
+
+TEST(Models, ResNet18Shapes) {
+  util::Rng rng(3);
+  Model model = make_resnet18(rng, 10, /*base_width=*/8);
+  EXPECT_EQ(model.num_sites(), 9);
+  Tensor x = Tensor::randn({1, 3, 32, 32}, rng);
+  Tensor y = model.net().forward(x);
+  EXPECT_EQ(y.shape(), (std::vector<int>{1, 10}));
+}
+
+TEST(Models, TinyCnnShapes) {
+  util::Rng rng(4);
+  Model model = make_tiny_cnn(rng, 10, 1, 12);
+  Tensor x = Tensor::randn({3, 1, 12, 12}, rng);
+  EXPECT_EQ(model.net().forward(x).shape(), (std::vector<int>{3, 10}));
+  EXPECT_EQ(model.num_sites(), 3);
+}
+
+TEST(Models, SetBayesianLastActivatesSuffix) {
+  util::Rng rng(5);
+  Model model = make_lenet5(rng);
+  model.set_bayesian_last(2);
+  EXPECT_FALSE(model.site(0).active());
+  EXPECT_FALSE(model.site(1).active());
+  EXPECT_TRUE(model.site(2).active());
+  EXPECT_TRUE(model.site(3).active());
+  EXPECT_EQ(model.bayesian_layers(), 2);
+  EXPECT_EQ(model.first_active_site(), model.site_nodes()[2]);
+
+  model.set_bayesian_last(0);
+  EXPECT_EQ(model.first_active_site(), -1);
+  for (int i = 0; i < model.num_sites(); ++i) EXPECT_FALSE(model.site(i).active());
+
+  EXPECT_THROW(model.set_bayesian_last(5), std::invalid_argument);
+  EXPECT_THROW(model.set_bayesian_last(-1), std::invalid_argument);
+}
+
+TEST(Models, DeterministicNetworkIsRepeatable) {
+  util::Rng rng(6);
+  Model model = make_lenet5(rng);
+  model.set_bayesian_last(0);
+  Tensor x = Tensor::randn({1, 1, 28, 28}, rng);
+  Tensor y1 = model.net().forward(x);
+  Tensor y2 = model.net().forward(x);
+  EXPECT_EQ(y1.max_abs_diff(y2), 0.0f);
+}
+
+TEST(Models, ActiveSitesMakeOutputStochastic) {
+  util::Rng rng(7);
+  Model model = make_lenet5(rng);
+  model.set_bayesian_last(model.num_sites());
+  Tensor x = Tensor::randn({1, 1, 28, 28}, rng);
+  Tensor y1 = model.net().forward(x);
+  Tensor y2 = model.net().forward(x);
+  EXPECT_GT(y1.max_abs_diff(y2), 0.0f);
+}
+
+TEST(Models, SetDropoutPPropagates) {
+  util::Rng rng(8);
+  Model model = make_vgg11(rng, 10, 8);
+  model.set_dropout_p(0.125);
+  for (int i = 0; i < model.num_sites(); ++i) EXPECT_DOUBLE_EQ(model.site(i).p(), 0.125);
+}
+
+TEST(Describe, LeNetHardwareLayers) {
+  util::Rng rng(9);
+  Model model = make_lenet5(rng);
+  NetworkDesc desc = model.describe();
+  // conv1, conv2, fc1, fc2, fc3
+  ASSERT_EQ(desc.num_layers(), 5);
+  EXPECT_EQ(desc.num_sites(), 4);
+  EXPECT_EQ(desc.layers[0].op, HwLayer::Op::conv);
+  EXPECT_TRUE(desc.layers[0].has_bn);
+  EXPECT_TRUE(desc.layers[0].has_relu);
+  EXPECT_EQ(desc.layers[0].pool_kernel, 2);
+  EXPECT_TRUE(desc.layers[0].is_bayes_site);
+  EXPECT_EQ(desc.layers[0].out_h, 14);  // post-pool stored map
+  EXPECT_EQ(desc.layers[0].conv_out_h, 28);
+  EXPECT_EQ(desc.layers[4].op, HwLayer::Op::linear);
+  EXPECT_FALSE(desc.layers[4].is_bayes_site);
+  EXPECT_EQ(desc.layers[2].in_c, 400);
+  EXPECT_EQ(desc.layers[2].out_c, 120);
+}
+
+TEST(Describe, MacsMatchFloatNetwork) {
+  util::Rng rng(10);
+  Model model = make_lenet5(rng);
+  NetworkDesc desc = model.describe();
+  const std::vector<int> batched{1, 1, 28, 28};
+  EXPECT_EQ(desc.total_macs(), model.net().total_macs(batched));
+}
+
+TEST(Describe, CutLayerForBayesPortions) {
+  util::Rng rng(11);
+  Model model = make_lenet5(rng);
+  NetworkDesc desc = model.describe();
+  // Sites live on layers 0,1,2,3 (fc3 has none).
+  EXPECT_EQ(desc.cut_layer_for(4), 0);
+  EXPECT_EQ(desc.cut_layer_for(1), 3);
+  EXPECT_EQ(desc.cut_layer_for(0), desc.num_layers() - 1);
+  EXPECT_THROW(desc.cut_layer_for(5), std::invalid_argument);
+}
+
+TEST(Describe, ResNetShortcutsDetected) {
+  util::Rng rng(12);
+  Model model = make_resnet18(rng, 10, 8);
+  NetworkDesc desc = model.describe();
+  int shortcut_layers = 0;
+  for (const HwLayer& layer : desc.layers) shortcut_layers += layer.has_shortcut ? 1 : 0;
+  EXPECT_EQ(shortcut_layers, 8);  // one Add per basic block
+  EXPECT_EQ(desc.num_sites(), 9);
+}
+
+TEST(Describe, ResNet101AnalyticDescription) {
+  NetworkDesc desc = describe_resnet101();
+  // 1 stem + 33 blocks * 3 convs + 4 projections + 1 fc = 105 layers.
+  EXPECT_EQ(desc.num_layers(), 105);
+  EXPECT_EQ(desc.num_sites(), 105);  // paper runs it with MCD on every layer
+  // Published MAC count for ResNet-101 at 224x224 is ~7.8 GMac.
+  const double gmacs = static_cast<double>(desc.total_macs()) / 1e9;
+  EXPECT_GT(gmacs, 7.0);
+  EXPECT_LT(gmacs, 8.6);
+  // ~44.5 M parameters.
+  const double mparams = static_cast<double>(desc.total_weight_count()) / 1e6;
+  EXPECT_GT(mparams, 40.0);
+  EXPECT_LT(mparams, 48.0);
+}
+
+TEST(Describe, Mlp3Description) {
+  NetworkDesc desc = describe_mlp3(784, 256, 10);
+  ASSERT_EQ(desc.num_layers(), 3);
+  EXPECT_EQ(desc.total_macs(), 784 * 256 + 256 * 256 + 256 * 10);
+  EXPECT_EQ(desc.num_sites(), 3);
+}
+
+TEST(Describe, BufferSizingHelpers) {
+  util::Rng rng(13);
+  Model model = make_lenet5(rng);
+  NetworkDesc desc = model.describe();
+  EXPECT_EQ(desc.max_input_elems(), 6 * 14 * 14 > 28 * 28 ? 6 * 14 * 14 : 28 * 28);
+  // Largest filter slice: fc1 sees 400 inputs (Ci*Ki*Ki = 400).
+  EXPECT_EQ(desc.max_filter_weight_elems(), 400);
+  EXPECT_EQ(desc.max_out_channels(), 120);
+}
+
+}  // namespace
+}  // namespace bnn::nn

@@ -1,0 +1,143 @@
+#include "nn/network.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "nn/activations.h"
+#include "nn/conv2d.h"
+#include "nn/dropout.h"
+#include "nn/elementwise.h"
+#include "nn/linear.h"
+
+namespace bnn::nn {
+namespace {
+
+std::unique_ptr<Linear> make_identity_linear(int features) {
+  auto fc = std::make_unique<Linear>(features, features);
+  for (int i = 0; i < features; ++i) fc->weight().value.at({i, i}) = 1.0f;
+  return fc;
+}
+
+TEST(Network, ForwardRunsInTopologicalOrder) {
+  Network net;
+  auto fc1 = std::make_unique<Linear>(2, 2, /*has_bias=*/true);
+  fc1->weight().value = Tensor::from_values({2, 2}, {1, 0, 0, 1});
+  fc1->bias().value = Tensor::from_values({2}, {1, 1});
+  const auto id1 = net.add(std::move(fc1), Network::input_id);
+  net.add(std::make_unique<ReLU>(), id1);
+
+  Tensor x = Tensor::from_values({1, 2}, {-5.0f, 3.0f});
+  Tensor y = net.forward(x);
+  EXPECT_FLOAT_EQ(y.v2(0, 0), 0.0f);  // -5 + 1 = -4 -> relu -> 0
+  EXPECT_FLOAT_EQ(y.v2(0, 1), 4.0f);
+}
+
+TEST(Network, ResidualDagAddsBranches) {
+  Network net;
+  const auto branch = net.add(make_identity_linear(3), Network::input_id);
+  net.add(std::make_unique<Add>(), branch, Network::input_id);
+
+  Tensor x = Tensor::from_values({1, 3}, {1, 2, 3});
+  Tensor y = net.forward(x);
+  EXPECT_FLOAT_EQ(y.v2(0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(y.v2(0, 2), 6.0f);
+}
+
+TEST(Network, RejectsUnknownInputNode) {
+  Network net;
+  EXPECT_THROW(net.add(std::make_unique<ReLU>(), 5), std::invalid_argument);
+  EXPECT_THROW(net.add(nullptr, Network::input_id), std::invalid_argument);
+}
+
+TEST(Network, ReplayFromRecomputesSuffixOnly) {
+  Network net;
+  const auto fc1 = net.add(make_identity_linear(4), Network::input_id);
+  auto drop = std::make_unique<McDropout>(0.5, /*seed=*/3);
+  drop->set_active(true);
+  const auto site = net.add(std::move(drop), fc1);
+  net.add(make_identity_linear(4), site);
+
+  Tensor x = Tensor::from_values({1, 4}, {1, 1, 1, 1});
+  Tensor first = net.forward(x);
+  // Replay from the dropout node: prefix output (fc1) is reused, the mask
+  // is redrawn, so outputs vary over replays but remain in {0, 2}.
+  bool saw_difference = false;
+  for (int s = 0; s < 16; ++s) {
+    Tensor y = net.replay_from(site);
+    for (int f = 0; f < 4; ++f) {
+      const float v = y.v2(0, f);
+      EXPECT_TRUE(v == 0.0f || v == 2.0f) << v;
+    }
+    if (y.max_abs_diff(first) > 0.0f) saw_difference = true;
+  }
+  EXPECT_TRUE(saw_difference);
+}
+
+TEST(Network, ReplayRequiresPriorForward) {
+  Network net;
+  net.add(make_identity_linear(2), Network::input_id);
+  EXPECT_THROW(net.replay_from(1), std::invalid_argument);
+}
+
+TEST(Network, MultiConsumerGradientsAccumulate) {
+  // y = x + x (both Add operands are the input) => dy/dx = 2.
+  Network net;
+  net.add(std::make_unique<Add>(), Network::input_id, Network::input_id);
+  net.set_training(true);
+  Tensor x = Tensor::from_values({1, 3}, {1, 2, 3});
+  (void)net.forward(x);
+  Tensor grad = net.backward(Tensor::full({1, 3}, 1.0f));
+  for (int i = 0; i < 3; ++i) EXPECT_FLOAT_EQ(grad[i], 2.0f);
+}
+
+TEST(Network, FindNodesReturnsKindsInOrder) {
+  Network net;
+  const auto a = net.add(make_identity_linear(2), Network::input_id);
+  const auto r = net.add(std::make_unique<ReLU>(), a);
+  const auto b = net.add(make_identity_linear(2), r);
+  (void)b;
+  const auto linears = net.find_nodes(LayerKind::linear);
+  ASSERT_EQ(linears.size(), 2u);
+  EXPECT_EQ(linears[0], a);
+  EXPECT_EQ(linears[1], b);
+}
+
+TEST(Network, InferShapesMatchesExecution) {
+  util::Rng rng(8);
+  Network net;
+  auto conv = std::make_unique<Conv2d>(3, 6, 3, 2, 1);
+  conv->init_kaiming(rng);
+  const auto c = net.add(std::move(conv), Network::input_id);
+  net.add(std::make_unique<Flatten>(), c);
+
+  const std::vector<int> in_shape{2, 3, 8, 8};
+  const auto shapes = net.infer_shapes(in_shape);
+  Tensor x = Tensor::randn(in_shape, rng);
+  Tensor y = net.forward(x);
+  EXPECT_EQ(shapes.back(), y.shape());
+  EXPECT_EQ(shapes[1], (std::vector<int>{2, 6, 4, 4}));
+}
+
+TEST(Network, TotalMacsSumsLayers) {
+  util::Rng rng(8);
+  Network net;
+  auto conv = std::make_unique<Conv2d>(1, 2, 3, 1, 1);
+  const auto c = net.add(std::move(conv), Network::input_id);
+  auto flat = net.add(std::make_unique<Flatten>(), c);
+  net.add(std::make_unique<Linear>(2 * 4 * 4, 5), flat);
+  // conv: 2*1*3*3*4*4 = 288; fc: 32*5 = 160
+  EXPECT_EQ(net.total_macs({1, 1, 4, 4}), 288 + 160);
+}
+
+TEST(Network, ActivationAccessor) {
+  Network net;
+  const auto a = net.add(make_identity_linear(2), Network::input_id);
+  Tensor x = Tensor::from_values({1, 2}, {4, 5});
+  (void)net.forward(x);
+  EXPECT_FLOAT_EQ(net.activation(a).v2(0, 1), 5.0f);
+  EXPECT_FLOAT_EQ(net.activation(Network::input_id).v2(0, 0), 4.0f);
+}
+
+}  // namespace
+}  // namespace bnn::nn

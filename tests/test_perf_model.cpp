@@ -1,0 +1,182 @@
+#include "core/perf_model.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/models.h"
+
+namespace bnn::core {
+namespace {
+
+nn::NetworkDesc lenet_desc() {
+  util::Rng rng(1);
+  nn::Model model = nn::make_lenet5(rng);
+  return model.describe();
+}
+
+PerfConfig paper_config() {
+  PerfConfig config;
+  config.nne.pc = 64;
+  config.nne.pf = 64;
+  config.nne.pv = 1;
+  config.nne.clock_mhz = 225.0;
+  return config;
+}
+
+TEST(PerfPass, SingleLayerHandChecked) {
+  nn::NetworkDesc desc;
+  desc.name = "one";
+  desc.input_shape = {16, 10, 10};
+  nn::HwLayer layer;
+  layer.label = "conv0";
+  layer.op = nn::HwLayer::Op::conv;
+  layer.in_c = 16;
+  layer.in_h = 10;
+  layer.in_w = 10;
+  layer.out_c = 32;
+  layer.kernel = 3;
+  layer.stride = 1;
+  layer.pad = 1;
+  layer.conv_out_h = 10;
+  layer.conv_out_w = 10;
+  layer.out_h = 10;
+  layer.out_w = 10;
+  desc.layers.push_back(layer);
+
+  PerfConfig config = paper_config();
+  const RunStats stats = estimate_pass(desc, config, 0, 0, false, false);
+  ASSERT_EQ(stats.per_layer.size(), 1u);
+  const LayerTiming& timing = stats.per_layer.front();
+  // Compute: 1 * ceil(144/64)=3 * 100 = 300 cycles + fill.
+  EXPECT_DOUBLE_EQ(timing.compute_cycles, 300.0 + config.nne.pipeline_fill_cycles);
+  // Memory: input 1600 B, weights 32*16*9 + 12*32 = 4992 B, output 3200 B.
+  EXPECT_EQ(timing.ddr_read_bytes, 1600 + 4608 + 384);
+  EXPECT_EQ(timing.ddr_write_bytes, 3200);
+  EXPECT_EQ(stats.macs, static_cast<std::int64_t>(32) * 16 * 9 * 100);
+  EXPECT_GT(stats.latency_ms, 0.0);
+}
+
+TEST(PerfPass, OnChipFlagsRemoveTraffic) {
+  nn::NetworkDesc desc = lenet_desc();
+  PerfConfig config = paper_config();
+  const RunStats normal = estimate_pass(desc, config, 0, desc.num_layers() - 1, false, false);
+  const RunStats chip_in = estimate_pass(desc, config, 0, desc.num_layers() - 1, true, false);
+  const RunStats keep_out = estimate_pass(desc, config, 0, desc.num_layers() - 1, false, true);
+  EXPECT_LT(chip_in.ddr_bytes, normal.ddr_bytes);
+  EXPECT_LT(keep_out.ddr_bytes, normal.ddr_bytes);
+  EXPECT_EQ(normal.ddr_bytes - chip_in.ddr_bytes, desc.layers.front().in_elems());
+  EXPECT_EQ(normal.ddr_bytes - keep_out.ddr_bytes, desc.layers.back().out_elems());
+}
+
+TEST(PerfMc, DeterministicNetworkIsOnePass) {
+  nn::NetworkDesc desc = lenet_desc();
+  PerfConfig config = paper_config();
+  const RunStats one = estimate_mc(desc, config, 0, 100, true);
+  const RunStats pass = estimate_pass(desc, config, 0, desc.num_layers() - 1, false, false);
+  EXPECT_DOUBLE_EQ(one.total_cycles, pass.total_cycles);
+}
+
+TEST(PerfMc, WithoutIcScalesLinearlyInSamples) {
+  nn::NetworkDesc desc = lenet_desc();
+  PerfConfig config = paper_config();
+  const RunStats s1 = estimate_mc(desc, config, 2, 1, false);
+  const RunStats s10 = estimate_mc(desc, config, 2, 10, false);
+  EXPECT_NEAR(s10.total_cycles, 10.0 * s1.total_cycles, 1e-6);
+  EXPECT_EQ(s10.macs, 10 * s1.macs);
+}
+
+TEST(PerfMc, IcSavesPrefixComputeExactly) {
+  // The paper: IC reduces compute by (N-L)*S layer-equivalents — i.e. the
+  // prefix MACs are paid once instead of S times.
+  nn::NetworkDesc desc = lenet_desc();
+  PerfConfig config = paper_config();
+  const int samples = 50;
+  for (int bayes_layers : {1, 2, 3}) {
+    const int cut = desc.cut_layer_for(bayes_layers);
+    std::int64_t prefix_macs = 0;
+    for (int l = 0; l <= cut; ++l) prefix_macs += desc.layers[static_cast<std::size_t>(l)].macs();
+    const RunStats with_ic = estimate_mc(desc, config, bayes_layers, samples, true);
+    const RunStats without_ic = estimate_mc(desc, config, bayes_layers, samples, false);
+    EXPECT_EQ(without_ic.macs - with_ic.macs,
+              static_cast<std::int64_t>(samples - 1) * prefix_macs)
+        << "L=" << bayes_layers;
+    EXPECT_LT(with_ic.total_cycles, without_ic.total_cycles);
+    EXPECT_LT(with_ic.ddr_bytes, without_ic.ddr_bytes);
+  }
+}
+
+TEST(PerfMc, IcSpeedupShrinksAsBayesPortionGrows) {
+  // Table III's trend: the IC speedup goes down when L increases.
+  nn::NetworkDesc desc = lenet_desc();
+  PerfConfig config = paper_config();
+  double previous_speedup = 1e9;
+  for (int bayes_layers : {1, 2, 3, 4}) {
+    const double with_ic = estimate_mc(desc, config, bayes_layers, 50, true).total_cycles;
+    const double without_ic = estimate_mc(desc, config, bayes_layers, 50, false).total_cycles;
+    const double speedup = without_ic / with_ic;
+    EXPECT_LE(speedup, previous_speedup + 1e-9) << "L=" << bayes_layers;
+    previous_speedup = speedup;
+  }
+}
+
+TEST(PerfMc, LatencyMonotoneInSamples) {
+  nn::NetworkDesc desc = lenet_desc();
+  PerfConfig config = paper_config();
+  double previous = 0.0;
+  for (int samples : {1, 3, 10, 50, 100}) {
+    const double latency = estimate_mc(desc, config, 2, samples, true).latency_ms;
+    EXPECT_GT(latency, previous);
+    previous = latency;
+  }
+}
+
+TEST(PerfMc, MoreParallelismNeverSlower) {
+  nn::NetworkDesc desc = lenet_desc();
+  PerfConfig narrow = paper_config();
+  narrow.nne.pc = 8;
+  narrow.nne.pf = 8;
+  PerfConfig wide = paper_config();
+  const double slow = estimate_mc(desc, narrow, 4, 10, true).total_cycles;
+  const double fast = estimate_mc(desc, wide, 4, 10, true).total_cycles;
+  EXPECT_LE(fast, slow);
+}
+
+TEST(PerfMc, MaskBitsCountActiveSites) {
+  nn::NetworkDesc desc = lenet_desc();
+  // Sites sit on conv1 (6 filters), conv2 (16), fc1 (120), fc2 (84).
+  EXPECT_EQ(mask_bits_per_sample(desc, 4), 6 + 16 + 120 + 84);
+  EXPECT_EQ(mask_bits_per_sample(desc, 1), 84);
+  EXPECT_EQ(mask_bits_per_sample(desc, 0), 0);
+  PerfConfig config = paper_config();
+  EXPECT_EQ(estimate_mc(desc, config, 1, 10, true).mask_bits, 10 * 84);
+}
+
+TEST(PerfMc, ThroughputBoundedByPeak) {
+  util::Rng rng(3);
+  nn::Model model = nn::make_resnet18(rng, 10, 16);
+  const nn::NetworkDesc desc = model.describe();
+  PerfConfig config = paper_config();
+  const RunStats stats = estimate_mc(desc, config, desc.num_sites(), 10, false);
+  EXPECT_LE(stats.throughput_gops(), config.nne.peak_gops());
+  EXPECT_GT(stats.throughput_gops(), 0.0);
+}
+
+TEST(PerfMc, ResNet101ThroughputNearPaperMagnitude) {
+  // Table IV: 1590 GOP/s on ResNet-101 with MCD on every layer at 225 MHz.
+  const nn::NetworkDesc desc = nn::describe_resnet101();
+  PerfConfig config = paper_config();
+  const RunStats stats = estimate_mc(desc, config, desc.num_sites(), 10, false);
+  EXPECT_GT(stats.throughput_gops(), 1000.0);
+  EXPECT_LT(stats.throughput_gops(), config.nne.peak_gops());
+}
+
+TEST(PerfPass, RejectsBadRanges) {
+  nn::NetworkDesc desc = lenet_desc();
+  PerfConfig config = paper_config();
+  EXPECT_THROW(estimate_pass(desc, config, 3, 1, false, false), std::invalid_argument);
+  EXPECT_THROW(estimate_pass(desc, config, 0, 99, false, false), std::invalid_argument);
+  EXPECT_THROW(estimate_mc(desc, config, 2, 0, true), std::invalid_argument);
+  EXPECT_THROW(mask_bits_per_sample(desc, 9), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bnn::core

@@ -1,0 +1,156 @@
+#include "core/resource_model.h"
+
+#include <gtest/gtest.h>
+
+#include "core/dse.h"
+#include "nn/models.h"
+
+namespace bnn::core {
+namespace {
+
+nn::NetworkDesc lenet_desc() {
+  util::Rng rng(1);
+  nn::Model model = nn::make_lenet5(rng);
+  return model.describe();
+}
+
+TEST(Devices, Arria10Totals) {
+  const FpgaDevice device = arria10_sx660();
+  EXPECT_EQ(device.alms, 427200);
+  EXPECT_EQ(device.registers, 1708800);
+  EXPECT_EQ(device.dsps, 1518);
+  EXPECT_EQ(device.m20k_blocks, 2713);
+}
+
+TEST(Resources, PaperDspFormula) {
+  // DSP = PC*PF*PV/2 (two 8-bit multipliers per DSP).
+  const nn::NetworkDesc desc = lenet_desc();
+  for (int pc : {8, 16, 32}) {
+    for (int pf : {8, 16}) {
+      NneConfig config;
+      config.pc = pc;
+      config.pf = pf;
+      config.pv = 1;
+      const ResourceUsage usage =
+          estimate_resources(config, desc, arria10_sx660(), 16, 2);
+      EXPECT_EQ(usage.multipliers, static_cast<std::int64_t>(pc) * pf);
+      EXPECT_EQ(usage.dsps_required, pc * pf / 2);
+      EXPECT_EQ(usage.dsps_used, pc * pf / 2);  // small configs fit entirely
+      EXPECT_EQ(usage.soft_multipliers, 0);
+    }
+  }
+}
+
+TEST(Resources, FifoMemoryFormula) {
+  // MEM_fifo = D * PF * DW.
+  const nn::NetworkDesc desc = lenet_desc();
+  NneConfig config;
+  config.pc = 8;
+  config.pf = 32;
+  config.pv = 1;
+  const ResourceUsage a = estimate_resources(config, desc, arria10_sx660(), 16, 2);
+  const ResourceUsage b = estimate_resources(config, desc, arria10_sx660(), 32, 2);
+  EXPECT_EQ(a.mem_bits_fifo, 16 * 32 * 8);
+  EXPECT_EQ(b.mem_bits_fifo - a.mem_bits_fifo, 16 * 32 * 8);
+}
+
+TEST(Resources, InputAndWeightBuffersTrackWorkload) {
+  // MEM_in = max(Ci*Hi*Wi)*DW; MEM_weight = max(Ci*Ki*Ki)*PF*DW.
+  const nn::NetworkDesc desc = lenet_desc();
+  NneConfig config;
+  config.pc = 8;
+  config.pf = 16;
+  config.pv = 1;
+  const ResourceUsage usage = estimate_resources(config, desc, arria10_sx660(), 16, 2);
+  const MappingCalibration cal;
+  EXPECT_EQ(usage.mem_bits_input,
+            static_cast<std::int64_t>(desc.max_input_elems() * 8 * cal.buffer_replication));
+  EXPECT_EQ(usage.mem_bits_weight,
+            static_cast<std::int64_t>(desc.max_filter_weight_elems() * 16 * 8 *
+                                      cal.buffer_replication));
+}
+
+TEST(Resources, PaperConfigurationLandsNearTableTwo) {
+  // PC=PF=64, PV=1 on the Arria 10: Table II reports 1473/1518 DSPs (97%),
+  // 71% ALMs, 52% registers, 86% M20K. The mapping model should land in
+  // that neighbourhood (DSP overflow spilling to ALM logic).
+  const nn::NetworkDesc desc = nn::describe_resnet101();
+  NneConfig config;
+  config.pc = 64;
+  config.pf = 64;
+  config.pv = 1;
+  const FpgaDevice device = arria10_sx660();
+  const ResourceUsage usage = estimate_resources(config, desc, device, 16, 2);
+
+  EXPECT_EQ(usage.dsps_required, 2048);
+  EXPECT_GT(usage.dsps_used, 1400);
+  EXPECT_LE(usage.dsps_used, device.dsps);
+  EXPECT_GT(usage.soft_multipliers, 0);
+
+  const double alm_util = static_cast<double>(usage.alms_used) / device.alms;
+  EXPECT_GT(alm_util, 0.55);
+  EXPECT_LT(alm_util, 0.90);
+  const double reg_util = static_cast<double>(usage.registers_used) / device.registers;
+  EXPECT_GT(reg_util, 0.35);
+  EXPECT_LT(reg_util, 0.70);
+  const double m20k_util = static_cast<double>(usage.m20k_used) / device.m20k_blocks;
+  EXPECT_GT(m20k_util, 0.4);
+  EXPECT_LT(m20k_util, 1.0);
+  EXPECT_TRUE(fits(usage, device));
+}
+
+TEST(Resources, OversizedConfigurationDoesNotFit) {
+  const nn::NetworkDesc desc = lenet_desc();
+  NneConfig config;
+  config.pc = 128;
+  config.pf = 128;
+  config.pv = 16;
+  const ResourceUsage usage = estimate_resources(config, desc, arria10_sx660(), 16, 2);
+  EXPECT_FALSE(fits(usage, arria10_sx660()));
+}
+
+TEST(Resources, MonotoneInParallelism) {
+  const nn::NetworkDesc desc = lenet_desc();
+  NneConfig small;
+  small.pc = 8;
+  small.pf = 8;
+  small.pv = 1;
+  NneConfig large;
+  large.pc = 64;
+  large.pf = 64;
+  large.pv = 1;
+  const ResourceUsage a = estimate_resources(small, desc, arria10_sx660(), 16, 2);
+  const ResourceUsage b = estimate_resources(large, desc, arria10_sx660(), 16, 2);
+  EXPECT_LT(a.alms_used, b.alms_used);
+  EXPECT_LT(a.dsps_used, b.dsps_used);
+  EXPECT_LE(a.m20k_used, b.m20k_used);
+}
+
+TEST(Resources, RejectsBadArguments) {
+  const nn::NetworkDesc desc = lenet_desc();
+  NneConfig config;
+  EXPECT_THROW(estimate_resources(config, desc, arria10_sx660(), 0, 2),
+               std::invalid_argument);
+  EXPECT_THROW(estimate_resources(config, desc, arria10_sx660(), 16, 0),
+               std::invalid_argument);
+}
+
+TEST(HardwareOptimize, PicksMaximalFeasibleParallelism) {
+  const nn::NetworkDesc desc = lenet_desc();
+  const NneConfig best = optimize_hardware(desc, arria10_sx660(), 225.0, 16, 2);
+  // 4096 multipliers is the largest product that still fits the SX660 once
+  // the DSP overflow is priced in ALM logic (the paper's 64/64/1 point).
+  EXPECT_EQ(best.macs_per_cycle(), 4096);
+  const ResourceUsage usage = estimate_resources(best, desc, arria10_sx660(), 16, 2);
+  EXPECT_TRUE(fits(usage, arria10_sx660()));
+}
+
+TEST(HardwareOptimize, SmallDeviceGetsSmallConfig) {
+  const nn::NetworkDesc desc = lenet_desc();
+  const NneConfig best = optimize_hardware(desc, zynq_xc7z020(), 200.0, 16, 2);
+  EXPECT_LT(best.macs_per_cycle(), 4096);
+  EXPECT_TRUE(fits(estimate_resources(best, desc, zynq_xc7z020(), 16, 2), zynq_xc7z020()));
+}
+
+}  // namespace
+}  // namespace bnn::core

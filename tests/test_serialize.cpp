@@ -1,0 +1,121 @@
+#include "nn/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "nn/models.h"
+
+namespace bnn::nn {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(Serialize, RoundTripRestoresOutputs) {
+  util::Rng rng_a(1);
+  Model a = make_tiny_cnn(rng_a, 10, 1, 12);
+  util::Rng rng_b(2);  // different init
+  Model b = make_tiny_cnn(rng_b, 10, 1, 12);
+  a.set_bayesian_last(0);
+  b.set_bayesian_last(0);
+
+  util::Rng input_rng(3);
+  Tensor x = Tensor::randn({2, 1, 12, 12}, input_rng);
+  const Tensor out_a = a.net().forward(x);
+  EXPECT_GT(out_a.max_abs_diff(b.net().forward(x)), 0.0f);
+
+  const std::string path = temp_path("bnn_serialize_roundtrip.weights");
+  save_model_state(a, path);
+  ASSERT_TRUE(load_model_state(b, path));
+  EXPECT_EQ(out_a.max_abs_diff(b.net().forward(x)), 0.0f);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, PreservesBatchNormRunningStats) {
+  util::Rng rng(4);
+  Model a = make_tiny_cnn(rng, 10, 1, 12);
+  // Push running stats off their defaults with a training pass.
+  a.set_bayesian_last(0);
+  a.net().set_training(true);
+  util::Rng x_rng(5);
+  (void)a.net().forward(Tensor::randn({4, 1, 12, 12}, x_rng, 3.0f, 2.0f));
+  a.net().set_training(false);
+
+  const std::string path = temp_path("bnn_serialize_bn.weights");
+  save_model_state(a, path);
+  util::Rng rng_b(4);
+  Model b = make_tiny_cnn(rng_b, 10, 1, 12);
+  b.set_bayesian_last(0);
+  ASSERT_TRUE(load_model_state(b, path));
+
+  // Eval-mode outputs depend on running stats; equality proves they moved.
+  util::Rng probe_rng(6);
+  Tensor probe = Tensor::randn({1, 1, 12, 12}, probe_rng);
+  EXPECT_EQ(a.net().forward(probe).max_abs_diff(b.net().forward(probe)), 0.0f);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, MissingFileReturnsFalse) {
+  util::Rng rng(7);
+  Model model = make_tiny_cnn(rng, 10, 1, 12);
+  EXPECT_FALSE(load_model_state(model, temp_path("definitely_missing.weights")));
+}
+
+TEST(Serialize, ArchitectureMismatchRejected) {
+  util::Rng rng(8);
+  Model small = make_tiny_cnn(rng, 10, 1, 12);
+  const std::string path = temp_path("bnn_serialize_mismatch.weights");
+  save_model_state(small, path);
+
+  util::Rng rng_b(9);
+  Model lenet = make_lenet5(rng_b);
+  EXPECT_FALSE(load_model_state(lenet, path));
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, GarbageFileRejected) {
+  const std::string path = temp_path("bnn_serialize_garbage.weights");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "this is not a weights file";
+  }
+  util::Rng rng(10);
+  Model model = make_tiny_cnn(rng, 10, 1, 12);
+  EXPECT_FALSE(load_model_state(model, path));
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, TruncatedFileDoesNotHalfLoad) {
+  util::Rng rng(11);
+  Model model = make_tiny_cnn(rng, 10, 1, 12);
+  const std::string path = temp_path("bnn_serialize_trunc.weights");
+  save_model_state(model, path);
+
+  // Chop the file in half.
+  const auto size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size / 2);
+
+  util::Rng rng_b(12);
+  Model fresh = make_tiny_cnn(rng_b, 10, 1, 12);
+  util::Rng probe_rng(13);
+  Tensor probe = Tensor::randn({1, 1, 12, 12}, probe_rng);
+  fresh.set_bayesian_last(0);
+  const Tensor before = fresh.net().forward(probe);
+  bool loaded = false;
+  try {
+    loaded = load_model_state(fresh, path);
+  } catch (const std::exception&) {
+    loaded = false;
+  }
+  EXPECT_FALSE(loaded);
+  // The model must be untouched after the failed load.
+  EXPECT_EQ(before.max_abs_diff(fresh.net().forward(probe)), 0.0f);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace bnn::nn

@@ -1,0 +1,128 @@
+#include "nn/tensor.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace bnn::nn {
+namespace {
+
+TEST(Tensor, DefaultIsEmpty) {
+  Tensor t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.dim(), 0);
+}
+
+TEST(Tensor, ShapeAndNumel) {
+  Tensor t({2, 3, 4});
+  EXPECT_EQ(t.dim(), 3);
+  EXPECT_EQ(t.numel(), 24);
+  EXPECT_EQ(t.size(0), 2);
+  EXPECT_EQ(t.size(2), 4);
+  EXPECT_EQ(t.size(-1), 4);
+  EXPECT_EQ(t.size(-3), 2);
+}
+
+TEST(Tensor, ZeroInitialized) {
+  Tensor t({3, 3});
+  for (std::int64_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, RejectsNonPositiveShape) {
+  EXPECT_THROW(Tensor({2, 0}), std::invalid_argument);
+  EXPECT_THROW(Tensor({-1, 3}), std::invalid_argument);
+}
+
+TEST(Tensor, FullFillsValue) {
+  Tensor t = Tensor::full({2, 2}, 3.5f);
+  for (std::int64_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t[i], 3.5f);
+}
+
+TEST(Tensor, AtChecksBounds) {
+  Tensor t({2, 3});
+  t.at({1, 2}) = 7.0f;
+  EXPECT_EQ(t.at({1, 2}), 7.0f);
+  EXPECT_THROW(t.at({2, 0}), std::invalid_argument);
+  EXPECT_THROW(t.at({0, 3}), std::invalid_argument);
+  EXPECT_THROW(t.at({0}), std::invalid_argument);
+}
+
+TEST(Tensor, Index4MatchesAt) {
+  Tensor t({2, 3, 4, 5});
+  t.at({1, 2, 3, 4}) = 9.0f;
+  EXPECT_EQ(t.v4(1, 2, 3, 4), 9.0f);
+  EXPECT_EQ(t[t.index4(1, 2, 3, 4)], 9.0f);
+}
+
+TEST(Tensor, ReshapeKeepsData) {
+  Tensor t = Tensor::from_values({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor r = t.reshaped({3, 2});
+  EXPECT_EQ(r.size(0), 3);
+  EXPECT_EQ(r.at({2, 1}), 6.0f);
+}
+
+TEST(Tensor, ReshapeInfersDimension) {
+  Tensor t({4, 6});
+  Tensor r = t.reshaped({-1, 8});
+  EXPECT_EQ(r.size(0), 3);
+  EXPECT_EQ(r.size(1), 8);
+  EXPECT_THROW(t.reshaped({-1, -1}), std::invalid_argument);
+  EXPECT_THROW(t.reshaped({5, -1}), std::invalid_argument);
+  EXPECT_THROW(t.reshaped({5, 5}), std::invalid_argument);
+}
+
+TEST(Tensor, AddAndScaleInPlace) {
+  Tensor a = Tensor::from_values({3}, {1, 2, 3});
+  Tensor b = Tensor::from_values({3}, {10, 20, 30});
+  a.add_(b).scale_(2.0f);
+  EXPECT_EQ(a[0], 22.0f);
+  EXPECT_EQ(a[2], 66.0f);
+  Tensor c({4});
+  EXPECT_THROW(a.add_(c), std::invalid_argument);
+}
+
+TEST(Tensor, Reductions) {
+  Tensor t = Tensor::from_values({4}, {-1, 3, 0, 2});
+  EXPECT_EQ(t.min(), -1.0f);
+  EXPECT_EQ(t.max(), 3.0f);
+  EXPECT_EQ(t.sum(), 4.0f);
+  EXPECT_EQ(t.mean(), 1.0f);
+}
+
+TEST(Tensor, MaxAbsDiff) {
+  Tensor a = Tensor::from_values({3}, {1, 2, 3});
+  Tensor b = Tensor::from_values({3}, {1, 2.5f, 2});
+  EXPECT_FLOAT_EQ(a.max_abs_diff(b), 1.0f);
+}
+
+TEST(Tensor, RandnApproximatesMoments) {
+  util::Rng rng(7);
+  Tensor t = Tensor::randn({100, 100}, rng, 1.0f, 2.0f);
+  const double mean = t.mean();
+  EXPECT_NEAR(mean, 1.0, 0.1);
+  double var = 0.0;
+  for (std::int64_t i = 0; i < t.numel(); ++i)
+    var += (t[i] - mean) * (t[i] - mean);
+  var /= static_cast<double>(t.numel());
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.1);
+}
+
+TEST(Tensor, UniformRange) {
+  util::Rng rng(9);
+  Tensor t = Tensor::uniform({1000}, rng, -2.0f, 5.0f);
+  EXPECT_GE(t.min(), -2.0f);
+  EXPECT_LT(t.max(), 5.0f);
+  EXPECT_NEAR(t.mean(), 1.5, 0.3);
+}
+
+TEST(Tensor, FromValuesValidatesCount) {
+  EXPECT_THROW(Tensor::from_values({2, 2}, {1, 2, 3}), std::invalid_argument);
+}
+
+TEST(Tensor, ShapeString) {
+  Tensor t({2, 3, 4});
+  EXPECT_EQ(t.shape_string(), "[2x3x4]");
+}
+
+}  // namespace
+}  // namespace bnn::nn

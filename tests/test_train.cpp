@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/synth.h"
+#include "nn/linear.h"
+#include "nn/models.h"
+#include "train/loss.h"
+#include "train/sgd.h"
+#include "train/trainer.h"
+
+namespace bnn::train {
+namespace {
+
+TEST(Loss, UniformLogitsGiveLogK) {
+  nn::Tensor logits({3, 10});
+  const LossResult result = softmax_cross_entropy(logits, {0, 5, 9});
+  EXPECT_NEAR(result.loss, std::log(10.0), 1e-6);
+}
+
+TEST(Loss, ConfidentCorrectIsSmall) {
+  nn::Tensor logits = nn::Tensor::from_values({1, 3}, {10.0f, 0.0f, 0.0f});
+  EXPECT_LT(softmax_cross_entropy(logits, {0}).loss, 1e-3);
+  EXPECT_GT(softmax_cross_entropy(logits, {1}).loss, 5.0);
+}
+
+TEST(Loss, GradientRowsSumToZero) {
+  util::Rng rng(1);
+  nn::Tensor logits = nn::Tensor::randn({4, 6}, rng);
+  const LossResult result = softmax_cross_entropy(logits, {0, 1, 2, 3});
+  for (int n = 0; n < 4; ++n) {
+    float row_sum = 0.0f;
+    for (int k = 0; k < 6; ++k) row_sum += result.grad.v2(n, k);
+    EXPECT_NEAR(row_sum, 0.0f, 1e-6f);
+  }
+}
+
+TEST(Loss, RejectsBadLabels) {
+  nn::Tensor logits({2, 3});
+  EXPECT_THROW(softmax_cross_entropy(logits, {0}), std::invalid_argument);
+  EXPECT_THROW(softmax_cross_entropy(logits, {0, 3}), std::invalid_argument);
+}
+
+TEST(Sgd, PlainStepDescendsGradient) {
+  nn::Param p;
+  p.value = nn::Tensor::from_values({2}, {1.0f, -2.0f});
+  p.zero_grad();
+  p.grad[0] = 0.5f;
+  p.grad[1] = -1.0f;
+  Sgd opt(0.1, /*momentum=*/0.0, /*weight_decay=*/0.0);
+  opt.step({&p});
+  EXPECT_NEAR(p.value[0], 1.0f - 0.1f * 0.5f, 1e-6f);
+  EXPECT_NEAR(p.value[1], -2.0f + 0.1f * 1.0f, 1e-6f);
+}
+
+TEST(Sgd, MomentumAccumulatesVelocity) {
+  nn::Param p;
+  p.value = nn::Tensor::from_values({1}, {0.0f});
+  Sgd opt(1.0, /*momentum=*/0.5, /*weight_decay=*/0.0);
+  p.zero_grad();
+  p.grad[0] = 1.0f;
+  opt.step({&p});  // v=1, x=-1
+  EXPECT_NEAR(p.value[0], -1.0f, 1e-6f);
+  opt.step({&p});  // v=0.5*1+1=1.5, x=-2.5
+  EXPECT_NEAR(p.value[0], -2.5f, 1e-6f);
+}
+
+TEST(Sgd, WeightDecayPullsTowardZero) {
+  nn::Param p;
+  p.value = nn::Tensor::from_values({1}, {10.0f});
+  p.zero_grad();  // zero gradient: only decay acts
+  Sgd opt(0.1, 0.0, /*weight_decay=*/0.5);
+  opt.step({&p});
+  EXPECT_NEAR(p.value[0], 10.0f - 0.1f * 0.5f * 10.0f, 1e-5f);
+}
+
+TEST(Sgd, SkipsParamsWithoutGradients)
+{
+  nn::Param p;
+  p.value = nn::Tensor::from_values({1}, {3.0f});
+  Sgd opt(0.1);
+  opt.step({&p});  // grad never allocated
+  EXPECT_EQ(p.value[0], 3.0f);
+}
+
+TEST(Trainer, LossDecreasesOnTinyProblem) {
+  util::Rng rng(33);
+  nn::Model model = nn::make_tiny_cnn(rng, 10, 1, 12);
+  model.set_bayesian_last(0);
+
+  util::Rng data_rng(44);
+  data::Dataset digits = data::make_synth_digits(240, data_rng);
+  // Shrink to 12x12 via simple 2x2-mean + crop-free resample to keep the
+  // test fast: easiest is training on full images with a LeNet would be
+  // slow, so instead train the tiny CNN on a 12x12 center crop.
+  nn::Tensor small({digits.size(), 1, 12, 12});
+  for (int n = 0; n < digits.size(); ++n)
+    for (int y = 0; y < 12; ++y)
+      for (int x = 0; x < 12; ++x)
+        small.v4(n, 0, y, x) = digits.images().v4(n, 0, 2 + 2 * y, 2 + 2 * x);
+  data::Dataset ds(std::move(small), digits.labels(), 10);
+
+  TrainConfig config;
+  config.epochs = 4;
+  config.batch_size = 16;
+  config.learning_rate = 0.05;
+  const auto history = fit(model, ds, config);
+  ASSERT_EQ(history.size(), 4u);
+  EXPECT_LT(history.back().mean_loss, history.front().mean_loss);
+  EXPECT_GT(history.back().train_accuracy, 0.3);  // well above 10% chance
+}
+
+TEST(Trainer, EvaluateAccuracyOnTrainedModel) {
+  util::Rng rng(55);
+  nn::Model model = nn::make_tiny_cnn(rng, 10, 1, 12);
+  model.set_bayesian_last(0);
+  util::Rng data_rng(66);
+  data::Dataset digits = data::make_synth_digits(300, data_rng);
+  nn::Tensor small({digits.size(), 1, 12, 12});
+  for (int n = 0; n < digits.size(); ++n)
+    for (int y = 0; y < 12; ++y)
+      for (int x = 0; x < 12; ++x)
+        small.v4(n, 0, y, x) = digits.images().v4(n, 0, 2 + 2 * y, 2 + 2 * x);
+  data::Dataset ds(std::move(small), digits.labels(), 10);
+  const auto [train_set, test_set] = ds.split(240);
+
+  TrainConfig config;
+  config.epochs = 5;
+  config.batch_size = 16;
+  fit(model, train_set, config);
+  const double accuracy = evaluate_accuracy(model, test_set);
+  EXPECT_GT(accuracy, 0.3);
+  EXPECT_LE(accuracy, 1.0);
+}
+
+TEST(Trainer, TrainingWithActiveDropoutStillLearns) {
+  util::Rng rng(77);
+  nn::Model model = nn::make_tiny_cnn(rng, 10, 1, 12);
+  model.set_bayesian_last(model.num_sites());  // full BNN training
+  util::Rng data_rng(88);
+  data::Dataset digits = data::make_synth_digits(240, data_rng);
+  nn::Tensor small({digits.size(), 1, 12, 12});
+  for (int n = 0; n < digits.size(); ++n)
+    for (int y = 0; y < 12; ++y)
+      for (int x = 0; x < 12; ++x)
+        small.v4(n, 0, y, x) = digits.images().v4(n, 0, 2 + 2 * y, 2 + 2 * x);
+  data::Dataset ds(std::move(small), digits.labels(), 10);
+
+  TrainConfig config;
+  config.epochs = 4;
+  config.batch_size = 16;
+  const auto history = fit(model, ds, config);
+  EXPECT_LT(history.back().mean_loss, history.front().mean_loss);
+}
+
+}  // namespace
+}  // namespace bnn::train

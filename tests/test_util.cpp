@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "util/check.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+#include "util/table.h"
+
+namespace bnn::util {
+namespace {
+
+TEST(Check, RequireThrowsInvalidArgument) {
+  EXPECT_NO_THROW(require(true, "fine"));
+  EXPECT_THROW(require(false, "bad input"), std::invalid_argument);
+  try {
+    require(false, "specific message");
+  } catch (const std::invalid_argument& error) {
+    EXPECT_STREQ(error.what(), "specific message");
+  }
+}
+
+TEST(Check, EnsureThrowsLogicError) {
+  EXPECT_NO_THROW(ensure(true, "fine"));
+  EXPECT_THROW(ensure(false, "broken invariant"), std::logic_error);
+}
+
+TEST(RngTest, DeterministicPerSeed) {
+  Rng a(5);
+  Rng b(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, ForkProducesDecorrelatedStreams) {
+  Rng root(7);
+  Rng fork_a = root.fork(0);
+  Rng fork_b = root.fork(1);
+  Rng fork_a2 = root.fork(0);
+  int equal_ab = 0;
+  for (int i = 0; i < 64; ++i) {
+    const std::uint64_t a = fork_a.next_u64();
+    EXPECT_EQ(a, fork_a2.next_u64());  // same id -> same stream
+    if (a == fork_b.next_u64()) ++equal_ab;
+  }
+  EXPECT_EQ(equal_ab, 0);  // different id -> (almost surely) disjoint
+}
+
+TEST(RngTest, UniformIntCoversRangeInclusive) {
+  Rng rng(9);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const int v = rng.uniform_int(3, 5);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 5);
+    saw_lo |= v == 3;
+    saw_hi |= v == 5;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(11);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+  Stopwatch watch;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  const double seconds = watch.elapsed_seconds();
+  EXPECT_GE(seconds, 0.0);
+  EXPECT_GE(watch.elapsed_ms(), seconds * 1e3);  // monotone clock
+  watch.reset();
+  EXPECT_LT(watch.elapsed_seconds(), 1.0);
+}
+
+TEST(TextTableTest, AlignsColumnsAndCountsRows) {
+  TextTable table("title line");
+  table.set_header({"a", "long-header", "c"});
+  table.add_row({"1", "2", "3"});
+  table.add_separator();
+  table.add_row({"wide-cell", "x", "y"});
+  EXPECT_EQ(table.num_rows(), 3u);  // separator counts as a row entry
+
+  const std::string rendered = table.to_string();
+  EXPECT_NE(rendered.find("title line"), std::string::npos);
+  EXPECT_NE(rendered.find("long-header"), std::string::npos);
+  EXPECT_NE(rendered.find("wide-cell"), std::string::npos);
+  // Every body line must be equally wide (alignment check).
+  std::size_t expected_width = std::string::npos;
+  std::size_t pos = rendered.find('\n') + 1;  // skip title
+  while (pos < rendered.size()) {
+    const std::size_t end = rendered.find('\n', pos);
+    if (end == std::string::npos) break;
+    const std::size_t width = end - pos;
+    if (expected_width == std::string::npos) expected_width = width;
+    EXPECT_EQ(width, expected_width);
+    pos = end + 1;
+  }
+}
+
+TEST(TextTableTest, HandlesRaggedRows) {
+  TextTable table;
+  table.set_header({"a", "b"});
+  table.add_row({"only-one"});
+  const std::string rendered = table.to_string();
+  EXPECT_NE(rendered.find("only-one"), std::string::npos);
+}
+
+TEST(Format, FixedDigits) {
+  EXPECT_EQ(fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fixed(2.0, 0), "2");
+  EXPECT_EQ(fixed(-1.005, 1), "-1.0");
+}
+
+TEST(Format, MeanStd) {
+  EXPECT_EQ(mean_std(1.25, 0.5, 2), "1.25 +/- 0.50");
+}
+
+}  // namespace
+}  // namespace bnn::util
