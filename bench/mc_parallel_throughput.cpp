@@ -1,0 +1,148 @@
+// Parallel Monte Carlo throughput: samples/sec of the S-sample loop vs
+// worker thread count, for both the float reference path (bayes::mc_predict)
+// and the simulated accelerator's functional path (Accelerator::predict).
+//
+// The paper's accelerator wins its throughput by running Monte Carlo
+// samples concurrently in hardware; this bench measures the software
+// analogue introduced by the thread-pool runtime. Every configuration must
+// be bit-identical to the single-threaded run — the bench verifies that on
+// every row (see PredictiveOptions::num_threads / AcceleratorConfig::
+// num_threads for the determinism scheme).
+//
+//   ./build/bench/mc_parallel_throughput [--S N] [--repeats N]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bayes/predictive.h"
+#include "core/accelerator.h"
+#include "data/synth.h"
+#include "nn/models.h"
+#include "util/stopwatch.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace bnn;
+
+const std::vector<int>& thread_grid() {
+  static const std::vector<int> grid{1, 2, 4, 8};
+  return grid;
+}
+
+double best_seconds(int repeats, const std::function<void()>& body) {
+  double best = 1e300;
+  for (int r = 0; r < repeats; ++r) {
+    util::Stopwatch watch;
+    body();
+    best = std::min(best, watch.elapsed_seconds());
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int num_samples = 100;
+  int repeats = 3;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--S") == 0 && i + 1 < argc)
+      num_samples = std::atoi(argv[++i]);
+    else if (std::strcmp(argv[i], "--repeats") == 0 && i + 1 < argc)
+      repeats = std::atoi(argv[++i]);
+  }
+
+  std::printf("parallel MC throughput: S=%d, repeats=%d (best-of), %u hardware threads\n\n",
+              num_samples, repeats, std::thread::hardware_concurrency());
+
+  // --- float path: LeNet-5, full Bayesian, one image ---------------------
+  util::Rng rng(11);
+  nn::Model model = nn::make_lenet5(rng);
+  model.set_bayesian_last(model.num_sites());
+  model.reseed_sites(77);
+  nn::Tensor image = nn::Tensor::randn({1, 1, 28, 28}, rng);
+
+  bayes::PredictiveOptions options;
+  options.num_samples = num_samples;
+  options.num_threads = 1;
+  const nn::Tensor float_reference = bayes::mc_predict(model, image, options);
+  double float_base = 0.0;
+
+  util::TextTable float_table("bayes::mc_predict — LeNet-5, L=N, 1 image");
+  float_table.set_header({"threads", "samples/s", "speedup", "bit-identical"});
+  for (int threads : thread_grid()) {
+    options.num_threads = threads;
+    nn::Tensor probs;
+    const double seconds =
+        best_seconds(repeats, [&] { probs = bayes::mc_predict(model, image, options); });
+    const double rate = num_samples / seconds;
+    if (threads == 1) float_base = rate;
+    const bool identical = probs.max_abs_diff(float_reference) == 0.0f;
+    float_table.add_row({std::to_string(threads), util::fixed(rate, 1),
+                         util::fixed(rate / float_base, 2) + "x",
+                         identical ? "yes" : "NO"});
+    if (!identical) {
+      std::fprintf(stderr, "FATAL: %d-thread result diverged from sequential\n", threads);
+      return 1;
+    }
+  }
+  std::printf("%s\n", float_table.to_string().c_str());
+
+  // --- accelerator functional path: quantized tiny CNN -------------------
+  util::Rng accel_rng(21);
+  nn::Model tiny = nn::make_tiny_cnn(accel_rng, 10, 1, 12);
+  util::Rng data_rng(22);
+  data::Dataset digits = data::make_synth_digits(64, data_rng);
+  nn::Tensor small({digits.size(), 1, 12, 12});
+  for (int n = 0; n < digits.size(); ++n)
+    for (int y = 0; y < 12; ++y)
+      for (int x = 0; x < 12; ++x)
+        small.v4(n, 0, y, x) = digits.images().v4(n, 0, 2 + 2 * y, 2 + 2 * x);
+  data::Dataset dataset(std::move(small), digits.labels(), 10);
+  quant::QuantNetwork qnet = quant::quantize_model(tiny, dataset);
+  const data::Batch batch = dataset.batch(0, 1);
+  const int bayes_layers = 2;
+
+  auto accel_config = [](int threads) {
+    core::AcceleratorConfig config;
+    config.nne.pc = 16;
+    config.nne.pf = 8;
+    config.nne.pv = 4;
+    config.sampler_seed = 5;
+    config.num_threads = threads;
+    return config;
+  };
+  core::Accelerator reference(qnet, accel_config(1));
+  const nn::Tensor accel_reference =
+      reference.predict(batch.images, bayes_layers, num_samples).probs;
+  double accel_base = 0.0;
+
+  util::TextTable accel_table("core::Accelerator::predict — tiny CNN int8, L=2, 1 image");
+  accel_table.set_header({"threads", "samples/s", "speedup", "bit-identical"});
+  for (int threads : thread_grid()) {
+    core::Accelerator accelerator(qnet, accel_config(threads));
+    nn::Tensor probs;
+    const double seconds = best_seconds(repeats, [&] {
+      probs = accelerator.predict(batch.images, bayes_layers, num_samples).probs;
+    });
+    const double rate = num_samples / seconds;
+    if (threads == 1) accel_base = rate;
+    const bool identical = probs.max_abs_diff(accel_reference) == 0.0f;
+    accel_table.add_row({std::to_string(threads), util::fixed(rate, 1),
+                         util::fixed(rate / accel_base, 2) + "x",
+                         identical ? "yes" : "NO"});
+    if (!identical) {
+      std::fprintf(stderr, "FATAL: %d-thread result diverged from sequential\n", threads);
+      return 1;
+    }
+  }
+  std::printf("%s\n", accel_table.to_string().c_str());
+
+  std::printf("note: speedup saturates at the machine's physical core count.\n");
+  return 0;
+}

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 
 #include "nn/activations.h"
+#include "nn/dropout.h"
+#include "runtime/thread_pool.h"
 #include "util/check.h"
 
 namespace bnn::bayes {
@@ -19,14 +22,58 @@ nn::Tensor mc_predict(nn::Model& model, const nn::Tensor& images,
   // Deterministic model: one pass is exact.
   if (model.bayesian_layers() == 0) return nn::softmax_rows(net.forward(images));
 
-  nn::Tensor probs = nn::softmax_rows(net.forward(images));
+  const int bayes_layers = model.bayesian_layers();
   const nn::Network::NodeId cut = model.first_active_site();
-  for (int s = 1; s < options.num_samples; ++s) {
-    const nn::Tensor logits =
-        options.use_intermediate_caching ? net.replay_from(cut) : net.forward(images);
-    probs.add_(nn::softmax_rows(logits));
+  const nn::Network::NodeId replay_start = options.use_intermediate_caching ? cut : 1;
+
+  // Deterministic prefix, computed once and shared read-only by every
+  // sample — the paper's IC cache. Only nodes before the replay start are
+  // computed (all sites there are inactive by construction of the cut).
+  net.prepare_replay(images, replay_start);
+
+  // Stream roots of the active sites, gathered up front so workers never
+  // touch the (non-thread-safe) Model accessors.
+  struct ActiveSite {
+    nn::Network::NodeId node;
+    std::uint64_t seed;
+    double p;
+  };
+  std::vector<ActiveSite> active_sites;
+  const int first_active = model.num_sites() - bayes_layers;
+  for (int i = first_active; i < model.num_sites(); ++i) {
+    nn::McDropout& site = model.site(i);
+    util::require(!site.has_external_mask_source(),
+                  "mc_predict: active site has an external mask source; the parallel "
+                  "runner derives per-sample streams from the site seed "
+                  "(Model::reseed_sites) and would silently ignore it");
+    active_sites.push_back({model.site_nodes()[static_cast<std::size_t>(i)],
+                            site.seed(), site.p()});
   }
-  probs.scale_(1.0f / static_cast<float>(options.num_samples));
+
+  const int num_samples = options.num_samples;
+  std::vector<nn::Tensor> sample_probs(static_cast<std::size_t>(num_samples));
+  runtime::ThreadPool pool(
+      std::min(runtime::resolve_thread_count(options.num_threads), num_samples));
+  pool.parallel_for(num_samples, [&](std::int64_t s) {
+    // Independent per-(site, sample) streams: sample s is computable with
+    // no knowledge of which thread ran the other samples.
+    std::vector<std::unique_ptr<nn::RngMaskSource>> sources;
+    std::vector<nn::MaskSource*> site_masks(static_cast<std::size_t>(net.num_nodes()),
+                                            nullptr);
+    for (const ActiveSite& site : active_sites) {
+      sources.push_back(std::make_unique<nn::RngMaskSource>(
+          site.p, util::Rng(site.seed).fork(static_cast<std::uint64_t>(s))));
+      site_masks[static_cast<std::size_t>(site.node)] = sources.back().get();
+    }
+    sample_probs[static_cast<std::size_t>(s)] =
+        nn::softmax_rows(net.replay_suffix(replay_start, site_masks));
+  });
+
+  // Fixed-order reduction: bit-identical for every thread count.
+  nn::Tensor probs = std::move(sample_probs.front());
+  for (int s = 1; s < num_samples; ++s)
+    probs.add_(sample_probs[static_cast<std::size_t>(s)]);
+  probs.scale_(1.0f / static_cast<float>(num_samples));
   return probs;
 }
 

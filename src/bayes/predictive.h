@@ -22,11 +22,22 @@ struct PredictiveOptions {
   // distributionally identical, only slower — mirroring the hardware's
   // "w/o IC" mode.
   bool use_intermediate_caching = true;
+  // Worker threads for the S-sample loop (0 = hardware concurrency). The
+  // result is bit-identical for every thread count: sample s at site i
+  // always draws from the independent stream Rng(site_seed_i).fork(s), and
+  // per-sample softmax outputs are reduced in ascending sample order.
+  int num_threads = 1;
 };
 
 // Averaged predictive probabilities, shape (N, num_classes). The model's
 // Bayesian configuration (active sites, p) must be set beforehand; a model
 // with no active site degenerates to a single deterministic pass.
+//
+// The result is a pure function of (weights, images, site seeds, options):
+// masks come from per-(site, sample) streams derived from the sites' seeds
+// (set with Model::reseed_sites), never from the sites' live RNG state, so
+// repeated calls agree and the sample loop parallelizes without any
+// cross-sample ordering dependence.
 nn::Tensor mc_predict(nn::Model& model, const nn::Tensor& images,
                       const PredictiveOptions& options);
 

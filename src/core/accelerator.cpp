@@ -1,18 +1,28 @@
 #include "core/accelerator.h"
 
+#include <algorithm>
+#include <numeric>
+
 #include "nn/activations.h"
+#include "runtime/thread_pool.h"
 #include "util/check.h"
+#include "util/rng.h"
 
 namespace bnn::core {
 
 Accelerator::Accelerator(quant::QuantNetwork network, AcceleratorConfig config)
     : network_(std::move(network)), config_(config), desc_(network_.describe()) {
-  BernoulliSamplerConfig sampler_config;
-  sampler_config.p = network_.dropout_p;
-  sampler_config.pf = config_.nne.pf;
-  sampler_config.fifo_depth = config_.sampler_fifo_depth;
-  sampler_config.seed = config_.sampler_seed;
-  sampler_ = std::make_unique<BernoulliSampler>(sampler_config);
+  // Fail fast on a non-realizable dropout probability instead of at the
+  // first predict() (each (image, sample) lane builds its own sampler).
+  (void)lfsrs_for_probability(network_.dropout_p);
+}
+
+std::uint64_t Accelerator::sample_stream_seed(std::uint64_t base_seed, int image,
+                                              int sample) {
+  return util::Rng(base_seed)
+      .fork(static_cast<std::uint64_t>(image))
+      .fork(static_cast<std::uint64_t>(sample))
+      .seed();
 }
 
 Accelerator::Prediction Accelerator::predict(const nn::Tensor& images, int bayes_layers,
@@ -29,59 +39,89 @@ Accelerator::Prediction Accelerator::predict(const nn::Tensor& images, int bayes
   const int cut = network_.cut_layer_for(bayes_layers);
   const int first_active_site = network_.num_sites - bayes_layers;
   const bool use_ic = config_.use_intermediate_caching && bayes_layers > 0;
+  const int samples = bayes_layers == 0 ? 1 : num_samples;
 
-  auto run_layer = [this](int index, const std::vector<quant::QTensor>& outputs,
-                          const quant::QTensor& image, bool site_active) {
+  // Each (image, sample) lane runs on its own decorrelated sampler stream,
+  // so a sample's masks never depend on which thread (or in which order)
+  // the other samples ran.
+  auto make_sampler = [this](int image, int sample) {
+    BernoulliSamplerConfig sampler_config;
+    sampler_config.p = network_.dropout_p;
+    sampler_config.pf = config_.nne.pf;
+    sampler_config.fifo_depth = config_.sampler_fifo_depth;
+    sampler_config.seed = sample_stream_seed(config_.sampler_seed, image, sample);
+    return BernoulliSampler(sampler_config);
+  };
+
+  // `stored(i)` resolves layer i's retained output in whatever storage the
+  // calling loop uses (one shared vector, or prefix + worker-local suffix).
+  auto run_layer = [this](int index, const auto& stored, const quant::QTensor& image,
+                          bool site_active, nn::MaskSource* masks, std::int64_t& cycles) {
     const quant::QLayer& layer = network_.layers[static_cast<std::size_t>(index)];
     const quant::QTensor& input =
-        layer.input_source < 0 ? image
-                               : outputs[static_cast<std::size_t>(layer.input_source)];
+        layer.input_source < 0 ? image : stored(layer.input_source);
     const quant::QTensor* shortcut =
-        layer.geom.has_shortcut
-            ? &outputs[static_cast<std::size_t>(layer.shortcut_source)]
-            : nullptr;
-    NneLayerResult result =
-        nne_run_layer(layer, input, shortcut, site_active, sampler_.get(),
-                      network_.dropout_keep, config_.nne);
-    functional_cycles_ += result.compute_cycles;
-    return result;
+        layer.geom.has_shortcut ? &stored(layer.shortcut_source) : nullptr;
+    NneLayerResult result = nne_run_layer(layer, input, shortcut, site_active, masks,
+                                          network_.dropout_keep, config_.nne);
+    cycles += result.compute_cycles;
+    return std::move(result.output);
   };
+
+  runtime::ThreadPool pool(
+      std::min(runtime::resolve_thread_count(config_.num_threads), samples));
 
   for (int n = 0; n < batch; ++n) {
     const quant::QTensor image = quantize_image(images, n, network_.input);
-    nn::Tensor accumulated({1, network_.num_classes});
-    const int samples = bayes_layers == 0 ? 1 : num_samples;
+    std::vector<nn::Tensor> sample_probs(static_cast<std::size_t>(samples));
+    std::vector<std::int64_t> sample_cycles(static_cast<std::size_t>(samples), 0);
 
-    std::vector<quant::QTensor> outputs;
-    outputs.reserve(network_.layers.size());
-
-    if (!use_ic || bayes_layers == 0) {
-      for (int s = 0; s < samples; ++s) {
-        outputs.clear();
+    if (!use_ic) {
+      pool.parallel_for(samples, [&](std::int64_t s) {
+        BernoulliSampler sampler = make_sampler(n, static_cast<int>(s));
+        std::int64_t cycles = 0;
+        std::vector<quant::QTensor> outputs;
+        outputs.reserve(network_.layers.size());
+        const auto stored = [&outputs](int index) -> const quant::QTensor& {
+          return outputs[static_cast<std::size_t>(index)];
+        };
         for (int l = 0; l < network_.num_layers(); ++l) {
           const quant::QLayer& layer = network_.layers[static_cast<std::size_t>(l)];
           const bool active = bayes_layers > 0 && layer.geom.is_bayes_site &&
                               layer.geom.site_index >= first_active_site;
-          outputs.push_back(run_layer(l, outputs, image, active).output);
+          outputs.push_back(run_layer(l, stored, image, active, &sampler, cycles));
         }
-        accumulated.add_(nn::softmax_rows(quant::ref_logits(network_, outputs.back())));
-      }
+        sample_probs[static_cast<std::size_t>(s)] =
+            nn::softmax_rows(quant::ref_logits(network_, outputs.back()));
+        sample_cycles[static_cast<std::size_t>(s)] = cycles;
+      });
     } else {
-      // Prefix once: the cut layer's pre-DU output is the on-chip boundary.
+      // Prefix once, shared read-only across workers: the cut layer's
+      // pre-DU output is the on-chip boundary of the IC schedule.
+      std::int64_t prefix_cycles = 0;
+      std::vector<quant::QTensor> prefix;
+      prefix.reserve(static_cast<std::size_t>(cut + 1));
+      const auto stored_prefix = [&prefix](int index) -> const quant::QTensor& {
+        return prefix[static_cast<std::size_t>(index)];
+      };
       for (int l = 0; l <= cut; ++l)
-        outputs.push_back(run_layer(l, outputs, image, /*site_active=*/false).output);
-      const quant::QTensor boundary = outputs.back();
+        prefix.push_back(run_layer(l, stored_prefix, image, /*site_active=*/false,
+                                   nullptr, prefix_cycles));
+      functional_cycles_ += prefix_cycles;
+      const quant::QTensor& boundary = prefix.back();
 
-      for (int s = 0; s < samples; ++s) {
-        outputs.resize(static_cast<std::size_t>(cut + 1));
-        // DU pass over the cached boundary with a fresh mask.
+      pool.parallel_for(samples, [&](std::int64_t s) {
+        BernoulliSampler sampler = make_sampler(n, static_cast<int>(s));
+        std::int64_t cycles = 0;
+
+        // DU pass over the cached boundary with this sample's fresh mask.
         quant::QTensor masked = boundary;
         {
           const quant::QLayer& cut_layer = network_.layers[static_cast<std::size_t>(cut)];
           const std::int32_t zp = cut_layer.out.zero_point;
           const int plane = masked.height() * masked.width();
           for (int f = 0; f < masked.channels(); ++f) {
-            const bool drop = sampler_->next_drop();
+            const bool drop = sampler.next_drop();
             std::int8_t* row = masked.data.data() + static_cast<std::size_t>(f) * plane;
             if (drop) {
               std::fill(row, row + plane, quant::saturate_int8(zp));
@@ -94,19 +134,37 @@ Accelerator::Prediction Accelerator::predict(const nn::Tensor& images, int bayes
             }
           }
         }
-        outputs[static_cast<std::size_t>(cut)] = std::move(masked);
+
+        // Suffix layers into worker-local storage; inputs before the cut
+        // resolve against the shared prefix, the cut itself to this
+        // sample's masked boundary.
+        std::vector<quant::QTensor> suffix;
+        suffix.reserve(network_.layers.size() - static_cast<std::size_t>(cut));
+        suffix.push_back(std::move(masked));
+        const auto stored = [&prefix, &suffix, cut](int index) -> const quant::QTensor& {
+          return index < cut ? prefix[static_cast<std::size_t>(index)]
+                             : suffix[static_cast<std::size_t>(index - cut)];
+        };
         for (int l = cut + 1; l < network_.num_layers(); ++l) {
           const quant::QLayer& layer = network_.layers[static_cast<std::size_t>(l)];
           const bool active = layer.geom.is_bayes_site &&
                               layer.geom.site_index >= first_active_site;
-          outputs.push_back(run_layer(l, outputs, image, active).output);
+          suffix.push_back(run_layer(l, stored, image, active, &sampler, cycles));
         }
-        accumulated.add_(nn::softmax_rows(quant::ref_logits(network_, outputs.back())));
-      }
+        sample_probs[static_cast<std::size_t>(s)] =
+            nn::softmax_rows(quant::ref_logits(network_, suffix.back()));
+        sample_cycles[static_cast<std::size_t>(s)] = cycles;
+      });
     }
 
+    // Fixed-order reduction: bit-identical for every thread count.
+    nn::Tensor accumulated = std::move(sample_probs.front());
+    for (int s = 1; s < samples; ++s)
+      accumulated.add_(sample_probs[static_cast<std::size_t>(s)]);
     accumulated.scale_(1.0f / static_cast<float>(samples));
     for (int k = 0; k < network_.num_classes; ++k) probs.v2(n, k) = accumulated.v2(0, k);
+    functional_cycles_ +=
+        std::accumulate(sample_cycles.begin(), sample_cycles.end(), std::int64_t{0});
   }
 
   Prediction prediction;

@@ -8,8 +8,6 @@
 #ifndef BNN_CORE_ACCELERATOR_H
 #define BNN_CORE_ACCELERATOR_H
 
-#include <memory>
-
 #include "core/bernoulli_sampler.h"
 #include "core/perf_model.h"
 #include "core/resource_model.h"
@@ -25,6 +23,12 @@ struct AcceleratorConfig {
   std::uint64_t sampler_seed = 1;
   bool use_intermediate_caching = true;
   double board_power_watts = 45.0;  // paper's total board power
+  // Worker threads for the S-sample loop of predict() (0 = hardware
+  // concurrency). Output is bit-identical for every thread count: each
+  // (image, sample) pair consumes its own sampler stream seeded with
+  // sample_stream_seed(sampler_seed, image, sample), and per-sample softmax
+  // outputs are reduced in ascending sample order.
+  int num_threads = 1;
 };
 
 class Accelerator {
@@ -49,17 +53,21 @@ class Accelerator {
 
   const quant::QuantNetwork& network() const { return network_; }
   const AcceleratorConfig& config() const { return config_; }
-  BernoulliSampler& sampler() { return *sampler_; }
 
   // Functional compute-cycle total of the last predict() call, summed over
   // all layer executions (used by the model-vs-simulation cycle tests).
   std::int64_t last_functional_compute_cycles() const { return functional_cycles_; }
 
+  // Seed of the LFSR sampler stream that (image, sample) consumes inside
+  // predict() — the software analogue of giving every concurrent sampling
+  // lane its own decorrelated LFSR bank. Exposed so reference executors and
+  // tests can reproduce the exact mask streams.
+  static std::uint64_t sample_stream_seed(std::uint64_t base_seed, int image, int sample);
+
  private:
   quant::QuantNetwork network_;
   AcceleratorConfig config_;
   nn::NetworkDesc desc_;
-  std::unique_ptr<BernoulliSampler> sampler_;
   std::int64_t functional_cycles_ = 0;
 };
 

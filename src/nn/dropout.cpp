@@ -26,32 +26,32 @@ MaskSource& McDropout::source() {
   return external_source_ != nullptr ? *external_source_ : *owned_source_;
 }
 
-Tensor McDropout::forward(const Tensor& x) {
-  util::require(x.dim() == 4 || x.dim() == 2, "mc_dropout expects NCHW or (N, F) input");
-  forward_was_active_ = active_;
-  if (!active_) return x;
-
-  const int batch = x.size(0);
-  const int channels = x.size(1);
-  const float keep_scale = static_cast<float>(1.0 / (1.0 - p_));
-
-  // Draw one decision per (sample, channel), channel-minor so the order
-  // matches the hardware sampler's filter-serial mask stream.
-  mask_ = Tensor({batch, channels});
-  MaskSource& src = source();
+Tensor draw_mc_dropout_mask(int batch, int channels, MaskSource& source, double p) {
+  const float keep_scale = static_cast<float>(1.0 / (1.0 - p));
+  // One decision per (sample, channel), channel-minor so the order matches
+  // the hardware sampler's filter-serial mask stream.
+  Tensor mask({batch, channels});
   for (int n = 0; n < batch; ++n)
     for (int c = 0; c < channels; ++c)
-      mask_.v2(n, c) = src.next_drop() ? 0.0f : keep_scale;
+      mask.v2(n, c) = source.next_drop() ? 0.0f : keep_scale;
+  return mask;
+}
 
+Tensor apply_mc_dropout_mask(const Tensor& x, const Tensor& mask) {
+  util::require(x.dim() == 4 || x.dim() == 2, "mc_dropout expects NCHW or (N, F) input");
+  const int batch = x.size(0);
+  const int channels = x.size(1);
+  util::require(mask.dim() == 2 && mask.size(0) == batch && mask.size(1) == channels,
+                "mc_dropout: mask shape must be (batch, channels)");
   Tensor y(x.shape());
   if (x.dim() == 2) {
     for (int n = 0; n < batch; ++n)
-      for (int c = 0; c < channels; ++c) y.v2(n, c) = x.v2(n, c) * mask_.v2(n, c);
+      for (int c = 0; c < channels; ++c) y.v2(n, c) = x.v2(n, c) * mask.v2(n, c);
   } else {
     const int plane = x.size(2) * x.size(3);
     for (int n = 0; n < batch; ++n) {
       for (int c = 0; c < channels; ++c) {
-        const float m = mask_.v2(n, c);
+        const float m = mask.v2(n, c);
         const float* src_plane = x.data() + x.index4(n, c, 0, 0);
         float* dst_plane = y.data() + y.index4(n, c, 0, 0);
         for (int i = 0; i < plane; ++i) dst_plane[i] = src_plane[i] * m;
@@ -59,6 +59,14 @@ Tensor McDropout::forward(const Tensor& x) {
     }
   }
   return y;
+}
+
+Tensor McDropout::forward(const Tensor& x) {
+  util::require(x.dim() == 4 || x.dim() == 2, "mc_dropout expects NCHW or (N, F) input");
+  forward_was_active_ = active_;
+  if (!active_) return x;
+  mask_ = draw_mc_dropout_mask(x.size(0), x.size(1), source(), p_);
+  return apply_mc_dropout_mask(x, mask_);
 }
 
 Tensor McDropout::backward(const Tensor& grad_out) {

@@ -24,6 +24,17 @@ class MaskSource {
   virtual bool next_drop() = 0;
 };
 
+// Draws one filter-wise MCD mask of shape (batch, channels) from `source`:
+// 0 for dropped channels, 1/(1-p) for kept ones. Decisions are drawn
+// channel-minor, matching the hardware sampler's filter-serial stream.
+Tensor draw_mc_dropout_mask(int batch, int channels, MaskSource& source, double p);
+
+// Applies a (batch, channels) mask to a (N, C, H, W) or (N, F) tensor.
+// Pure function of its inputs — the thread-safe replay path uses this pair
+// instead of McDropout::forward so concurrent samples never touch shared
+// layer state.
+Tensor apply_mc_dropout_mask(const Tensor& x, const Tensor& mask);
+
 // Software mask source backed by the deterministic Rng.
 class RngMaskSource final : public MaskSource {
  public:
@@ -62,9 +73,17 @@ class McDropout final : public Layer {
   // across repeats deterministically).
   void reseed(std::uint64_t seed);
 
+  // Seed of the built-in source; root of this site's per-sample stream
+  // family in the parallel Monte Carlo runner (bayes::mc_predict derives
+  // sample s's stream as Rng(seed()).fork(s)).
+  std::uint64_t seed() const { return seed_; }
+
   // Use an external mask source (e.g. the simulated hardware sampler); the
   // caller keeps ownership. Pass nullptr to return to the built-in source.
+  // Note: bayes::mc_predict refuses sites with an external source — its
+  // parallel per-sample streams derive from seed(), not from source().
   void set_mask_source(MaskSource* source) { external_source_ = source; }
+  bool has_external_mask_source() const { return external_source_ != nullptr; }
 
   // Scaled mask of the last active forward, shape (N, C): 0 for dropped
   // channels, 1/(1-p) for kept ones.

@@ -1,5 +1,6 @@
 #include "nn/network.h"
 
+#include "nn/dropout.h"
 #include "util/check.h"
 
 namespace bnn::nn {
@@ -63,6 +64,59 @@ Tensor Network::replay_from(NodeId first_node) {
   for (NodeId id = first_node; id < num_nodes(); ++id)
     activations_[static_cast<std::size_t>(id)] = run_node(id);
   return activations_.back();
+}
+
+void Network::prepare_replay(const Tensor& x, NodeId first_node) {
+  util::require(num_nodes() > 1, "network: no layers");
+  util::require(first_node >= 1 && first_node < num_nodes(),
+                "network: replay start out of range");
+  activations_.assign(static_cast<std::size_t>(num_nodes()), Tensor{});
+  activations_[0] = x;
+  for (NodeId id = 1; id < first_node; ++id) {
+    util::require(!nodes_[static_cast<std::size_t>(id)].layer->training(),
+                  "network: prepare_replay requires eval mode");
+    activations_[static_cast<std::size_t>(id)] = run_node(id);
+  }
+  has_forward_ = true;
+}
+
+Tensor Network::replay_suffix(NodeId first_node,
+                              const std::vector<MaskSource*>& site_masks) const {
+  util::require(has_forward_, "network: replay_suffix requires a prior forward");
+  util::require(first_node >= 1 && first_node < num_nodes(),
+                "network: replay start out of range");
+  util::require(site_masks.size() == static_cast<std::size_t>(num_nodes()),
+                "network: site_masks must carry one entry per node");
+
+  std::vector<Tensor> local(static_cast<std::size_t>(num_nodes()));
+  auto value_of = [this, first_node, &local](NodeId id) -> const Tensor& {
+    return id < first_node ? activations_[static_cast<std::size_t>(id)]
+                           : local[static_cast<std::size_t>(id)];
+  };
+
+  for (NodeId id = first_node; id < num_nodes(); ++id) {
+    const Node& node = nodes_[static_cast<std::size_t>(id)];
+    Layer* layer = node.layer.get();
+    util::require(!layer->training(), "network: replay_suffix requires eval mode");
+    Tensor& out = local[static_cast<std::size_t>(id)];
+    if (layer->kind() == LayerKind::mc_dropout) {
+      const auto* site = static_cast<const McDropout*>(layer);
+      const Tensor& x = value_of(node.inputs[0]);
+      if (!site->active()) {
+        out = x;  // inactive site is the identity
+        continue;
+      }
+      MaskSource* masks = site_masks[static_cast<std::size_t>(id)];
+      util::require(masks != nullptr, "network: active site replayed without a mask source");
+      out = apply_mc_dropout_mask(
+          x, draw_mc_dropout_mask(x.size(0), x.size(1), *masks, site->p()));
+    } else if (node.inputs.size() == 1) {
+      out = layer->forward(value_of(node.inputs[0]));
+    } else {
+      out = layer->forward2(value_of(node.inputs[0]), value_of(node.inputs[1]));
+    }
+  }
+  return local.back();
 }
 
 Tensor Network::backward(const Tensor& grad_out) {

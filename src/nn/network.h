@@ -15,6 +15,8 @@
 
 namespace bnn::nn {
 
+class MaskSource;
+
 class Network {
  public:
   using NodeId = int;
@@ -42,6 +44,25 @@ class Network {
   // the previous forward() for everything earlier. Stochastic layers draw
   // fresh masks, so repeated replays yield fresh Monte Carlo samples.
   Tensor replay_from(NodeId first_node);
+
+  // Computes and retains only the activations replay_suffix(first_node, ..)
+  // needs: the input plus nodes [1, first_node). Nodes from first_node on
+  // are left empty instead of being computed and thrown away — this is the
+  // IC prefix pass, without the wasted suffix of a full forward(). Requires
+  // eval mode (stochastic prefix sites must be inactive so the retained
+  // prefix is deterministic).
+  void prepare_replay(const Tensor& x, NodeId first_node);
+
+  // Stateless, thread-safe variant of replay_from for the parallel Monte
+  // Carlo runner: recomputes nodes with id >= first_node into caller-local
+  // scratch, reading the retained activations (shared, read-only) for
+  // everything earlier. Active MCD sites draw their masks from
+  // site_masks[node] (one entry per node, required non-null exactly at the
+  // active sites being replayed) instead of the layers' own sources, so
+  // concurrent replays on the same network never touch shared mutable
+  // state. Requires eval mode; every non-stochastic layer's eval forward is
+  // a pure function of its input and parameters.
+  Tensor replay_suffix(NodeId first_node, const std::vector<MaskSource*>& site_masks) const;
 
   // Backpropagates grad_out (gradient w.r.t. the network output) through the
   // DAG; parameter gradients accumulate in each layer. Returns the gradient

@@ -185,6 +185,22 @@ nn::Tensor ref_logits(const QuantNetwork& net, const QTensor& final_output) {
 nn::Tensor ref_mc_predict(const QuantNetwork& net, const nn::Tensor& images, int bayes_layers,
                           int num_samples, nn::MaskSource& masks,
                           bool use_intermediate_caching) {
+  // Legacy single-stream form: every (image, sample) forwards to the one
+  // shared source, preserving the original sequential consumption order.
+  struct Borrowed final : nn::MaskSource {
+    explicit Borrowed(nn::MaskSource& inner) : inner_(inner) {}
+    bool next_drop() override { return inner_.next_drop(); }
+    nn::MaskSource& inner_;
+  };
+  return ref_mc_predict(
+      net, images, bayes_layers, num_samples,
+      [&masks](int, int) { return std::make_unique<Borrowed>(masks); },
+      use_intermediate_caching);
+}
+
+nn::Tensor ref_mc_predict(const QuantNetwork& net, const nn::Tensor& images, int bayes_layers,
+                          int num_samples, const MaskStreamFactory& streams,
+                          bool use_intermediate_caching) {
   util::require(images.dim() == 4, "ref_mc_predict expects NCHW images");
   util::require(num_samples >= 1, "ref_mc_predict: need at least one sample");
   const int batch = images.size(0);
@@ -201,7 +217,9 @@ nn::Tensor ref_mc_predict(const QuantNetwork& net, const nn::Tensor& images, int
       accumulated = nn::softmax_rows(ref_logits(net, outputs.back()));
     } else if (!use_intermediate_caching) {
       for (int s = 0; s < num_samples; ++s) {
-        const std::vector<QTensor> outputs = ref_forward(net, image, bayes_layers, &masks);
+        const std::unique_ptr<nn::MaskSource> lane = streams(n, s);
+        const std::vector<QTensor> outputs =
+            ref_forward(net, image, bayes_layers, lane.get());
         accumulated.add_(nn::softmax_rows(ref_logits(net, outputs.back())));
       }
       accumulated.scale_(1.0f / static_cast<float>(num_samples));
@@ -226,6 +244,7 @@ nn::Tensor ref_mc_predict(const QuantNetwork& net, const nn::Tensor& images, int
       const QTensor boundary = outputs.back();  // pre-DU cache
 
       for (int s = 0; s < num_samples; ++s) {
+        const std::unique_ptr<nn::MaskSource> lane = streams(n, s);
         outputs.resize(static_cast<std::size_t>(cut + 1));
         // Fresh mask on the cached boundary (the DU re-reads the cache).
         outputs[static_cast<std::size_t>(cut)] = boundary;
@@ -238,7 +257,7 @@ nn::Tensor ref_mc_predict(const QuantNetwork& net, const nn::Tensor& images, int
           const std::int32_t zp = cut_layer.out.zero_point;
           const int plane = masked.height() * masked.width();
           for (int f = 0; f < masked.channels(); ++f) {
-            const bool drop = masks.next_drop();
+            const bool drop = lane->next_drop();
             std::int8_t* row = masked.data.data() + static_cast<std::size_t>(f) * plane;
             if (drop) {
               std::fill(row, row + plane, saturate_int8(zp));
@@ -263,7 +282,7 @@ nn::Tensor ref_mc_predict(const QuantNetwork& net, const nn::Tensor& images, int
           const bool active =
               layer.geom.is_bayes_site && layer.geom.site_index >= first_active_site;
           outputs.push_back(
-              ref_run_layer(layer, input, shortcut, active, &masks, net.dropout_keep));
+              ref_run_layer(layer, input, shortcut, active, lane.get(), net.dropout_keep));
         }
         accumulated.add_(nn::softmax_rows(ref_logits(net, outputs.back())));
       }

@@ -12,6 +12,8 @@
 #ifndef BNN_QUANT_QOPS_H
 #define BNN_QUANT_QOPS_H
 
+#include <functional>
+#include <memory>
 #include <vector>
 
 #include "nn/dropout.h"
@@ -43,6 +45,21 @@ nn::Tensor ref_logits(const QuantNetwork& net, const QTensor& final_output);
 // sample — the integer-domain analogue of the paper's IC.
 nn::Tensor ref_mc_predict(const QuantNetwork& net, const nn::Tensor& images, int bayes_layers,
                           int num_samples, nn::MaskSource& masks,
+                          bool use_intermediate_caching = true);
+
+// Builds the mask stream that one (image, sample) pair consumes. The
+// factory form mirrors the accelerator's parallel runtime, which gives
+// every Monte Carlo sample its own decorrelated sampler lane (see
+// core::Accelerator::sample_stream_seed) instead of threading one shared
+// stream through all samples.
+using MaskStreamFactory =
+    std::function<std::unique_ptr<nn::MaskSource>(int image, int sample)>;
+
+// As above, but each (image, sample) draws from its own stream. With a
+// factory that reproduces the accelerator's per-sample seeds this is the
+// bit-exact reference for Accelerator::predict at any thread count.
+nn::Tensor ref_mc_predict(const QuantNetwork& net, const nn::Tensor& images, int bayes_layers,
+                          int num_samples, const MaskStreamFactory& streams,
                           bool use_intermediate_caching = true);
 
 }  // namespace bnn::quant

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "nn/tensor.h"
+#include "util/check.h"  // C++20 guard: defaulted operator== below needs it
 
 namespace bnn::quant {
 

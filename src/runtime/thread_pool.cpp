@@ -1,0 +1,89 @@
+#include "runtime/thread_pool.h"
+
+#include "util/check.h"
+
+namespace bnn::runtime {
+
+int resolve_thread_count(int requested) {
+  util::require(requested >= 0, "thread pool: thread count must be >= 0 (0 = auto)");
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int resolved = resolve_thread_count(num_threads);
+  workers_.reserve(static_cast<std::size_t>(resolved - 1));
+  for (int i = 0; i < resolved - 1; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::chew(const std::shared_ptr<Job>& job) {
+  for (;;) {
+    const std::int64_t index = job->cursor.fetch_add(1, std::memory_order_relaxed);
+    if (index >= job->count) return;
+    try {
+      (*job->body)(index);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(job->error_mutex);
+      if (!job->error) job->error = std::current_exception();
+    }
+    if (job->done.fetch_add(1, std::memory_order_acq_rel) + 1 == job->count) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      job_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    work_ready_.wait(lock, [this, seen] { return stop_ || generation_ != seen; });
+    if (stop_) return;
+    seen = generation_;
+    const std::shared_ptr<Job> job = job_;
+    lock.unlock();
+    if (job) chew(job);
+    lock.lock();
+  }
+}
+
+void ThreadPool::parallel_for(std::int64_t count,
+                              const std::function<void(std::int64_t)>& body) {
+  if (count <= 0) return;
+
+  auto job = std::make_shared<Job>();
+  job->body = &body;
+  job->count = count;
+
+  if (workers_.empty() || count == 1) {
+    chew(job);  // inline sequential path, no synchronization
+  } else {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      job_ = job;
+      ++generation_;
+    }
+    work_ready_.notify_all();
+    chew(job);  // the caller is a worker too
+    std::unique_lock<std::mutex> lock(mutex_);
+    job_done_.wait(lock, [&job] {
+      return job->done.load(std::memory_order_acquire) == job->count;
+    });
+    job_ = nullptr;
+  }
+
+  if (job->error) std::rethrow_exception(job->error);
+}
+
+}  // namespace bnn::runtime

@@ -1,0 +1,78 @@
+// Minimal blocking thread pool for the Monte Carlo sampling hot path.
+//
+// The pool owns `size() - 1` worker threads; the caller of `parallel_for`
+// participates as the remaining worker, so a pool of size 1 never spawns a
+// thread and runs the body inline (the sequential path). Work is handed out
+// as single indices from an atomic cursor — MC samples are coarse enough
+// that per-index dispatch overhead is negligible, and it load-balances the
+// uneven per-sample costs of partial-Bayesian replay.
+//
+// Determinism contract: the pool makes no ordering promises, so callers
+// that need bit-identical results across thread counts must (a) give every
+// index its own independent random stream and (b) write results into
+// per-index slots, reducing them in a fixed order afterwards. Both MC
+// predictive runners (bayes::mc_predict, core::Accelerator::predict) follow
+// this pattern.
+#ifndef BNN_RUNTIME_THREAD_POOL_H
+#define BNN_RUNTIME_THREAD_POOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace bnn::runtime {
+
+// Resolves a thread-count knob: 0 means "auto" (hardware concurrency),
+// any positive value is taken literally. Throws on negative values.
+int resolve_thread_count(int requested);
+
+class ThreadPool {
+ public:
+  // `num_threads` follows the resolve_thread_count convention (0 = auto).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Total workers including the calling thread of parallel_for.
+  int size() const { return static_cast<int>(workers_.size()) + 1; }
+
+  // Runs body(i) for every i in [0, count), blocking until all indices have
+  // finished. Indices are claimed dynamically; every index runs exactly
+  // once. If any invocation throws, the remaining indices still run and the
+  // first exception is rethrown to the caller. Not reentrant: parallel_for
+  // must not be called from inside a body.
+  void parallel_for(std::int64_t count, const std::function<void(std::int64_t)>& body);
+
+ private:
+  struct Job {
+    const std::function<void(std::int64_t)>* body = nullptr;
+    std::int64_t count = 0;
+    std::atomic<std::int64_t> cursor{0};
+    std::atomic<std::int64_t> done{0};
+    std::mutex error_mutex;
+    std::exception_ptr error;
+  };
+
+  void worker_loop();
+  void chew(const std::shared_ptr<Job>& job);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable job_done_;
+  std::shared_ptr<Job> job_;          // guarded by mutex_
+  std::uint64_t generation_ = 0;      // bumped per job, guarded by mutex_
+  bool stop_ = false;                 // guarded by mutex_
+};
+
+}  // namespace bnn::runtime
+
+#endif  // BNN_RUNTIME_THREAD_POOL_H

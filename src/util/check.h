@@ -7,6 +7,14 @@
 #ifndef BNN_UTIL_CHECK_H
 #define BNN_UTIL_CHECK_H
 
+// The codebase requires C++20 (defaulted operator== in quant/qtensor.h,
+// CTAD and ranged constructs elsewhere). Without this guard a C++17 build
+// dies in a confusing cascade of comparison-operator errors; fail here with
+// one readable diagnostic instead.
+#if (defined(_MSVC_LANG) ? _MSVC_LANG : __cplusplus) < 202002L
+#error "This project requires C++20: compile with -std=c++20 (or /std:c++20)."
+#endif
+
 #include <stdexcept>
 #include <string>
 

@@ -77,14 +77,16 @@ TEST(Accelerator, StochasticPredictionMatchesReferenceWithSameSamplerSeed) {
     const data::Batch batch = fx.dataset->batch(0, 3);
     const auto prediction = accelerator.predict(batch.images, bayes_layers, 5);
 
-    // Reference consumes the identical LFSR mask stream.
-    BernoulliSamplerConfig sampler_config;
-    sampler_config.p = fx.qnet->dropout_p;
-    sampler_config.pf = fx.accel_config().nne.pf;
-    sampler_config.seed = 77;
-    BernoulliSampler reference_sampler(sampler_config);
+    // Reference consumes the identical per-(image, sample) LFSR lanes.
+    const auto lanes = [&fx](int image, int sample) -> std::unique_ptr<nn::MaskSource> {
+      BernoulliSamplerConfig sampler_config;
+      sampler_config.p = fx.qnet->dropout_p;
+      sampler_config.pf = fx.accel_config().nne.pf;
+      sampler_config.seed = Accelerator::sample_stream_seed(77, image, sample);
+      return std::make_unique<BernoulliSampler>(sampler_config);
+    };
     const nn::Tensor expected =
-        quant::ref_mc_predict(*fx.qnet, batch.images, bayes_layers, 5, reference_sampler, true);
+        quant::ref_mc_predict(*fx.qnet, batch.images, bayes_layers, 5, lanes, true);
     EXPECT_EQ(prediction.probs.max_abs_diff(expected), 0.0f) << "L=" << bayes_layers;
   }
 }

@@ -163,8 +163,9 @@ TEST(NneDropout, SameMaskStreamGivesSameOutputs) {
     NneLayerResult result =
         nne_run_layer(layer, *input, shortcut, layer.geom.is_bayes_site, &masks_nne,
                       qnet.dropout_keep, config);
-    if (layer.geom.is_bayes_site)
+    if (layer.geom.is_bayes_site) {
       EXPECT_EQ(result.mask_bits_consumed, layer.geom.out_c);
+    }
     outputs.push_back(std::move(result.output));
     EXPECT_EQ(outputs.back().data, ref[static_cast<std::size_t>(l)].data) << "layer " << l;
     input = &outputs.back();

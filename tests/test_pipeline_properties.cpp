@@ -62,13 +62,14 @@ TEST_P(DropoutRateSweep, AcceleratorMatchesReferenceAndIcIsExact) {
   core::Accelerator accelerator(qnet, config);
   const auto prediction = accelerator.predict(batch.images, 2, 6);
 
-  core::BernoulliSamplerConfig sampler_config;
-  sampler_config.p = p;
-  sampler_config.pf = config.nne.pf;
-  sampler_config.seed = 99;
-  core::BernoulliSampler reference_sampler(sampler_config);
-  const nn::Tensor expected =
-      quant::ref_mc_predict(qnet, batch.images, 2, 6, reference_sampler, true);
+  const auto lanes = [p, &config](int image, int sample) -> std::unique_ptr<nn::MaskSource> {
+    core::BernoulliSamplerConfig sampler_config;
+    sampler_config.p = p;
+    sampler_config.pf = config.nne.pf;
+    sampler_config.seed = core::Accelerator::sample_stream_seed(99, image, sample);
+    return std::make_unique<core::BernoulliSampler>(sampler_config);
+  };
+  const nn::Tensor expected = quant::ref_mc_predict(qnet, batch.images, 2, 6, lanes, true);
   EXPECT_EQ(prediction.probs.max_abs_diff(expected), 0.0f) << "p=" << p;
 
   // Probability rows stay normalized under every p.

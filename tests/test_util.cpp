@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <stdexcept>
 
 #include "util/check.h"
@@ -70,8 +71,12 @@ TEST(RngTest, BernoulliFrequency) {
 
 TEST(StopwatchTest, MeasuresElapsedTime) {
   Stopwatch watch;
-  volatile double sink = 0.0;
-  for (int i = 0; i < 100000; ++i) sink += i;
+  // Optimization barrier without `volatile` compound assignment (deprecated
+  // in C++20): accumulate locally, then publish through an atomic store.
+  std::atomic<double> sink{0.0};
+  double acc = 0.0;
+  for (int i = 0; i < 100000; ++i) acc += i;
+  sink.store(acc, std::memory_order_relaxed);
   const double seconds = watch.elapsed_seconds();
   EXPECT_GE(seconds, 0.0);
   EXPECT_GE(watch.elapsed_ms(), seconds * 1e3);  // monotone clock
