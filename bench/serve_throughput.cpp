@@ -1,0 +1,157 @@
+// Request-level serving throughput: requests/sec through serve::Server as a
+// function of the coalescing batch size, with and without the
+// Opt-Uncertainty router.
+//
+// This is the end-to-end software analogue of the paper's serving story:
+// a stream of single-image requests with small per-request S, coalesced
+// into accelerator batches whose flattened (image, sample) pair loop keeps
+// the shared thread pool busy. The router rows additionally screen every
+// request with a cheap low-S pass and only escalate high-entropy inputs to
+// the full sample count — on mostly-confident traffic this trades a little
+// screening work for skipping most full-S passes.
+//
+// Determinism is verified across configurations: request r is submitted
+// with the fixed stream id r, so every batch size must produce bit-identical
+// responses to the max_batch=1 run.
+//
+//   ./build/bench/serve_throughput [--requests N] [--S N] [--repeats N]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "data/synth.h"
+#include "nn/models.h"
+#include "serve/server.h"
+#include "train/trainer.h"
+#include "util/stopwatch.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace bnn;
+
+double best_seconds(int repeats, const std::function<void()>& body) {
+  double best = 1e300;
+  for (int r = 0; r < repeats; ++r) {
+    util::Stopwatch watch;
+    body();
+    best = std::min(best, watch.elapsed_seconds());
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int num_requests = 48;
+  int num_samples = 8;
+  int repeats = 3;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--requests") == 0 && i + 1 < argc)
+      num_requests = std::atoi(argv[++i]);
+    else if (std::strcmp(argv[i], "--S") == 0 && i + 1 < argc)
+      num_samples = std::atoi(argv[++i]);
+    else if (std::strcmp(argv[i], "--repeats") == 0 && i + 1 < argc)
+      repeats = std::atoi(argv[++i]);
+  }
+
+  // Tiny quantized CNN on 12x12 synthetic digits (the fast test workload).
+  util::Rng rng(21);
+  nn::Model tiny = nn::make_tiny_cnn(rng, 10, 1, 12);
+  util::Rng data_rng(22);
+  data::Dataset dataset = data::make_synth_digits_small(96, data_rng);
+  {
+    train::TrainConfig config;
+    config.epochs = 1;
+    config.batch_size = 16;
+    train::fit(tiny, dataset, config);
+  }
+  quant::QuantNetwork qnet = quant::quantize_model(tiny, dataset);
+
+  std::printf(
+      "serving throughput: %d requests, S=%d (screening S=2), tiny CNN int8, "
+      "%u hardware threads\n\n",
+      num_requests, num_samples, std::thread::hardware_concurrency());
+
+  auto run_wave = [&](int max_batch, bool router) {
+    core::AcceleratorConfig accel_config;
+    accel_config.nne.pc = 16;
+    accel_config.nne.pf = 8;
+    accel_config.nne.pv = 4;
+    accel_config.sampler_seed = 5;
+    accel_config.num_threads = 0;  // all shared-pool lanes
+
+    serve::ServerConfig server_config;
+    server_config.max_batch = max_batch;
+    serve::Server server(core::Accelerator(qnet, accel_config), server_config);
+
+    serve::RequestOptions options;
+    options.num_samples = num_samples;
+    options.bayes_layers = 2;
+    options.use_uncertainty_router = router;
+    options.screening_samples = 2;
+    options.entropy_threshold_nats = 1.2;
+
+    std::vector<serve::Response> responses(static_cast<std::size_t>(num_requests));
+    std::vector<std::future<serve::Response>> futures;
+    futures.reserve(static_cast<std::size_t>(num_requests));
+    for (int r = 0; r < num_requests; ++r) {
+      serve::Request request;
+      request.image = dataset.images().batch_row(r % dataset.size());
+      request.options = options;
+      request.stream_id = static_cast<std::uint64_t>(r);  // batch-independent
+      futures.push_back(server.submit(std::move(request)));
+    }
+    for (int r = 0; r < num_requests; ++r)
+      responses[static_cast<std::size_t>(r)] = futures[static_cast<std::size_t>(r)].get();
+    return std::make_pair(std::move(responses), server.stats());
+  };
+
+  util::TextTable table("serve::Server — requests/sec vs coalescing batch size");
+  table.set_header({"max_batch", "router", "req/s", "batches", "escalated",
+                    "bit-identical"});
+
+  for (const bool router : {false, true}) {
+    std::vector<serve::Response> reference;
+    for (const int max_batch : {1, 4, 16}) {
+      std::vector<serve::Response> responses;
+      serve::ServerStats stats;
+      const double seconds = best_seconds(repeats, [&] {
+        auto [wave_responses, wave_stats] = run_wave(max_batch, router);
+        responses = std::move(wave_responses);
+        stats = wave_stats;
+      });
+      if (max_batch == 1) reference = responses;
+      bool identical = true;
+      for (int r = 0; r < num_requests; ++r)
+        identical = identical &&
+                    responses[static_cast<std::size_t>(r)].probs.max_abs_diff(
+                        reference[static_cast<std::size_t>(r)].probs) == 0.0f &&
+                    responses[static_cast<std::size_t>(r)].escalated ==
+                        reference[static_cast<std::size_t>(r)].escalated;
+      table.add_row({std::to_string(max_batch), router ? "on" : "off",
+                     util::fixed(num_requests / seconds, 1), std::to_string(stats.batches),
+                     std::to_string(stats.escalations), identical ? "yes" : "NO"});
+      if (!identical) {
+        std::fprintf(stderr, "FATAL: batch size changed a response\n");
+        return 1;
+      }
+    }
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "Reading the table: larger max_batch coalesces more requests per\n"
+      "accelerator pass (fewer batches, more flattened pairs per parallel_for);\n"
+      "router rows answer confident inputs from the 2-sample screening pass and\n"
+      "escalate the rest to S=%d. Responses are bit-identical across all rows by\n"
+      "construction (fixed per-request stream ids). Throughput scales with\n"
+      "physical cores; a 1-core container reports flat req/s.\n",
+      num_samples);
+  return 0;
+}

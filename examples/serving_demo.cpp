@@ -1,0 +1,109 @@
+// Serving demo: the batched request-level front end in one file.
+//
+//   1. train + quantize a tiny CNN (as in quickstart),
+//   2. start a serve::Server over the simulated accelerator and the
+//      process-wide shared thread pool,
+//   3. submit a mixed wave of requests — different per-request S and L,
+//      some routed through the Opt-Uncertainty screening pass,
+//   4. read predictions, entropy, escalation decisions and modelled
+//      hardware latency per request, plus the server's counters.
+//
+// Build & run:  ./build/examples/serving_demo
+#include <cstdio>
+#include <future>
+#include <vector>
+
+#include "data/synth.h"
+#include "nn/models.h"
+#include "serve/server.h"
+#include "train/trainer.h"
+#include "util/table.h"
+
+int main() {
+  using namespace bnn;
+
+  std::printf("== 1. Train + quantize the tiny CNN ==\n");
+  util::Rng rng(42);
+  nn::Model model = nn::make_tiny_cnn(rng, 10, 1, 12);
+  util::Rng data_rng(7);
+  data::Dataset dataset = data::make_synth_digits_small(600, data_rng);
+  auto [train_set, test_set] = dataset.split(480);
+
+  model.set_bayesian_last(0);
+  train::TrainConfig train_config;
+  train_config.epochs = 4;
+  train_config.batch_size = 16;
+  train::fit(model, train_set, train_config);
+  quant::QuantNetwork qnet = quant::quantize_model(model, train_set);
+  std::printf("quantized %d hardware layers, %d Bayesian sites\n", qnet.num_layers(),
+              qnet.num_sites);
+
+  std::printf("\n== 2. Start the serving front end ==\n");
+  core::AcceleratorConfig accel_config;
+  accel_config.num_threads = 0;  // use every lane of the shared pool
+  serve::ServerConfig server_config;
+  server_config.max_batch = 8;
+  serve::Server server(core::Accelerator(qnet, accel_config), server_config);
+  std::printf("server up: coalescing up to %d requests per accelerator batch\n",
+              server_config.max_batch);
+
+  std::printf("\n== 3. Submit a mixed wave of requests ==\n");
+  // Three traffic classes, interleaved: fast-and-cheap (small S, shallow L),
+  // full-quality (large S, all sites), and routed (screen at S=2, escalate
+  // only high-entropy inputs to S=20).
+  serve::RequestOptions cheap;
+  cheap.num_samples = 3;
+  cheap.bayes_layers = 1;
+
+  serve::RequestOptions quality;
+  quality.num_samples = 20;
+  quality.bayes_layers = -1;  // all sites
+
+  serve::RequestOptions routed;
+  routed.num_samples = 20;
+  routed.bayes_layers = 2;
+  routed.use_uncertainty_router = true;
+  routed.screening_samples = 2;
+  routed.entropy_threshold_nats = 1.0;
+
+  const serve::RequestOptions* classes[] = {&cheap, &quality, &routed};
+  const char* class_names[] = {"cheap", "quality", "routed"};
+
+  const int wave = 12;
+  std::vector<std::future<serve::Response>> futures;
+  for (int r = 0; r < wave; ++r) {
+    serve::Request request;
+    request.image = test_set.images().batch_row(r % test_set.size());
+    request.options = *classes[r % 3];
+    futures.push_back(server.submit(std::move(request)));
+  }
+
+  util::TextTable table("responses (submission order)");
+  table.set_header({"req", "class", "L", "S used", "pred", "label", "entropy[nats]",
+                    "escalated", "model ms"});
+  for (int r = 0; r < wave; ++r) {
+    const serve::Response response = futures[static_cast<std::size_t>(r)].get();
+    table.add_row({std::to_string(r), class_names[r % 3],
+                   std::to_string(response.bayes_layers),
+                   std::to_string(response.samples_used),
+                   std::to_string(response.predicted_class),
+                   std::to_string(test_set.labels()[static_cast<std::size_t>(
+                       r % test_set.size())]),
+                   util::fixed(response.entropy_nats, 3),
+                   response.escalated ? "yes" : "-",
+                   util::fixed(response.stats.latency_ms, 3)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  const serve::ServerStats stats = server.stats();
+  std::printf("server counters: %llu requests in %llu batches, %llu screened, "
+              "%llu escalated\n",
+              static_cast<unsigned long long>(stats.requests),
+              static_cast<unsigned long long>(stats.batches),
+              static_cast<unsigned long long>(stats.screened),
+              static_cast<unsigned long long>(stats.escalations));
+  std::printf("\nDeterminism: each request's masks derive from its stream id (its\n"
+              "submission ticket here), so re-running this demo — with any batch\n"
+              "size, thread count or traffic mix — reproduces these numbers.\n");
+  return 0;
+}

@@ -50,30 +50,55 @@ nn::Tensor mc_predict(nn::Model& model, const nn::Tensor& images,
                             site.seed(), site.p()});
   }
 
+  // Flattened (image, sample) pair space: one parallel_for over N×S lanes,
+  // so a small-S / large-N batch still fills every pool lane. Each pair
+  // replays only its own image's suffix against the shared batch prefix.
+  const int batch = images.size(0);
   const int num_samples = options.num_samples;
-  std::vector<nn::Tensor> sample_probs(static_cast<std::size_t>(num_samples));
-  runtime::ThreadPool pool(
-      std::min(runtime::resolve_thread_count(options.num_threads), num_samples));
-  pool.parallel_for(num_samples, [&](std::int64_t s) {
-    // Independent per-(site, sample) streams: sample s is computable with
-    // no knowledge of which thread ran the other samples.
-    std::vector<std::unique_ptr<nn::RngMaskSource>> sources;
-    std::vector<nn::MaskSource*> site_masks(static_cast<std::size_t>(net.num_nodes()),
-                                            nullptr);
-    for (const ActiveSite& site : active_sites) {
-      sources.push_back(std::make_unique<nn::RngMaskSource>(
-          site.p, util::Rng(site.seed).fork(static_cast<std::uint64_t>(s))));
-      site_masks[static_cast<std::size_t>(site.node)] = sources.back().get();
-    }
-    sample_probs[static_cast<std::size_t>(s)] =
-        nn::softmax_rows(net.replay_suffix(replay_start, site_masks));
-  });
+  const std::int64_t total_pairs =
+      static_cast<std::int64_t>(batch) * static_cast<std::int64_t>(num_samples);
+  std::vector<nn::Tensor> pair_probs(static_cast<std::size_t>(total_pairs));
 
-  // Fixed-order reduction: bit-identical for every thread count.
-  nn::Tensor probs = std::move(sample_probs.front());
-  for (int s = 1; s < num_samples; ++s)
-    probs.add_(sample_probs[static_cast<std::size_t>(s)]);
-  probs.scale_(1.0f / static_cast<float>(num_samples));
+  // Shared per-image slice caches: an image's prefix rows are cut once by
+  // whichever of its S lanes arrives first, not once per sample.
+  std::vector<nn::Network::ReplayRowCache> row_caches;
+  row_caches.reserve(static_cast<std::size_t>(batch));
+  for (int n = 0; n < batch; ++n) row_caches.emplace_back(net.num_nodes());
+
+  runtime::ThreadPool& pool = options.pool ? *options.pool : runtime::shared_pool();
+  pool.parallel_for(
+      total_pairs,
+      [&](std::int64_t pair) {
+        const int n = static_cast<int>(pair / num_samples);
+        const int s = static_cast<int>(pair % num_samples);
+        // Independent per-(site, image, sample) streams: a pair is
+        // computable with no knowledge of which thread ran the others, and
+        // image n's masks depend only on its stream id, not on the batch.
+        std::vector<std::unique_ptr<nn::RngMaskSource>> sources;
+        std::vector<nn::MaskSource*> site_masks(
+            static_cast<std::size_t>(net.num_nodes()), nullptr);
+        for (const ActiveSite& site : active_sites) {
+          sources.push_back(std::make_unique<nn::RngMaskSource>(
+              site.p, util::Rng(site.seed)
+                          .fork(options.image_stream_base + static_cast<std::uint64_t>(n))
+                          .fork(static_cast<std::uint64_t>(s))));
+          site_masks[static_cast<std::size_t>(site.node)] = sources.back().get();
+        }
+        pair_probs[static_cast<std::size_t>(pair)] = nn::softmax_rows(net.replay_suffix_row(
+            replay_start, site_masks, n, &row_caches[static_cast<std::size_t>(n)]));
+      },
+      runtime::resolve_thread_count(options.num_threads));
+
+  // Fixed-order reduction per image: bit-identical for every thread count.
+  nn::Tensor probs({batch, model.num_classes()});
+  for (int n = 0; n < batch; ++n) {
+    const std::size_t offset = static_cast<std::size_t>(n) * num_samples;
+    nn::Tensor accumulated = std::move(pair_probs[offset]);
+    for (int s = 1; s < num_samples; ++s)
+      accumulated.add_(pair_probs[offset + static_cast<std::size_t>(s)]);
+    accumulated.scale_(1.0f / static_cast<float>(num_samples));
+    for (int k = 0; k < model.num_classes(); ++k) probs.v2(n, k) = accumulated.v2(0, k);
+  }
   return probs;
 }
 

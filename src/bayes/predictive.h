@@ -10,42 +10,59 @@
 #ifndef BNN_BAYES_PREDICTIVE_H
 #define BNN_BAYES_PREDICTIVE_H
 
+#include <cstdint>
+
 #include "nn/models.h"
 #include "nn/tensor.h"
+
+namespace bnn::runtime {
+class ThreadPool;
+}
 
 namespace bnn::bayes {
 
 struct PredictiveOptions {
   int num_samples = 10;
-  // Reuse the cached deterministic prefix (intermediate-layer caching).
-  // Turning this off recomputes all layers every sample; the result is
-  // distributionally identical, only slower — mirroring the hardware's
-  // "w/o IC" mode.
+  /// Reuse the cached deterministic prefix (intermediate-layer caching).
+  /// Turning this off recomputes all layers every sample; the result is
+  /// distributionally identical, only slower — mirroring the hardware's
+  /// "w/o IC" mode.
   bool use_intermediate_caching = true;
-  // Worker threads for the S-sample loop (0 = hardware concurrency). The
-  // result is bit-identical for every thread count: sample s at site i
-  // always draws from the independent stream Rng(site_seed_i).fork(s), and
-  // per-sample softmax outputs are reduced in ascending sample order.
+  /// Worker-lane cap for the flattened (image, sample) pair loop (0 =
+  /// hardware concurrency). The result is bit-identical for every thread
+  /// count: pair (n, s) at site i always draws from the independent stream
+  /// Rng(site_seed_i).fork(image_stream_base + n).fork(s), and per-sample
+  /// softmax outputs are reduced per image in ascending sample order.
   int num_threads = 1;
+  /// Stream-family id of batch row 0; row n uses image_stream_base + n.
+  /// Because masks are drawn per (site, image-stream, sample), a batched
+  /// call with the default base equals the concatenation of single-image
+  /// calls made with base = n — prediction is independent of how images
+  /// are batched. A serving layer passes each request's stable id here.
+  std::uint64_t image_stream_base = 0;
+  /// Executor for the pair loop (non-owning; must outlive the call).
+  /// nullptr selects the process-wide runtime::shared_pool(); num_threads
+  /// still caps how many of its lanes this call uses.
+  runtime::ThreadPool* pool = nullptr;
 };
 
-// Averaged predictive probabilities, shape (N, num_classes). The model's
-// Bayesian configuration (active sites, p) must be set beforehand; a model
-// with no active site degenerates to a single deterministic pass.
-//
-// The result is a pure function of (weights, images, site seeds, options):
-// masks come from per-(site, sample) streams derived from the sites' seeds
-// (set with Model::reseed_sites), never from the sites' live RNG state, so
-// repeated calls agree and the sample loop parallelizes without any
-// cross-sample ordering dependence.
+/// Averaged predictive probabilities, shape (N, num_classes). The model's
+/// Bayesian configuration (active sites, p) must be set beforehand; a model
+/// with no active site degenerates to a single deterministic pass.
+///
+/// The result is a pure function of (weights, images, site seeds, options):
+/// masks come from per-(site, image, sample) streams derived from the
+/// sites' seeds (set with Model::reseed_sites), never from the sites' live
+/// RNG state, so repeated calls agree and the flattened N×S pair loop
+/// parallelizes without any cross-pair ordering dependence.
 nn::Tensor mc_predict(nn::Model& model, const nn::Tensor& images,
                       const PredictiveOptions& options);
 
-// The paper's Monte Carlo sample counts grid (Section V-A).
+/// The paper's Monte Carlo sample counts grid (Section V-A).
 const std::vector<int>& paper_sample_grid();
 
-// The paper's Bayesian-portion grid L = {1, N/3, N/2, 2N/3, N} resolved
-// against a model's site count (deduplicated, ascending).
+/// The paper's Bayesian-portion grid L = {1, N/3, N/2, 2N/3, N} resolved
+/// against a model's site count (deduplicated, ascending).
 std::vector<int> paper_bayes_grid(int num_sites);
 
 }  // namespace bnn::bayes

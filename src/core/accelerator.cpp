@@ -1,7 +1,8 @@
 #include "core/accelerator.h"
 
 #include <algorithm>
-#include <numeric>
+#include <memory>
+#include <mutex>
 
 #include "nn/activations.h"
 #include "runtime/thread_pool.h"
@@ -17,10 +18,10 @@ Accelerator::Accelerator(quant::QuantNetwork network, AcceleratorConfig config)
   (void)lfsrs_for_probability(network_.dropout_p);
 }
 
-std::uint64_t Accelerator::sample_stream_seed(std::uint64_t base_seed, int image,
-                                              int sample) {
+std::uint64_t Accelerator::sample_stream_seed(std::uint64_t base_seed,
+                                              std::uint64_t stream_id, int sample) {
   return util::Rng(base_seed)
-      .fork(static_cast<std::uint64_t>(image))
+      .fork(stream_id)
       .fork(static_cast<std::uint64_t>(sample))
       .seed();
 }
@@ -28,33 +29,89 @@ std::uint64_t Accelerator::sample_stream_seed(std::uint64_t base_seed, int image
 Accelerator::Prediction Accelerator::predict(const nn::Tensor& images, int bayes_layers,
                                              int num_samples) {
   util::require(images.dim() == 4, "accelerator: expects NCHW images");
-  util::require(num_samples >= 1, "accelerator: need at least one sample");
-  util::require(bayes_layers >= 0 && bayes_layers <= network_.num_sites,
-                "accelerator: bayes_layers out of range");
-
   const int batch = images.size(0);
-  nn::Tensor probs({batch, network_.num_classes});
-  functional_cycles_ = 0;
+  std::vector<ImageRequest> requests(static_cast<std::size_t>(batch));
+  for (int n = 0; n < batch; ++n) {
+    requests[static_cast<std::size_t>(n)] = ImageRequest{
+        bayes_layers, num_samples, static_cast<std::uint64_t>(n)};
+  }
 
-  const int cut = network_.cut_layer_for(bayes_layers);
-  const int first_active_site = network_.num_sites - bayes_layers;
-  const bool use_ic = config_.use_intermediate_caching && bayes_layers > 0;
-  const int samples = bayes_layers == 0 ? 1 : num_samples;
+  BatchPrediction batched = predict_batch(images, requests);
+  Prediction prediction;
+  prediction.probs = std::move(batched.probs);
+  // Uniform knobs: every per-image estimate is the same one-image cost.
+  prediction.stats = batched.stats.front();
+  return prediction;
+}
+
+Accelerator::BatchPrediction Accelerator::predict_batch(
+    const nn::Tensor& images, const std::vector<ImageRequest>& requests) {
+  util::require(images.dim() == 4, "accelerator: expects NCHW images");
+  const int batch = images.size(0);
+  util::require(batch >= 1, "accelerator: empty image batch");
+  util::require(static_cast<int>(requests.size()) == batch,
+                "accelerator: need exactly one ImageRequest per image");
+
+  // Per-image schedule resolved up front: the pair space is the union of
+  // every image's sample range.
+  struct ImagePlan {
+    int samples = 1;            // 1 when L == 0 (deterministic single pass)
+    int cut = 0;                // last prefix layer (IC boundary)
+    int first_active_site = 0;  // sites >= this draw masks
+    bool use_ic = false;
+    std::int64_t pair_offset = 0;  // first flattened index of this image
+  };
+  std::vector<ImagePlan> plans(static_cast<std::size_t>(batch));
+  std::int64_t total_pairs = 0;
+  for (int n = 0; n < batch; ++n) {
+    const ImageRequest& request = requests[static_cast<std::size_t>(n)];
+    util::require(request.num_samples >= 1, "accelerator: need at least one sample");
+    util::require(request.bayes_layers >= 0 && request.bayes_layers <= network_.num_sites,
+                  "accelerator: bayes_layers out of range");
+    ImagePlan& plan = plans[static_cast<std::size_t>(n)];
+    plan.samples = request.bayes_layers == 0 ? 1 : request.num_samples;
+    plan.cut = network_.cut_layer_for(request.bayes_layers);
+    plan.first_active_site = network_.num_sites - request.bayes_layers;
+    plan.use_ic = config_.use_intermediate_caching && request.bayes_layers > 0;
+    plan.pair_offset = total_pairs;
+    total_pairs += plan.samples;
+  }
+  std::vector<int> pair_image(static_cast<std::size_t>(total_pairs));
+  for (int n = 0; n < batch; ++n) {
+    const ImagePlan& plan = plans[static_cast<std::size_t>(n)];
+    for (int s = 0; s < plan.samples; ++s)
+      pair_image[static_cast<std::size_t>(plan.pair_offset + s)] = n;
+  }
+
+  // Lazily-shared per-image steps: whichever lane first touches image n
+  // quantizes it and (under IC) runs its deterministic prefix; later lanes
+  // of the same image wait on the once_flag and then read it read-only.
+  struct ImageState {
+    std::once_flag once;
+    quant::QTensor qimage;
+    std::vector<quant::QTensor> prefix;
+    std::int64_t prefix_cycles = 0;
+  };
+  std::unique_ptr<ImageState[]> states(new ImageState[static_cast<std::size_t>(batch)]);
+
+  std::vector<nn::Tensor> pair_probs(static_cast<std::size_t>(total_pairs));
+  std::vector<std::int64_t> pair_cycles(static_cast<std::size_t>(total_pairs), 0);
 
   // Each (image, sample) lane runs on its own decorrelated sampler stream,
   // so a sample's masks never depend on which thread (or in which order)
   // the other samples ran.
-  auto make_sampler = [this](int image, int sample) {
+  auto make_sampler = [this](std::uint64_t stream_id, int sample) {
     BernoulliSamplerConfig sampler_config;
     sampler_config.p = network_.dropout_p;
     sampler_config.pf = config_.nne.pf;
     sampler_config.fifo_depth = config_.sampler_fifo_depth;
-    sampler_config.seed = sample_stream_seed(config_.sampler_seed, image, sample);
+    sampler_config.seed = sample_stream_seed(config_.sampler_seed, stream_id, sample);
     return BernoulliSampler(sampler_config);
   };
 
   // `stored(i)` resolves layer i's retained output in whatever storage the
-  // calling loop uses (one shared vector, or prefix + worker-local suffix).
+  // calling lane uses (one local vector, or shared prefix + lane-local
+  // suffix).
   auto run_layer = [this](int index, const auto& stored, const quant::QTensor& image,
                           bool site_active, nn::MaskSource* masks, std::int64_t& cycles) {
     const quant::QLayer& layer = network_.layers[static_cast<std::size_t>(index)];
@@ -68,109 +125,123 @@ Accelerator::Prediction Accelerator::predict(const nn::Tensor& images, int bayes
     return std::move(result.output);
   };
 
-  runtime::ThreadPool pool(
-      std::min(runtime::resolve_thread_count(config_.num_threads), samples));
+  runtime::ThreadPool& pool = config_.pool ? *config_.pool : runtime::shared_pool();
+  pool.parallel_for(
+      total_pairs,
+      [&](std::int64_t pair) {
+        const int n = pair_image[static_cast<std::size_t>(pair)];
+        const ImagePlan& plan = plans[static_cast<std::size_t>(n)];
+        const ImageRequest& request = requests[static_cast<std::size_t>(n)];
+        const int s = static_cast<int>(pair - plan.pair_offset);
+        ImageState& state = states[static_cast<std::size_t>(n)];
 
-  for (int n = 0; n < batch; ++n) {
-    const quant::QTensor image = quantize_image(images, n, network_.input);
-    std::vector<nn::Tensor> sample_probs(static_cast<std::size_t>(samples));
-    std::vector<std::int64_t> sample_cycles(static_cast<std::size_t>(samples), 0);
+        std::call_once(state.once, [&] {
+          state.qimage = quant::quantize_image(images, n, network_.input);
+          if (!plan.use_ic) return;
+          // Prefix once, shared read-only across lanes: the cut layer's
+          // pre-DU output is the on-chip boundary of the IC schedule.
+          state.prefix.reserve(static_cast<std::size_t>(plan.cut + 1));
+          const auto stored_prefix = [&state](int index) -> const quant::QTensor& {
+            return state.prefix[static_cast<std::size_t>(index)];
+          };
+          for (int l = 0; l <= plan.cut; ++l)
+            state.prefix.push_back(run_layer(l, stored_prefix, state.qimage,
+                                             /*site_active=*/false, nullptr,
+                                             state.prefix_cycles));
+        });
 
-    if (!use_ic) {
-      pool.parallel_for(samples, [&](std::int64_t s) {
-        BernoulliSampler sampler = make_sampler(n, static_cast<int>(s));
-        std::int64_t cycles = 0;
-        std::vector<quant::QTensor> outputs;
-        outputs.reserve(network_.layers.size());
-        const auto stored = [&outputs](int index) -> const quant::QTensor& {
-          return outputs[static_cast<std::size_t>(index)];
-        };
-        for (int l = 0; l < network_.num_layers(); ++l) {
-          const quant::QLayer& layer = network_.layers[static_cast<std::size_t>(l)];
-          const bool active = bayes_layers > 0 && layer.geom.is_bayes_site &&
-                              layer.geom.site_index >= first_active_site;
-          outputs.push_back(run_layer(l, stored, image, active, &sampler, cycles));
-        }
-        sample_probs[static_cast<std::size_t>(s)] =
-            nn::softmax_rows(quant::ref_logits(network_, outputs.back()));
-        sample_cycles[static_cast<std::size_t>(s)] = cycles;
-      });
-    } else {
-      // Prefix once, shared read-only across workers: the cut layer's
-      // pre-DU output is the on-chip boundary of the IC schedule.
-      std::int64_t prefix_cycles = 0;
-      std::vector<quant::QTensor> prefix;
-      prefix.reserve(static_cast<std::size_t>(cut + 1));
-      const auto stored_prefix = [&prefix](int index) -> const quant::QTensor& {
-        return prefix[static_cast<std::size_t>(index)];
-      };
-      for (int l = 0; l <= cut; ++l)
-        prefix.push_back(run_layer(l, stored_prefix, image, /*site_active=*/false,
-                                   nullptr, prefix_cycles));
-      functional_cycles_ += prefix_cycles;
-      const quant::QTensor& boundary = prefix.back();
-
-      pool.parallel_for(samples, [&](std::int64_t s) {
-        BernoulliSampler sampler = make_sampler(n, static_cast<int>(s));
+        BernoulliSampler sampler = make_sampler(request.stream_id, s);
         std::int64_t cycles = 0;
 
-        // DU pass over the cached boundary with this sample's fresh mask.
-        quant::QTensor masked = boundary;
-        {
-          const quant::QLayer& cut_layer = network_.layers[static_cast<std::size_t>(cut)];
-          const std::int32_t zp = cut_layer.out.zero_point;
-          const int plane = masked.height() * masked.width();
-          for (int f = 0; f < masked.channels(); ++f) {
-            const bool drop = sampler.next_drop();
-            std::int8_t* row = masked.data.data() + static_cast<std::size_t>(f) * plane;
-            if (drop) {
-              std::fill(row, row + plane, quant::saturate_int8(zp));
-            } else {
-              for (int i = 0; i < plane; ++i)
-                row[i] = quant::saturate_int8(
-                    quant::fixed_multiply(static_cast<std::int32_t>(row[i]) - zp,
-                                          network_.dropout_keep) +
-                    zp);
+        if (!plan.use_ic) {
+          std::vector<quant::QTensor> outputs;
+          outputs.reserve(network_.layers.size());
+          const auto stored = [&outputs](int index) -> const quant::QTensor& {
+            return outputs[static_cast<std::size_t>(index)];
+          };
+          for (int l = 0; l < network_.num_layers(); ++l) {
+            const quant::QLayer& layer = network_.layers[static_cast<std::size_t>(l)];
+            const bool active = request.bayes_layers > 0 && layer.geom.is_bayes_site &&
+                                layer.geom.site_index >= plan.first_active_site;
+            outputs.push_back(
+                run_layer(l, stored, state.qimage, active, &sampler, cycles));
+          }
+          pair_probs[static_cast<std::size_t>(pair)] =
+              nn::softmax_rows(quant::ref_logits(network_, outputs.back()));
+        } else {
+          const quant::QTensor& boundary = state.prefix.back();
+
+          // DU pass over the cached boundary with this sample's fresh mask.
+          quant::QTensor masked = boundary;
+          {
+            const quant::QLayer& cut_layer =
+                network_.layers[static_cast<std::size_t>(plan.cut)];
+            const std::int32_t zp = cut_layer.out.zero_point;
+            const int plane = masked.height() * masked.width();
+            for (int f = 0; f < masked.channels(); ++f) {
+              const bool drop = sampler.next_drop();
+              std::int8_t* row =
+                  masked.data.data() + static_cast<std::size_t>(f) * plane;
+              if (drop) {
+                std::fill(row, row + plane, quant::saturate_int8(zp));
+              } else {
+                for (int i = 0; i < plane; ++i)
+                  row[i] = quant::saturate_int8(
+                      quant::fixed_multiply(static_cast<std::int32_t>(row[i]) - zp,
+                                            network_.dropout_keep) +
+                      zp);
+              }
             }
           }
-        }
 
-        // Suffix layers into worker-local storage; inputs before the cut
-        // resolve against the shared prefix, the cut itself to this
-        // sample's masked boundary.
-        std::vector<quant::QTensor> suffix;
-        suffix.reserve(network_.layers.size() - static_cast<std::size_t>(cut));
-        suffix.push_back(std::move(masked));
-        const auto stored = [&prefix, &suffix, cut](int index) -> const quant::QTensor& {
-          return index < cut ? prefix[static_cast<std::size_t>(index)]
-                             : suffix[static_cast<std::size_t>(index - cut)];
-        };
-        for (int l = cut + 1; l < network_.num_layers(); ++l) {
-          const quant::QLayer& layer = network_.layers[static_cast<std::size_t>(l)];
-          const bool active = layer.geom.is_bayes_site &&
-                              layer.geom.site_index >= first_active_site;
-          suffix.push_back(run_layer(l, stored, image, active, &sampler, cycles));
+          // Suffix layers into lane-local storage; inputs before the cut
+          // resolve against the shared prefix, the cut itself to this
+          // sample's masked boundary.
+          std::vector<quant::QTensor> suffix;
+          suffix.reserve(network_.layers.size() - static_cast<std::size_t>(plan.cut));
+          suffix.push_back(std::move(masked));
+          const int cut = plan.cut;
+          const auto stored = [&state, &suffix, cut](int index) -> const quant::QTensor& {
+            return index < cut ? state.prefix[static_cast<std::size_t>(index)]
+                               : suffix[static_cast<std::size_t>(index - cut)];
+          };
+          for (int l = cut + 1; l < network_.num_layers(); ++l) {
+            const quant::QLayer& layer = network_.layers[static_cast<std::size_t>(l)];
+            const bool active = layer.geom.is_bayes_site &&
+                                layer.geom.site_index >= plan.first_active_site;
+            suffix.push_back(
+                run_layer(l, stored, state.qimage, active, &sampler, cycles));
+          }
+          pair_probs[static_cast<std::size_t>(pair)] =
+              nn::softmax_rows(quant::ref_logits(network_, suffix.back()));
         }
-        sample_probs[static_cast<std::size_t>(s)] =
-            nn::softmax_rows(quant::ref_logits(network_, suffix.back()));
-        sample_cycles[static_cast<std::size_t>(s)] = cycles;
-      });
-    }
+        pair_cycles[static_cast<std::size_t>(pair)] = cycles;
+      },
+      runtime::resolve_thread_count(config_.num_threads));
 
-    // Fixed-order reduction: bit-identical for every thread count.
-    nn::Tensor accumulated = std::move(sample_probs.front());
-    for (int s = 1; s < samples; ++s)
-      accumulated.add_(sample_probs[static_cast<std::size_t>(s)]);
-    accumulated.scale_(1.0f / static_cast<float>(samples));
-    for (int k = 0; k < network_.num_classes; ++k) probs.v2(n, k) = accumulated.v2(0, k);
-    functional_cycles_ +=
-        std::accumulate(sample_cycles.begin(), sample_cycles.end(), std::int64_t{0});
+  // Fixed-order reduction per image: bit-identical for every thread count
+  // and every batch composition.
+  BatchPrediction out;
+  out.probs = nn::Tensor({batch, network_.num_classes});
+  out.stats.reserve(static_cast<std::size_t>(batch));
+  functional_cycles_ = 0;
+  for (int n = 0; n < batch; ++n) {
+    const ImagePlan& plan = plans[static_cast<std::size_t>(n)];
+    const ImageRequest& request = requests[static_cast<std::size_t>(n)];
+    nn::Tensor accumulated =
+        std::move(pair_probs[static_cast<std::size_t>(plan.pair_offset)]);
+    for (int s = 1; s < plan.samples; ++s)
+      accumulated.add_(pair_probs[static_cast<std::size_t>(plan.pair_offset + s)]);
+    accumulated.scale_(1.0f / static_cast<float>(plan.samples));
+    for (int k = 0; k < network_.num_classes; ++k)
+      out.probs.v2(n, k) = accumulated.v2(0, k);
+
+    functional_cycles_ += states[static_cast<std::size_t>(n)].prefix_cycles;
+    for (int s = 0; s < plan.samples; ++s)
+      functional_cycles_ += pair_cycles[static_cast<std::size_t>(plan.pair_offset + s)];
+    out.stats.push_back(estimate(request.bayes_layers, request.num_samples));
   }
-
-  Prediction prediction;
-  prediction.probs = std::move(probs);
-  prediction.stats = estimate(bayes_layers, num_samples);
-  return prediction;
+  return out;
 }
 
 RunStats Accelerator::estimate(int bayes_layers, int num_samples) const {

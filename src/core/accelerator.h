@@ -1,10 +1,11 @@
 // Top-level accelerator simulator: ties the quantized network, the NNE
 // datapath, the Bernoulli sampler and the IC schedule together.
 //
-// `predict` is the functional path — it executes every layer with the
-// hardware tiling (bit-exact against quant/qops) while drawing Dropout-Unit
-// masks from the simulated LFSR sampler, and reports the modelled latency.
-// `estimate` is the timing-only path for networks too large to execute.
+// `predict` / `predict_batch` are the functional path — they execute every
+// layer with the hardware tiling (bit-exact against quant/qops) while
+// drawing Dropout-Unit masks from the simulated LFSR sampler, and report
+// the modelled latency. `estimate` is the timing-only path for networks too
+// large to execute.
 #ifndef BNN_CORE_ACCELERATOR_H
 #define BNN_CORE_ACCELERATOR_H
 
@@ -13,6 +14,10 @@
 #include "core/resource_model.h"
 #include "quant/qnetwork.h"
 #include "quant/qops.h"
+
+namespace bnn::runtime {
+class ThreadPool;
+}
 
 namespace bnn::core {
 
@@ -23,46 +28,98 @@ struct AcceleratorConfig {
   std::uint64_t sampler_seed = 1;
   bool use_intermediate_caching = true;
   double board_power_watts = 45.0;  // paper's total board power
-  // Worker threads for the S-sample loop of predict() (0 = hardware
-  // concurrency). Output is bit-identical for every thread count: each
-  // (image, sample) pair consumes its own sampler stream seeded with
-  // sample_stream_seed(sampler_seed, image, sample), and per-sample softmax
-  // outputs are reduced in ascending sample order.
+  /// Worker-lane cap for the flattened (image, sample) loop of predict()
+  /// (0 = hardware concurrency). Output is bit-identical for every thread
+  /// count: each (image, sample) pair consumes its own sampler stream
+  /// seeded with sample_stream_seed(sampler_seed, stream_id, sample), and
+  /// per-sample softmax outputs are reduced in ascending sample order.
   int num_threads = 1;
+  /// Executor for the flattened loop (non-owning; must outlive the
+  /// accelerator's predict calls). nullptr selects the process-wide
+  /// runtime::shared_pool(); num_threads still caps how many of its lanes
+  /// this accelerator uses. Supplying a pool lets a serving layer share one
+  /// set of worker threads across many accelerators and requests.
+  runtime::ThreadPool* pool = nullptr;
 };
 
+/// Simulated BNN accelerator. Thread-safety: a given Accelerator must be
+/// driven from one thread at a time (predict mutates the functional cycle
+/// counter); distinct Accelerators may run concurrently and may share one
+/// runtime::ThreadPool.
 class Accelerator {
  public:
   Accelerator(quant::QuantNetwork network, AcceleratorConfig config);
+
+  /// Per-image knobs of one batched prediction — the request-level unit of
+  /// the serving layer. The paper's L (Bayesian depth) and S (MC samples)
+  /// are free per image; `stream_id` names the sampler-lane family so a
+  /// request's masks do not depend on where in a batch it lands.
+  struct ImageRequest {
+    int bayes_layers = 0;         ///< L: last-L sites active (0 = deterministic)
+    int num_samples = 1;          ///< S: MC samples averaged for this image
+    std::uint64_t stream_id = 0;  ///< lane family fed to sample_stream_seed
+  };
 
   struct Prediction {
     nn::Tensor probs;  // (N, K) averaged predictive distribution
     RunStats stats;    // modelled latency/traffic for ONE image's S samples
   };
 
-  // Runs Monte Carlo inference over a batch of float images (N, C, H, W)
-  // with the last `bayes_layers` sites active and `num_samples` samples per
-  // image. Functional output is bit-exact with the reference executor.
+  /// Result of predict_batch: averaged predictive rows plus the modelled
+  /// per-image hardware cost of each request's {L, S}.
+  struct BatchPrediction {
+    nn::Tensor probs;             ///< (N, K)
+    std::vector<RunStats> stats;  ///< one entry per image/request
+  };
+
+  /// Runs Monte Carlo inference over a batch of float images (N, C, H, W)
+  /// with the last `bayes_layers` sites active and `num_samples` samples
+  /// per image. Functional output is bit-exact with the reference executor.
+  /// Equivalent to predict_batch with uniform knobs and stream_id = image
+  /// index.
   Prediction predict(const nn::Tensor& images, int bayes_layers, int num_samples);
 
-  // Timing-only estimate for one image's full MC inference.
+  /// Flattened batched prediction: the (image, sample) pair space of the
+  /// whole batch runs as ONE parallel_for over N×S lanes, so small-S /
+  /// large-N serving workloads still fill every pool lane. Per-image
+  /// deterministic prefixes (the IC cache) are computed lazily by whichever
+  /// lane needs them first and shared read-only. `requests` carries one
+  /// entry per image. Output row n is a pure function of (weights, image n,
+  /// sampler_seed, requests[n]) — independent of batch composition, order,
+  /// and thread count.
+  BatchPrediction predict_batch(const nn::Tensor& images,
+                                const std::vector<ImageRequest>& requests);
+
+  /// Timing-only estimate for one image's full MC inference.
   RunStats estimate(int bayes_layers, int num_samples) const;
 
-  // Resource footprint of this configuration on `device` for this network.
+  /// Resource footprint of this configuration on `device` for this network.
   ResourceUsage resources(const FpgaDevice& device) const;
 
   const quant::QuantNetwork& network() const { return network_; }
   const AcceleratorConfig& config() const { return config_; }
 
-  // Functional compute-cycle total of the last predict() call, summed over
-  // all layer executions (used by the model-vs-simulation cycle tests).
+  /// Replaces the executor used by subsequent predict calls (see
+  /// AcceleratorConfig::pool). Non-owning; nullptr = process-wide pool.
+  void set_thread_pool(runtime::ThreadPool* pool) { config_.pool = pool; }
+
+  /// Adjusts the worker-lane cap of subsequent predict calls (see
+  /// AcceleratorConfig::num_threads). Scheduling only — results are
+  /// bit-identical for every value.
+  void set_num_threads(int num_threads) { config_.num_threads = num_threads; }
+
+  /// Functional compute-cycle total of the last predict() call, summed over
+  /// all layer executions (used by the model-vs-simulation cycle tests).
   std::int64_t last_functional_compute_cycles() const { return functional_cycles_; }
 
-  // Seed of the LFSR sampler stream that (image, sample) consumes inside
-  // predict() — the software analogue of giving every concurrent sampling
-  // lane its own decorrelated LFSR bank. Exposed so reference executors and
-  // tests can reproduce the exact mask streams.
-  static std::uint64_t sample_stream_seed(std::uint64_t base_seed, int image, int sample);
+  /// Seed of the LFSR sampler stream that lane (stream_id, sample) consumes
+  /// inside predict() — the software analogue of giving every concurrent
+  /// sampling lane its own decorrelated LFSR bank. predict() uses the batch
+  /// index as stream_id; predict_batch takes it from the ImageRequest.
+  /// Exposed so reference executors and tests can reproduce the exact mask
+  /// streams.
+  static std::uint64_t sample_stream_seed(std::uint64_t base_seed, std::uint64_t stream_id,
+                                          int sample);
 
  private:
   quant::QuantNetwork network_;

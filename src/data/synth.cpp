@@ -88,6 +88,16 @@ Dataset make_synth_digits(int count, util::Rng& rng) {
   return Dataset(std::move(images), std::move(labels), 10);
 }
 
+Dataset make_synth_digits_small(int count, util::Rng& rng) {
+  const Dataset digits = make_synth_digits(count, rng);
+  nn::Tensor small({count, 1, 12, 12});
+  for (int n = 0; n < count; ++n)
+    for (int y = 0; y < 12; ++y)
+      for (int x = 0; x < 12; ++x)
+        small.v4(n, 0, y, x) = digits.images().v4(n, 0, 2 + 2 * y, 2 + 2 * x);
+  return Dataset(std::move(small), digits.labels(), 10);
+}
+
 Dataset make_synth_svhn(int count, util::Rng& rng) {
   util::require(count > 0, "make_synth_svhn: count must be positive");
   const int image = 32;

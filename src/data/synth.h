@@ -19,6 +19,12 @@ namespace bnn::data {
 // Balanced over the 10 digit classes (label i -> digit i).
 Dataset make_synth_digits(int count, util::Rng& rng);
 
+// 1x12x12 variant of make_synth_digits — every other pixel of the 28x28
+// canvas starting at offset 2. This is the fast tiny-CNN workload shared
+// by tests, benches and examples (pairs with nn::make_tiny_cnn's default
+// 12x12 input).
+Dataset make_synth_digits_small(int count, util::Rng& rng);
+
 // Balanced over the 10 digit classes, colored, cluttered background.
 Dataset make_synth_svhn(int count, util::Rng& rng);
 

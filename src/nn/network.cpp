@@ -82,16 +82,46 @@ void Network::prepare_replay(const Tensor& x, NodeId first_node) {
 
 Tensor Network::replay_suffix(NodeId first_node,
                               const std::vector<MaskSource*>& site_masks) const {
+  return replay_suffix_row(first_node, site_masks, /*row=*/-1);
+}
+
+Network::ReplayRowCache::ReplayRowCache(int num_nodes)
+    : rows_(static_cast<std::size_t>(num_nodes)),
+      once_(new std::once_flag[static_cast<std::size_t>(num_nodes)]) {}
+
+Tensor Network::replay_suffix_row(NodeId first_node,
+                                  const std::vector<MaskSource*>& site_masks,
+                                  int row, ReplayRowCache* cache) const {
   util::require(has_forward_, "network: replay_suffix requires a prior forward");
   util::require(first_node >= 1 && first_node < num_nodes(),
                 "network: replay start out of range");
   util::require(site_masks.size() == static_cast<std::size_t>(num_nodes()),
                 "network: site_masks must carry one entry per node");
+  util::require(cache == nullptr ||
+                    cache->rows_.size() == static_cast<std::size_t>(num_nodes()),
+                "network: replay cache sized for a different network");
 
+  // Prefix reads: the whole retained activation (row < 0), or its single
+  // batch row — cut once into the shared cache when one is supplied,
+  // otherwise into call-local storage (still reused across shortcut
+  // fan-out within this call).
   std::vector<Tensor> local(static_cast<std::size_t>(num_nodes()));
-  auto value_of = [this, first_node, &local](NodeId id) -> const Tensor& {
-    return id < first_node ? activations_[static_cast<std::size_t>(id)]
-                           : local[static_cast<std::size_t>(id)];
+  std::vector<Tensor> sliced(
+      row < 0 || cache ? 0 : static_cast<std::size_t>(first_node));
+  auto value_of = [this, first_node, row, cache, &local,
+                   &sliced](NodeId id) -> const Tensor& {
+    if (id >= first_node) return local[static_cast<std::size_t>(id)];
+    if (row < 0) return activations_[static_cast<std::size_t>(id)];
+    if (cache) {
+      Tensor& shared = cache->rows_[static_cast<std::size_t>(id)];
+      std::call_once(cache->once_[static_cast<std::size_t>(id)], [&] {
+        shared = activations_[static_cast<std::size_t>(id)].batch_row(row);
+      });
+      return shared;
+    }
+    Tensor& slice = sliced[static_cast<std::size_t>(id)];
+    if (slice.empty()) slice = activations_[static_cast<std::size_t>(id)].batch_row(row);
+    return slice;
   };
 
   for (NodeId id = first_node; id < num_nodes(); ++id) {

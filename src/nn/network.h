@@ -8,6 +8,7 @@
 #define BNN_NN_NETWORK_H
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -63,6 +64,31 @@ class Network {
   // state. Requires eval mode; every non-stochastic layer's eval forward is
   // a pure function of its input and parameters.
   Tensor replay_suffix(NodeId first_node, const std::vector<MaskSource*>& site_masks) const;
+
+  // Shared slice store for replay_suffix_row: each prefix node's row is
+  // cut once (by whichever caller needs it first) and reused, so the S
+  // samples of one image do not re-copy the same boundary rows. One
+  // instance per (prepared input, row); safe to share across concurrent
+  // replay_suffix_row calls for that row.
+  class ReplayRowCache {
+   public:
+    explicit ReplayRowCache(int num_nodes);
+
+   private:
+    friend class Network;
+    std::vector<Tensor> rows_;
+    std::unique_ptr<std::once_flag[]> once_;
+  };
+
+  // As replay_suffix, but replays the suffix for ONE batch row of the
+  // prepared input: retained prefix activations are read as their
+  // (contiguous) row `row` slice, so the suffix runs on batch size 1. This
+  // is the unit of the flattened (image, sample) Monte Carlo pair loop —
+  // every pair replays exactly one image, whatever batch the prefix was
+  // prepared with. `cache`, when non-null, shares the prefix slices across
+  // calls for the same row. Same thread-safety contract as replay_suffix.
+  Tensor replay_suffix_row(NodeId first_node, const std::vector<MaskSource*>& site_masks,
+                           int row, ReplayRowCache* cache = nullptr) const;
 
   // Backpropagates grad_out (gradient w.r.t. the network output) through the
   // DAG; parameter gradients accumulate in each layer. Returns the gradient

@@ -52,6 +52,18 @@ Tensor Tensor::from_values(std::vector<int> shape, std::vector<float> values) {
   return t;
 }
 
+Tensor Tensor::batch_row(int n) const {
+  util::require(dim() >= 1, "batch_row: needs at least one dimension");
+  util::require(n >= 0 && n < size(0), "batch_row: row out of range");
+  std::vector<int> row_shape = shape_;
+  row_shape[0] = 1;
+  Tensor row(std::move(row_shape));
+  const std::int64_t stride = numel() / size(0);
+  std::copy(data_.begin() + static_cast<std::ptrdiff_t>(n * stride),
+            data_.begin() + static_cast<std::ptrdiff_t>((n + 1) * stride), row.data());
+  return row;
+}
+
 int Tensor::size(int axis) const {
   const int d = dim();
   if (axis < 0) axis += d;

@@ -67,6 +67,12 @@ class Tensor {
   // be -1 (inferred).
   Tensor reshaped(std::vector<int> new_shape) const;
 
+  // Copy of batch row `n` with a leading dimension of 1 (shape {1, ...}).
+  // Rows are contiguous under the row-major layout, so this is one memcpy;
+  // the per-(image, sample) Monte Carlo lanes use it to read a single
+  // image's slice of a batch-wide cached activation.
+  Tensor batch_row(int n) const;
+
   void fill(float value);
   bool same_shape(const Tensor& other) const { return shape_ == other.shape_; }
 

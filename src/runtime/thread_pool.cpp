@@ -1,5 +1,7 @@
 #include "runtime/thread_pool.h"
 
+#include <algorithm>
+
 #include "util/check.h"
 
 namespace bnn::runtime {
@@ -53,22 +55,40 @@ void ThreadPool::worker_loop() {
     seen = generation_;
     const std::shared_ptr<Job> job = job_;
     lock.unlock();
-    if (job) chew(job);
+    // Helpers must hold one of the job's slots; the submitting thread works
+    // unconditionally. A declined slot just sends this worker back to wait —
+    // that is how a capped job (`max_workers`) leaves the rest of a shared
+    // pool idle for the next submitter.
+    if (job && job->helper_slots.fetch_sub(1, std::memory_order_acq_rel) > 0) {
+      chew(job);
+    } else if (job) {
+      job->helper_slots.fetch_add(1, std::memory_order_relaxed);
+    }
     lock.lock();
   }
 }
 
 void ThreadPool::parallel_for(std::int64_t count,
-                              const std::function<void(std::int64_t)>& body) {
+                              const std::function<void(std::int64_t)>& body,
+                              int max_workers) {
+  util::require(max_workers >= 0, "thread pool: max_workers must be >= 0 (0 = all)");
   if (count <= 0) return;
+
+  const int cap = max_workers == 0 ? size() : std::min(max_workers, size());
 
   auto job = std::make_shared<Job>();
   job->body = &body;
   job->count = count;
+  // Never wake more helpers than there are indices beyond the caller's first.
+  job->helper_slots.store(static_cast<int>(std::min<std::int64_t>(cap - 1, count - 1)),
+                          std::memory_order_relaxed);
 
-  if (workers_.empty() || count == 1) {
+  if (workers_.empty() || count == 1 || cap == 1) {
     chew(job);  // inline sequential path, no synchronization
   } else {
+    // One job at a time: concurrent submitters (e.g. two serving loops over
+    // the shared pool) queue up here rather than corrupting job_.
+    std::lock_guard<std::mutex> submit_lock(submit_mutex_);
     {
       std::lock_guard<std::mutex> lock(mutex_);
       job_ = job;
@@ -84,6 +104,11 @@ void ThreadPool::parallel_for(std::int64_t count,
   }
 
   if (job->error) std::rethrow_exception(job->error);
+}
+
+ThreadPool& shared_pool() {
+  static ThreadPool pool(0);  // hardware-sized; joined at process exit
+  return pool;
 }
 
 }  // namespace bnn::runtime

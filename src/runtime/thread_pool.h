@@ -28,28 +28,44 @@
 
 namespace bnn::runtime {
 
-// Resolves a thread-count knob: 0 means "auto" (hardware concurrency),
-// any positive value is taken literally. Throws on negative values.
+/// Resolves a thread-count knob: 0 means "auto" (hardware concurrency),
+/// any positive value is taken literally. Throws on negative values.
 int resolve_thread_count(int requested);
 
+/// Blocking fork-join pool. A pool is reusable across any number of
+/// `parallel_for` jobs; constructing one is cheap but not free (it spawns
+/// OS threads), so serving loops should reuse one pool — their own, or the
+/// process-wide `shared_pool()` — instead of building one per call.
+///
+/// Thread-safety: `parallel_for` may be called from multiple threads
+/// concurrently; submissions are serialized internally (one job runs at a
+/// time, later callers block until the pool frees up). It must NOT be
+/// called from inside a running body (no nesting).
 class ThreadPool {
  public:
-  // `num_threads` follows the resolve_thread_count convention (0 = auto).
+  /// `num_threads` follows the resolve_thread_count convention (0 = auto).
   explicit ThreadPool(int num_threads);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  // Total workers including the calling thread of parallel_for.
+  /// Total workers including the calling thread of parallel_for.
   int size() const { return static_cast<int>(workers_.size()) + 1; }
 
-  // Runs body(i) for every i in [0, count), blocking until all indices have
-  // finished. Indices are claimed dynamically; every index runs exactly
-  // once. If any invocation throws, the remaining indices still run and the
-  // first exception is rethrown to the caller. Not reentrant: parallel_for
-  // must not be called from inside a body.
-  void parallel_for(std::int64_t count, const std::function<void(std::int64_t)>& body);
+  /// Runs body(i) for every i in [0, count), blocking until all indices
+  /// have finished. Indices are claimed dynamically; every index runs
+  /// exactly once. If any invocation throws, the remaining indices still
+  /// run and the first exception is rethrown to the caller.
+  ///
+  /// `max_workers` caps how many workers (including the caller) touch this
+  /// job: 0 means "all of them", 1 runs the job inline on the calling
+  /// thread. The cap only changes scheduling, never results — callers
+  /// honouring the determinism contract above get bit-identical output for
+  /// every cap. This is how a shared, hardware-sized pool serves callers
+  /// that ask for fewer threads (e.g. num_threads knobs).
+  void parallel_for(std::int64_t count, const std::function<void(std::int64_t)>& body,
+                    int max_workers = 0);
 
  private:
   struct Job {
@@ -57,6 +73,7 @@ class ThreadPool {
     std::int64_t count = 0;
     std::atomic<std::int64_t> cursor{0};
     std::atomic<std::int64_t> done{0};
+    std::atomic<int> helper_slots{0};  // how many non-caller workers may join
     std::mutex error_mutex;
     std::exception_ptr error;
   };
@@ -65,6 +82,7 @@ class ThreadPool {
   void chew(const std::shared_ptr<Job>& job);
 
   std::vector<std::thread> workers_;
+  std::mutex submit_mutex_;           // serializes concurrent parallel_for calls
   std::mutex mutex_;
   std::condition_variable work_ready_;
   std::condition_variable job_done_;
@@ -72,6 +90,15 @@ class ThreadPool {
   std::uint64_t generation_ = 0;      // bumped per job, guarded by mutex_
   bool stop_ = false;                 // guarded by mutex_
 };
+
+/// Process-wide shared pool, sized to the hardware concurrency, created on
+/// first use and alive until process exit. This is the default executor of
+/// the Monte Carlo runners and the serving layer: reusing it across calls
+/// avoids the thread spawn/join cost that per-call pools pay, which
+/// dominates for serving workloads issuing many small-S requests.
+/// Callers wanting fewer lanes pass `max_workers` to parallel_for instead
+/// of building a smaller pool.
+ThreadPool& shared_pool();
 
 }  // namespace bnn::runtime
 

@@ -1,0 +1,223 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "metrics/metrics.h"
+#include "runtime/thread_pool.h"
+#include "util/check.h"
+
+namespace bnn::serve {
+
+Server::Server(core::Accelerator accelerator, ServerConfig config)
+    : accelerator_(std::move(accelerator)), config_(config) {
+  util::require(config_.max_batch >= 1, "serve: max_batch must be >= 1");
+  accelerator_.set_thread_pool(config_.pool);
+  accelerator_.set_num_threads(config_.num_threads);
+  dispatcher_ = std::thread([this] { dispatch_loop(); });
+}
+
+Server::~Server() { shutdown(); }
+
+void Server::shutdown() {
+  // Claim the dispatcher under the lock so concurrent shutdown() calls
+  // (e.g. explicit shutdown racing the destructor) never double-join.
+  std::thread claimed;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+    claimed.swap(dispatcher_);
+  }
+  queue_ready_.notify_all();
+  if (claimed.joinable()) claimed.join();
+}
+
+std::future<Response> Server::submit(Request request) {
+  const RequestOptions& options = request.options;
+  util::require(options.num_samples >= 1, "serve: num_samples must be >= 1");
+  util::require(options.screening_samples >= 1, "serve: screening_samples must be >= 1");
+  util::require(options.bayes_layers >= -1 &&
+                    options.bayes_layers <= accelerator_.network().num_sites,
+                "serve: bayes_layers out of range (-1 = all sites)");
+  util::require(request.image.dim() == 3 ||
+                    (request.image.dim() == 4 && request.image.size(0) == 1),
+                "serve: request image must be (C,H,W) or (1,C,H,W)");
+  const nn::HwLayer& first = accelerator_.network().layers.front().geom;
+  if (first.op == nn::HwLayer::Op::conv) {
+    // A conv input has real geometry: an element-count check alone would
+    // silently accept transposed/HWC layouts and serve garbage.
+    util::require(request.image.size(-3) == first.in_c &&
+                      request.image.size(-2) == first.in_h &&
+                      request.image.size(-1) == first.in_w,
+                  "serve: image (C,H,W) does not match the network input geometry");
+  } else {
+    // Linear-first networks flatten the input; only the count is meaningful.
+    util::require(request.image.numel() == first.in_elems(),
+                  "serve: image element count does not match the network input");
+  }
+
+  Pending pending;
+  pending.image = request.image.dim() == 3
+                      ? request.image.reshaped({1, request.image.size(0),
+                                                request.image.size(1),
+                                                request.image.size(2)})
+                      : std::move(request.image);
+  pending.options = options;
+  std::future<Response> future = pending.promise.get_future();
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) throw std::runtime_error("serve: server is shut down");
+    // Submission-order ticket; a caller-pinned stream id skips the default
+    // but still consumes a ticket so later defaults stay order-stable.
+    pending.stream_id = request.stream_id.value_or(next_ticket_);
+    ++next_ticket_;
+    queue_.push_back(std::move(pending));
+  }
+  queue_ready_.notify_one();
+  return future;
+}
+
+Response Server::infer(Request request) { return submit(std::move(request)).get(); }
+
+ServerStats Server::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void Server::dispatch_loop() {
+  for (;;) {
+    std::vector<Pending> batch;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      queue_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and drained
+      // Linger briefly for a fuller batch — the flattened pair loop works
+      // best when a batch carries many (image, sample) lanes.
+      if (static_cast<int>(queue_.size()) < config_.max_batch && !stopping_) {
+        queue_ready_.wait_for(lock, config_.batch_linger, [this] {
+          return stopping_ || static_cast<int>(queue_.size()) >= config_.max_batch;
+        });
+      }
+      const int take =
+          std::min<int>(config_.max_batch, static_cast<int>(queue_.size()));
+      batch.reserve(static_cast<std::size_t>(take));
+      for (int i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    }
+    serve_batch(std::move(batch));
+  }
+}
+
+void Server::serve_batch(std::vector<Pending> batch) {
+  const int count = static_cast<int>(batch.size());
+  const int num_sites = accelerator_.network().num_sites;
+  const auto resolve_layers = [num_sites](const RequestOptions& options) {
+    return options.bayes_layers < 0 ? num_sites : options.bayes_layers;
+  };
+
+  try {
+    // Pass 1: full quality for direct requests, the cheap screening S for
+    // routed ones — one coalesced accelerator batch either way.
+    nn::Tensor images({count, batch.front().image.size(1), batch.front().image.size(2),
+                       batch.front().image.size(3)});
+    std::vector<core::Accelerator::ImageRequest> pass(static_cast<std::size_t>(count));
+    for (int n = 0; n < count; ++n) {
+      const Pending& pending = batch[static_cast<std::size_t>(n)];
+      util::require(pending.image.numel() * count == images.numel(),
+                    "serve: mixed image shapes in one batch");
+      std::copy(pending.image.data(), pending.image.data() + pending.image.numel(),
+                images.data() + static_cast<std::int64_t>(n) * pending.image.numel());
+      pass[static_cast<std::size_t>(n)] = core::Accelerator::ImageRequest{
+          resolve_layers(pending.options),
+          pending.options.use_uncertainty_router ? pending.options.screening_samples
+                                                 : pending.options.num_samples,
+          pending.stream_id};
+    }
+    core::Accelerator::BatchPrediction first =
+        accelerator_.predict_batch(images, pass);
+
+    // Route: responses for settled requests, an escalation list for inputs
+    // whose screening entropy crossed the threshold (Opt-Uncertainty).
+    std::vector<Response> responses(static_cast<std::size_t>(count));
+    std::vector<int> escalate;
+    std::uint64_t screened = 0;
+    for (int n = 0; n < count; ++n) {
+      const Pending& pending = batch[static_cast<std::size_t>(n)];
+      Response& response = responses[static_cast<std::size_t>(n)];
+      response.probs = first.probs.batch_row(n);
+      response.entropy_nats = metrics::average_predictive_entropy(response.probs);
+      response.bayes_layers = pass[static_cast<std::size_t>(n)].bayes_layers;
+      response.samples_used = pass[static_cast<std::size_t>(n)].num_samples;
+      response.stream_id = pending.stream_id;
+      response.stats = first.stats[static_cast<std::size_t>(n)];
+      if (pending.options.use_uncertainty_router) {
+        ++screened;
+        if (response.entropy_nats > pending.options.entropy_threshold_nats) {
+          escalate.push_back(n);
+          continue;
+        }
+      }
+      response.predicted_class = metrics::argmax_rows(response.probs).front();
+    }
+
+    // Pass 2: full S for the escalated subset, same stream ids — the
+    // response is bit-identical to a direct full-S request, the screening
+    // samples are simply recomputed (they are the same deterministic lanes).
+    std::uint64_t extra_batches = 0;
+    if (!escalate.empty()) {
+      extra_batches = 1;
+      const int promoted = static_cast<int>(escalate.size());
+      nn::Tensor subset(
+          {promoted, images.size(1), images.size(2), images.size(3)});
+      std::vector<core::Accelerator::ImageRequest> full(
+          static_cast<std::size_t>(promoted));
+      const std::int64_t elems = images.numel() / count;
+      for (int i = 0; i < promoted; ++i) {
+        const Pending& pending = batch[static_cast<std::size_t>(escalate[i])];
+        std::copy(pending.image.data(), pending.image.data() + elems,
+                  subset.data() + static_cast<std::int64_t>(i) * elems);
+        full[static_cast<std::size_t>(i)] = core::Accelerator::ImageRequest{
+            resolve_layers(pending.options), pending.options.num_samples,
+            pending.stream_id};
+      }
+      core::Accelerator::BatchPrediction second =
+          accelerator_.predict_batch(subset, full);
+      for (int i = 0; i < promoted; ++i) {
+        Response& response = responses[static_cast<std::size_t>(escalate[i])];
+        response.probs = second.probs.batch_row(i);
+        response.entropy_nats = metrics::average_predictive_entropy(response.probs);
+        response.predicted_class = metrics::argmax_rows(response.probs).front();
+        response.escalated = true;
+        response.bayes_layers = full[static_cast<std::size_t>(i)].bayes_layers;
+        response.samples_used = full[static_cast<std::size_t>(i)].num_samples;
+        response.stats = second.stats[static_cast<std::size_t>(i)];
+      }
+    }
+
+    // Counters land before any promise resolves, so a client that just got
+    // its response reads stats() consistent with it.
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stats_.requests += static_cast<std::uint64_t>(count);
+      stats_.batches += 1 + extra_batches;
+      stats_.screened += screened;
+      stats_.escalations += static_cast<std::uint64_t>(escalate.size());
+    }
+    for (int n = 0; n < count; ++n)
+      batch[static_cast<std::size_t>(n)].promise.set_value(
+          std::move(responses[static_cast<std::size_t>(n)]));
+  } catch (...) {
+    for (Pending& pending : batch) {
+      try {
+        pending.promise.set_exception(std::current_exception());
+      } catch (const std::future_error&) {
+        // promise already satisfied before the failure — nothing to do
+      }
+    }
+  }
+}
+
+}  // namespace bnn::serve

@@ -1,0 +1,157 @@
+// Request-level serving front end over the accelerator simulator.
+//
+// The paper frames the accelerator as a high-throughput service for streams
+// of Monte Carlo inference requests (cf. VIBNN's request streams and the
+// ROADMAP north star). serve::Server is that front end in software: clients
+// submit single-image Requests with per-request knobs for S (MC samples)
+// and L (Bayesian depth); a dispatcher coalesces waiting requests into
+// batches and runs each batch through core::Accelerator::predict_batch,
+// whose flattened (image, sample) pair loop fills every lane of the shared
+// runtime::ThreadPool even when individual requests ask for few samples.
+//
+// The uncertainty-threshold router implements the paper's Opt-Uncertainty
+// serving mode: a cheap screening pass with few samples first; only inputs
+// whose predictive entropy crosses the threshold are escalated to the full
+// sample count. Low-uncertainty traffic therefore pays screening-pass
+// latency only.
+//
+// Determinism: every request gets a stream id (a submission-order ticket,
+// or a caller-chosen id), and the accelerator's sampler lanes are seeded
+// per (stream id, sample). A request's response is therefore a pure
+// function of (network weights, image, its options, its stream id) — the
+// same no matter how the dispatcher batched it, how many worker threads
+// ran, or what other traffic was in flight. An escalated response is
+// bit-identical to what a direct full-S request would have returned.
+#ifndef BNN_SERVE_SERVER_H
+#define BNN_SERVE_SERVER_H
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <optional>
+#include <thread>
+
+#include "core/accelerator.h"
+#include "nn/tensor.h"
+
+namespace bnn::serve {
+
+/// Per-request inference knobs: the paper's {L, S} made request-level.
+struct RequestOptions {
+  /// S: Monte Carlo samples for the full-quality answer.
+  int num_samples = 10;
+  /// L: number of trailing Bayesian sites; -1 means every site (full BNN).
+  int bayes_layers = -1;
+  /// Route through the Opt-Uncertainty screening pass (see Server docs).
+  bool use_uncertainty_router = false;
+  /// Samples of the cheap screening pass (paper Opt-Uncertainty low-S).
+  int screening_samples = 3;
+  /// Escalate to the full num_samples when the screening pass's predictive
+  /// entropy (nats) exceeds this. <= 0 escalates everything; >= ln(K)
+  /// effectively nothing.
+  double entropy_threshold_nats = 0.5;
+};
+
+/// One inference request: a single image plus its knobs.
+struct Request {
+  nn::Tensor image;  ///< (C, H, W) or (1, C, H, W) float image
+  RequestOptions options;
+  /// Sampler stream family for this request. Defaults to a submission-order
+  /// ticket; fix it explicitly to make a request's masks independent of
+  /// when it was submitted (e.g. for replay / A-B comparisons).
+  std::optional<std::uint64_t> stream_id;
+};
+
+/// The served prediction plus routing metadata.
+struct Response {
+  nn::Tensor probs;  ///< (1, K) averaged predictive distribution
+  int predicted_class = -1;
+  double entropy_nats = 0.0;  ///< predictive entropy of `probs`
+  bool escalated = false;     ///< router promoted this input to full S
+  int samples_used = 0;       ///< S of the pass that produced `probs`
+  int bayes_layers = 0;       ///< resolved L
+  std::uint64_t stream_id = 0;
+  core::RunStats stats;  ///< modelled hardware cost of the producing pass
+};
+
+struct ServerConfig {
+  /// Most requests coalesced into one accelerator batch.
+  int max_batch = 8;
+  /// How long the dispatcher lingers for more requests after the first.
+  std::chrono::microseconds batch_linger{200};
+  /// Worker-lane cap for the flattened pair loop (0 = hardware
+  /// concurrency). Purely a scheduling knob; responses are bit-identical
+  /// for every value.
+  int num_threads = 0;
+  /// Executor shared with the accelerator (non-owning; must outlive the
+  /// server). nullptr selects the process-wide runtime::shared_pool().
+  runtime::ThreadPool* pool = nullptr;
+};
+
+/// Aggregate serving counters (monotonic since construction).
+struct ServerStats {
+  std::uint64_t requests = 0;     ///< responses produced
+  std::uint64_t batches = 0;      ///< accelerator passes issued
+  std::uint64_t screened = 0;     ///< requests that took the screening pass
+  std::uint64_t escalations = 0;  ///< screened requests promoted to full S
+};
+
+/// Batched-serving front end over one simulated accelerator. Thread-safe:
+/// any number of client threads may submit concurrently; one internal
+/// dispatcher thread owns the accelerator. The destructor drains every
+/// accepted request before returning.
+class Server {
+ public:
+  /// Takes ownership of the accelerator; `config.pool`/`config.num_threads`
+  /// override the accelerator's own executor knobs.
+  explicit Server(core::Accelerator accelerator, ServerConfig config = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Enqueues a request; the future resolves when its batch completes.
+  /// Throws std::invalid_argument on malformed options or image shape, and
+  /// std::runtime_error after shutdown() has been called.
+  std::future<Response> submit(Request request);
+
+  /// Synchronous convenience: submit + wait.
+  Response infer(Request request);
+
+  /// Stops accepting new requests, serves everything already queued, and
+  /// joins the dispatcher. Idempotent; also run by the destructor.
+  void shutdown();
+
+  ServerStats stats() const;
+
+  const core::Accelerator& accelerator() const { return accelerator_; }
+
+ private:
+  struct Pending {
+    nn::Tensor image;  // (1, C, H, W)
+    RequestOptions options;
+    std::uint64_t stream_id = 0;
+    std::promise<Response> promise;
+  };
+
+  void dispatch_loop();
+  void serve_batch(std::vector<Pending> batch);
+
+  core::Accelerator accelerator_;
+  ServerConfig config_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable queue_ready_;
+  std::deque<Pending> queue_;
+  std::uint64_t next_ticket_ = 0;
+  bool stopping_ = false;
+  ServerStats stats_;
+  std::thread dispatcher_;
+};
+
+}  // namespace bnn::serve
+
+#endif  // BNN_SERVE_SERVER_H

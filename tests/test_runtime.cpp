@@ -6,8 +6,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "bayes/predictive.h"
@@ -65,6 +67,56 @@ TEST(ThreadPool, PropagatesTheFirstException) {
     pool.parallel_for(4, [&again](std::int64_t) { again.fetch_add(1); });
     EXPECT_EQ(again.load(), 4);
   }
+}
+
+TEST(ThreadPool, MaxWorkersCapsConcurrency) {
+  runtime::ThreadPool pool(8);
+  for (int cap : {1, 2}) {
+    std::atomic<int> active{0};
+    std::atomic<int> high_water{0};
+    pool.parallel_for(
+        64,
+        [&](std::int64_t) {
+          const int now = active.fetch_add(1) + 1;
+          int seen = high_water.load();
+          while (now > seen && !high_water.compare_exchange_weak(seen, now)) {
+          }
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+          active.fetch_sub(1);
+        },
+        cap);
+    EXPECT_LE(high_water.load(), cap) << "cap=" << cap;
+  }
+  // Cap larger than the pool is clamped, not an error; 0 means "all".
+  std::atomic<int> total{0};
+  pool.parallel_for(16, [&total](std::int64_t) { total.fetch_add(1); }, 99);
+  pool.parallel_for(16, [&total](std::int64_t) { total.fetch_add(1); }, 0);
+  EXPECT_EQ(total.load(), 32);
+  EXPECT_THROW(pool.parallel_for(1, [](std::int64_t) {}, -1), std::invalid_argument);
+}
+
+TEST(ThreadPool, SharedPoolIsProcessWideAndReusable) {
+  runtime::ThreadPool& a = runtime::shared_pool();
+  runtime::ThreadPool& b = runtime::shared_pool();
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(a.size(), runtime::resolve_thread_count(0));
+  std::atomic<int> total{0};
+  a.parallel_for(10, [&total](std::int64_t) { total.fetch_add(1); });
+  EXPECT_EQ(total.load(), 10);
+}
+
+TEST(ThreadPool, ConcurrentSubmittersSerializeSafely) {
+  runtime::ThreadPool pool(4);
+  std::atomic<int> total{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 4; ++c) {
+    clients.emplace_back([&pool, &total] {
+      for (int repeat = 0; repeat < 5; ++repeat)
+        pool.parallel_for(20, [&total](std::int64_t) { total.fetch_add(1); });
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  EXPECT_EQ(total.load(), 4 * 5 * 20);
 }
 
 // --- Monte Carlo determinism across thread counts -------------------------

@@ -1,0 +1,358 @@
+// Serving front end + flattened (image, sample) pair loop:
+//   - predict_batch with per-image {L, S, stream_id} knobs is bit-identical
+//     to one-image-at-a-time prediction for every thread count,
+//   - mc_predict's flattened float path has the same batching-independence,
+//   - serve::Server responses are pure functions of (image, options,
+//     stream id) — independent of batch composition and submission order,
+//   - the uncertainty router never escalates below threshold, always above,
+//     and an escalated response equals a direct full-S request bit-exactly.
+#include "serve/server.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <future>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "bayes/predictive.h"
+#include "core/accelerator.h"
+#include "data/synth.h"
+#include "metrics/metrics.h"
+#include "nn/models.h"
+#include "runtime/thread_pool.h"
+#include "train/trainer.h"
+
+namespace bnn {
+namespace {
+
+// Tiny quantized CNN on 12x12 synthetic digits (mirrors the runtime-test
+// fixture; trained once per process).
+struct ServeFixture {
+  ServeFixture() {
+    util::Rng rng(71);
+    nn::Model model = nn::make_tiny_cnn(rng, 10, 1, 12);
+    util::Rng data_rng(72);
+    dataset = std::make_unique<data::Dataset>(data::make_synth_digits_small(96, data_rng));
+
+    model.set_bayesian_last(0);
+    train::TrainConfig config;
+    config.epochs = 1;
+    config.batch_size = 16;
+    train::fit(model, *dataset, config);
+    qnet = std::make_unique<quant::QuantNetwork>(quant::quantize_model(model, *dataset));
+  }
+
+  std::unique_ptr<data::Dataset> dataset;
+  std::unique_ptr<quant::QuantNetwork> qnet;
+};
+
+ServeFixture& fixture() {
+  static ServeFixture instance;
+  return instance;
+}
+
+core::AcceleratorConfig accel_config(int num_threads) {
+  core::AcceleratorConfig config;
+  config.nne.pc = 16;
+  config.nne.pf = 8;
+  config.nne.pv = 4;
+  config.sampler_seed = 4321;
+  config.num_threads = num_threads;
+  return config;
+}
+
+using ImageRequest = core::Accelerator::ImageRequest;
+
+// --- flattened accelerator pair loop --------------------------------------
+
+TEST(PredictBatch, BatchedEqualsOneImageAtATimeAcrossThreadCounts) {
+  auto& fx = fixture();
+  const data::Batch batch = fx.dataset->batch(0, 4);
+
+  // Heterogeneous per-image knobs: different L, S and stream ids.
+  const std::vector<ImageRequest> requests{
+      {2, 9, 100}, {1, 3, 17}, {2, 1, 100}, {0, 5, 2}};
+
+  // One-image-at-a-time reference, sequential.
+  core::Accelerator reference(*fx.qnet, accel_config(1));
+  std::vector<nn::Tensor> rows;
+  for (int n = 0; n < 4; ++n) {
+    rows.push_back(reference
+                       .predict_batch(batch.images.batch_row(n),
+                                      {requests[static_cast<std::size_t>(n)]})
+                       .probs);
+  }
+
+  for (int threads : {1, 2, 8}) {
+    core::Accelerator accelerator(*fx.qnet, accel_config(threads));
+    const auto prediction = accelerator.predict_batch(batch.images, requests);
+    ASSERT_EQ(prediction.probs.shape(), (std::vector<int>{4, 10}));
+    ASSERT_EQ(prediction.stats.size(), 4u);
+    for (int n = 0; n < 4; ++n) {
+      EXPECT_EQ(prediction.probs.batch_row(n).max_abs_diff(
+                    rows[static_cast<std::size_t>(n)]),
+                0.0f)
+          << "image " << n << ", threads=" << threads;
+    }
+  }
+}
+
+TEST(PredictBatch, WrapperIsUniformBatchWithBatchIndexStreams) {
+  auto& fx = fixture();
+  const data::Batch batch = fx.dataset->batch(0, 3);
+
+  core::Accelerator a(*fx.qnet, accel_config(2));
+  const auto via_predict = a.predict(batch.images, 2, 6);
+  const std::int64_t cycles = a.last_functional_compute_cycles();
+
+  core::Accelerator b(*fx.qnet, accel_config(2));
+  std::vector<ImageRequest> uniform;
+  for (int n = 0; n < 3; ++n)
+    uniform.push_back({2, 6, static_cast<std::uint64_t>(n)});
+  const auto via_batch = b.predict_batch(batch.images, uniform);
+
+  EXPECT_EQ(via_predict.probs.max_abs_diff(via_batch.probs), 0.0f);
+  EXPECT_EQ(b.last_functional_compute_cycles(), cycles);
+}
+
+TEST(PredictBatch, RejectsMismatchedRequestCount) {
+  auto& fx = fixture();
+  const data::Batch batch = fx.dataset->batch(0, 2);
+  core::Accelerator accelerator(*fx.qnet, accel_config(1));
+  EXPECT_THROW(accelerator.predict_batch(batch.images, {{2, 3, 0}}),
+               std::invalid_argument);
+}
+
+// --- flattened float pair loop --------------------------------------------
+
+TEST(McPredictFlattened, BatchedEqualsOneImageAtATimeAcrossThreadCounts) {
+  util::Rng rng(17);
+  nn::Model model = nn::make_tiny_cnn(rng, 10, 1, 12);
+  model.set_bayesian_last(2);
+  model.reseed_sites(4242);
+  nn::Tensor x = nn::Tensor::randn({4, 1, 12, 12}, rng);
+
+  // One-image-at-a-time reference: image n served alone with stream base n.
+  std::vector<nn::Tensor> rows;
+  for (int n = 0; n < 4; ++n) {
+    bayes::PredictiveOptions options;
+    options.num_samples = 5;
+    options.image_stream_base = static_cast<std::uint64_t>(n);
+    rows.push_back(bayes::mc_predict(model, x.batch_row(n), options));
+  }
+
+  for (int threads : {1, 2, 8}) {
+    bayes::PredictiveOptions options;
+    options.num_samples = 5;
+    options.num_threads = threads;
+    const nn::Tensor probs = bayes::mc_predict(model, x, options);
+    for (int n = 0; n < 4; ++n) {
+      EXPECT_EQ(probs.batch_row(n).max_abs_diff(rows[static_cast<std::size_t>(n)]), 0.0f)
+          << "image " << n << ", threads=" << threads;
+    }
+  }
+}
+
+// --- serving front end ----------------------------------------------------
+
+serve::Request request_for(const data::Batch& batch, int n, serve::RequestOptions options,
+                           std::optional<std::uint64_t> stream_id = std::nullopt) {
+  serve::Request request;
+  request.image = batch.images.batch_row(n);
+  request.options = options;
+  request.stream_id = stream_id;
+  return request;
+}
+
+TEST(Server, ResponsesMatchDirectPredictBatchAndIgnoreBatchingOrder) {
+  auto& fx = fixture();
+  const data::Batch batch = fx.dataset->batch(0, 4);
+
+  serve::RequestOptions options;
+  options.num_samples = 6;
+  options.bayes_layers = 2;
+
+  // Direct reference rows, one image at a time.
+  core::Accelerator reference(*fx.qnet, accel_config(1));
+  std::vector<nn::Tensor> rows;
+  for (int n = 0; n < 4; ++n)
+    rows.push_back(reference
+                       .predict_batch(batch.images.batch_row(n),
+                                      {{2, 6, static_cast<std::uint64_t>(10 + n)}})
+                       .probs);
+
+  // Coalesced into one batch...
+  {
+    serve::ServerConfig config;
+    config.max_batch = 4;
+    serve::Server server(core::Accelerator(*fx.qnet, accel_config(0)), config);
+    std::vector<std::future<serve::Response>> futures;
+    for (int n = 0; n < 4; ++n)
+      futures.push_back(server.submit(
+          request_for(batch, n, options, static_cast<std::uint64_t>(10 + n))));
+    for (int n = 0; n < 4; ++n) {
+      const serve::Response response = futures[static_cast<std::size_t>(n)].get();
+      EXPECT_EQ(response.probs.max_abs_diff(rows[static_cast<std::size_t>(n)]), 0.0f);
+      EXPECT_FALSE(response.escalated);
+      EXPECT_EQ(response.samples_used, 6);
+      EXPECT_EQ(response.bayes_layers, 2);
+      EXPECT_EQ(response.stream_id, static_cast<std::uint64_t>(10 + n));
+    }
+    const serve::ServerStats stats = server.stats();
+    EXPECT_EQ(stats.requests, 4u);
+    EXPECT_GE(stats.batches, 1u);
+  }
+
+  // ...or forced one-per-batch in reverse submission order: same responses.
+  {
+    serve::ServerConfig config;
+    config.max_batch = 1;
+    serve::Server server(core::Accelerator(*fx.qnet, accel_config(1)), config);
+    for (int n = 3; n >= 0; --n) {
+      const serve::Response response = server.infer(
+          request_for(batch, n, options, static_cast<std::uint64_t>(10 + n)));
+      EXPECT_EQ(response.probs.max_abs_diff(rows[static_cast<std::size_t>(n)]), 0.0f)
+          << "image " << n;
+    }
+    EXPECT_EQ(server.stats().batches, 4u);
+  }
+}
+
+TEST(Server, RouterNeverEscalatesBelowThresholdAlwaysAbove) {
+  auto& fx = fixture();
+  const data::Batch batch = fx.dataset->batch(0, 3);
+
+  // Threshold above ln(K): screening entropy can never cross it.
+  {
+    serve::RequestOptions options;
+    options.num_samples = 8;
+    options.bayes_layers = 2;
+    options.use_uncertainty_router = true;
+    options.screening_samples = 2;
+    options.entropy_threshold_nats = 100.0;
+    serve::Server server(core::Accelerator(*fx.qnet, accel_config(0)), {});
+    for (int n = 0; n < 3; ++n) {
+      const serve::Response response = server.infer(request_for(batch, n, options));
+      EXPECT_FALSE(response.escalated);
+      EXPECT_EQ(response.samples_used, 2);  // screening pass answered
+    }
+    const serve::ServerStats stats = server.stats();
+    EXPECT_EQ(stats.screened, 3u);
+    EXPECT_EQ(stats.escalations, 0u);
+  }
+
+  // Threshold below 0: entropy is always positive, everything escalates,
+  // and the escalated response is bit-identical to a direct full-S request
+  // with the same stream id.
+  {
+    serve::RequestOptions routed;
+    routed.num_samples = 8;
+    routed.bayes_layers = 2;
+    routed.use_uncertainty_router = true;
+    routed.screening_samples = 2;
+    routed.entropy_threshold_nats = -1.0;
+
+    serve::RequestOptions direct;
+    direct.num_samples = 8;
+    direct.bayes_layers = 2;
+
+    serve::Server server(core::Accelerator(*fx.qnet, accel_config(0)), {});
+    for (int n = 0; n < 3; ++n) {
+      const serve::Response escalated =
+          server.infer(request_for(batch, n, routed, 55u + n));
+      const serve::Response reference =
+          server.infer(request_for(batch, n, direct, 55u + n));
+      EXPECT_TRUE(escalated.escalated);
+      EXPECT_EQ(escalated.samples_used, 8);
+      EXPECT_EQ(escalated.probs.max_abs_diff(reference.probs), 0.0f) << "image " << n;
+      EXPECT_EQ(escalated.predicted_class, reference.predicted_class);
+    }
+    EXPECT_EQ(server.stats().escalations, 3u);
+  }
+}
+
+TEST(Server, RouterPartitionsExactlyByScreeningEntropy) {
+  auto& fx = fixture();
+  const int count = 6;
+  const data::Batch batch = fx.dataset->batch(0, count);
+
+  // Screening entropies straight from the accelerator.
+  core::Accelerator probe(*fx.qnet, accel_config(1));
+  std::vector<double> entropy(count);
+  for (int n = 0; n < count; ++n) {
+    const nn::Tensor probs =
+        probe
+            .predict_batch(batch.images.batch_row(n),
+                           {{2, 3, static_cast<std::uint64_t>(n)}})
+            .probs;
+    entropy[static_cast<std::size_t>(n)] = metrics::average_predictive_entropy(probs);
+  }
+  // A threshold between the observed min and max splits the batch.
+  const auto [lo, hi] = std::minmax_element(entropy.begin(), entropy.end());
+  ASSERT_LT(*lo, *hi) << "fixture images should differ in screening entropy";
+  const double threshold = 0.5 * (*lo + *hi);
+
+  serve::RequestOptions options;
+  options.num_samples = 10;
+  options.bayes_layers = 2;
+  options.use_uncertainty_router = true;
+  options.screening_samples = 3;
+  options.entropy_threshold_nats = threshold;
+
+  serve::ServerConfig config;
+  config.max_batch = count;
+  serve::Server server(core::Accelerator(*fx.qnet, accel_config(0)), config);
+  std::vector<std::future<serve::Response>> futures;
+  for (int n = 0; n < count; ++n)
+    futures.push_back(
+        server.submit(request_for(batch, n, options, static_cast<std::uint64_t>(n))));
+  for (int n = 0; n < count; ++n) {
+    const serve::Response response = futures[static_cast<std::size_t>(n)].get();
+    EXPECT_EQ(response.escalated, entropy[static_cast<std::size_t>(n)] > threshold)
+        << "image " << n;
+  }
+}
+
+TEST(Server, ValidatesRequestsAndRejectsAfterShutdown) {
+  auto& fx = fixture();
+  const data::Batch batch = fx.dataset->batch(0, 1);
+  serve::Server server(core::Accelerator(*fx.qnet, accel_config(1)), {});
+
+  serve::RequestOptions bad_samples;
+  bad_samples.num_samples = 0;
+  EXPECT_THROW(server.submit(request_for(batch, 0, bad_samples)), std::invalid_argument);
+
+  serve::RequestOptions bad_layers;
+  bad_layers.bayes_layers = fx.qnet->num_sites + 1;
+  EXPECT_THROW(server.submit(request_for(batch, 0, bad_layers)), std::invalid_argument);
+
+  serve::Request wrong_shape;
+  wrong_shape.image = nn::Tensor({1, 1, 5, 5});
+  EXPECT_THROW(server.submit(std::move(wrong_shape)), std::invalid_argument);
+
+  server.shutdown();
+  EXPECT_THROW(server.submit(request_for(batch, 0, serve::RequestOptions{})),
+               std::runtime_error);
+}
+
+TEST(Server, DestructorDrainsAcceptedRequests) {
+  auto& fx = fixture();
+  const data::Batch batch = fx.dataset->batch(0, 3);
+  std::vector<std::future<serve::Response>> futures;
+  {
+    serve::ServerConfig config;
+    config.max_batch = 2;
+    serve::Server server(core::Accelerator(*fx.qnet, accel_config(0)), config);
+    for (int n = 0; n < 3; ++n)
+      futures.push_back(server.submit(request_for(batch, n, serve::RequestOptions{})));
+  }  // destructor joins after serving everything accepted
+  for (auto& future : futures) {
+    const serve::Response response = future.get();
+    EXPECT_EQ(response.probs.shape(), (std::vector<int>{1, 10}));
+  }
+}
+
+}  // namespace
+}  // namespace bnn

@@ -1,0 +1,46 @@
+#!/bin/sh
+# Docs link checker (run by ctest as `docs.links` and by CI).
+#
+# Fails when README.md or docs/*.md reference something that does not exist
+# in the repository:
+#   - relative markdown links [text](path)          -> path must exist
+#   - build-target references ./build/bench/NAME or
+#     ./build/examples/NAME                          -> NAME.cpp must exist
+#
+# POSIX sh only; no dependencies beyond grep/sed/cut.
+set -u
+cd "$(dirname "$0")/.."
+
+fail=0
+note() {
+  printf 'docs-link-check: %s\n' "$1" >&2
+  fail=1
+}
+
+for md in README.md docs/*.md; do
+  [ -f "$md" ] || continue
+
+  # Relative markdown links (skip absolute URLs and pure anchors),
+  # resolved against the linking file's directory.
+  md_dir=$(dirname "$md")
+  for target in $(grep -oE '\]\([^)]+\)' "$md" | sed -e 's/^](//' -e 's/)$//'); do
+    case "$target" in
+      http://* | https://* | mailto:* | \#*) continue ;;
+    esac
+    path=${target%%#*}
+    [ -n "$path" ] || continue
+    [ -e "$md_dir/$path" ] || note "$md links to missing file '$path'"
+  done
+
+  # Build-target references must have a matching source file.
+  for ref in $(grep -oE '\./build/(bench|examples)/[A-Za-z0-9_]+' "$md" | sort -u); do
+    dir=$(printf '%s' "$ref" | cut -d/ -f3)
+    name=$(printf '%s' "$ref" | cut -d/ -f4)
+    [ -f "$dir/$name.cpp" ] || note "$md references $ref but $dir/$name.cpp does not exist"
+  done
+done
+
+if [ "$fail" -eq 0 ]; then
+  echo "docs-link-check: OK"
+fi
+exit "$fail"
