@@ -4,8 +4,12 @@
 // model is for).
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <vector>
+
 #include "data/synth.h"
 #include "core/nne.h"
+#include "nn/gemm_kernels.h"
 #include "nn/models.h"
 #include "quant/qops.h"
 #include "train/trainer.h"
@@ -70,6 +74,61 @@ void bm_nne_layer(benchmark::State& state) {
                  std::to_string(state.range(1)) + "/" + std::to_string(state.range(2)));
 }
 BENCHMARK(bm_nne_layer)->Args({8, 8, 1})->Args({64, 64, 1})->Args({128, 128, 16});
+
+// The NNE channel-tile inner product in isolation: plain per-term loop vs
+// kernels::dot_i8_zp on a VGG-class term count (in_c=128, 3x3 kernel).
+void bm_int8_dot_scalar(benchmark::State& state) {
+  const int len = static_cast<int>(state.range(0));
+  util::Rng rng(1234);
+  std::vector<std::int8_t> x(static_cast<std::size_t>(len)), w(static_cast<std::size_t>(len));
+  for (auto& v : x) v = static_cast<std::int8_t>(rng.uniform_int(-128, 127));
+  for (auto& v : w) v = static_cast<std::int8_t>(rng.uniform_int(-128, 127));
+  const std::int32_t zp = -3;
+  for (auto _ : state) {
+    std::int32_t acc = 0;
+    for (int t = 0; t < len; ++t)
+      acc += (static_cast<std::int32_t>(x[static_cast<std::size_t>(t)]) - zp) *
+             static_cast<std::int32_t>(w[static_cast<std::size_t>(t)]);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * len);
+}
+BENCHMARK(bm_int8_dot_scalar)->Arg(1152);
+
+void bm_int8_dot_kernel(benchmark::State& state) {
+  const int len = static_cast<int>(state.range(0));
+  util::Rng rng(1234);
+  std::vector<std::int8_t> x(static_cast<std::size_t>(len)), w(static_cast<std::size_t>(len));
+  for (auto& v : x) v = static_cast<std::int8_t>(rng.uniform_int(-128, 127));
+  for (auto& v : w) v = static_cast<std::int8_t>(rng.uniform_int(-128, 127));
+  const std::int32_t zp = -3;
+  for (auto _ : state) {
+    std::int32_t acc = nn::kernels::dot_i8_zp(x.data(), w.data(), len, zp);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * len);
+}
+BENCHMARK(bm_int8_dot_kernel)->Arg(1152);
+
+// Gather form used by interior conv positions (offset table replaces the
+// per-term division/modulo index math).
+void bm_int8_dot_gather(benchmark::State& state) {
+  const int len = static_cast<int>(state.range(0));
+  util::Rng rng(1234);
+  std::vector<std::int8_t> x(static_cast<std::size_t>(len) * 4), w(static_cast<std::size_t>(len));
+  for (auto& v : x) v = static_cast<std::int8_t>(rng.uniform_int(-128, 127));
+  for (auto& v : w) v = static_cast<std::int8_t>(rng.uniform_int(-128, 127));
+  std::vector<std::int32_t> offsets(static_cast<std::size_t>(len));
+  for (int t = 0; t < len; ++t)
+    offsets[static_cast<std::size_t>(t)] = rng.uniform_int(0, 4 * len - 1);
+  const std::int32_t zp = -3;
+  for (auto _ : state) {
+    std::int32_t acc = nn::kernels::dot_i8_zp_gather(x.data(), offsets.data(), w.data(), len, zp);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * len);
+}
+BENCHMARK(bm_int8_dot_gather)->Arg(1152);
 
 void bm_full_network_reference(benchmark::State& state) {
   auto& s = setup();

@@ -114,8 +114,8 @@ int main(int argc, char** argv) {
   };
 
   util::TextTable table("serve::Server — requests/sec vs coalescing batch size");
-  table.set_header({"max_batch", "router", "req/s", "batches", "escalated",
-                    "bit-identical"});
+  table.set_header({"max_batch", "router", "req/s", "p50 ms", "p95 ms", "p99 ms", "batches",
+                    "escalated", "bit-identical"});
 
   for (const bool router : {false, true}) {
     std::vector<serve::Response> reference;
@@ -136,7 +136,9 @@ int main(int argc, char** argv) {
                     responses[static_cast<std::size_t>(r)].escalated ==
                         reference[static_cast<std::size_t>(r)].escalated;
       table.add_row({std::to_string(max_batch), router ? "on" : "off",
-                     util::fixed(num_requests / seconds, 1), std::to_string(stats.batches),
+                     util::fixed(num_requests / seconds, 1),
+                     util::fixed(stats.latency_p50_ms, 2), util::fixed(stats.latency_p95_ms, 2),
+                     util::fixed(stats.latency_p99_ms, 2), std::to_string(stats.batches),
                      std::to_string(stats.escalations), identical ? "yes" : "NO"});
       if (!identical) {
         std::fprintf(stderr, "FATAL: batch size changed a response\n");
@@ -149,9 +151,12 @@ int main(int argc, char** argv) {
       "Reading the table: larger max_batch coalesces more requests per\n"
       "accelerator pass (fewer batches, more flattened pairs per parallel_for);\n"
       "router rows answer confident inputs from the 2-sample screening pass and\n"
-      "escalate the rest to S=%d. Responses are bit-identical across all rows by\n"
-      "construction (fixed per-request stream ids). Throughput scales with\n"
-      "physical cores; a 1-core container reports flat req/s.\n",
+      "escalate the rest to S=%d. The p50/p95/p99 columns are end-to-end\n"
+      "submit-to-response latency from ServerStats (note: whole-wave submission\n"
+      "means later requests queue behind earlier batches, so tail latency grows\n"
+      "with the wave, not per-request cost). Responses are bit-identical across\n"
+      "all rows by construction (fixed per-request stream ids). Throughput\n"
+      "scales with physical cores; a 1-core container reports flat req/s.\n",
       num_samples);
   return 0;
 }

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <limits>
+#include <vector>
 
+#include "nn/gemm_kernels.h"
 #include "util/check.h"
 
 namespace bnn::core {
@@ -68,6 +70,29 @@ NneLayerResult nne_run_layer(const quant::QLayer& layer, const quant::QTensor& i
   // Accumulators: one per (PU filter lane, PV position lane).
   std::vector<std::int32_t> acc(static_cast<std::size_t>(config.pf) * config.pv, 0);
 
+  // Hoisted conv index math: term t addresses input channel t/(k*k) at
+  // kernel offset (rem/k, rem%k). Precomputing these once per layer keeps
+  // the per-term divisions out of the channel-tile inner loop; term_off[t]
+  // is the flat input offset of term t relative to the position's top-left
+  // input element, valid wherever the window is in bounds.
+  std::vector<std::int32_t> term_dh, term_dw, term_off;
+  if (!is_linear) {
+    term_dh.resize(static_cast<std::size_t>(terms));
+    term_dw.resize(static_cast<std::size_t>(terms));
+    term_off.resize(static_cast<std::size_t>(terms));
+    const int kk2 = g.kernel * g.kernel;
+    for (int t = 0; t < terms; ++t) {
+      const int ch = t / kk2;
+      const int rem = t % kk2;
+      const int dh = rem / g.kernel;
+      const int dw = rem % g.kernel;
+      term_dh[static_cast<std::size_t>(t)] = dh;
+      term_dw[static_cast<std::size_t>(t)] = dw;
+      term_off[static_cast<std::size_t>(t)] = (ch * g.in_h + dh) * g.in_w + dw;
+    }
+  }
+  const std::int8_t* in_data = input.data.data();
+
   for (std::int64_t ft = 0; ft < filter_tiles; ++ft) {
     const int f_base = static_cast<int>(ft) * config.pf;
     const int f_count = std::min(config.pf, g.out_c - f_base);
@@ -90,23 +115,36 @@ NneLayerResult nne_run_layer(const quant::QLayer& layer, const quant::QTensor& i
           const std::int8_t* w = layer.weight_row(f_base + fl);
           for (int vl = 0; vl < p_count; ++vl) {
             const int position = p_base + vl;
-            std::int32_t tree = 0;  // adder-tree partial sum for this cycle
+            // Adder-tree partial sum for this cycle. int32 accumulation is
+            // exact, so routing through the vectorized dot kernels is
+            // bit-identical to the original per-term loop.
+            std::int32_t tree = 0;
             if (is_linear) {
-              for (int t = t_base; t < t_base + t_count; ++t)
-                tree += (static_cast<std::int32_t>(input.data[static_cast<std::size_t>(t)]) -
-                         zp_in) *
-                        static_cast<std::int32_t>(w[t]);
+              tree = nn::kernels::dot_i8_zp(in_data + t_base, w + t_base, t_count, zp_in);
             } else {
               const int oh = position / g.conv_out_w;
               const int ow = position % g.conv_out_w;
-              for (int t = t_base; t < t_base + t_count; ++t) {
-                const int c = t / (g.kernel * g.kernel);
-                const int rem = t % (g.kernel * g.kernel);
-                const int ih = oh * g.stride - g.pad + rem / g.kernel;
-                const int iw = ow * g.stride - g.pad + rem % g.kernel;
-                if (ih < 0 || ih >= g.in_h || iw < 0 || iw >= g.in_w) continue;
-                tree += (static_cast<std::int32_t>(input.at(c, ih, iw)) - zp_in) *
-                        static_cast<std::int32_t>(w[t]);
+              const int ih0 = oh * g.stride - g.pad;
+              const int iw0 = ow * g.stride - g.pad;
+              if (ih0 >= 0 && iw0 >= 0 && ih0 + g.kernel <= g.in_h &&
+                  iw0 + g.kernel <= g.in_w) {
+                // Interior window: every term is in bounds, gather through
+                // the precomputed offset table.
+                tree = nn::kernels::dot_i8_zp_gather(
+                    in_data + static_cast<std::size_t>(ih0) * g.in_w + iw0,
+                    term_off.data() + t_base, w + t_base, t_count, zp_in);
+              } else {
+                // Border window: padding terms contribute zero.
+                for (int t = t_base; t < t_base + t_count; ++t) {
+                  const int ih = ih0 + term_dh[static_cast<std::size_t>(t)];
+                  const int iw = iw0 + term_dw[static_cast<std::size_t>(t)];
+                  if (ih < 0 || ih >= g.in_h || iw < 0 || iw >= g.in_w) continue;
+                  tree += (static_cast<std::int32_t>(
+                               in_data[term_off[static_cast<std::size_t>(t)] +
+                                       static_cast<std::ptrdiff_t>(ih0) * g.in_w + iw0]) -
+                           zp_in) *
+                          static_cast<std::int32_t>(w[t]);
+                }
               }
             }
             acc[static_cast<std::size_t>(fl) * config.pv + vl] += tree;

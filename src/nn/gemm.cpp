@@ -2,52 +2,28 @@
 
 #include <cstring>
 
+#include "nn/gemm_kernels.h"
 #include "util/check.h"
 
 namespace bnn::nn {
 
+// The public GEMM entry points route to the blocked micro-kernels in
+// gemm_kernels.{h,cpp}; kernels::*_scalar are the bit-identical plain-loop
+// references they are tested and benchmarked against. Historical note: the
+// scalar loops here once skipped a_ik == 0.0f terms, which silently dropped
+// NaN/Inf propagation from B (0 * NaN must stay NaN) and made runtime
+// data-dependent — neither the references nor the kernels do that.
+
 void gemm(int m, int n, int k, const float* a, const float* b, float* c, bool accumulate) {
-  if (!accumulate) std::memset(c, 0, sizeof(float) * static_cast<std::size_t>(m) * n);
-  for (int i = 0; i < m; ++i) {
-    const float* a_row = a + static_cast<std::size_t>(i) * k;
-    float* c_row = c + static_cast<std::size_t>(i) * n;
-    for (int kk = 0; kk < k; ++kk) {
-      const float a_ik = a_row[kk];
-      if (a_ik == 0.0f) continue;
-      const float* b_row = b + static_cast<std::size_t>(kk) * n;
-      for (int j = 0; j < n; ++j) c_row[j] += a_ik * b_row[j];
-    }
-  }
+  kernels::gemm_blocked(m, n, k, a, b, c, accumulate);
 }
 
 void gemm_at(int m, int n, int k, const float* a, const float* b, float* c, bool accumulate) {
-  if (!accumulate) std::memset(c, 0, sizeof(float) * static_cast<std::size_t>(m) * n);
-  for (int kk = 0; kk < k; ++kk) {
-    const float* a_row = a + static_cast<std::size_t>(kk) * m;
-    const float* b_row = b + static_cast<std::size_t>(kk) * n;
-    for (int i = 0; i < m; ++i) {
-      const float a_ki = a_row[i];
-      if (a_ki == 0.0f) continue;
-      float* c_row = c + static_cast<std::size_t>(i) * n;
-      for (int j = 0; j < n; ++j) c_row[j] += a_ki * b_row[j];
-    }
-  }
+  kernels::gemm_at_blocked(m, n, k, a, b, c, accumulate);
 }
 
 void gemm_bt(int m, int n, int k, const float* a, const float* b, float* c, bool accumulate) {
-  for (int i = 0; i < m; ++i) {
-    const float* a_row = a + static_cast<std::size_t>(i) * k;
-    float* c_row = c + static_cast<std::size_t>(i) * n;
-    for (int j = 0; j < n; ++j) {
-      const float* b_row = b + static_cast<std::size_t>(j) * k;
-      float acc = 0.0f;
-      for (int kk = 0; kk < k; ++kk) acc += a_row[kk] * b_row[kk];
-      if (accumulate)
-        c_row[j] += acc;
-      else
-        c_row[j] = acc;
-    }
-  }
+  kernels::gemm_bt_blocked(m, n, k, a, b, c, accumulate);
 }
 
 int conv_out_extent(int in_extent, int kernel, int stride, int pad) {

@@ -1,7 +1,9 @@
-// Minimal single-threaded GEMM and im2col used by the float reference
-// convolution / linear layers. The loop order (i, k, j with A[i,k] held in a
-// register) lets the compiler vectorize the j-loop, which is enough
-// throughput to train the reduced evaluation networks on one core.
+// Single-threaded GEMM and im2col used by the float reference convolution /
+// linear layers. The three variants route to the register-blocked,
+// cache-tiled micro-kernels in gemm_kernels.h, which are bit-identical to
+// the plain i/k/j scalar loops by construction (blocking runs along the
+// output axes only; every c[i,j] accumulates its k-terms in ascending
+// order).
 #ifndef BNN_NN_GEMM_H
 #define BNN_NN_GEMM_H
 

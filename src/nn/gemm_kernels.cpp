@@ -1,0 +1,331 @@
+#include "nn/gemm_kernels.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+namespace bnn::nn::kernels {
+
+namespace {
+
+// Register-block geometry. An MR x NR output tile is held in registers
+// across a KC-deep k-panel; NR is sized so the accumulator tile plus the
+// A broadcasts and one B row fit the vector register file (16 registers on
+// x86-64). KC bounds the panel so the B block a tile streams through stays
+// L1-resident.
+//
+// The micro kernel uses GCC/Clang generic vector types instead of relying
+// on the auto-vectorizer (which SLP-shreds the 2-D accumulator array into
+// slow shuffle soup) and instead of intrinsics (which would pin an ISA).
+// The vector width follows the strongest ISA the TU is compiled for; every
+// lane still performs one rounded multiply and one rounded add per k-term
+// (-ffp-contract=off in this TU), so the bits match the scalar references
+// and are independent of the chosen width.
+#if defined(__AVX__)
+#define BNN_KERNEL_VEC_BYTES 32
+#else
+#define BNN_KERNEL_VEC_BYTES 16
+#endif
+typedef float vf __attribute__((vector_size(BNN_KERNEL_VEC_BYTES)));
+constexpr int VL = BNN_KERNEL_VEC_BYTES / static_cast<int>(sizeof(float));
+constexpr int MR = 4;
+constexpr int NV = 2;        // vector registers per accumulator row
+constexpr int NR = NV * VL;  // 16 with AVX, 8 with baseline SSE2
+constexpr int KC = 256;
+
+inline vf splat(float v) {
+  vf out;
+  for (int l = 0; l < VL; ++l) out[l] = v;
+  return out;
+}
+
+inline vf loadu(const float* p) {
+  vf out;
+  __builtin_memcpy(&out, p, sizeof(vf));
+  return out;
+}
+
+inline void storeu(float* p, vf v) { __builtin_memcpy(p, &v, sizeof(vf)); }
+
+// gemm_bt tiles are square: the dot-product form has no unit-stride output
+// axis to vectorize without splitting the per-(i,j) accumulator (which
+// would change the float reduction order), so the win is MR_BT * NR_BT
+// independent accumulator chains the CPU overlaps, versus the scalar
+// loop's one latency-bound chain.
+constexpr int MR_BT = 4;
+constexpr int NR_BT = 4;
+
+}  // namespace
+
+// --- scalar references ------------------------------------------------------
+
+void gemm_scalar(int m, int n, int k, const float* a, const float* b, float* c, bool accumulate) {
+  if (!accumulate)
+    std::fill(c, c + static_cast<std::size_t>(m) * n, 0.0f);
+  for (int i = 0; i < m; ++i) {
+    const float* a_row = a + static_cast<std::size_t>(i) * k;
+    float* c_row = c + static_cast<std::size_t>(i) * n;
+    for (int kk = 0; kk < k; ++kk) {
+      const float a_ik = a_row[kk];
+      const float* b_row = b + static_cast<std::size_t>(kk) * n;
+      for (int j = 0; j < n; ++j) c_row[j] += a_ik * b_row[j];
+    }
+  }
+}
+
+void gemm_at_scalar(int m, int n, int k, const float* a, const float* b, float* c,
+                    bool accumulate) {
+  if (!accumulate)
+    std::fill(c, c + static_cast<std::size_t>(m) * n, 0.0f);
+  for (int kk = 0; kk < k; ++kk) {
+    const float* a_row = a + static_cast<std::size_t>(kk) * m;
+    const float* b_row = b + static_cast<std::size_t>(kk) * n;
+    for (int i = 0; i < m; ++i) {
+      const float a_ki = a_row[i];
+      float* c_row = c + static_cast<std::size_t>(i) * n;
+      for (int j = 0; j < n; ++j) c_row[j] += a_ki * b_row[j];
+    }
+  }
+}
+
+void gemm_bt_scalar(int m, int n, int k, const float* a, const float* b, float* c,
+                    bool accumulate) {
+  for (int i = 0; i < m; ++i) {
+    const float* a_row = a + static_cast<std::size_t>(i) * k;
+    float* c_row = c + static_cast<std::size_t>(i) * n;
+    for (int j = 0; j < n; ++j) {
+      const float* b_row = b + static_cast<std::size_t>(j) * k;
+      float acc = 0.0f;
+      for (int kk = 0; kk < k; ++kk) acc += a_row[kk] * b_row[kk];
+      if (accumulate)
+        c_row[j] += acc;
+      else
+        c_row[j] = acc;
+    }
+  }
+}
+
+// --- blocked float kernels --------------------------------------------------
+
+namespace {
+
+// Both micro kernels read PACKED panels: A as MR-interleaved tiles
+// (pa[kk][mi], stride MR) and B as contiguous KC x NR rows (stride NR).
+//
+// `load_c` distinguishes the first k-panel of a non-accumulating call (the
+// tile starts from zero and overwrites C) from every later panel (C holds
+// the running sum). Either way each c[i,j] receives its k-terms one at a
+// time in ascending k — the scalar reference's exact operation sequence.
+
+// Full MR x NR register tile over one k-panel: 8 vector accumulators plus
+// one broadcast and NV B-row loads live per iteration.
+inline void micro_full(int kc, const float* __restrict a, const float* __restrict b,
+                       float* __restrict c, int ldc, bool load_c) {
+  vf acc[MR][NV];
+  for (int mi = 0; mi < MR; ++mi)
+    for (int v = 0; v < NV; ++v)
+      acc[mi][v] =
+          load_c ? loadu(c + static_cast<std::size_t>(mi) * ldc + v * VL) : splat(0.0f);
+  for (int kk = 0; kk < kc; ++kk) {
+    vf bv[NV];
+    for (int v = 0; v < NV; ++v) bv[v] = loadu(b + v * VL);
+    for (int mi = 0; mi < MR; ++mi) {
+      const vf av = splat(a[mi]);
+      for (int v = 0; v < NV; ++v) acc[mi][v] += av * bv[v];
+    }
+    a += MR;
+    b += NR;
+  }
+  for (int mi = 0; mi < MR; ++mi)
+    for (int v = 0; v < NV; ++v)
+      storeu(c + static_cast<std::size_t>(mi) * ldc + v * VL, acc[mi][v]);
+}
+
+// Remainder tile with runtime extents mr <= MR, nr <= NR (scalar: edges are
+// a vanishing fraction of the work on any non-tiny shape).
+inline void micro_edge(int mr, int nr, int kc, const float* __restrict a,
+                       const float* __restrict b, float* __restrict c, int ldc, bool load_c) {
+  float acc[MR][NR];
+  for (int mi = 0; mi < mr; ++mi)
+    for (int ni = 0; ni < nr; ++ni)
+      acc[mi][ni] = load_c ? c[static_cast<std::size_t>(mi) * ldc + ni] : 0.0f;
+  for (int kk = 0; kk < kc; ++kk) {
+    for (int mi = 0; mi < mr; ++mi) {
+      const float av = a[mi];
+      for (int ni = 0; ni < nr; ++ni) acc[mi][ni] += av * b[ni];
+    }
+    a += MR;
+    b += NR;
+  }
+  for (int mi = 0; mi < mr; ++mi)
+    for (int ni = 0; ni < nr; ++ni) c[static_cast<std::size_t>(mi) * ldc + ni] = acc[mi][ni];
+}
+
+// Shared driver for gemm / gemm_at. Both operands are repacked panel by
+// panel (pure data movement — it cannot change any floating-point result):
+//
+//  - A's k-panel is packed once per k0 into MR-interleaved tiles
+//    (pa[tile][kk][mi], contiguous), read back sequentially by every j-tile
+//    sweep. This also makes gemm and gemm_at identical from the micro
+//    kernel's point of view.
+//  - B's KC x NR block is packed per (k0, j0) into a contiguous scratch
+//    (at most KC*NR floats = 16 KiB, L1-resident). Without this, layer
+//    shapes with power-of-two N (e.g. the VGG im2col GEMM, N=1024) put
+//    every row of the block in the same L1 set — a 4 KiB-aliasing conflict
+//    storm that makes the tiled loop *slower* than the streaming scalar
+//    one.
+//
+// Packing buffers are thread-local so repeated layer calls reuse their
+// high-water allocation; lanes of the (image, sample) pair loop each carry
+// their own.
+void gemm_panels(int m, int n, int k, const float* a, std::ptrdiff_t a_rs, std::ptrdiff_t a_cs,
+                 const float* b, float* c, bool accumulate) {
+  if (m <= 0 || n <= 0) return;
+  if (k <= 0) {
+    if (!accumulate) std::fill(c, c + static_cast<std::size_t>(m) * n, 0.0f);
+    return;
+  }
+  static thread_local std::vector<float> pa_buf, pb_buf;
+  const int i_tiles = (m + MR - 1) / MR;
+  pa_buf.resize(static_cast<std::size_t>(i_tiles) * MR * std::min(KC, k));
+  pb_buf.resize(static_cast<std::size_t>(std::min(KC, k)) * NR);
+
+  for (int k0 = 0; k0 < k; k0 += KC) {  // ascending: preserves each c[i,j]'s k-order
+    const int kc = std::min(KC, k - k0);
+    const bool load_c = accumulate || k0 > 0;
+
+    // Pack A(:, k0:k0+kc) as MR-interleaved tiles; rows past m pad with
+    // zeros that only feed accumulator lanes no tile ever stores.
+    for (int ti = 0; ti < i_tiles; ++ti) {
+      float* pa = pa_buf.data() + static_cast<std::size_t>(ti) * MR * kc;
+      for (int kk = 0; kk < kc; ++kk) {
+        for (int mi = 0; mi < MR; ++mi) {
+          const int row = ti * MR + mi;
+          pa[static_cast<std::size_t>(kk) * MR + mi] =
+              row < m ? a[row * a_rs + static_cast<std::ptrdiff_t>(k0 + kk) * a_cs] : 0.0f;
+        }
+      }
+    }
+
+    for (int j0 = 0; j0 < n; j0 += NR) {
+      const int nr = std::min(NR, n - j0);
+      // Pack B(k0:k0+kc, j0:j0+nr) contiguously (zero-pad partial widths).
+      for (int kk = 0; kk < kc; ++kk) {
+        const float* b_row = b + static_cast<std::size_t>(k0 + kk) * n + j0;
+        float* pb_row = pb_buf.data() + static_cast<std::size_t>(kk) * NR;
+        for (int ni = 0; ni < nr; ++ni) pb_row[ni] = b_row[ni];
+        for (int ni = nr; ni < NR; ++ni) pb_row[ni] = 0.0f;
+      }
+
+      for (int ti = 0; ti < i_tiles; ++ti) {
+        const float* pa = pa_buf.data() + static_cast<std::size_t>(ti) * MR * kc;
+        const int mr = std::min(MR, m - ti * MR);
+        float* c_tile = c + static_cast<std::size_t>(ti) * MR * n + j0;
+        if (mr == MR && nr == NR)
+          micro_full(kc, pa, pb_buf.data(), c_tile, n, load_c);
+        else
+          micro_edge(mr, nr, kc, pa, pb_buf.data(), c_tile, n, load_c);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void gemm_blocked(int m, int n, int k, const float* a, const float* b, float* c,
+                  bool accumulate) {
+  gemm_panels(m, n, k, a, /*a_rs=*/k, /*a_cs=*/1, b, c, accumulate);
+}
+
+void gemm_at_blocked(int m, int n, int k, const float* a, const float* b, float* c,
+                     bool accumulate) {
+  gemm_panels(m, n, k, a, /*a_rs=*/1, /*a_cs=*/m, b, c, accumulate);
+}
+
+void gemm_bt_blocked(int m, int n, int k, const float* __restrict a, const float* __restrict b,
+                     float* __restrict c, bool accumulate) {
+  // Overwriting calls can transpose B (pure data movement) and take the
+  // vectorized panel path: its per-(i,j) chain ((0+t0)+t1)+... is exactly
+  // the scalar gemm_bt accumulator chain, so the bits are unchanged. An
+  // accumulating call cannot — it would fold c in at the start of the
+  // chain instead of adding the finished dot product onto it — and tiny m
+  // cannot amortize the transpose; both fall through to the ILP form.
+  if (!accumulate && m >= 8 && k >= 2) {
+    static thread_local std::vector<float> bt_buf;
+    bt_buf.resize(static_cast<std::size_t>(k) * n);
+    for (int j = 0; j < n; ++j) {
+      const float* b_row = b + static_cast<std::size_t>(j) * k;
+      for (int kk = 0; kk < k; ++kk) bt_buf[static_cast<std::size_t>(kk) * n + j] = b_row[kk];
+    }
+    gemm_panels(m, n, k, a, /*a_rs=*/k, /*a_cs=*/1, bt_buf.data(), c, false);
+    return;
+  }
+  for (int i0 = 0; i0 < m; i0 += MR_BT) {
+    const int mr = std::min(MR_BT, m - i0);
+    for (int j0 = 0; j0 < n; j0 += NR_BT) {
+      const int nr = std::min(NR_BT, n - j0);
+      float acc[MR_BT][NR_BT] = {};
+      if (mr == MR_BT && nr == NR_BT) {
+        for (int kk = 0; kk < k; ++kk) {
+          float av[MR_BT];
+          for (int mi = 0; mi < MR_BT; ++mi)
+            av[mi] = a[static_cast<std::size_t>(i0 + mi) * k + kk];
+          for (int ni = 0; ni < NR_BT; ++ni) {
+            const float bv = b[static_cast<std::size_t>(j0 + ni) * k + kk];
+            for (int mi = 0; mi < MR_BT; ++mi) acc[mi][ni] += av[mi] * bv;
+          }
+        }
+      } else {
+        for (int kk = 0; kk < k; ++kk) {
+          for (int mi = 0; mi < mr; ++mi) {
+            const float av = a[static_cast<std::size_t>(i0 + mi) * k + kk];
+            for (int ni = 0; ni < nr; ++ni)
+              acc[mi][ni] += av * b[static_cast<std::size_t>(j0 + ni) * k + kk];
+          }
+        }
+      }
+      for (int mi = 0; mi < mr; ++mi) {
+        float* c_row = c + static_cast<std::size_t>(i0 + mi) * n + j0;
+        for (int ni = 0; ni < nr; ++ni) {
+          if (accumulate)
+            c_row[ni] += acc[mi][ni];
+          else
+            c_row[ni] = acc[mi][ni];
+        }
+      }
+    }
+  }
+}
+
+// --- int8 -> int32 dot kernels ----------------------------------------------
+// Plain single-accumulator reductions: integer addition is associative, so
+// the auto-vectorizer is free to widen these (and does — the manual
+// multi-accumulator unroll this replaced actually defeated it).
+
+std::int32_t dot_i8_zp(const std::int8_t* __restrict x, const std::int8_t* __restrict w, int len,
+                       std::int32_t zero_point) {
+  std::int32_t acc = 0;
+  for (int t = 0; t < len; ++t)
+    acc += (static_cast<std::int32_t>(x[t]) - zero_point) * static_cast<std::int32_t>(w[t]);
+  return acc;
+}
+
+std::int32_t dot_i8_zp_gather(const std::int8_t* __restrict x, const std::int32_t* __restrict offsets,
+                              const std::int8_t* __restrict w, int len, std::int32_t zero_point) {
+  // Indexed loads do not vectorize on the baseline ISA; two independent
+  // chains keep the win from hoisting the index math without hurting ILP.
+  std::int32_t acc0 = 0, acc1 = 0;
+  int t = 0;
+  for (; t + 2 <= len; t += 2) {
+    acc0 += (static_cast<std::int32_t>(x[offsets[t]]) - zero_point) *
+            static_cast<std::int32_t>(w[t]);
+    acc1 += (static_cast<std::int32_t>(x[offsets[t + 1]]) - zero_point) *
+            static_cast<std::int32_t>(w[t + 1]);
+  }
+  if (t < len)
+    acc0 += (static_cast<std::int32_t>(x[offsets[t]]) - zero_point) *
+            static_cast<std::int32_t>(w[t]);
+  return acc0 + acc1;
+}
+
+}  // namespace bnn::nn::kernels

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "nn/activations.h"
+#include "nn/gemm_kernels.h"
 #include "util/check.h"
 
 namespace bnn::quant {
@@ -21,11 +22,11 @@ QTensor compute_pre_pool(const QLayer& layer, const QTensor& input, const QTenso
   if (g.op == nn::HwLayer::Op::linear) {
     util::require(input.numel() == g.in_c, "qops: linear input size mismatch");
     for (int f = 0; f < g.out_c; ++f) {
-      std::int32_t acc = layer.bias[static_cast<std::size_t>(f)];
-      const std::int8_t* w = layer.weight_row(f);
-      for (int i = 0; i < g.in_c; ++i)
-        acc += (static_cast<std::int32_t>(input.data[static_cast<std::size_t>(i)]) - zp_in) *
-               static_cast<std::int32_t>(w[i]);
+      // int32 accumulation is exact, so the vectorized dot kernel matches
+      // the plain per-term loop bit-for-bit.
+      const std::int32_t acc =
+          layer.bias[static_cast<std::size_t>(f)] +
+          nn::kernels::dot_i8_zp(input.data.data(), layer.weight_row(f), g.in_c, zp_in);
       std::int32_t q = fixed_multiply(acc, layer.requant[static_cast<std::size_t>(f)]) +
                        layer.post_add[static_cast<std::size_t>(f)] + zp_out;
       if (g.has_relu) q = std::max(q, zp_out);

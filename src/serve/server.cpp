@@ -9,6 +9,26 @@
 
 namespace bnn::serve {
 
+namespace {
+
+// `samples` must be non-empty and sorted ascending.
+double percentile_sorted(const std::vector<double>& samples, double pct) {
+  const double rank = (pct / 100.0) * static_cast<double>(samples.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples[lo] + (samples[hi] - samples[lo]) * frac;
+}
+
+}  // namespace
+
+double latency_percentile(std::vector<double> samples, double pct) {
+  util::require(!samples.empty(), "serve: percentile of an empty sample set");
+  util::require(pct >= 0.0 && pct <= 100.0, "serve: percentile must be in [0, 100]");
+  std::sort(samples.begin(), samples.end());
+  return percentile_sorted(samples, pct);
+}
+
 Server::Server(core::Accelerator accelerator, ServerConfig config)
     : accelerator_(std::move(accelerator)), config_(config) {
   util::require(config_.max_batch >= 1, "serve: max_batch must be >= 1");
@@ -57,6 +77,7 @@ std::future<Response> Server::submit(Request request) {
   }
 
   Pending pending;
+  pending.submitted = std::chrono::steady_clock::now();
   pending.image = request.image.dim() == 3
                       ? request.image.reshaped({1, request.image.size(0),
                                                 request.image.size(1),
@@ -81,8 +102,22 @@ std::future<Response> Server::submit(Request request) {
 Response Server::infer(Request request) { return submit(std::move(request)).get(); }
 
 ServerStats Server::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return stats_;
+  ServerStats stats;
+  std::vector<double> window;
+  {
+    // Only the copies happen under the lock; the sort runs after release
+    // so a polling monitor cannot stall submit() or the dispatcher.
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats = stats_;
+    window = latency_window_;
+  }
+  if (!window.empty()) {
+    std::sort(window.begin(), window.end());
+    stats.latency_p50_ms = percentile_sorted(window, 50.0);
+    stats.latency_p95_ms = percentile_sorted(window, 95.0);
+    stats.latency_p99_ms = percentile_sorted(window, 99.0);
+  }
+  return stats;
 }
 
 void Server::dispatch_loop() {
@@ -99,12 +134,23 @@ void Server::dispatch_loop() {
           return stopping_ || static_cast<int>(queue_.size()) >= config_.max_batch;
         });
       }
-      const int take =
-          std::min<int>(config_.max_batch, static_cast<int>(queue_.size()));
-      batch.reserve(static_cast<std::size_t>(take));
-      for (int i = 0; i < take; ++i) {
-        batch.push_back(std::move(queue_.front()));
-        queue_.pop_front();
+      // Per-shape batch group: coalesce the oldest request with every
+      // queued request of the same image shape (up to max_batch); other
+      // shapes stay queued and form their own batch on the next loop
+      // iteration. The accelerator pass therefore always sees one
+      // homogeneous (N, C, H, W) tensor, and a mixed-shape wave can never
+      // fault the dispatcher.
+      const std::vector<int> shape = queue_.front().image.shape();
+      batch.reserve(static_cast<std::size_t>(
+          std::min<int>(config_.max_batch, static_cast<int>(queue_.size()))));
+      for (auto it = queue_.begin();
+           it != queue_.end() && static_cast<int>(batch.size()) < config_.max_batch;) {
+        if (it->image.shape() == shape) {
+          batch.push_back(std::move(*it));
+          it = queue_.erase(it);
+        } else {
+          ++it;
+        }
       }
     }
     serve_batch(std::move(batch));
@@ -112,6 +158,25 @@ void Server::dispatch_loop() {
 }
 
 void Server::serve_batch(std::vector<Pending> batch) {
+  // Defensive backstop (structurally unreachable after per-shape batch
+  // grouping in dispatch_loop): a request whose shape differs from the
+  // batch head fails alone with set_exception; its neighbours and the
+  // dispatcher itself are untouched. The historical behaviour — a
+  // util::require on this thread — failed the entire batch for one bad
+  // request.
+  const std::vector<int> shape = batch.front().image.shape();
+  std::size_t keep = 0;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (batch[i].image.shape() == shape) {
+      if (keep != i) batch[keep] = std::move(batch[i]);
+      ++keep;
+    } else {
+      batch[i].promise.set_exception(std::make_exception_ptr(
+          std::invalid_argument("serve: image shape differs from its batch group")));
+    }
+  }
+  batch.resize(keep);
+
   const int count = static_cast<int>(batch.size());
   const int num_sites = accelerator_.network().num_sites;
   const auto resolve_layers = [num_sites](const RequestOptions& options) {
@@ -126,8 +191,6 @@ void Server::serve_batch(std::vector<Pending> batch) {
     std::vector<core::Accelerator::ImageRequest> pass(static_cast<std::size_t>(count));
     for (int n = 0; n < count; ++n) {
       const Pending& pending = batch[static_cast<std::size_t>(n)];
-      util::require(pending.image.numel() * count == images.numel(),
-                    "serve: mixed image shapes in one batch");
       std::copy(pending.image.data(), pending.image.data() + pending.image.numel(),
                 images.data() + static_cast<std::int64_t>(n) * pending.image.numel());
       pass[static_cast<std::size_t>(n)] = core::Accelerator::ImageRequest{
@@ -198,13 +261,26 @@ void Server::serve_batch(std::vector<Pending> batch) {
     }
 
     // Counters land before any promise resolves, so a client that just got
-    // its response reads stats() consistent with it.
+    // its response reads stats() consistent with it. Latencies cover
+    // submit() to response-ready and enter a fixed ring so the percentile
+    // window tracks recent traffic at bounded memory.
+    const auto completed = std::chrono::steady_clock::now();
     {
       std::lock_guard<std::mutex> lock(mutex_);
       stats_.requests += static_cast<std::uint64_t>(count);
       stats_.batches += 1 + extra_batches;
       stats_.screened += screened;
       stats_.escalations += static_cast<std::uint64_t>(escalate.size());
+      for (const Pending& pending : batch) {
+        const double ms =
+            std::chrono::duration<double, std::milli>(completed - pending.submitted).count();
+        if (latency_window_.size() < kLatencyWindow) {
+          latency_window_.push_back(ms);
+        } else {
+          latency_window_[latency_next_] = ms;
+          latency_next_ = (latency_next_ + 1) % kLatencyWindow;
+        }
+      }
     }
     for (int n = 0; n < count; ++n)
       batch[static_cast<std::size_t>(n)].promise.set_value(

@@ -33,6 +33,7 @@
 #include <mutex>
 #include <optional>
 #include <thread>
+#include <vector>
 
 #include "core/accelerator.h"
 #include "nn/tensor.h"
@@ -91,18 +92,39 @@ struct ServerConfig {
   runtime::ThreadPool* pool = nullptr;
 };
 
-/// Aggregate serving counters (monotonic since construction).
+/// Aggregate serving counters (monotonic since construction) plus latency
+/// percentiles over a sliding window of recently served requests.
 struct ServerStats {
   std::uint64_t requests = 0;     ///< responses produced
   std::uint64_t batches = 0;      ///< accelerator passes issued
   std::uint64_t screened = 0;     ///< requests that took the screening pass
   std::uint64_t escalations = 0;  ///< screened requests promoted to full S
+  /// End-to-end request latency (submit() to response ready, wall clock,
+  /// milliseconds) over the last `Server::kLatencyWindow` served requests;
+  /// 0 until the first response.
+  double latency_p50_ms = 0.0;
+  double latency_p95_ms = 0.0;
+  double latency_p99_ms = 0.0;
 };
+
+/// Percentile with linear interpolation between closest ranks: pct in
+/// [0, 100], pct=50 of {1,2,3,4} is 2.5. Sorts a copy; the input need not
+/// be ordered. Throws std::invalid_argument on an empty sample set or an
+/// out-of-range pct.
+double latency_percentile(std::vector<double> samples, double pct);
 
 /// Batched-serving front end over one simulated accelerator. Thread-safe:
 /// any number of client threads may submit concurrently; one internal
 /// dispatcher thread owns the accelerator. The destructor drains every
 /// accepted request before returning.
+///
+/// Batches are grouped per image shape: the dispatcher only coalesces
+/// queued requests whose (C, H, W) matches the oldest waiting request and
+/// leaves the rest queued for the next batch, so heterogeneous traffic
+/// (possible when the network's first layer is linear, which constrains
+/// only the element count) splits into homogeneous accelerator passes
+/// instead of faulting — and a shape problem can only ever fail its own
+/// request, never a batch neighbour or the dispatcher.
 class Server {
  public:
   /// Takes ownership of the accelerator; `config.pool`/`config.num_threads`
@@ -129,12 +151,17 @@ class Server {
 
   const core::Accelerator& accelerator() const { return accelerator_; }
 
+  /// Latency-percentile window size (served requests retained for the
+  /// ServerStats percentiles).
+  static constexpr std::size_t kLatencyWindow = 1024;
+
  private:
   struct Pending {
     nn::Tensor image;  // (1, C, H, W)
     RequestOptions options;
     std::uint64_t stream_id = 0;
     std::promise<Response> promise;
+    std::chrono::steady_clock::time_point submitted;
   };
 
   void dispatch_loop();
@@ -149,6 +176,8 @@ class Server {
   std::uint64_t next_ticket_ = 0;
   bool stopping_ = false;
   ServerStats stats_;
+  std::vector<double> latency_window_;  // ring buffer, capacity kLatencyWindow
+  std::size_t latency_next_ = 0;
   std::thread dispatcher_;
 };
 

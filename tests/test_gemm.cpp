@@ -2,9 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstring>
+#include <limits>
 #include <stdexcept>
+#include <tuple>
 #include <vector>
 
+#include "nn/gemm_kernels.h"
 #include "util/rng.h"
 
 namespace bnn::nn {
@@ -86,6 +91,143 @@ TEST(Gemm, AccumulateAddsOntoExisting) {
   gemm(2, 2, 3, a.data(), b.data(), twice.data(), true);
   for (int i = 0; i < 4; ++i) EXPECT_NEAR(twice[static_cast<std::size_t>(i)],
                                           2.0f * once[static_cast<std::size_t>(i)], 1e-4f);
+}
+
+// Regression for the removed a_ik == 0.0f zero-skip: a zero row of A times
+// a NaN/Inf B must produce NaN (0 * NaN = NaN, 0 * Inf = NaN), not silently
+// skip the terms and report 0.
+TEST(Gemm, ZeroRowTimesNanInfPropagates) {
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const float inf = std::numeric_limits<float>::infinity();
+  // A = [[0, 0], [1, 1]] (row 0 all zeros), B = [[nan, inf], [1, 2]].
+  const std::vector<float> a{0.0f, 0.0f, 1.0f, 1.0f};
+  const std::vector<float> b{nan, inf, 1.0f, 2.0f};
+
+  std::vector<float> c(4, 0.0f);
+  gemm(2, 2, 2, a.data(), b.data(), c.data(), false);
+  EXPECT_TRUE(std::isnan(c[0])) << "0*NaN swallowed by gemm";
+  EXPECT_TRUE(std::isnan(c[1])) << "0*Inf swallowed by gemm";
+  EXPECT_TRUE(std::isnan(c[2]));  // 1*nan + 1*1
+  EXPECT_TRUE(std::isinf(c[3]) || std::isnan(c[3]));
+
+  // gemm_at: A^T stored [K, M] with column 0 all zeros.
+  const std::vector<float> a_t{0.0f, 1.0f, 0.0f, 1.0f};
+  std::fill(c.begin(), c.end(), 0.0f);
+  gemm_at(2, 2, 2, a_t.data(), b.data(), c.data(), false);
+  EXPECT_TRUE(std::isnan(c[0])) << "0*NaN swallowed by gemm_at";
+  EXPECT_TRUE(std::isnan(c[1])) << "0*Inf swallowed by gemm_at";
+
+  // gemm_bt: B^T stored [N, K]; row 0 of A is zero, so every dot against a
+  // NaN-carrying B row must be NaN.
+  const std::vector<float> b_t{nan, 1.0f, inf, 2.0f};
+  std::fill(c.begin(), c.end(), 0.0f);
+  gemm_bt(2, 2, 2, a.data(), b_t.data(), c.data(), false);
+  EXPECT_TRUE(std::isnan(c[0])) << "0*NaN swallowed by gemm_bt";
+  EXPECT_TRUE(std::isnan(c[1])) << "0*Inf swallowed by gemm_bt";
+}
+
+// --- blocked kernels vs scalar references: exact bit-identity --------------
+//
+// The micro-kernel layer's contract is bits, not tolerances: blocking and
+// vectorization run along the output axes only, so each c[i,j] accumulates
+// its k-terms in the scalar order. Shapes cover m/n/k == 1, exact multiples
+// of the register block, non-multiples (edge tiles), and k past the cache
+// panel depth (multi-panel accumulation), for both accumulate modes.
+
+class GemmKernelBitIdentity : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(GemmKernelBitIdentity, AllVariantsMatchScalarBitForBit) {
+  const auto [m, n, k] = GetParam();
+  util::Rng rng(m * 1000003 + n * 1009 + k);
+  const std::vector<float> a = random_matrix(m, k, rng);   // also read as [K, M] by _at
+  const std::vector<float> b = random_matrix(k, n, rng);   // also read as [N, K] by _bt
+  const std::vector<float> c0 = random_matrix(m, n, rng);  // accumulate seed
+
+  struct Variant {
+    const char* name;
+    void (*scalar)(int, int, int, const float*, const float*, float*, bool);
+    void (*blocked)(int, int, int, const float*, const float*, float*, bool);
+  };
+  const Variant variants[] = {
+      {"gemm", nn::kernels::gemm_scalar, nn::kernels::gemm_blocked},
+      {"gemm_at", nn::kernels::gemm_at_scalar, nn::kernels::gemm_at_blocked},
+      {"gemm_bt", nn::kernels::gemm_bt_scalar, nn::kernels::gemm_bt_blocked},
+  };
+  for (const Variant& v : variants) {
+    for (const bool accumulate : {false, true}) {
+      std::vector<float> c_scalar = c0;
+      std::vector<float> c_blocked = c0;
+      v.scalar(m, n, k, a.data(), b.data(), c_scalar.data(), accumulate);
+      v.blocked(m, n, k, a.data(), b.data(), c_blocked.data(), accumulate);
+      EXPECT_EQ(std::memcmp(c_scalar.data(), c_blocked.data(), c_scalar.size() * sizeof(float)),
+                0)
+          << v.name << " accumulate=" << accumulate << " m=" << m << " n=" << n << " k=" << k;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmKernelBitIdentity,
+    ::testing::Values(std::make_tuple(1, 1, 1),      // degenerate
+                      std::make_tuple(1, 17, 4),     // single row, edge columns
+                      std::make_tuple(16, 1, 9),     // single column
+                      std::make_tuple(4, 16, 64),    // exact register blocks
+                      std::make_tuple(8, 32, 256),   // exact blocks, full panel
+                      std::make_tuple(5, 19, 23),    // edge tiles both axes
+                      std::make_tuple(37, 33, 70),   // edge tiles, larger
+                      std::make_tuple(12, 48, 300),  // k spans two cache panels
+                      std::make_tuple(6, 21, 513))); // panel remainder of 1
+
+// The public entry points must be the blocked kernels (not a copy that
+// could drift): routing check against the scalar references.
+TEST(Gemm, PublicEntryPointsRouteToKernels) {
+  util::Rng rng(99);
+  const int m = 9, n = 34, k = 129;
+  const std::vector<float> a = random_matrix(m, k, rng);
+  const std::vector<float> b = random_matrix(k, n, rng);
+  std::vector<float> via_public(static_cast<std::size_t>(m) * n, 0.0f);
+  std::vector<float> via_scalar(static_cast<std::size_t>(m) * n, 0.0f);
+  gemm(m, n, k, a.data(), b.data(), via_public.data(), false);
+  nn::kernels::gemm_scalar(m, n, k, a.data(), b.data(), via_scalar.data(), false);
+  EXPECT_EQ(std::memcmp(via_public.data(), via_scalar.data(), via_public.size() * sizeof(float)),
+            0);
+}
+
+// --- int8 dot kernels ------------------------------------------------------
+
+TEST(DotI8, MatchesPlainLoopForAnyLengthAndZeroPoint) {
+  util::Rng rng(7);
+  for (const int len : {1, 2, 3, 7, 64, 300, 1152}) {
+    std::vector<std::int8_t> x(static_cast<std::size_t>(len)), w(static_cast<std::size_t>(len));
+    for (auto& v : x) v = static_cast<std::int8_t>(rng.uniform_int(-128, 127));
+    for (auto& v : w) v = static_cast<std::int8_t>(rng.uniform_int(-128, 127));
+    for (const std::int32_t zp : {-7, 0, 11}) {
+      std::int32_t expected = 0;
+      for (int t = 0; t < len; ++t)
+        expected += (static_cast<std::int32_t>(x[static_cast<std::size_t>(t)]) - zp) *
+                    static_cast<std::int32_t>(w[static_cast<std::size_t>(t)]);
+      EXPECT_EQ(nn::kernels::dot_i8_zp(x.data(), w.data(), len, zp), expected)
+          << "len=" << len << " zp=" << zp;
+    }
+  }
+}
+
+TEST(DotI8, GatherMatchesDirectDotThroughPermutedOffsets) {
+  util::Rng rng(8);
+  const int len = 53;
+  std::vector<std::int8_t> x(500), w(static_cast<std::size_t>(len));
+  for (auto& v : x) v = static_cast<std::int8_t>(rng.uniform_int(-128, 127));
+  for (auto& v : w) v = static_cast<std::int8_t>(rng.uniform_int(-128, 127));
+  std::vector<std::int32_t> offsets(static_cast<std::size_t>(len));
+  for (auto& o : offsets) o = rng.uniform_int(0, 499);
+
+  const std::int32_t zp = 4;
+  std::int32_t expected = 0;
+  for (int t = 0; t < len; ++t)
+    expected += (static_cast<std::int32_t>(x[static_cast<std::size_t>(offsets[static_cast<std::size_t>(t)])]) - zp) *
+                static_cast<std::int32_t>(w[static_cast<std::size_t>(t)]);
+  EXPECT_EQ(nn::kernels::dot_i8_zp_gather(x.data(), offsets.data(), w.data(), len, zp),
+            expected);
 }
 
 TEST(ConvExtent, Formula) {

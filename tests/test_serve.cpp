@@ -337,6 +337,139 @@ TEST(Server, ValidatesRequestsAndRejectsAfterShutdown) {
                std::runtime_error);
 }
 
+// --- mixed-shape traffic and dispatcher survival ---------------------------
+
+// Linear-first network: submit() can only constrain the element count, so
+// two different (C,H,W) shapes with equal numel are both accepted — the
+// regression scenario for the dispatcher-killing mixed-shape batch.
+struct MlpServeFixture {
+  MlpServeFixture() {
+    util::Rng rng(91);
+    nn::Model model = nn::make_mlp3(rng, 49, 24, 10, nn::MlpActivation::relu,
+                                    /*with_mcd_sites=*/true);
+    util::Rng data_rng(92);
+    data::Dataset digits = data::make_synth_digits(96, data_rng);
+    nn::Tensor small({digits.size(), 49, 1, 1});
+    for (int n = 0; n < digits.size(); ++n)
+      for (int y = 0; y < 7; ++y)
+        for (int x = 0; x < 7; ++x)
+          small.v4(n, y * 7 + x, 0, 0) = digits.images().v4(n, 0, 4 * y + 2, 4 * x + 2);
+    dataset = std::make_unique<data::Dataset>(std::move(small), digits.labels(), 10);
+
+    train::TrainConfig config;
+    config.epochs = 1;
+    config.batch_size = 16;
+    train::fit(model, *dataset, config);
+    qnet = std::make_unique<quant::QuantNetwork>(quant::quantize_model(model, *dataset));
+  }
+
+  std::unique_ptr<data::Dataset> dataset;
+  std::unique_ptr<quant::QuantNetwork> qnet;
+};
+
+MlpServeFixture& mlp_fixture() {
+  static MlpServeFixture instance;
+  return instance;
+}
+
+TEST(Server, MixedShapeWaveIsSplitPerShapeAndEveryRequestResolves) {
+  auto& fx = mlp_fixture();
+
+  serve::ServerConfig config;
+  config.max_batch = 8;
+  config.batch_linger = std::chrono::milliseconds(20);  // force coalescing
+  serve::Server server(core::Accelerator(*fx.qnet, accel_config(1)), config);
+
+  serve::RequestOptions options;
+  options.num_samples = 3;
+  options.bayes_layers = 1;
+
+  // The same flat pixels under two different (C,H,W) views with equal
+  // numel, interleaved so both land in one linger window. With fixed
+  // stream ids the responses must be identical pairwise: the linear-first
+  // network flattens its input, so only the batch split differs.
+  std::vector<std::future<serve::Response>> futures;
+  for (int n = 0; n < 4; ++n) {
+    serve::Request flat;
+    flat.image = fx.dataset->images().batch_row(n);  // (1, 49, 1, 1)
+    flat.options = options;
+    flat.stream_id = static_cast<std::uint64_t>(n);
+    futures.push_back(server.submit(std::move(flat)));
+
+    serve::Request square;
+    square.image = fx.dataset->images().batch_row(n).reshaped({1, 1, 7, 7});
+    square.options = options;
+    square.stream_id = static_cast<std::uint64_t>(n);
+    futures.push_back(server.submit(std::move(square)));
+  }
+  for (int n = 0; n < 4; ++n) {
+    const serve::Response flat = futures[static_cast<std::size_t>(2 * n)].get();
+    const serve::Response square = futures[static_cast<std::size_t>(2 * n + 1)].get();
+    EXPECT_EQ(flat.probs.shape(), (std::vector<int>{1, 10}));
+    EXPECT_EQ(flat.probs.max_abs_diff(square.probs), 0.0f) << "image " << n;
+  }
+
+  // The dispatcher survived the mixed wave: a later request still serves.
+  serve::Request after;
+  after.image = fx.dataset->images().batch_row(5);
+  after.options = options;
+  EXPECT_EQ(server.infer(std::move(after)).probs.shape(), (std::vector<int>{1, 10}));
+  EXPECT_EQ(server.stats().requests, 9u);
+}
+
+TEST(Server, KeepsServingAfterARejectedSubmission) {
+  auto& fx = fixture();
+  const data::Batch batch = fx.dataset->batch(0, 2);
+  serve::Server server(core::Accelerator(*fx.qnet, accel_config(1)), {});
+
+  serve::Request wrong_shape;
+  wrong_shape.image = nn::Tensor({1, 1, 5, 5});
+  EXPECT_THROW(server.submit(std::move(wrong_shape)), std::invalid_argument);
+
+  // The bad request failed on the caller thread; the dispatcher never saw
+  // it and keeps serving.
+  for (int n = 0; n < 2; ++n) {
+    const serve::Response response =
+        server.infer(request_for(batch, n, serve::RequestOptions{}));
+    EXPECT_EQ(response.probs.shape(), (std::vector<int>{1, 10}));
+  }
+  EXPECT_EQ(server.stats().requests, 2u);
+}
+
+// --- latency percentiles ---------------------------------------------------
+
+TEST(LatencyPercentile, InterpolatesBetweenClosestRanks) {
+  EXPECT_DOUBLE_EQ(serve::latency_percentile({5.0}, 0.0), 5.0);
+  EXPECT_DOUBLE_EQ(serve::latency_percentile({5.0}, 50.0), 5.0);
+  EXPECT_DOUBLE_EQ(serve::latency_percentile({5.0}, 100.0), 5.0);
+  EXPECT_DOUBLE_EQ(serve::latency_percentile({1.0, 2.0, 3.0, 4.0}, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(serve::latency_percentile({1.0, 2.0, 3.0, 4.0}, 50.0), 2.5);
+  EXPECT_DOUBLE_EQ(serve::latency_percentile({1.0, 2.0, 3.0, 4.0}, 100.0), 4.0);
+  EXPECT_DOUBLE_EQ(serve::latency_percentile({1.0, 2.0, 3.0, 4.0}, 25.0), 1.75);
+  // Unsorted input is sorted internally.
+  EXPECT_DOUBLE_EQ(serve::latency_percentile({3.0, 1.0, 2.0}, 50.0), 2.0);
+  EXPECT_DOUBLE_EQ(serve::latency_percentile({10.0, 0.0}, 95.0), 9.5);
+  EXPECT_THROW(serve::latency_percentile({}, 50.0), std::invalid_argument);
+  EXPECT_THROW(serve::latency_percentile({1.0}, 101.0), std::invalid_argument);
+  EXPECT_THROW(serve::latency_percentile({1.0}, -1.0), std::invalid_argument);
+}
+
+TEST(Server, StatsReportOrderedLatencyPercentiles) {
+  auto& fx = fixture();
+  const data::Batch batch = fx.dataset->batch(0, 3);
+  serve::Server server(core::Accelerator(*fx.qnet, accel_config(1)), {});
+
+  EXPECT_EQ(server.stats().latency_p50_ms, 0.0);  // no traffic yet
+
+  for (int n = 0; n < 3; ++n)
+    server.infer(request_for(batch, n, serve::RequestOptions{}));
+
+  const serve::ServerStats stats = server.stats();
+  EXPECT_GT(stats.latency_p50_ms, 0.0);
+  EXPECT_LE(stats.latency_p50_ms, stats.latency_p95_ms);
+  EXPECT_LE(stats.latency_p95_ms, stats.latency_p99_ms);
+}
+
 TEST(Server, DestructorDrainsAcceptedRequests) {
   auto& fx = fixture();
   const data::Batch batch = fx.dataset->batch(0, 3);
