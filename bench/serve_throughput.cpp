@@ -1,27 +1,34 @@
 // Request-level serving throughput: requests/sec through serve::Server as a
-// function of the coalescing batch size, with and without the
-// Opt-Uncertainty router.
+// function of the coalescing batch size, the replica count, and the
+// backpressure queue depth, with and without the Opt-Uncertainty router.
 //
 // This is the end-to-end software analogue of the paper's serving story:
 // a stream of single-image requests with small per-request S, coalesced
 // into accelerator batches whose flattened (image, sample) pair loop keeps
-// the shared thread pool busy. The router rows additionally screen every
-// request with a cheap low-S pass and only escalate high-entropy inputs to
-// the full sample count — on mostly-confident traffic this trades a little
-// screening work for skipping most full-S passes.
+// the shared thread pool busy. Replica rows run R accelerator replicas
+// behind one queue (the software analogue of replicating processing
+// engines); queue-depth rows bound the queue and serve under blocking
+// backpressure. The router rows additionally screen every request with a
+// cheap low-S pass and only escalate high-entropy inputs to the full
+// sample count.
 //
-// Determinism is verified across configurations: request r is submitted
-// with the fixed stream id r, so every batch size must produce bit-identical
-// responses to the max_batch=1 run.
+// Determinism is verified across EVERY configuration: request r is
+// submitted with the fixed stream id r, so every batch size, replica
+// count, and queue depth must produce bit-identical responses to the
+// single-replica max_batch=1 run. A divergence is a hard failure.
 //
 //   ./build/bench/serve_throughput [--requests N] [--S N] [--repeats N]
+//                                  [--replicas-max R] [--json PATH]
+//
+// --json writes the BENCH_serve.json artifact (uploaded by CI) so
+// successive PRs have a recorded serving-throughput trajectory.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <functional>
 #include <future>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -36,14 +43,46 @@ namespace {
 
 using namespace bnn;
 
-double best_seconds(int repeats, const std::function<void()>& body) {
-  double best = 1e300;
-  for (int r = 0; r < repeats; ++r) {
-    util::Stopwatch watch;
-    body();
-    best = std::min(best, watch.elapsed_seconds());
+struct WaveConfig {
+  int max_batch = 4;
+  bool router = false;
+  int replicas = 1;
+  int queue_depth = 0;  // 0 = unbounded
+};
+
+struct Row {
+  WaveConfig config;
+  double req_per_sec = 0.0;
+  serve::ServerStats stats;
+  bool bit_identical = true;
+};
+
+void write_json(const char* path, const std::vector<Row>& rows) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "serve_throughput: cannot open %s for writing\n", path);
+    std::exit(1);
   }
-  return best;
+  std::fprintf(f, "{\n  \"bench\": \"serve_throughput\",\n  \"rows\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(f,
+                 "    {\"max_batch\": %d, \"router\": %s, \"replicas\": %d, "
+                 "\"queue_depth\": %d, \"req_per_sec\": %.1f, \"p50_ms\": %.3f, "
+                 "\"p95_ms\": %.3f, \"p99_ms\": %.3f, \"batches\": %llu, "
+                 "\"escalated\": %llu, \"peak_queue_depth\": %llu, "
+                 "\"bit_identical\": %s}%s\n",
+                 r.config.max_batch, r.config.router ? "true" : "false",
+                 r.config.replicas, r.config.queue_depth, r.req_per_sec,
+                 r.stats.latency_p50_ms, r.stats.latency_p95_ms, r.stats.latency_p99_ms,
+                 static_cast<unsigned long long>(r.stats.batches),
+                 static_cast<unsigned long long>(r.stats.escalations),
+                 static_cast<unsigned long long>(r.stats.peak_queue_depth),
+                 r.bit_identical ? "true" : "false",
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
 }
 
 }  // namespace
@@ -52,6 +91,8 @@ int main(int argc, char** argv) {
   int num_requests = 48;
   int num_samples = 8;
   int repeats = 3;
+  int replicas_max = 4;
+  const char* json_path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--requests") == 0 && i + 1 < argc)
       num_requests = std::atoi(argv[++i]);
@@ -59,6 +100,10 @@ int main(int argc, char** argv) {
       num_samples = std::atoi(argv[++i]);
     else if (std::strcmp(argv[i], "--repeats") == 0 && i + 1 < argc)
       repeats = std::atoi(argv[++i]);
+    else if (std::strcmp(argv[i], "--replicas-max") == 0 && i + 1 < argc)
+      replicas_max = std::atoi(argv[++i]);
+    else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
+      json_path = argv[++i];
   }
 
   // Tiny quantized CNN on 12x12 synthetic digits (the fast test workload).
@@ -79,7 +124,7 @@ int main(int argc, char** argv) {
       "%u hardware threads\n\n",
       num_requests, num_samples, std::thread::hardware_concurrency());
 
-  auto run_wave = [&](int max_batch, bool router) {
+  auto run_wave = [&](const WaveConfig& wave) {
     core::AcceleratorConfig accel_config;
     accel_config.nne.pc = 16;
     accel_config.nne.pf = 8;
@@ -88,13 +133,19 @@ int main(int argc, char** argv) {
     accel_config.num_threads = 0;  // all shared-pool lanes
 
     serve::ServerConfig server_config;
-    server_config.max_batch = max_batch;
+    server_config.max_batch = wave.max_batch;
+    server_config.num_replicas = wave.replicas;
+    server_config.max_queue_depth = wave.queue_depth;
+    // Blocking backpressure so every request resolves and the determinism
+    // check covers the full wave (fail-fast rejection is exercised by the
+    // test suite, not the throughput table).
+    server_config.overload_policy = serve::OverloadPolicy::block;
     serve::Server server(core::Accelerator(qnet, accel_config), server_config);
 
     serve::RequestOptions options;
     options.num_samples = num_samples;
     options.bayes_layers = 2;
-    options.use_uncertainty_router = router;
+    options.use_uncertainty_router = wave.router;
     options.screening_samples = 2;
     options.entropy_threshold_nats = 1.2;
 
@@ -113,50 +164,121 @@ int main(int argc, char** argv) {
     return std::make_pair(std::move(responses), server.stats());
   };
 
-  util::TextTable table("serve::Server — requests/sec vs coalescing batch size");
-  table.set_header({"max_batch", "router", "req/s", "p50 ms", "p95 ms", "p99 ms", "batches",
-                    "escalated", "bit-identical"});
+  std::vector<Row> rows;
+  auto measure = [&](const WaveConfig& wave,
+                     const std::vector<serve::Response>* reference) {
+    Row row;
+    row.config = wave;
+    std::vector<serve::Response> responses;
+    // Keep responses AND stats from the best repeat, so each reported row
+    // is internally consistent (req/s and the latency percentiles come
+    // from the same run).
+    double seconds = 1e300;
+    for (int r = 0; r < repeats; ++r) {
+      util::Stopwatch watch;
+      auto [wave_responses, wave_stats] = run_wave(wave);
+      const double elapsed = watch.elapsed_seconds();
+      if (elapsed < seconds) {
+        seconds = elapsed;
+        responses = std::move(wave_responses);
+        row.stats = wave_stats;
+      }
+    }
+    row.req_per_sec = num_requests / seconds;
+    if (reference != nullptr) {
+      for (int r = 0; r < num_requests; ++r)
+        row.bit_identical =
+            row.bit_identical &&
+            responses[static_cast<std::size_t>(r)].probs.max_abs_diff(
+                (*reference)[static_cast<std::size_t>(r)].probs) == 0.0f &&
+            responses[static_cast<std::size_t>(r)].escalated ==
+                (*reference)[static_cast<std::size_t>(r)].escalated;
+    }
+    rows.push_back(row);
+    return responses;
+  };
 
+  const auto add_row = [&](util::TextTable& table, const Row& row) {
+    table.add_row({std::to_string(row.config.max_batch), row.config.router ? "on" : "off",
+                   std::to_string(row.config.replicas),
+                   row.config.queue_depth == 0 ? std::string("inf")
+                                               : std::to_string(row.config.queue_depth),
+                   util::fixed(row.req_per_sec, 1), util::fixed(row.stats.latency_p50_ms, 2),
+                   util::fixed(row.stats.latency_p95_ms, 2),
+                   util::fixed(row.stats.latency_p99_ms, 2),
+                   std::to_string(row.stats.batches), std::to_string(row.stats.escalations),
+                   row.bit_identical ? "yes" : "NO"});
+  };
+
+  util::TextTable table(
+      "serve::Server — requests/sec vs batch size, replica count, queue depth");
+  table.set_header({"max_batch", "router", "R", "queue", "req/s", "p50 ms", "p95 ms",
+                    "p99 ms", "batches", "escalated", "bit-identical"});
+
+  // --- coalescing sweep (R=1), router off/on, as in earlier PRs ------------
+  // The router-on max_batch=1 responses double as the replica sweep's
+  // bit-identity reference (same wave, same stream ids).
+  std::vector<serve::Response> router_reference;
   for (const bool router : {false, true}) {
     std::vector<serve::Response> reference;
     for (const int max_batch : {1, 4, 16}) {
-      std::vector<serve::Response> responses;
-      serve::ServerStats stats;
-      const double seconds = best_seconds(repeats, [&] {
-        auto [wave_responses, wave_stats] = run_wave(max_batch, router);
-        responses = std::move(wave_responses);
-        stats = wave_stats;
-      });
-      if (max_batch == 1) reference = responses;
-      bool identical = true;
-      for (int r = 0; r < num_requests; ++r)
-        identical = identical &&
-                    responses[static_cast<std::size_t>(r)].probs.max_abs_diff(
-                        reference[static_cast<std::size_t>(r)].probs) == 0.0f &&
-                    responses[static_cast<std::size_t>(r)].escalated ==
-                        reference[static_cast<std::size_t>(r)].escalated;
-      table.add_row({std::to_string(max_batch), router ? "on" : "off",
-                     util::fixed(num_requests / seconds, 1),
-                     util::fixed(stats.latency_p50_ms, 2), util::fixed(stats.latency_p95_ms, 2),
-                     util::fixed(stats.latency_p99_ms, 2), std::to_string(stats.batches),
-                     std::to_string(stats.escalations), identical ? "yes" : "NO"});
-      if (!identical) {
-        std::fprintf(stderr, "FATAL: batch size changed a response\n");
-        return 1;
-      }
+      WaveConfig wave;
+      wave.max_batch = max_batch;
+      wave.router = router;
+      std::vector<serve::Response> responses =
+          measure(wave, max_batch == 1 ? nullptr : &reference);
+      if (max_batch == 1) reference = std::move(responses);
+      add_row(table, rows.back());
     }
+    if (router) router_reference = std::move(reference);
+    table.add_separator();
   }
+
+  // --- replica sweep: R accelerator replicas behind one queue --------------
+  {
+    const std::vector<serve::Response>& reference = router_reference;
+    for (int replicas = 2; replicas <= replicas_max; replicas *= 2) {
+      WaveConfig wave;
+      wave.max_batch = 4;
+      wave.router = true;
+      wave.replicas = replicas;
+      measure(wave, &reference);
+      add_row(table, rows.back());
+    }
+    // Bounded queue under blocking backpressure: same responses, the
+    // submitters just pace themselves against max_queue_depth.
+    WaveConfig bounded;
+    bounded.max_batch = 4;
+    bounded.router = true;
+    bounded.replicas = std::min(2, replicas_max);
+    bounded.queue_depth = 8;
+    measure(bounded, &reference);
+    add_row(table, rows.back());
+  }
+
   std::printf("%s\n", table.to_string().c_str());
   std::printf(
       "Reading the table: larger max_batch coalesces more requests per\n"
       "accelerator pass (fewer batches, more flattened pairs per parallel_for);\n"
-      "router rows answer confident inputs from the 2-sample screening pass and\n"
-      "escalate the rest to S=%d. The p50/p95/p99 columns are end-to-end\n"
-      "submit-to-response latency from ServerStats (note: whole-wave submission\n"
-      "means later requests queue behind earlier batches, so tail latency grows\n"
-      "with the wave, not per-request cost). Responses are bit-identical across\n"
-      "all rows by construction (fixed per-request stream ids). Throughput\n"
-      "scales with physical cores; a 1-core container reports flat req/s.\n",
+      "replica rows (R>1) pull per-shape batch groups concurrently, each\n"
+      "replica on its slice of the shared pool — throughput scales with\n"
+      "physical cores, so a 1-core container reports flat req/s. The bounded\n"
+      "queue row serves the same wave under blocking backpressure\n"
+      "(max_queue_depth=8): submitters pace themselves, peak queue depth\n"
+      "stays at the bound, and responses are unchanged. Router rows answer\n"
+      "confident inputs from the 2-sample screening pass and escalate the\n"
+      "rest to S=%d. Responses are bit-identical across ALL rows by\n"
+      "construction (fixed per-request stream ids) — checked, hard failure\n"
+      "otherwise.\n",
       num_samples);
+
+  bool all_identical = true;
+  for (const Row& row : rows) all_identical = all_identical && row.bit_identical;
+  if (json_path != nullptr) write_json(json_path, rows);
+  if (!all_identical) {
+    std::fprintf(stderr,
+                 "FATAL: batch size, replica count, or queue depth changed a response\n");
+    return 1;
+  }
   return 0;
 }

@@ -6,13 +6,25 @@
 // models, simulated hardware) — the reproduction targets are the trends:
 // Opt-Latency picks {1, small-S}; Opt-Accuracy/-Uncertainty pick large S
 // with a substantial Bayesian portion; FPGA latency < GPU < CPU.
+//
+// The {L} x {S} metric sweeps run THROUGH THE THREAD POOL: every grid
+// point's evaluation fans its (image, sample) pairs across the shared
+// pool (SoftwareMetricsProvider num_threads = 0), and mc_predict's
+// bit-identity across thread counts guarantees the sweep result equals a
+// sequential run exactly. `--smoke` proves that on the fast test workload
+// (pooled sweep vs sequential sweep, candidate-by-candidate equality) —
+// the bench.sweep_smoke ctest entry.
+//
+//   ./build/bench/table1_optimization_modes [--smoke]
 #include <cstdio>
+#include <cstring>
 
 #include "baseline/device_model.h"
 #include "bayes/predictive.h"
 #include "common.h"
 #include "core/dse.h"
 #include "core/software_metrics.h"
+#include "data/synth.h"
 #include "metrics/metrics.h"
 #include "util/summary.h"
 #include "util/table.h"
@@ -54,6 +66,7 @@ void run_network(bnnbench::Workload& workload, util::TextTable& table, int repea
       model.reseed_sites(9000 + static_cast<std::uint64_t>(repeat) * 131);
       bayes::PredictiveOptions predictive;
       predictive.num_samples = best.num_samples;
+      predictive.num_threads = 0;  // pooled pair loop; bit-identical anyway
       const nn::Tensor test_probs = bayes::mc_predict(model, test.images(), predictive);
       acc_stat.add(metrics::accuracy(test_probs, test.labels()) * 100.0);
       ece_stat.add(metrics::expected_calibration_error(test_probs, test.labels()) * 100.0);
@@ -79,9 +92,79 @@ void run_network(bnnbench::Workload& workload, util::TextTable& table, int repea
   table.add_separator();
 }
 
+// --- pooled-sweep smoke (the bench.sweep_smoke ctest entry) ----------------
+// Runs the full DSE {L} x {S} sweep twice on the fast test workload — once
+// with every evaluation fanned across the shared pool, once strictly
+// sequential — and hard-fails unless every candidate's metrics and the
+// chosen configuration agree EXACTLY. This is the cheap-in-CI form of the
+// paper-grid sweeps: correctness is thread-count independent by the
+// mc_predict bit-identity contract, speed follows physical cores.
+int run_sweep_smoke() {
+  util::Rng rng(31);
+  nn::Model model = nn::make_tiny_cnn(rng, 10, 1, 12);
+  util::Rng data_rng(32);
+  data::Dataset digits = data::make_synth_digits_small(96, data_rng);
+  auto [train_set, test_set] = digits.split(64);
+  {
+    train::TrainConfig config;
+    config.epochs = 1;
+    config.batch_size = 16;
+    train::fit(model, train_set, config);
+  }
+  util::Rng noise_rng(7);
+  const data::Dataset noise = data::make_gaussian_noise(24, train_set, noise_rng);
+  const nn::NetworkDesc desc = model.describe();
+
+  core::DseOptions options;
+  options.sample_grid = {2, 4};
+  options.bayes_grid = {1, 2};
+
+  util::TextTable table("pooled vs sequential {L} x {S} sweep (must agree exactly)");
+  table.set_header({"mode", "{L, S} pooled", "{L, S} sequential", "candidates", "equal"});
+  bool all_equal = true;
+  for (core::OptMode mode : {core::OptMode::latency, core::OptMode::accuracy,
+                             core::OptMode::uncertainty, core::OptMode::confidence}) {
+    options.mode = mode;
+    core::SoftwareMetricsProvider pooled(model, test_set, noise, /*seed=*/1,
+                                         /*num_threads=*/0);
+    const core::DseResult a = core::run_dse(desc, pooled, options);
+    core::SoftwareMetricsProvider sequential(model, test_set, noise, /*seed=*/1,
+                                             /*num_threads=*/1);
+    const core::DseResult b = core::run_dse(desc, sequential, options);
+
+    bool equal = a.candidates.size() == b.candidates.size() && a.best_index == b.best_index;
+    for (std::size_t i = 0; equal && i < a.candidates.size(); ++i) {
+      const core::Candidate& ca = a.candidates[i];
+      const core::Candidate& cb = b.candidates[i];
+      equal = ca.bayes_layers == cb.bayes_layers && ca.num_samples == cb.num_samples &&
+              ca.latency_ms == cb.latency_ms &&
+              ca.metrics.accuracy == cb.metrics.accuracy &&
+              ca.metrics.ape == cb.metrics.ape && ca.metrics.ece == cb.metrics.ece;
+    }
+    all_equal = all_equal && equal;
+    const auto point = [](const core::DseResult& result) {
+      const core::Candidate& best = result.best();
+      return "{" + std::to_string(best.bayes_layers) + ", " +
+             std::to_string(best.num_samples) + "}";
+    };
+    table.add_row({core::opt_mode_name(mode), point(a), point(b),
+                   std::to_string(a.candidates.size()), equal ? "yes" : "NO"});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  if (!all_equal) {
+    std::fprintf(stderr, "FATAL: pooled sweep diverged from the sequential sweep\n");
+    return 1;
+  }
+  std::printf("Pooled sweep matches the sequential sweep candidate-for-candidate.\n");
+  return 0;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--smoke") == 0) return run_sweep_smoke();
+
   std::printf("=== Table I reproduction: optimization-mode configurations ===\n");
   std::printf("(paper: LeNet-5 Opt-Latency {1,3} 0.42ms ... see EXPERIMENTS.md)\n\n");
 

@@ -12,10 +12,16 @@
 namespace bnn::core {
 
 Accelerator::Accelerator(quant::QuantNetwork network, AcceleratorConfig config)
-    : network_(std::move(network)), config_(config), desc_(network_.describe()) {
+    : Accelerator(std::make_shared<const quant::QuantNetwork>(std::move(network)), config) {}
+
+Accelerator::Accelerator(std::shared_ptr<const quant::QuantNetwork> network,
+                         AcceleratorConfig config)
+    : network_(std::move(network)), config_(config) {
+  util::require(network_ != nullptr, "accelerator: null network");
+  desc_ = network_->describe();
   // Fail fast on a non-realizable dropout probability instead of at the
   // first predict() (each (image, sample) lane builds its own sampler).
-  (void)lfsrs_for_probability(network_.dropout_p);
+  (void)lfsrs_for_probability(network_->dropout_p);
 }
 
 std::uint64_t Accelerator::sample_stream_seed(std::uint64_t base_seed,
@@ -66,12 +72,12 @@ Accelerator::BatchPrediction Accelerator::predict_batch(
   for (int n = 0; n < batch; ++n) {
     const ImageRequest& request = requests[static_cast<std::size_t>(n)];
     util::require(request.num_samples >= 1, "accelerator: need at least one sample");
-    util::require(request.bayes_layers >= 0 && request.bayes_layers <= network_.num_sites,
+    util::require(request.bayes_layers >= 0 && request.bayes_layers <= network_->num_sites,
                   "accelerator: bayes_layers out of range");
     ImagePlan& plan = plans[static_cast<std::size_t>(n)];
     plan.samples = request.bayes_layers == 0 ? 1 : request.num_samples;
-    plan.cut = network_.cut_layer_for(request.bayes_layers);
-    plan.first_active_site = network_.num_sites - request.bayes_layers;
+    plan.cut = network_->cut_layer_for(request.bayes_layers);
+    plan.first_active_site = network_->num_sites - request.bayes_layers;
     plan.use_ic = config_.use_intermediate_caching && request.bayes_layers > 0;
     plan.pair_offset = total_pairs;
     total_pairs += plan.samples;
@@ -102,7 +108,7 @@ Accelerator::BatchPrediction Accelerator::predict_batch(
   // the other samples ran.
   auto make_sampler = [this](std::uint64_t stream_id, int sample) {
     BernoulliSamplerConfig sampler_config;
-    sampler_config.p = network_.dropout_p;
+    sampler_config.p = network_->dropout_p;
     sampler_config.pf = config_.nne.pf;
     sampler_config.fifo_depth = config_.sampler_fifo_depth;
     sampler_config.seed = sample_stream_seed(config_.sampler_seed, stream_id, sample);
@@ -114,13 +120,13 @@ Accelerator::BatchPrediction Accelerator::predict_batch(
   // suffix).
   auto run_layer = [this](int index, const auto& stored, const quant::QTensor& image,
                           bool site_active, nn::MaskSource* masks, std::int64_t& cycles) {
-    const quant::QLayer& layer = network_.layers[static_cast<std::size_t>(index)];
+    const quant::QLayer& layer = network_->layers[static_cast<std::size_t>(index)];
     const quant::QTensor& input =
         layer.input_source < 0 ? image : stored(layer.input_source);
     const quant::QTensor* shortcut =
         layer.geom.has_shortcut ? &stored(layer.shortcut_source) : nullptr;
     NneLayerResult result = nne_run_layer(layer, input, shortcut, site_active, masks,
-                                          network_.dropout_keep, config_.nne);
+                                          network_->dropout_keep, config_.nne);
     cycles += result.compute_cycles;
     return std::move(result.output);
   };
@@ -136,7 +142,7 @@ Accelerator::BatchPrediction Accelerator::predict_batch(
         ImageState& state = states[static_cast<std::size_t>(n)];
 
         std::call_once(state.once, [&] {
-          state.qimage = quant::quantize_image(images, n, network_.input);
+          state.qimage = quant::quantize_image(images, n, network_->input);
           if (!plan.use_ic) return;
           // Prefix once, shared read-only across lanes: the cut layer's
           // pre-DU output is the on-chip boundary of the IC schedule.
@@ -155,19 +161,19 @@ Accelerator::BatchPrediction Accelerator::predict_batch(
 
         if (!plan.use_ic) {
           std::vector<quant::QTensor> outputs;
-          outputs.reserve(network_.layers.size());
+          outputs.reserve(network_->layers.size());
           const auto stored = [&outputs](int index) -> const quant::QTensor& {
             return outputs[static_cast<std::size_t>(index)];
           };
-          for (int l = 0; l < network_.num_layers(); ++l) {
-            const quant::QLayer& layer = network_.layers[static_cast<std::size_t>(l)];
+          for (int l = 0; l < network_->num_layers(); ++l) {
+            const quant::QLayer& layer = network_->layers[static_cast<std::size_t>(l)];
             const bool active = request.bayes_layers > 0 && layer.geom.is_bayes_site &&
                                 layer.geom.site_index >= plan.first_active_site;
             outputs.push_back(
                 run_layer(l, stored, state.qimage, active, &sampler, cycles));
           }
           pair_probs[static_cast<std::size_t>(pair)] =
-              nn::softmax_rows(quant::ref_logits(network_, outputs.back()));
+              nn::softmax_rows(quant::ref_logits(*network_, outputs.back()));
         } else {
           const quant::QTensor& boundary = state.prefix.back();
 
@@ -175,7 +181,7 @@ Accelerator::BatchPrediction Accelerator::predict_batch(
           quant::QTensor masked = boundary;
           {
             const quant::QLayer& cut_layer =
-                network_.layers[static_cast<std::size_t>(plan.cut)];
+                network_->layers[static_cast<std::size_t>(plan.cut)];
             const std::int32_t zp = cut_layer.out.zero_point;
             const int plane = masked.height() * masked.width();
             for (int f = 0; f < masked.channels(); ++f) {
@@ -188,7 +194,7 @@ Accelerator::BatchPrediction Accelerator::predict_batch(
                 for (int i = 0; i < plane; ++i)
                   row[i] = quant::saturate_int8(
                       quant::fixed_multiply(static_cast<std::int32_t>(row[i]) - zp,
-                                            network_.dropout_keep) +
+                                            network_->dropout_keep) +
                       zp);
               }
             }
@@ -198,22 +204,22 @@ Accelerator::BatchPrediction Accelerator::predict_batch(
           // resolve against the shared prefix, the cut itself to this
           // sample's masked boundary.
           std::vector<quant::QTensor> suffix;
-          suffix.reserve(network_.layers.size() - static_cast<std::size_t>(plan.cut));
+          suffix.reserve(network_->layers.size() - static_cast<std::size_t>(plan.cut));
           suffix.push_back(std::move(masked));
           const int cut = plan.cut;
           const auto stored = [&state, &suffix, cut](int index) -> const quant::QTensor& {
             return index < cut ? state.prefix[static_cast<std::size_t>(index)]
                                : suffix[static_cast<std::size_t>(index - cut)];
           };
-          for (int l = cut + 1; l < network_.num_layers(); ++l) {
-            const quant::QLayer& layer = network_.layers[static_cast<std::size_t>(l)];
+          for (int l = cut + 1; l < network_->num_layers(); ++l) {
+            const quant::QLayer& layer = network_->layers[static_cast<std::size_t>(l)];
             const bool active = layer.geom.is_bayes_site &&
                                 layer.geom.site_index >= plan.first_active_site;
             suffix.push_back(
                 run_layer(l, stored, state.qimage, active, &sampler, cycles));
           }
           pair_probs[static_cast<std::size_t>(pair)] =
-              nn::softmax_rows(quant::ref_logits(network_, suffix.back()));
+              nn::softmax_rows(quant::ref_logits(*network_, suffix.back()));
         }
         pair_cycles[static_cast<std::size_t>(pair)] = cycles;
       },
@@ -222,7 +228,7 @@ Accelerator::BatchPrediction Accelerator::predict_batch(
   // Fixed-order reduction per image: bit-identical for every thread count
   // and every batch composition.
   BatchPrediction out;
-  out.probs = nn::Tensor({batch, network_.num_classes});
+  out.probs = nn::Tensor({batch, network_->num_classes});
   out.stats.reserve(static_cast<std::size_t>(batch));
   functional_cycles_ = 0;
   for (int n = 0; n < batch; ++n) {
@@ -233,7 +239,7 @@ Accelerator::BatchPrediction Accelerator::predict_batch(
     for (int s = 1; s < plan.samples; ++s)
       accumulated.add_(pair_probs[static_cast<std::size_t>(plan.pair_offset + s)]);
     accumulated.scale_(1.0f / static_cast<float>(plan.samples));
-    for (int k = 0; k < network_.num_classes; ++k)
+    for (int k = 0; k < network_->num_classes; ++k)
       out.probs.v2(n, k) = accumulated.v2(0, k);
 
     functional_cycles_ += states[static_cast<std::size_t>(n)].prefix_cycles;
@@ -252,7 +258,7 @@ RunStats Accelerator::estimate(int bayes_layers, int num_samples) const {
 
 ResourceUsage Accelerator::resources(const FpgaDevice& device) const {
   return estimate_resources(config_.nne, desc_, device, config_.sampler_fifo_depth,
-                            lfsrs_for_probability(network_.dropout_p));
+                            lfsrs_for_probability(network_->dropout_p));
 }
 
 }  // namespace bnn::core

@@ -9,6 +9,8 @@
 #ifndef BNN_CORE_ACCELERATOR_H
 #define BNN_CORE_ACCELERATOR_H
 
+#include <memory>
+
 #include "core/bernoulli_sampler.h"
 #include "core/perf_model.h"
 #include "core/resource_model.h"
@@ -46,9 +48,21 @@ struct AcceleratorConfig {
 /// driven from one thread at a time (predict mutates the functional cycle
 /// counter); distinct Accelerators may run concurrently and may share one
 /// runtime::ThreadPool.
+///
+/// Replication: the quantized network is held through a shared_ptr-const,
+/// so COPYING an Accelerator shares the weights and layer schedule
+/// read-only instead of duplicating them — a serving layer can stand up R
+/// replicas of one accelerator at the cost of R config structs. Each copy
+/// keeps its own functional cycle counter and executor knobs, and the
+/// per-call IC prefix state of predict_batch is call-local, so replicas
+/// never observe each other.
 class Accelerator {
  public:
   Accelerator(quant::QuantNetwork network, AcceleratorConfig config);
+
+  /// Shares an already-wrapped network (no copy). The network must not be
+  /// mutated for the accelerator's lifetime.
+  Accelerator(std::shared_ptr<const quant::QuantNetwork> network, AcceleratorConfig config);
 
   /// Per-image knobs of one batched prediction — the request-level unit of
   /// the serving layer. The paper's L (Bayesian depth) and S (MC samples)
@@ -96,7 +110,12 @@ class Accelerator {
   /// Resource footprint of this configuration on `device` for this network.
   ResourceUsage resources(const FpgaDevice& device) const;
 
-  const quant::QuantNetwork& network() const { return network_; }
+  const quant::QuantNetwork& network() const { return *network_; }
+
+  /// The shared network handle (for standing up further replicas).
+  const std::shared_ptr<const quant::QuantNetwork>& shared_network() const {
+    return network_;
+  }
   const AcceleratorConfig& config() const { return config_; }
 
   /// Replaces the executor used by subsequent predict calls (see
@@ -122,7 +141,7 @@ class Accelerator {
                                           int sample);
 
  private:
-  quant::QuantNetwork network_;
+  std::shared_ptr<const quant::QuantNetwork> network_;
   AcceleratorConfig config_;
   nn::NetworkDesc desc_;
   std::int64_t functional_cycles_ = 0;

@@ -8,8 +8,12 @@ namespace bnn::core {
 SoftwareMetricsProvider::SoftwareMetricsProvider(nn::Model& model,
                                                  const data::Dataset& test_set,
                                                  const data::Dataset& noise_set,
-                                                 std::uint64_t seed)
-    : model_(model), test_set_(test_set), noise_set_(noise_set), seed_(seed) {}
+                                                 std::uint64_t seed, int num_threads)
+    : model_(model),
+      test_set_(test_set),
+      noise_set_(noise_set),
+      seed_(seed),
+      num_threads_(num_threads) {}
 
 MetricPoint SoftwareMetricsProvider::evaluate(int bayes_layers, int num_samples) {
   const auto key = std::make_pair(bayes_layers, num_samples);
@@ -22,6 +26,9 @@ MetricPoint SoftwareMetricsProvider::evaluate(int bayes_layers, int num_samples)
 
   bayes::PredictiveOptions options;
   options.num_samples = num_samples;
+  // Fan each evaluation's (image, sample) pairs across the shared pool —
+  // bit-identical to the sequential path for every thread count.
+  options.num_threads = num_threads_;
 
   MetricPoint point;
   const nn::Tensor test_probs = bayes::mc_predict(model_, test_set_.images(), options);

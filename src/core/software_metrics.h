@@ -17,9 +17,16 @@ namespace bnn::core {
 class SoftwareMetricsProvider final : public MetricsProvider {
  public:
   // References must outlive the provider. `seed` decorrelates the MC mask
-  // streams across (L, S) evaluations deterministically.
+  // streams across (L, S) evaluations deterministically. `num_threads`
+  // caps the worker lanes of each evaluation's flattened (image, sample)
+  // pair loop (0 = every shared-pool lane) — this is what makes the DSE's
+  // {L} x {S} paper-grid sweeps run through the thread pool instead of
+  // sequentially. Purely a scheduling knob: mc_predict is bit-identical
+  // for every thread count, so the MetricPoints (and hence the DSE's
+  // choices) do not depend on it.
   SoftwareMetricsProvider(nn::Model& model, const data::Dataset& test_set,
-                          const data::Dataset& noise_set, std::uint64_t seed = 1);
+                          const data::Dataset& noise_set, std::uint64_t seed = 1,
+                          int num_threads = 0);
 
   MetricPoint evaluate(int bayes_layers, int num_samples) override;
 
@@ -28,6 +35,7 @@ class SoftwareMetricsProvider final : public MetricsProvider {
   const data::Dataset& test_set_;
   const data::Dataset& noise_set_;
   std::uint64_t seed_;
+  int num_threads_;
   std::map<std::pair<int, int>, MetricPoint> cache_;
 };
 

@@ -46,24 +46,55 @@ QTensor compute_pre_pool(const QLayer& layer, const QTensor& input, const QTenso
                   "qops: shortcut operand shape mismatch");
   }
 
+  // Hoisted conv index math (mirrors core/nne.cpp): term t addresses input
+  // channel t/(k*k) at kernel offset (rem/k, rem%k); term_off[t] is the flat
+  // input offset of term t relative to the window's top-left element, valid
+  // wherever the window is in bounds. int32 accumulation is exact, so the
+  // gather kernel matches the historical per-position (c, kh, kw) loop
+  // bit-for-bit (pinned by tests/test_quant.cpp on strided/padded shapes).
+  const int terms = g.in_c * g.kernel * g.kernel;
+  std::vector<std::int32_t> term_dh(static_cast<std::size_t>(terms));
+  std::vector<std::int32_t> term_dw(static_cast<std::size_t>(terms));
+  std::vector<std::int32_t> term_off(static_cast<std::size_t>(terms));
+  const int kk2 = g.kernel * g.kernel;
+  for (int t = 0; t < terms; ++t) {
+    const int ch = t / kk2;
+    const int rem = t % kk2;
+    const int dh = rem / g.kernel;
+    const int dw = rem % g.kernel;
+    term_dh[static_cast<std::size_t>(t)] = dh;
+    term_dw[static_cast<std::size_t>(t)] = dw;
+    term_off[static_cast<std::size_t>(t)] = (ch * g.in_h + dh) * g.in_w + dw;
+  }
+  const std::int8_t* in_data = input.data.data();
+
   const std::int32_t zp_sc =
       g.has_shortcut ? shortcut->params.zero_point : 0;
   for (int f = 0; f < g.out_c; ++f) {
     const std::int8_t* w = layer.weight_row(f);
     for (int oh = 0; oh < g.conv_out_h; ++oh) {
       for (int ow = 0; ow < g.conv_out_w; ++ow) {
+        const int ih0 = oh * g.stride - g.pad;
+        const int iw0 = ow * g.stride - g.pad;
         std::int32_t acc = layer.bias[static_cast<std::size_t>(f)];
-        for (int c = 0; c < g.in_c; ++c) {
-          for (int kh = 0; kh < g.kernel; ++kh) {
-            const int ih = oh * g.stride - g.pad + kh;
-            if (ih < 0 || ih >= g.in_h) continue;  // padding contributes zero
-            for (int kw = 0; kw < g.kernel; ++kw) {
-              const int iw = ow * g.stride - g.pad + kw;
-              if (iw < 0 || iw >= g.in_w) continue;
-              acc += (static_cast<std::int32_t>(input.at(c, ih, iw)) - zp_in) *
-                     static_cast<std::int32_t>(
-                         w[(c * g.kernel + kh) * g.kernel + kw]);
-            }
+        if (ih0 >= 0 && iw0 >= 0 && ih0 + g.kernel <= g.in_h &&
+            iw0 + g.kernel <= g.in_w) {
+          // Interior window: every term in bounds, gather through the
+          // precomputed offset table.
+          acc += nn::kernels::dot_i8_zp_gather(
+              in_data + static_cast<std::size_t>(ih0) * g.in_w + iw0,
+              term_off.data(), w, terms, zp_in);
+        } else {
+          // Border window: padding terms contribute zero.
+          for (int t = 0; t < terms; ++t) {
+            const int ih = ih0 + term_dh[static_cast<std::size_t>(t)];
+            const int iw = iw0 + term_dw[static_cast<std::size_t>(t)];
+            if (ih < 0 || ih >= g.in_h || iw < 0 || iw >= g.in_w) continue;
+            acc += (static_cast<std::int32_t>(
+                        in_data[term_off[static_cast<std::size_t>(t)] +
+                                static_cast<std::ptrdiff_t>(ih0) * g.in_w + iw0]) -
+                    zp_in) *
+                   static_cast<std::int32_t>(w[t]);
           }
         }
         std::int32_t q = fixed_multiply(acc, layer.requant[static_cast<std::size_t>(f)]) +

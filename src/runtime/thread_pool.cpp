@@ -53,18 +53,25 @@ void ThreadPool::worker_loop() {
     work_ready_.wait(lock, [this, seen] { return stop_ || generation_ != seen; });
     if (stop_) return;
     seen = generation_;
-    const std::shared_ptr<Job> job = job_;
-    lock.unlock();
-    // Helpers must hold one of the job's slots; the submitting thread works
-    // unconditionally. A declined slot just sends this worker back to wait —
-    // that is how a capped job (`max_workers`) leaves the rest of a shared
-    // pool idle for the next submitter.
-    if (job && job->helper_slots.fetch_sub(1, std::memory_order_acq_rel) > 0) {
-      chew(job);
-    } else if (job) {
-      job->helper_slots.fetch_add(1, std::memory_order_relaxed);
+    // Scan the active jobs (oldest first) and help every one we can claim
+    // a slot on. Helpers must hold one of a job's slots; a declined slot
+    // leaves that job to its cap's worth of workers — that is how a capped
+    // job (`max_workers`) shares a pool with concurrent submitters. After
+    // chewing, rescan: the job list may have changed in the meantime.
+    for (bool worked = true; worked;) {
+      worked = false;
+      for (std::size_t i = 0; i < active_.size(); ++i) {
+        const std::shared_ptr<Job> job = active_[i];
+        if (job->helper_slots.fetch_sub(1, std::memory_order_acq_rel) > 0) {
+          lock.unlock();
+          chew(job);
+          lock.lock();
+          worked = true;
+          break;  // active_ may have changed while unlocked
+        }
+        job->helper_slots.fetch_add(1, std::memory_order_relaxed);
+      }
     }
-    lock.lock();
   }
 }
 
@@ -84,23 +91,23 @@ void ThreadPool::parallel_for(std::int64_t count,
                           std::memory_order_relaxed);
 
   if (workers_.empty() || count == 1 || cap == 1) {
-    chew(job);  // inline sequential path, no synchronization
+    chew(job);  // inline sequential path, no synchronization (nestable)
   } else {
-    // One job at a time: concurrent submitters (e.g. two serving loops over
-    // the shared pool) queue up here rather than corrupting job_.
-    std::lock_guard<std::mutex> submit_lock(submit_mutex_);
+    // Concurrent submitters run concurrently: each job joins the active
+    // list and idle workers split themselves across the listed jobs by
+    // claiming helper slots. The caller works its own job unconditionally.
     {
       std::lock_guard<std::mutex> lock(mutex_);
-      job_ = job;
+      active_.push_back(job);
       ++generation_;
     }
     work_ready_.notify_all();
-    chew(job);  // the caller is a worker too
+    chew(job);
     std::unique_lock<std::mutex> lock(mutex_);
     job_done_.wait(lock, [&job] {
       return job->done.load(std::memory_order_acquire) == job->count;
     });
-    job_ = nullptr;
+    active_.erase(std::find(active_.begin(), active_.end(), job));
   }
 
   if (job->error) std::rethrow_exception(job->error);

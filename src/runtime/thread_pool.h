@@ -1,11 +1,18 @@
 // Minimal blocking thread pool for the Monte Carlo sampling hot path.
 //
 // The pool owns `size() - 1` worker threads; the caller of `parallel_for`
-// participates as the remaining worker, so a pool of size 1 never spawns a
-// thread and runs the body inline (the sequential path). Work is handed out
-// as single indices from an atomic cursor — MC samples are coarse enough
-// that per-index dispatch overhead is negligible, and it load-balances the
-// uneven per-sample costs of partial-Bayesian replay.
+// participates as a worker on its own job, so a pool of size 1 never spawns
+// a thread and runs the body inline (the sequential path). Work is handed
+// out as single indices from an atomic cursor — MC samples are coarse
+// enough that per-index dispatch overhead is negligible, and it
+// load-balances the uneven per-sample costs of partial-Bayesian replay.
+//
+// Multiple jobs may be IN FLIGHT AT ONCE: concurrent `parallel_for` callers
+// (e.g. several serving replicas sharing the process-wide pool) each run
+// their own job, and idle workers join whichever active job still has
+// helper slots (oldest first). `max_workers` therefore partitions the pool:
+// R replicas each submitting with max_workers = size()/R slice the workers
+// between them instead of serializing behind one another.
 //
 // Determinism contract: the pool makes no ordering promises, so callers
 // that need bit-identical results across thread counts must (a) give every
@@ -38,9 +45,11 @@ int resolve_thread_count(int requested);
 /// process-wide `shared_pool()` — instead of building one per call.
 ///
 /// Thread-safety: `parallel_for` may be called from multiple threads
-/// concurrently; submissions are serialized internally (one job runs at a
-/// time, later callers block until the pool frees up). It must NOT be
-/// called from inside a running body (no nesting).
+/// concurrently; the jobs run CONCURRENTLY, sharing the worker threads
+/// (each job bounded by its own `max_workers` cap). It must NOT be called
+/// from inside a running body (no nesting) — except for calls that take
+/// the inline sequential path (`max_workers == 1`, `count <= 1`, or a
+/// pool of size 1), which never touch the pool's scheduling state.
 class ThreadPool {
  public:
   /// `num_threads` follows the resolve_thread_count convention (0 = auto).
@@ -63,7 +72,8 @@ class ThreadPool {
   /// thread. The cap only changes scheduling, never results — callers
   /// honouring the determinism contract above get bit-identical output for
   /// every cap. This is how a shared, hardware-sized pool serves callers
-  /// that ask for fewer threads (e.g. num_threads knobs).
+  /// that ask for fewer threads (num_threads knobs), and how concurrent
+  /// callers slice the pool between them (worker partitioning).
   void parallel_for(std::int64_t count, const std::function<void(std::int64_t)>& body,
                     int max_workers = 0);
 
@@ -82,13 +92,12 @@ class ThreadPool {
   void chew(const std::shared_ptr<Job>& job);
 
   std::vector<std::thread> workers_;
-  std::mutex submit_mutex_;           // serializes concurrent parallel_for calls
   std::mutex mutex_;
   std::condition_variable work_ready_;
   std::condition_variable job_done_;
-  std::shared_ptr<Job> job_;          // guarded by mutex_
-  std::uint64_t generation_ = 0;      // bumped per job, guarded by mutex_
-  bool stop_ = false;                 // guarded by mutex_
+  std::vector<std::shared_ptr<Job>> active_;  // in-flight jobs, guarded by mutex_
+  std::uint64_t generation_ = 0;              // bumped per new job, guarded by mutex_
+  bool stop_ = false;                         // guarded by mutex_
 };
 
 /// Process-wide shared pool, sized to the hardware concurrency, created on
@@ -97,7 +106,8 @@ class ThreadPool {
 /// avoids the thread spawn/join cost that per-call pools pay, which
 /// dominates for serving workloads issuing many small-S requests.
 /// Callers wanting fewer lanes pass `max_workers` to parallel_for instead
-/// of building a smaller pool.
+/// of building a smaller pool; concurrent callers (serving replicas) share
+/// the workers, each within its own cap.
 ThreadPool& shared_pool();
 
 }  // namespace bnn::runtime

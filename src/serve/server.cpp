@@ -29,27 +29,62 @@ double latency_percentile(std::vector<double> samples, double pct) {
   return percentile_sorted(samples, pct);
 }
 
-Server::Server(core::Accelerator accelerator, ServerConfig config)
-    : accelerator_(std::move(accelerator)), config_(config) {
+Server::Server(core::Accelerator accelerator, ServerConfig config) : config_(config) {
   util::require(config_.max_batch >= 1, "serve: max_batch must be >= 1");
-  accelerator_.set_thread_pool(config_.pool);
-  accelerator_.set_num_threads(config_.num_threads);
-  dispatcher_ = std::thread([this] { dispatch_loop(); });
+  util::require(config_.num_replicas >= 1, "serve: num_replicas must be >= 1");
+  util::require(config_.max_queue_depth >= 0,
+                "serve: max_queue_depth must be >= 0 (0 = unbounded)");
+
+  // Partition the worker-lane budget: each replica's pair loop gets an
+  // equal slice of the pool (at least one lane), so R replicas divide the
+  // hardware between them instead of stacking R full-width jobs. With a
+  // caller-supplied pool the default budget is that pool's actual size,
+  // not the hardware concurrency.
+  const int budget = config_.num_threads == 0 && config_.pool != nullptr
+                         ? config_.pool->size()
+                         : runtime::resolve_thread_count(config_.num_threads);
+  const int per_replica = std::max(1, budget / config_.num_replicas);
+  accelerator.set_thread_pool(config_.pool);
+  accelerator.set_num_threads(per_replica);
+
+  replicas_.reserve(static_cast<std::size_t>(config_.num_replicas));
+  replicas_.push_back(std::make_unique<Replica>(std::move(accelerator)));
+  for (int r = 1; r < config_.num_replicas; ++r) {
+    // Copying shares the quantized network read-only (shared_ptr inside
+    // core::Accelerator) — replicas cost a config struct, not the weights.
+    replicas_.push_back(std::make_unique<Replica>(
+        core::Accelerator(replicas_.front()->accelerator)));
+  }
+  try {
+    for (auto& replica : replicas_) {
+      Replica* r = replica.get();
+      r->thread = std::thread([this, r] { replica_loop(*r); });
+    }
+  } catch (...) {
+    // A later std::thread ctor can throw (e.g. std::system_error at the
+    // process thread limit); join the replicas already running before the
+    // unwinding destroys the state they reference — a joinable thread
+    // member reaching ~thread() would std::terminate.
+    shutdown();
+    throw;
+  }
 }
 
 Server::~Server() { shutdown(); }
 
 void Server::shutdown() {
-  // Claim the dispatcher under the lock so concurrent shutdown() calls
+  // Claim the worker threads under the lock so concurrent shutdown() calls
   // (e.g. explicit shutdown racing the destructor) never double-join.
-  std::thread claimed;
+  std::vector<std::thread> claimed;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     stopping_ = true;
-    claimed.swap(dispatcher_);
+    for (auto& replica : replicas_)
+      if (replica->thread.joinable()) claimed.push_back(std::move(replica->thread));
   }
   queue_ready_.notify_all();
-  if (claimed.joinable()) claimed.join();
+  queue_space_.notify_all();  // release submitters blocked on a full queue
+  for (std::thread& thread : claimed) thread.join();
 }
 
 std::future<Response> Server::submit(Request request) {
@@ -57,12 +92,12 @@ std::future<Response> Server::submit(Request request) {
   util::require(options.num_samples >= 1, "serve: num_samples must be >= 1");
   util::require(options.screening_samples >= 1, "serve: screening_samples must be >= 1");
   util::require(options.bayes_layers >= -1 &&
-                    options.bayes_layers <= accelerator_.network().num_sites,
+                    options.bayes_layers <= accelerator().network().num_sites,
                 "serve: bayes_layers out of range (-1 = all sites)");
   util::require(request.image.dim() == 3 ||
                     (request.image.dim() == 4 && request.image.size(0) == 1),
                 "serve: request image must be (C,H,W) or (1,C,H,W)");
-  const nn::HwLayer& first = accelerator_.network().layers.front().geom;
+  const nn::HwLayer& first = accelerator().network().layers.front().geom;
   if (first.op == nn::HwLayer::Op::conv) {
     // A conv input has real geometry: an element-count check alone would
     // silently accept transposed/HWC layouts and serve garbage.
@@ -87,15 +122,41 @@ std::future<Response> Server::submit(Request request) {
   std::future<Response> future = pending.promise.get_future();
 
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::unique_lock<std::mutex> lock(mutex_);
     if (stopping_) throw std::runtime_error("serve: server is shut down");
+    if (config_.max_queue_depth > 0 &&
+        queue_.size() >= static_cast<std::size_t>(config_.max_queue_depth)) {
+      if (config_.overload_policy == OverloadPolicy::fail_fast) {
+        // The request never enters the queue and consumes no ticket, so a
+        // rejection cannot shift later requests' default stream ids.
+        ++stats_.submitted;
+        ++stats_.rejected;
+        pending.promise.set_exception(std::make_exception_ptr(QueueFullError(
+            "serve: queue full (max_queue_depth=" +
+            std::to_string(config_.max_queue_depth) + "), request rejected")));
+        return future;
+      }
+      // OverloadPolicy::block: wait for a replica to pull a batch group.
+      queue_space_.wait(lock, [this] {
+        return stopping_ ||
+               queue_.size() < static_cast<std::size_t>(config_.max_queue_depth);
+      });
+      if (stopping_) throw std::runtime_error("serve: server shut down while blocked");
+    }
+    ++stats_.submitted;
     // Submission-order ticket; a caller-pinned stream id skips the default
     // but still consumes a ticket so later defaults stay order-stable.
     pending.stream_id = request.stream_id.value_or(next_ticket_);
     ++next_ticket_;
     queue_.push_back(std::move(pending));
+    stats_.peak_queue_depth =
+        std::max<std::uint64_t>(stats_.peak_queue_depth, queue_.size());
   }
-  queue_ready_.notify_one();
+  // notify_all, not notify_one: with R replicas on one condition variable,
+  // a single notify can be absorbed by a replica sitting in its
+  // batch-linger wait (predicate still false) while a genuinely idle
+  // replica sleeps on. R is small, so waking them all is cheap.
+  queue_ready_.notify_all();
   return future;
 }
 
@@ -106,7 +167,7 @@ ServerStats Server::stats() const {
   std::vector<double> window;
   {
     // Only the copies happen under the lock; the sort runs after release
-    // so a polling monitor cannot stall submit() or the dispatcher.
+    // so a polling monitor cannot stall submit() or the replicas.
     std::lock_guard<std::mutex> lock(mutex_);
     stats = stats_;
     window = latency_window_;
@@ -120,7 +181,7 @@ ServerStats Server::stats() const {
   return stats;
 }
 
-void Server::dispatch_loop() {
+void Server::replica_loop(Replica& replica) {
   for (;;) {
     std::vector<Pending> batch;
     {
@@ -128,18 +189,28 @@ void Server::dispatch_loop() {
       queue_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stopping and drained
       // Linger briefly for a fuller batch — the flattened pair loop works
-      // best when a batch carries many (image, sample) lanes.
-      if (static_cast<int>(queue_.size()) < config_.max_batch && !stopping_) {
-        queue_ready_.wait_for(lock, config_.batch_linger, [this] {
-          return stopping_ || static_cast<int>(queue_.size()) >= config_.max_batch;
+      // best when a batch carries many (image, sample) lanes. A bounded
+      // queue can never hold more than max_queue_depth requests, so cap
+      // the linger target there or the wait would always run out its
+      // timeout when max_queue_depth < max_batch.
+      const int linger_target =
+          config_.max_queue_depth > 0
+              ? std::min(config_.max_batch, config_.max_queue_depth)
+              : config_.max_batch;
+      if (static_cast<int>(queue_.size()) < linger_target && !stopping_) {
+        queue_ready_.wait_for(lock, config_.batch_linger, [this, linger_target] {
+          return stopping_ || static_cast<int>(queue_.size()) >= linger_target;
         });
       }
+      // The linger releases the lock, so a concurrently idle replica may
+      // have drained the queue in the meantime.
+      if (queue_.empty()) continue;
       // Per-shape batch group: coalesce the oldest request with every
       // queued request of the same image shape (up to max_batch); other
-      // shapes stay queued and form their own batch on the next loop
-      // iteration. The accelerator pass therefore always sees one
+      // shapes stay queued and form their own group for the next idle
+      // replica. The accelerator pass therefore always sees one
       // homogeneous (N, C, H, W) tensor, and a mixed-shape wave can never
-      // fault the dispatcher.
+      // fault a replica worker.
       const std::vector<int> shape = queue_.front().image.shape();
       batch.reserve(static_cast<std::size_t>(
           std::min<int>(config_.max_batch, static_cast<int>(queue_.size()))));
@@ -153,15 +224,16 @@ void Server::dispatch_loop() {
         }
       }
     }
-    serve_batch(std::move(batch));
+    queue_space_.notify_all();  // backpressured submitters may proceed
+    serve_batch(replica.accelerator, std::move(batch));
   }
 }
 
-void Server::serve_batch(std::vector<Pending> batch) {
+void Server::serve_batch(core::Accelerator& accelerator, std::vector<Pending> batch) {
   // Defensive backstop (structurally unreachable after per-shape batch
-  // grouping in dispatch_loop): a request whose shape differs from the
+  // grouping in replica_loop): a request whose shape differs from the
   // batch head fails alone with set_exception; its neighbours and the
-  // dispatcher itself are untouched. The historical behaviour — a
+  // replica worker itself are untouched. The historical behaviour — a
   // util::require on this thread — failed the entire batch for one bad
   // request.
   const std::vector<int> shape = batch.front().image.shape();
@@ -178,7 +250,7 @@ void Server::serve_batch(std::vector<Pending> batch) {
   batch.resize(keep);
 
   const int count = static_cast<int>(batch.size());
-  const int num_sites = accelerator_.network().num_sites;
+  const int num_sites = accelerator.network().num_sites;
   const auto resolve_layers = [num_sites](const RequestOptions& options) {
     return options.bayes_layers < 0 ? num_sites : options.bayes_layers;
   };
@@ -199,8 +271,7 @@ void Server::serve_batch(std::vector<Pending> batch) {
                                                  : pending.options.num_samples,
           pending.stream_id};
     }
-    core::Accelerator::BatchPrediction first =
-        accelerator_.predict_batch(images, pass);
+    core::Accelerator::BatchPrediction first = accelerator.predict_batch(images, pass);
 
     // Route: responses for settled requests, an escalation list for inputs
     // whose screening entropy crossed the threshold (Opt-Uncertainty).
@@ -246,8 +317,7 @@ void Server::serve_batch(std::vector<Pending> batch) {
             resolve_layers(pending.options), pending.options.num_samples,
             pending.stream_id};
       }
-      core::Accelerator::BatchPrediction second =
-          accelerator_.predict_batch(subset, full);
+      core::Accelerator::BatchPrediction second = accelerator.predict_batch(subset, full);
       for (int i = 0; i < promoted; ++i) {
         Response& response = responses[static_cast<std::size_t>(escalate[i])];
         response.probs = second.probs.batch_row(i);

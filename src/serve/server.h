@@ -4,10 +4,19 @@
 // of Monte Carlo inference requests (cf. VIBNN's request streams and the
 // ROADMAP north star). serve::Server is that front end in software: clients
 // submit single-image Requests with per-request knobs for S (MC samples)
-// and L (Bayesian depth); a dispatcher coalesces waiting requests into
-// batches and runs each batch through core::Accelerator::predict_batch,
-// whose flattened (image, sample) pair loop fills every lane of the shared
-// runtime::ThreadPool even when individual requests ask for few samples.
+// and L (Bayesian depth); R replica workers (`ServerConfig::num_replicas`)
+// pull per-shape batch groups off one coalescing queue and run each group
+// through their own core::Accelerator — the software analogue of FPGA BNN
+// designs replicating processing engines to hide sampling and MC latency.
+// Replicas share the quantized network read-only (one copy of the weights)
+// and slice the shared runtime::ThreadPool between them, so each group's
+// flattened (image, sample) pair loop fills its share of the pool lanes.
+//
+// Backpressure: `max_queue_depth` bounds the coalescing queue. When it is
+// full, submit() either blocks the caller until a replica frees space
+// (OverloadPolicy::block) or resolves the returned future immediately with
+// a QueueFullError (OverloadPolicy::fail_fast) — the server degrades
+// predictably under overload instead of queueing without bound.
 //
 // The uncertainty-threshold router implements the paper's Opt-Uncertainty
 // serving mode: a cheap screening pass with few samples first; only inputs
@@ -19,9 +28,10 @@
 // or a caller-chosen id), and the accelerator's sampler lanes are seeded
 // per (stream id, sample). A request's response is therefore a pure
 // function of (network weights, image, its options, its stream id) — the
-// same no matter how the dispatcher batched it, how many worker threads
-// ran, or what other traffic was in flight. An escalated response is
-// bit-identical to what a direct full-S request would have returned.
+// same no matter how the dispatcher batched it, WHICH REPLICA ran it, how
+// many worker threads ran, or what other traffic was in flight. An
+// escalated response is bit-identical to what a direct full-S request
+// would have returned.
 #ifndef BNN_SERVE_SERVER_H
 #define BNN_SERVE_SERVER_H
 
@@ -30,8 +40,10 @@
 #include <cstdint>
 #include <deque>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <optional>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -78,27 +90,62 @@ struct Response {
   core::RunStats stats;  ///< modelled hardware cost of the producing pass
 };
 
+/// What submit() does when the queue already holds `max_queue_depth`
+/// requests.
+enum class OverloadPolicy {
+  /// Block the submitting thread until a replica frees queue space (or the
+  /// server shuts down, which throws std::runtime_error to the submitter).
+  block,
+  /// Resolve the returned future immediately with QueueFullError; the
+  /// request never enters the queue and consumes no stream-id ticket.
+  fail_fast,
+};
+
+/// The distinct error a fail-fast rejection carries: clients can tell "the
+/// server is overloaded, retry later" apart from malformed-request
+/// (std::invalid_argument) and shutdown (plain std::runtime_error) failures.
+class QueueFullError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
 struct ServerConfig {
-  /// Most requests coalesced into one accelerator batch.
+  /// Most requests coalesced into one accelerator batch group.
   int max_batch = 8;
-  /// How long the dispatcher lingers for more requests after the first.
+  /// How long an idle replica lingers for more requests after the first.
   std::chrono::microseconds batch_linger{200};
-  /// Worker-lane cap for the flattened pair loop (0 = hardware
-  /// concurrency). Purely a scheduling knob; responses are bit-identical
-  /// for every value.
+  /// Total worker-lane budget across all replicas (0 = hardware
+  /// concurrency). Each replica's flattened pair loop is capped to
+  /// max(1, budget / num_replicas) lanes of the shared pool, so R replicas
+  /// partition the pool instead of oversubscribing it. Purely a scheduling
+  /// knob; responses are bit-identical for every value.
   int num_threads = 0;
-  /// Executor shared with the accelerator (non-owning; must outlive the
+  /// Executor shared by every replica (non-owning; must outlive the
   /// server). nullptr selects the process-wide runtime::shared_pool().
   runtime::ThreadPool* pool = nullptr;
+  /// R: accelerator replicas serving the queue concurrently. Replicas
+  /// share the quantized network read-only; responses are bit-identical
+  /// for every replica count (sampler lanes depend only on stream ids).
+  int num_replicas = 1;
+  /// Queue bound for backpressure; 0 = unbounded (no admission control).
+  int max_queue_depth = 0;
+  /// What submit() does when the queue is full (see OverloadPolicy).
+  OverloadPolicy overload_policy = OverloadPolicy::block;
 };
 
 /// Aggregate serving counters (monotonic since construction) plus latency
 /// percentiles over a sliding window of recently served requests.
+/// Invariant (once the queue is drained): requests + rejected == submitted.
 struct ServerStats {
+  std::uint64_t submitted = 0;    ///< valid submissions (accepted + rejected)
   std::uint64_t requests = 0;     ///< responses produced
+  std::uint64_t rejected = 0;     ///< fail-fast backpressure rejections
   std::uint64_t batches = 0;      ///< accelerator passes issued
   std::uint64_t screened = 0;     ///< requests that took the screening pass
   std::uint64_t escalations = 0;  ///< screened requests promoted to full S
+  /// High-water mark of the coalescing queue length; never exceeds
+  /// max_queue_depth when that bound is set.
+  std::uint64_t peak_queue_depth = 0;
   /// End-to-end request latency (submit() to response ready, wall clock,
   /// milliseconds) over the last `Server::kLatencyWindow` served requests;
   /// 0 until the first response.
@@ -113,22 +160,25 @@ struct ServerStats {
 /// out-of-range pct.
 double latency_percentile(std::vector<double> samples, double pct);
 
-/// Batched-serving front end over one simulated accelerator. Thread-safe:
-/// any number of client threads may submit concurrently; one internal
-/// dispatcher thread owns the accelerator. The destructor drains every
-/// accepted request before returning.
+/// Batched-serving front end over R replica accelerators. Thread-safe: any
+/// number of client threads may submit concurrently; each replica worker
+/// thread owns its accelerator. The destructor drains every accepted
+/// request before returning.
 ///
-/// Batches are grouped per image shape: the dispatcher only coalesces
-/// queued requests whose (C, H, W) matches the oldest waiting request and
-/// leaves the rest queued for the next batch, so heterogeneous traffic
-/// (possible when the network's first layer is linear, which constrains
-/// only the element count) splits into homogeneous accelerator passes
-/// instead of faulting — and a shape problem can only ever fail its own
-/// request, never a batch neighbour or the dispatcher.
+/// Batches are grouped per image shape: a replica only coalesces queued
+/// requests whose (C, H, W) matches the oldest waiting request and leaves
+/// the rest queued (for itself on its next pull, or for a concurrently
+/// idle replica), so heterogeneous traffic (possible when the network's
+/// first layer is linear, which constrains only the element count) splits
+/// into homogeneous accelerator passes instead of faulting — and a shape
+/// problem can only ever fail its own request, never a batch neighbour or
+/// a replica worker.
 class Server {
  public:
-  /// Takes ownership of the accelerator; `config.pool`/`config.num_threads`
-  /// override the accelerator's own executor knobs.
+  /// Takes ownership of the accelerator and replicates it
+  /// `config.num_replicas` times (replicas share the quantized network);
+  /// `config.pool`/`config.num_threads` override the accelerator's own
+  /// executor knobs.
   explicit Server(core::Accelerator accelerator, ServerConfig config = {});
   ~Server();
 
@@ -137,19 +187,24 @@ class Server {
 
   /// Enqueues a request; the future resolves when its batch completes.
   /// Throws std::invalid_argument on malformed options or image shape, and
-  /// std::runtime_error after shutdown() has been called.
+  /// std::runtime_error after shutdown() has been called (including to
+  /// submitters blocked on a full queue when shutdown arrives). Under
+  /// fail-fast overload the returned future holds a QueueFullError instead
+  /// of a value.
   std::future<Response> submit(Request request);
 
   /// Synchronous convenience: submit + wait.
   Response infer(Request request);
 
-  /// Stops accepting new requests, serves everything already queued, and
-  /// joins the dispatcher. Idempotent; also run by the destructor.
+  /// Stops accepting new requests, serves everything already queued,
+  /// releases submitters blocked on a full queue, and joins the replica
+  /// workers. Idempotent; also run by the destructor.
   void shutdown();
 
   ServerStats stats() const;
 
-  const core::Accelerator& accelerator() const { return accelerator_; }
+  /// Replica 0's accelerator (all replicas share its network and config).
+  const core::Accelerator& accelerator() const { return replicas_.front()->accelerator; }
 
   /// Latency-percentile window size (served requests retained for the
   /// ServerStats percentiles).
@@ -164,21 +219,28 @@ class Server {
     std::chrono::steady_clock::time_point submitted;
   };
 
-  void dispatch_loop();
-  void serve_batch(std::vector<Pending> batch);
+  /// One accelerator replica and the worker thread driving it.
+  struct Replica {
+    explicit Replica(core::Accelerator accel) : accelerator(std::move(accel)) {}
+    core::Accelerator accelerator;
+    std::thread thread;
+  };
 
-  core::Accelerator accelerator_;
+  void replica_loop(Replica& replica);
+  void serve_batch(core::Accelerator& accelerator, std::vector<Pending> batch);
+
   ServerConfig config_;
+  std::vector<std::unique_ptr<Replica>> replicas_;
 
   mutable std::mutex mutex_;
-  std::condition_variable queue_ready_;
+  std::condition_variable queue_ready_;  // replicas wait for work
+  std::condition_variable queue_space_;  // blocked submitters wait for room
   std::deque<Pending> queue_;
   std::uint64_t next_ticket_ = 0;
   bool stopping_ = false;
   ServerStats stats_;
   std::vector<double> latency_window_;  // ring buffer, capacity kLatencyWindow
   std::size_t latency_next_ = 0;
-  std::thread dispatcher_;
 };
 
 }  // namespace bnn::serve

@@ -105,7 +105,7 @@ TEST(ThreadPool, SharedPoolIsProcessWideAndReusable) {
   EXPECT_EQ(total.load(), 10);
 }
 
-TEST(ThreadPool, ConcurrentSubmittersSerializeSafely) {
+TEST(ThreadPool, ConcurrentSubmittersShareWorkersSafely) {
   runtime::ThreadPool pool(4);
   std::atomic<int> total{0};
   std::vector<std::thread> clients;

@@ -315,6 +315,95 @@ TEST(Server, RouterPartitionsExactlyByScreeningEntropy) {
   }
 }
 
+// --- replica scale-out ------------------------------------------------------
+
+TEST(Server, ReplicasBitIdenticalAcrossCountsAndThreadCounts) {
+  auto& fx = fixture();
+  const int count = 6;
+  const data::Batch batch = fx.dataset->batch(0, count);
+
+  // Heterogeneous traffic: direct requests and always-escalating routed
+  // ones (threshold < 0), so replicas exercise both passes. Stream ids are
+  // pinned, making every response a pure function of its own request.
+  std::vector<serve::RequestOptions> options(static_cast<std::size_t>(count));
+  for (int n = 0; n < count; ++n) {
+    serve::RequestOptions& o = options[static_cast<std::size_t>(n)];
+    o.num_samples = 3 + n % 3;
+    o.bayes_layers = n % 2 == 0 ? 2 : 1;
+    if (n % 3 == 0) {
+      o.use_uncertainty_router = true;
+      o.screening_samples = 2;
+      o.entropy_threshold_nats = -1.0;  // always escalate to full S
+    }
+  }
+
+  // Direct one-image-at-a-time reference (an escalated routed response is
+  // bit-identical to a direct full-S request by the router contract).
+  core::Accelerator reference(*fx.qnet, accel_config(1));
+  std::vector<nn::Tensor> rows;
+  for (int n = 0; n < count; ++n) {
+    const serve::RequestOptions& o = options[static_cast<std::size_t>(n)];
+    rows.push_back(reference
+                       .predict_batch(batch.images.batch_row(n),
+                                      {{o.bayes_layers, o.num_samples,
+                                        static_cast<std::uint64_t>(40 + n)}})
+                       .probs);
+  }
+
+  for (int replicas : {1, 2, 4}) {
+    for (int threads : {1, 2, 8}) {
+      serve::ServerConfig config;
+      config.max_batch = 3;  // forces several batch groups per wave
+      config.num_replicas = replicas;
+      config.num_threads = threads;
+      serve::Server server(core::Accelerator(*fx.qnet, accel_config(0)), config);
+      std::vector<std::future<serve::Response>> futures;
+      for (int n = 0; n < count; ++n)
+        futures.push_back(server.submit(request_for(
+            batch, n, options[static_cast<std::size_t>(n)],
+            static_cast<std::uint64_t>(40 + n))));
+      for (int n = 0; n < count; ++n) {
+        const serve::Response response = futures[static_cast<std::size_t>(n)].get();
+        EXPECT_EQ(response.probs.max_abs_diff(rows[static_cast<std::size_t>(n)]), 0.0f)
+            << "image " << n << ", replicas=" << replicas << ", threads=" << threads;
+        EXPECT_EQ(response.escalated,
+                  options[static_cast<std::size_t>(n)].use_uncertainty_router)
+            << "image " << n << ", replicas=" << replicas << ", threads=" << threads;
+      }
+      const serve::ServerStats stats = server.stats();
+      EXPECT_EQ(stats.requests, static_cast<std::uint64_t>(count));
+      EXPECT_EQ(stats.submitted, static_cast<std::uint64_t>(count));
+      EXPECT_EQ(stats.rejected, 0u);
+    }
+  }
+}
+
+TEST(Server, ReplicasShareOneNetworkCopy) {
+  auto& fx = fixture();
+  serve::ServerConfig config;
+  config.num_replicas = 4;
+  serve::Server server(core::Accelerator(*fx.qnet, accel_config(1)), config);
+  // The replicas hold the quantized network through a shared_ptr: standing
+  // up 4 replicas must not deep-copy the weights.
+  EXPECT_GE(server.accelerator().shared_network().use_count(), 4);
+}
+
+TEST(Server, ValidatesReplicaAndQueueDepthConfig) {
+  auto& fx = fixture();
+  {
+    serve::ServerConfig config;
+    config.num_replicas = 0;
+    EXPECT_THROW(serve::Server(core::Accelerator(*fx.qnet, accel_config(1)), config),
+                 std::invalid_argument);
+  }
+  {
+    serve::ServerConfig config;
+    config.max_queue_depth = -1;
+    EXPECT_THROW(serve::Server(core::Accelerator(*fx.qnet, accel_config(1)), config),
+                 std::invalid_argument);
+  }
+}
+
 TEST(Server, ValidatesRequestsAndRejectsAfterShutdown) {
   auto& fx = fixture();
   const data::Batch batch = fx.dataset->batch(0, 1);
