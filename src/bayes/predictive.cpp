@@ -71,21 +71,36 @@ nn::Tensor mc_predict(nn::Model& model, const nn::Tensor& images,
       [&](std::int64_t pair) {
         const int n = static_cast<int>(pair / num_samples);
         const int s = static_cast<int>(pair % num_samples);
+        // Per-worker reusable scratch (thread_local = pool-lane keyed): the
+        // replay arena's node buffers, the mask sources, and the site-mask
+        // pointer table all stop churning the allocator after each worker's
+        // first pair — the fix for the per-sample scratch allocations of
+        // deep suffixes (VGG-11/ResNet-18 at L = N). Pool workers run pair
+        // bodies one at a time, never nested, so a thread_local is owned by
+        // exactly one pair at any moment.
+        struct PairScratch {
+          nn::Network::ReplayArena arena;
+          std::vector<nn::RngMaskSource> sources;
+          std::vector<nn::MaskSource*> site_masks;
+        };
+        thread_local PairScratch scratch;
         // Independent per-(site, image, sample) streams: a pair is
         // computable with no knowledge of which thread ran the others, and
         // image n's masks depend only on its stream id, not on the batch.
-        std::vector<std::unique_ptr<nn::RngMaskSource>> sources;
-        std::vector<nn::MaskSource*> site_masks(
-            static_cast<std::size_t>(net.num_nodes()), nullptr);
+        scratch.sources.clear();
+        scratch.sources.reserve(active_sites.size());  // no realloc: pointers below stay valid
+        scratch.site_masks.assign(static_cast<std::size_t>(net.num_nodes()), nullptr);
         for (const ActiveSite& site : active_sites) {
-          sources.push_back(std::make_unique<nn::RngMaskSource>(
+          scratch.sources.emplace_back(
               site.p, util::Rng(site.seed)
                           .fork(options.image_stream_base + static_cast<std::uint64_t>(n))
-                          .fork(static_cast<std::uint64_t>(s))));
-          site_masks[static_cast<std::size_t>(site.node)] = sources.back().get();
+                          .fork(static_cast<std::uint64_t>(s)));
+          scratch.site_masks[static_cast<std::size_t>(site.node)] = &scratch.sources.back();
         }
-        pair_probs[static_cast<std::size_t>(pair)] = nn::softmax_rows(net.replay_suffix_row(
-            replay_start, site_masks, n, &row_caches[static_cast<std::size_t>(n)]));
+        nn::softmax_rows_into(
+            net.replay_suffix_row(replay_start, scratch.site_masks, n,
+                                  &row_caches[static_cast<std::size_t>(n)], &scratch.arena),
+            pair_probs[static_cast<std::size_t>(pair)]);
       },
       runtime::resolve_thread_count(options.num_threads));
 

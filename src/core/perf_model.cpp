@@ -1,6 +1,7 @@
 #include "core/perf_model.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/check.h"
 
@@ -49,6 +50,18 @@ RunStats estimate_pass(const nn::NetworkDesc& desc, const PerfConfig& config, in
   }
   stats.latency_ms = stats.total_cycles / (config.nne.clock_mhz * 1e3);
   return stats;
+}
+
+PerfCalibration calibrate_perf(double measured_wall_ms, double modelled_ms) {
+  util::require(std::isfinite(measured_wall_ms) && measured_wall_ms > 0.0,
+                "calibrate_perf: measured wall time must be positive and finite");
+  util::require(std::isfinite(modelled_ms) && modelled_ms > 0.0,
+                "calibrate_perf: modelled latency must be positive and finite");
+  return PerfCalibration{measured_wall_ms / modelled_ms};
+}
+
+double calibrated_wall_ms(const RunStats& stats, const PerfCalibration& calibration) {
+  return stats.latency_ms * calibration.wall_ms_per_modelled_ms;
 }
 
 std::int64_t mask_bits_per_sample(const nn::NetworkDesc& desc, int bayes_layers) {

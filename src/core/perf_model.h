@@ -68,6 +68,24 @@ RunStats estimate_mc(const nn::NetworkDesc& desc, const PerfConfig& config, int 
 // Mask bits one sample consumes (sum of out_c over active site layers).
 std::int64_t mask_bits_per_sample(const nn::NetworkDesc& desc, int bayes_layers);
 
+// Wall-clock calibration of the model: a single scale factor mapping the
+// model's `latency_ms` (modelled accelerator milliseconds) onto measured
+// milliseconds of whatever actually executes the workload (the software
+// simulator here). One measured (wall, modelled) pair fixes it — the
+// model's RELATIVE layer/S/L structure is what the paper validates, so one
+// anchor point is enough to use it as a serving cost oracle
+// (serve::CostModel) against wall-clock latency targets.
+struct PerfCalibration {
+  double wall_ms_per_modelled_ms = 1.0;
+};
+
+// Builds a calibration from one measurement. Both inputs must be positive
+// and finite (throws std::invalid_argument otherwise).
+PerfCalibration calibrate_perf(double measured_wall_ms, double modelled_ms);
+
+// Modelled latency mapped onto the calibrated wall clock.
+double calibrated_wall_ms(const RunStats& stats, const PerfCalibration& calibration);
+
 }  // namespace bnn::core
 
 #endif  // BNN_CORE_PERF_MODEL_H

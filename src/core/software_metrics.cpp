@@ -1,5 +1,7 @@
 #include "core/software_metrics.h"
 
+#include <chrono>
+
 #include "bayes/predictive.h"
 #include "metrics/metrics.h"
 
@@ -31,11 +33,16 @@ MetricPoint SoftwareMetricsProvider::evaluate(int bayes_layers, int num_samples)
   options.num_threads = num_threads_;
 
   MetricPoint point;
+  const auto started = std::chrono::steady_clock::now();
   const nn::Tensor test_probs = bayes::mc_predict(model_, test_set_.images(), options);
   point.accuracy = metrics::accuracy(test_probs, test_set_.labels());
   point.ece = metrics::expected_calibration_error(test_probs, test_set_.labels());
   const nn::Tensor noise_probs = bayes::mc_predict(model_, noise_set_.images(), options);
   point.ape = metrics::average_predictive_entropy(noise_probs);
+  last_wall_ms_ = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - started)
+                      .count();
+  total_wall_ms_ += last_wall_ms_;
 
   cache_.emplace(key, point);
   return point;

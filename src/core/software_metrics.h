@@ -30,12 +30,25 @@ class SoftwareMetricsProvider final : public MetricsProvider {
 
   MetricPoint evaluate(int bayes_layers, int num_samples) override;
 
+  // Measured wall time of the last non-cached evaluate() call (both
+  // mc_predict passes), milliseconds; 0 before the first. This is the
+  // calibration hook for the performance model: one measured evaluation
+  // against the corresponding modelled latency anchors a
+  // core::PerfCalibration / serve::CostModel scale (see calibrate_perf).
+  double last_evaluation_wall_ms() const { return last_wall_ms_; }
+
+  // Cumulative measured wall milliseconds across all non-cached
+  // evaluations (cache hits cost ~0 and are excluded).
+  double total_evaluation_wall_ms() const { return total_wall_ms_; }
+
  private:
   nn::Model& model_;
   const data::Dataset& test_set_;
   const data::Dataset& noise_set_;
   std::uint64_t seed_;
   int num_threads_;
+  double last_wall_ms_ = 0.0;
+  double total_wall_ms_ = 0.0;
   std::map<std::pair<int, int>, MetricPoint> cache_;
 };
 

@@ -7,9 +7,14 @@
 
 namespace bnn::nn {
 
+void ReLU::forward_into(const Tensor& x, Tensor& out) {
+  out.reset(x.shape());
+  for (std::int64_t i = 0; i < x.numel(); ++i) out[i] = x[i] > 0.0f ? x[i] : 0.0f;
+}
+
 Tensor ReLU::forward(const Tensor& x) {
-  Tensor y(x.shape());
-  for (std::int64_t i = 0; i < x.numel(); ++i) y[i] = x[i] > 0.0f ? x[i] : 0.0f;
+  Tensor y;
+  forward_into(x, y);
   if (training_) cached_input_ = x;
   return y;
 }
@@ -22,9 +27,14 @@ Tensor ReLU::backward(const Tensor& grad_out) {
   return grad_in;
 }
 
+void Quadratic::forward_into(const Tensor& x, Tensor& out) {
+  out.reset(x.shape());
+  for (std::int64_t i = 0; i < x.numel(); ++i) out[i] = x[i] * x[i];
+}
+
 Tensor Quadratic::forward(const Tensor& x) {
-  Tensor y(x.shape());
-  for (std::int64_t i = 0; i < x.numel(); ++i) y[i] = x[i] * x[i];
+  Tensor y;
+  forward_into(x, y);
   if (training_) cached_input_ = x;
   return y;
 }
@@ -37,11 +47,11 @@ Tensor Quadratic::backward(const Tensor& grad_out) {
   return grad_in;
 }
 
-Tensor softmax_rows(const Tensor& logits) {
+void softmax_rows_into(const Tensor& logits, Tensor& probs) {
   util::require(logits.dim() == 2, "softmax expects (N, K) input");
   const int batch = logits.size(0);
   const int classes = logits.size(1);
-  Tensor probs(logits.shape());
+  probs.reset(logits.shape());
   for (int n = 0; n < batch; ++n) {
     const float* row = logits.data() + logits.index2(n, 0);
     float* out = probs.data() + probs.index2(n, 0);
@@ -53,6 +63,11 @@ Tensor softmax_rows(const Tensor& logits) {
     }
     for (int k = 0; k < classes; ++k) out[k] /= denom;
   }
+}
+
+Tensor softmax_rows(const Tensor& logits) {
+  Tensor probs;
+  softmax_rows_into(logits, probs);
   return probs;
 }
 
@@ -60,6 +75,8 @@ std::vector<int> Softmax::out_shape(const std::vector<int>& in_shape) const {
   util::require(in_shape.size() == 2, "softmax expects (N, K) input");
   return in_shape;
 }
+
+void Softmax::forward_into(const Tensor& x, Tensor& out) { softmax_rows_into(x, out); }
 
 Tensor Softmax::forward(const Tensor& x) {
   Tensor y = softmax_rows(x);

@@ -11,6 +11,7 @@ class ReLU final : public Layer {
   LayerKind kind() const override { return LayerKind::relu; }
 
   Tensor forward(const Tensor& x) override;
+  void forward_into(const Tensor& x, Tensor& out) override;
   Tensor backward(const Tensor& grad_out) override;
   std::vector<int> out_shape(const std::vector<int>& in_shape) const override {
     return in_shape;
@@ -28,6 +29,7 @@ class Softmax final : public Layer {
   LayerKind kind() const override { return LayerKind::softmax; }
 
   Tensor forward(const Tensor& x) override;
+  void forward_into(const Tensor& x, Tensor& out) override;
   Tensor backward(const Tensor& grad_out) override;
   std::vector<int> out_shape(const std::vector<int>& in_shape) const override;
 
@@ -44,6 +46,7 @@ class Quadratic final : public Layer {
   LayerKind kind() const override { return LayerKind::quadratic; }
 
   Tensor forward(const Tensor& x) override;
+  void forward_into(const Tensor& x, Tensor& out) override;
   Tensor backward(const Tensor& grad_out) override;
   std::vector<int> out_shape(const std::vector<int>& in_shape) const override {
     return in_shape;
@@ -55,6 +58,10 @@ class Quadratic final : public Layer {
 
 // Free-function softmax over rows of a (N, K) tensor.
 Tensor softmax_rows(const Tensor& logits);
+
+// As softmax_rows, writing into `probs` (Tensor::reset — reuses capacity).
+// `probs` must not alias `logits`.
+void softmax_rows_into(const Tensor& logits, Tensor& probs);
 
 }  // namespace bnn::nn
 

@@ -70,20 +70,30 @@ Tensor BatchNorm2d::forward(const Tensor& x) {
       }
     }
   } else {
-    std::vector<float> scale;
-    std::vector<float> shift;
-    inference_affine(scale, shift);
-    for (int c = 0; c < channels_; ++c) {
-      const float a = scale[static_cast<std::size_t>(c)];
-      const float b = shift[static_cast<std::size_t>(c)];
-      for (int n = 0; n < batch; ++n) {
-        const float* src = x.data() + x.index4(n, c, 0, 0);
-        float* dst = y.data() + y.index4(n, c, 0, 0);
-        for (int i = 0; i < plane; ++i) dst[i] = a * src[i] + b;
-      }
-    }
+    forward_into(x, y);
   }
   return y;
+}
+
+void BatchNorm2d::forward_into(const Tensor& x, Tensor& y) {
+  util::require(!training_, "batch_norm: forward_into is eval-mode only");
+  (void)out_shape(x.shape());
+  const int batch = x.size(0);
+  const int plane = x.size(2) * x.size(3);
+  y.reset(x.shape());
+  // Per-thread affine scratch (replay calls this per (image, sample) pair).
+  thread_local std::vector<float> scale;
+  thread_local std::vector<float> shift;
+  inference_affine(scale, shift);
+  for (int c = 0; c < channels_; ++c) {
+    const float a = scale[static_cast<std::size_t>(c)];
+    const float b = shift[static_cast<std::size_t>(c)];
+    for (int n = 0; n < batch; ++n) {
+      const float* src = x.data() + x.index4(n, c, 0, 0);
+      float* dst = y.data() + y.index4(n, c, 0, 0);
+      for (int i = 0; i < plane; ++i) dst[i] = a * src[i] + b;
+    }
+  }
 }
 
 Tensor BatchNorm2d::backward(const Tensor& grad_out) {

@@ -17,6 +17,8 @@ class BatchNorm2d final : public Layer {
   LayerKind kind() const override { return LayerKind::batch_norm; }
 
   Tensor forward(const Tensor& x) override;
+  // Eval mode only (replay path): normalizes with the running statistics.
+  void forward_into(const Tensor& x, Tensor& out) override;
   Tensor backward(const Tensor& grad_out) override;
   std::vector<Param*> params() override;
 

@@ -42,7 +42,7 @@ std::int64_t Conv2d::macs(const std::vector<int>& in_shape) const {
          kernel_ * out[2] * out[3];
 }
 
-Tensor Conv2d::forward(const Tensor& x) {
+void Conv2d::forward_into(const Tensor& x, Tensor& y) {
   const std::vector<int> out_dims = out_shape(x.shape());
   const int batch = x.size(0);
   const int in_h = x.size(2);
@@ -52,8 +52,13 @@ Tensor Conv2d::forward(const Tensor& x) {
   const int patch = in_channels_ * kernel_ * kernel_;
   const int positions = out_h * out_w;
 
-  Tensor y(out_dims);
-  std::vector<float> columns(static_cast<std::size_t>(patch) * positions);
+  y.reset(out_dims);
+  // Per-thread im2col scratch: the replay arena path calls forward_into for
+  // every (image, sample) pair, and this buffer dominates the per-call
+  // allocations. im2col writes every element (padding included), so reuse
+  // across calls — and across Conv2d instances on this thread — is safe.
+  thread_local std::vector<float> columns;
+  columns.resize(static_cast<std::size_t>(patch) * positions);
   for (int n = 0; n < batch; ++n) {
     im2col(x.data() + x.index4(n, 0, 0, 0), in_channels_, in_h, in_w, kernel_, stride_, pad_,
            out_h, out_w, columns.data());
@@ -67,6 +72,11 @@ Tensor Conv2d::forward(const Tensor& x) {
       }
     }
   }
+}
+
+Tensor Conv2d::forward(const Tensor& x) {
+  Tensor y;
+  forward_into(x, y);
   if (training_) cached_input_ = x;
   return y;
 }

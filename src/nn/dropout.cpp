@@ -26,24 +26,30 @@ MaskSource& McDropout::source() {
   return external_source_ != nullptr ? *external_source_ : *owned_source_;
 }
 
-Tensor draw_mc_dropout_mask(int batch, int channels, MaskSource& source, double p) {
+void draw_mc_dropout_mask_into(int batch, int channels, MaskSource& source, double p,
+                               Tensor& mask) {
   const float keep_scale = static_cast<float>(1.0 / (1.0 - p));
   // One decision per (sample, channel), channel-minor so the order matches
   // the hardware sampler's filter-serial mask stream.
-  Tensor mask({batch, channels});
+  mask.reset({batch, channels});
   for (int n = 0; n < batch; ++n)
     for (int c = 0; c < channels; ++c)
       mask.v2(n, c) = source.next_drop() ? 0.0f : keep_scale;
+}
+
+Tensor draw_mc_dropout_mask(int batch, int channels, MaskSource& source, double p) {
+  Tensor mask;
+  draw_mc_dropout_mask_into(batch, channels, source, p, mask);
   return mask;
 }
 
-Tensor apply_mc_dropout_mask(const Tensor& x, const Tensor& mask) {
+void apply_mc_dropout_mask_into(const Tensor& x, const Tensor& mask, Tensor& y) {
   util::require(x.dim() == 4 || x.dim() == 2, "mc_dropout expects NCHW or (N, F) input");
   const int batch = x.size(0);
   const int channels = x.size(1);
   util::require(mask.dim() == 2 && mask.size(0) == batch && mask.size(1) == channels,
                 "mc_dropout: mask shape must be (batch, channels)");
-  Tensor y(x.shape());
+  y.reset(x.shape());
   if (x.dim() == 2) {
     for (int n = 0; n < batch; ++n)
       for (int c = 0; c < channels; ++c) y.v2(n, c) = x.v2(n, c) * mask.v2(n, c);
@@ -58,6 +64,11 @@ Tensor apply_mc_dropout_mask(const Tensor& x, const Tensor& mask) {
       }
     }
   }
+}
+
+Tensor apply_mc_dropout_mask(const Tensor& x, const Tensor& mask) {
+  Tensor y;
+  apply_mc_dropout_mask_into(x, mask, y);
   return y;
 }
 

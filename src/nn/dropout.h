@@ -29,11 +29,19 @@ class MaskSource {
 // channel-minor, matching the hardware sampler's filter-serial stream.
 Tensor draw_mc_dropout_mask(int batch, int channels, MaskSource& source, double p);
 
+// As draw_mc_dropout_mask, writing into `mask` (Tensor::reset — reuses
+// capacity, so a replay arena's mask scratch stops churning the allocator).
+void draw_mc_dropout_mask_into(int batch, int channels, MaskSource& source, double p,
+                               Tensor& mask);
+
 // Applies a (batch, channels) mask to a (N, C, H, W) or (N, F) tensor.
 // Pure function of its inputs — the thread-safe replay path uses this pair
 // instead of McDropout::forward so concurrent samples never touch shared
 // layer state.
 Tensor apply_mc_dropout_mask(const Tensor& x, const Tensor& mask);
+
+// As apply_mc_dropout_mask, writing into `out` (must not alias `x`).
+void apply_mc_dropout_mask_into(const Tensor& x, const Tensor& mask, Tensor& out);
 
 // Software mask source backed by the deterministic Rng.
 class RngMaskSource final : public MaskSource {

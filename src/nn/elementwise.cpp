@@ -17,6 +17,14 @@ Tensor Add::forward2(const Tensor& a, const Tensor& b) {
   return y;
 }
 
+void Add::forward2_into(const Tensor& a, const Tensor& b, Tensor& out) {
+  util::require(a.same_shape(b), "add: operand shape mismatch");
+  // Copy-assign reuses out's capacity (vector copy assignment), then add in
+  // place: same ascending-index sum order as forward2.
+  out = a;
+  out.add_(b);
+}
+
 Tensor Add::backward(const Tensor& grad_out) {
   (void)grad_out;
   util::ensure(false, "add requires two inputs; use backward2");
@@ -37,6 +45,11 @@ std::vector<int> Flatten::out_shape(const std::vector<int>& in_shape) const {
 Tensor Flatten::forward(const Tensor& x) {
   if (training_) cached_in_shape_ = x.shape();
   return x.reshaped(out_shape(x.shape()));
+}
+
+void Flatten::forward_into(const Tensor& x, Tensor& out) {
+  out = x;  // capacity-reusing copy assignment
+  out.reshape_(out_shape(x.shape()));
 }
 
 Tensor Flatten::backward(const Tensor& grad_out) {

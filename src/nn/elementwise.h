@@ -14,6 +14,7 @@ class Add final : public Layer {
 
   Tensor forward(const Tensor& x) override;  // throws: Add needs two inputs
   Tensor forward2(const Tensor& a, const Tensor& b) override;
+  void forward2_into(const Tensor& a, const Tensor& b, Tensor& out) override;
   Tensor backward(const Tensor& grad_out) override;  // throws
   std::pair<Tensor, Tensor> backward2(const Tensor& grad_out) override;
 
@@ -28,6 +29,7 @@ class Flatten final : public Layer {
   LayerKind kind() const override { return LayerKind::flatten; }
 
   Tensor forward(const Tensor& x) override;
+  void forward_into(const Tensor& x, Tensor& out) override;
   Tensor backward(const Tensor& grad_out) override;
   std::vector<int> out_shape(const std::vector<int>& in_shape) const override;
 

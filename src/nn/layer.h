@@ -58,6 +58,18 @@ class Layer {
   // Two-input forward; only Add implements it.
   virtual Tensor forward2(const Tensor& a, const Tensor& b);
 
+  // Eval-mode forward writing into caller-owned storage: `out` is re-shaped
+  // with Tensor::reset, which reuses its float capacity when large enough —
+  // the allocation-free hot path of Network::replay_suffix_row's per-worker
+  // replay arena. Exactly the same arithmetic as forward() (bit-identical
+  // results); no training-mode caching happens. The default falls back to
+  // `out = forward(x)` for layers without a dedicated in-place path. `out`
+  // must not alias `x` (or `a`/`b`).
+  virtual void forward_into(const Tensor& x, Tensor& out) { out = forward(x); }
+  virtual void forward2_into(const Tensor& a, const Tensor& b, Tensor& out) {
+    out = forward2(a, b);
+  }
+
   // Gradient of the loss w.r.t. this layer's input, given the gradient
   // w.r.t. its output. Requires a preceding forward() in training mode.
   // Parameter gradients are accumulated into params()[i]->grad.

@@ -32,17 +32,23 @@ std::int64_t Linear::macs(const std::vector<int>& in_shape) const {
   return static_cast<std::int64_t>(in_shape[0]) * in_features_ * out_features_;
 }
 
-Tensor Linear::forward(const Tensor& x) {
+void Linear::forward_into(const Tensor& x, Tensor& y) {
   const std::vector<int> out_dims = out_shape(x.shape());
   const int batch = x.size(0);
-  Tensor y(out_dims);
-  // y[N, out] = x[N, in] * W[out, in]^T
+  y.reset(out_dims);
+  // y[N, out] = x[N, in] * W[out, in]^T (overwriting, so stale slot
+  // contents never matter)
   gemm_bt(batch, out_features_, in_features_, x.data(), weight_.value.data(), y.data(),
           /*accumulate=*/false);
   if (has_bias_) {
     for (int n = 0; n < batch; ++n)
       for (int f = 0; f < out_features_; ++f) y.v2(n, f) += bias_.value[f];
   }
+}
+
+Tensor Linear::forward(const Tensor& x) {
+  Tensor y;
+  forward_into(x, y);
   if (training_) cached_input_ = x;
   return y;
 }

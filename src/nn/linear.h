@@ -16,6 +16,7 @@ class Linear final : public Layer {
   void init_kaiming(util::Rng& rng);
 
   Tensor forward(const Tensor& x) override;
+  void forward_into(const Tensor& x, Tensor& out) override;
   Tensor backward(const Tensor& grad_out) override;
   std::vector<Param*> params() override;
 

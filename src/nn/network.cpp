@@ -91,7 +91,8 @@ Network::ReplayRowCache::ReplayRowCache(int num_nodes)
 
 Tensor Network::replay_suffix_row(NodeId first_node,
                                   const std::vector<MaskSource*>& site_masks,
-                                  int row, ReplayRowCache* cache) const {
+                                  int row, ReplayRowCache* cache,
+                                  ReplayArena* arena) const {
   util::require(has_forward_, "network: replay_suffix requires a prior forward");
   util::require(first_node >= 1 && first_node < num_nodes(),
                 "network: replay start out of range");
@@ -101,11 +102,27 @@ Tensor Network::replay_suffix_row(NodeId first_node,
                     cache->rows_.size() == static_cast<std::size_t>(num_nodes()),
                 "network: replay cache sized for a different network");
 
+  // Suffix output slots: the caller's arena (slots and their float storage
+  // persist across calls, so each node's buffer stabilizes at its
+  // high-water size) or call-local storage. Every slot is fully rewritten
+  // before it is read — topological order — so stale arena contents never
+  // leak into a replay.
+  std::vector<Tensor> call_local;
+  std::vector<Tensor>* slots = &call_local;
+  if (arena) {
+    arena->nodes_.resize(static_cast<std::size_t>(num_nodes()));
+    slots = &arena->nodes_;
+  } else {
+    call_local.resize(static_cast<std::size_t>(num_nodes()));
+  }
+  std::vector<Tensor>& local = *slots;
+  Tensor local_mask;
+  Tensor& mask_scratch = arena ? arena->mask_ : local_mask;
+
   // Prefix reads: the whole retained activation (row < 0), or its single
   // batch row — cut once into the shared cache when one is supplied,
   // otherwise into call-local storage (still reused across shortcut
   // fan-out within this call).
-  std::vector<Tensor> local(static_cast<std::size_t>(num_nodes()));
   std::vector<Tensor> sliced(
       row < 0 || cache ? 0 : static_cast<std::size_t>(first_node));
   auto value_of = [this, first_node, row, cache, &local,
@@ -133,20 +150,22 @@ Tensor Network::replay_suffix_row(NodeId first_node,
       const auto* site = static_cast<const McDropout*>(layer);
       const Tensor& x = value_of(node.inputs[0]);
       if (!site->active()) {
-        out = x;  // inactive site is the identity
+        out = x;  // inactive site is the identity (capacity-reusing copy)
         continue;
       }
       MaskSource* masks = site_masks[static_cast<std::size_t>(id)];
       util::require(masks != nullptr, "network: active site replayed without a mask source");
-      out = apply_mc_dropout_mask(
-          x, draw_mc_dropout_mask(x.size(0), x.size(1), *masks, site->p()));
+      draw_mc_dropout_mask_into(x.size(0), x.size(1), *masks, site->p(), mask_scratch);
+      apply_mc_dropout_mask_into(x, mask_scratch, out);
     } else if (node.inputs.size() == 1) {
-      out = layer->forward(value_of(node.inputs[0]));
+      layer->forward_into(value_of(node.inputs[0]), out);
     } else {
-      out = layer->forward2(value_of(node.inputs[0]), value_of(node.inputs[1]));
+      layer->forward2_into(value_of(node.inputs[0]), value_of(node.inputs[1]), out);
     }
   }
-  return local.back();
+  // Moving the back slot steals that one buffer from the arena (it regrows
+  // next call); every other node's storage stays put for reuse.
+  return std::move(local.back());
 }
 
 Tensor Network::backward(const Tensor& grad_out) {

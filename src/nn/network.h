@@ -80,15 +80,36 @@ class Network {
     std::unique_ptr<std::once_flag[]> once_;
   };
 
+  // Per-worker reusable scratch for replay_suffix_row: the node output
+  // slots, the dropout-mask scratch, and the layer-internal buffers
+  // (Layer::forward_into + Tensor::reset) all stabilize at their high-water
+  // sizes, so a worker replaying a deep suffix (VGG-11/ResNet-18 at L = N)
+  // stops churning the allocator once per node per sample. One arena per
+  // worker (thread_local or pool-slot keyed) — it must NOT be shared by
+  // concurrent replay calls. Results are bit-identical with and without an
+  // arena (the in-place layer paths run the exact same arithmetic).
+  class ReplayArena {
+   public:
+    ReplayArena() = default;
+
+   private:
+    friend class Network;
+    std::vector<Tensor> nodes_;  // suffix output slot per node
+    Tensor mask_;                // MCD mask scratch (one site at a time)
+  };
+
   // As replay_suffix, but replays the suffix for ONE batch row of the
   // prepared input: retained prefix activations are read as their
   // (contiguous) row `row` slice, so the suffix runs on batch size 1. This
   // is the unit of the flattened (image, sample) Monte Carlo pair loop —
   // every pair replays exactly one image, whatever batch the prefix was
   // prepared with. `cache`, when non-null, shares the prefix slices across
-  // calls for the same row. Same thread-safety contract as replay_suffix.
+  // calls for the same row. `arena`, when non-null, supplies this worker's
+  // reusable scratch (see ReplayArena); output is bit-identical either
+  // way. Same thread-safety contract as replay_suffix.
   Tensor replay_suffix_row(NodeId first_node, const std::vector<MaskSource*>& site_masks,
-                           int row, ReplayRowCache* cache = nullptr) const;
+                           int row, ReplayRowCache* cache = nullptr,
+                           ReplayArena* arena = nullptr) const;
 
   // Backpropagates grad_out (gradient w.r.t. the network output) through the
   // DAG; parameter gradients accumulate in each layer. Returns the gradient

@@ -1,5 +1,7 @@
 #include "nn/pooling.h"
 
+#include <algorithm>
+
 #include "nn/gemm.h"
 #include "util/check.h"
 
@@ -16,13 +18,40 @@ std::vector<int> MaxPool2d::out_shape(const std::vector<int>& in_shape) const {
           conv_out_extent(in_shape[3], kernel_, stride_, 0)};
 }
 
+void MaxPool2d::forward_into(const Tensor& x, Tensor& y) {
+  util::require(!training_, "max_pool: forward_into is eval-mode only");
+  const std::vector<int> out_dims = out_shape(x.shape());
+  y.reset(out_dims);
+  const int batch = out_dims[0];
+  const int channels = out_dims[1];
+  const int out_h = out_dims[2];
+  const int out_w = out_dims[3];
+  for (int n = 0; n < batch; ++n) {
+    for (int c = 0; c < channels; ++c) {
+      for (int oh = 0; oh < out_h; ++oh) {
+        for (int ow = 0; ow < out_w; ++ow) {
+          float best = x.v4(n, c, oh * stride_, ow * stride_);
+          for (int kh = 0; kh < kernel_; ++kh)
+            for (int kw = 0; kw < kernel_; ++kw)
+              best = std::max(best, x.v4(n, c, oh * stride_ + kh, ow * stride_ + kw));
+          y.v4(n, c, oh, ow) = best;
+        }
+      }
+    }
+  }
+}
+
 Tensor MaxPool2d::forward(const Tensor& x) {
+  if (!training_) {
+    Tensor y;
+    forward_into(x, y);
+    return y;
+  }
+  // Training path (the eval path returned above): cache the argmax map.
   const std::vector<int> out_dims = out_shape(x.shape());
   Tensor y(out_dims);
-  if (training_) {
-    cached_in_shape_ = x.shape();
-    cached_argmax_.assign(static_cast<std::size_t>(y.numel()), 0);
-  }
+  cached_in_shape_ = x.shape();
+  cached_argmax_.assign(static_cast<std::size_t>(y.numel()), 0);
   const int batch = out_dims[0];
   const int channels = out_dims[1];
   const int out_h = out_dims[2];
@@ -44,7 +73,7 @@ Tensor MaxPool2d::forward(const Tensor& x) {
           }
           const std::int64_t out_index = y.index4(n, c, oh, ow);
           y[out_index] = best;
-          if (training_) cached_argmax_[static_cast<std::size_t>(out_index)] = best_index;
+          cached_argmax_[static_cast<std::size_t>(out_index)] = best_index;
         }
       }
     }
@@ -72,9 +101,15 @@ std::vector<int> AvgPool2d::out_shape(const std::vector<int>& in_shape) const {
 }
 
 Tensor AvgPool2d::forward(const Tensor& x) {
-  const std::vector<int> out_dims = out_shape(x.shape());
-  Tensor y(out_dims);
+  Tensor y;
+  forward_into(x, y);
   if (training_) cached_in_shape_ = x.shape();
+  return y;
+}
+
+void AvgPool2d::forward_into(const Tensor& x, Tensor& y) {
+  const std::vector<int> out_dims = out_shape(x.shape());
+  y.reset(out_dims);
   const float inv_area = 1.0f / static_cast<float>(kernel_ * kernel_);
   for (int n = 0; n < out_dims[0]; ++n) {
     for (int c = 0; c < out_dims[1]; ++c) {
@@ -89,7 +124,6 @@ Tensor AvgPool2d::forward(const Tensor& x) {
       }
     }
   }
-  return y;
 }
 
 Tensor AvgPool2d::backward(const Tensor& grad_out) {
@@ -117,9 +151,15 @@ std::vector<int> GlobalAvgPool::out_shape(const std::vector<int>& in_shape) cons
 }
 
 Tensor GlobalAvgPool::forward(const Tensor& x) {
-  const std::vector<int> out_dims = out_shape(x.shape());
+  Tensor y;
+  forward_into(x, y);
   if (training_) cached_in_shape_ = x.shape();
-  Tensor y(out_dims);
+  return y;
+}
+
+void GlobalAvgPool::forward_into(const Tensor& x, Tensor& y) {
+  const std::vector<int> out_dims = out_shape(x.shape());
+  y.reset(out_dims);
   const int plane = x.size(2) * x.size(3);
   const float inv_area = 1.0f / static_cast<float>(plane);
   for (int n = 0; n < x.size(0); ++n) {
@@ -130,7 +170,6 @@ Tensor GlobalAvgPool::forward(const Tensor& x) {
       y.v4(n, c, 0, 0) = acc * inv_area;
     }
   }
-  return y;
 }
 
 Tensor GlobalAvgPool::backward(const Tensor& grad_out) {

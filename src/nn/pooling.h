@@ -13,6 +13,8 @@ class MaxPool2d final : public Layer {
   LayerKind kind() const override { return LayerKind::max_pool; }
 
   Tensor forward(const Tensor& x) override;
+  // Eval mode only (replay path): no argmax caching.
+  void forward_into(const Tensor& x, Tensor& out) override;
   Tensor backward(const Tensor& grad_out) override;
   std::vector<int> out_shape(const std::vector<int>& in_shape) const override;
 
@@ -33,6 +35,7 @@ class AvgPool2d final : public Layer {
   LayerKind kind() const override { return LayerKind::avg_pool; }
 
   Tensor forward(const Tensor& x) override;
+  void forward_into(const Tensor& x, Tensor& out) override;
   Tensor backward(const Tensor& grad_out) override;
   std::vector<int> out_shape(const std::vector<int>& in_shape) const override;
 
@@ -52,6 +55,7 @@ class GlobalAvgPool final : public Layer {
   LayerKind kind() const override { return LayerKind::global_avg_pool; }
 
   Tensor forward(const Tensor& x) override;
+  void forward_into(const Tensor& x, Tensor& out) override;
   Tensor backward(const Tensor& grad_out) override;
   std::vector<int> out_shape(const std::vector<int>& in_shape) const override;
 

@@ -111,6 +111,20 @@ Tensor Tensor::reshaped(std::vector<int> new_shape) const {
   return t;
 }
 
+void Tensor::reshape_(std::vector<int> new_shape) {
+  util::require(shape_numel(new_shape) == numel(), "reshape_: element count mismatch");
+  shape_ = std::move(new_shape);
+}
+
+void Tensor::reset(std::vector<int> new_shape) {
+  const std::int64_t count = shape_numel(new_shape);
+  shape_ = std::move(new_shape);
+  // On a regrow past capacity, clear first so the vector does not copy the
+  // stale contents into the new allocation.
+  if (static_cast<std::int64_t>(data_.capacity()) < count) data_.clear();
+  data_.resize(static_cast<std::size_t>(count));
+}
+
 void Tensor::fill(float value) { std::fill(data_.begin(), data_.end(), value); }
 
 Tensor& Tensor::add_(const Tensor& other) {

@@ -67,6 +67,18 @@ class Tensor {
   // be -1 (inferred).
   Tensor reshaped(std::vector<int> new_shape) const;
 
+  // Reshapes IN PLACE to a shape of equal element count (no -1 inference,
+  // no copy). The storage is untouched.
+  void reshape_(std::vector<int> new_shape);
+
+  // Re-targets this tensor to `new_shape`, reusing the existing float
+  // storage when its capacity suffices (no allocation). Contents are
+  // unspecified afterwards — callers must overwrite every element. This is
+  // the allocation-free slot primitive of the replay arena
+  // (nn::ReplayArena): a worker's per-node output tensors stabilize at
+  // their high-water sizes instead of churning the allocator every sample.
+  void reset(std::vector<int> new_shape);
+
   // Copy of batch row `n` with a leading dimension of 1 (shape {1, ...}).
   // Rows are contiguous under the row-major layout, so this is one memcpy;
   // the per-(image, sample) Monte Carlo lanes use it to read a single

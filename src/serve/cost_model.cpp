@@ -1,0 +1,56 @@
+#include "serve/cost_model.h"
+
+#include "core/accelerator.h"
+#include "serve/server.h"
+#include "util/check.h"
+
+namespace bnn::serve {
+
+CostModel::CostModel(nn::NetworkDesc desc, core::PerfConfig config,
+                     bool use_intermediate_caching)
+    : desc_(std::move(desc)),
+      config_(config),
+      use_intermediate_caching_(use_intermediate_caching),
+      num_sites_(desc_.num_sites()) {}
+
+std::unique_ptr<CostModel> CostModel::for_accelerator(const core::Accelerator& accelerator) {
+  const core::AcceleratorConfig& config = accelerator.config();
+  return std::make_unique<CostModel>(accelerator.network().describe(),
+                                     core::PerfConfig{config.nne, config.ddr},
+                                     config.use_intermediate_caching);
+}
+
+int CostModel::resolve_layers(int bayes_layers) const {
+  return bayes_layers < 0 ? num_sites_ : bayes_layers;
+}
+
+double CostModel::modelled_ms(int bayes_layers, int num_samples) const {
+  const auto key = std::make_pair(resolve_layers(bayes_layers), num_samples);
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto hit = cache_.find(key);
+  if (hit != cache_.end()) return hit->second;
+  const double ms =
+      core::estimate_mc(desc_, config_, key.first, key.second, use_intermediate_caching_)
+          .latency_ms;
+  cache_.emplace(key, ms);
+  return ms;
+}
+
+double CostModel::first_pass_ms(const RequestOptions& options) const {
+  const int samples = options.use_uncertainty_router ? options.screening_samples
+                                                     : options.num_samples;
+  return modelled_ms(options.bayes_layers, samples);
+}
+
+double CostModel::admission_ms(const RequestOptions& options) const {
+  double ms = first_pass_ms(options);
+  if (options.use_uncertainty_router)
+    ms += modelled_ms(options.bayes_layers, options.num_samples);
+  return ms;
+}
+
+double CostModel::downgraded_ms(const RequestOptions& options) const {
+  return first_pass_ms(options);
+}
+
+}  // namespace bnn::serve

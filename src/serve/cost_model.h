@@ -1,0 +1,98 @@
+// Serving cost oracle: the paper's performance model re-used as the
+// dispatcher's estimate of what a request will cost.
+//
+// The headline result of the source paper (Fan et al., DAC 2021) is a
+// cycle model — layer_cycles = max(compute, memory) + fill, composed over
+// the IC schedule by core::estimate_mc — accurate enough to drive
+// design-space exploration. serve::CostModel wraps exactly that model as a
+// per-request latency estimate keyed by the request's {L, S} knobs: the
+// dispatcher ranks queued batch groups by modelled cost
+// (longest-processing-time-first across replicas), and the adaptive
+// overload policy sheds load by predicted cost against a wall-clock
+// latency target.
+//
+// Modelled milliseconds are accelerator-clock milliseconds; a single
+// calibration scale (core::PerfCalibration) maps them onto measured wall
+// milliseconds of the software simulator that actually serves the request.
+// Relative costs — all the LPT dispatcher needs — are calibration-free;
+// only the adaptive policy's comparison against `latency_target_ms` needs
+// the calibrated scale (serve::Server measures one anchor pass at startup).
+//
+// Determinism: modelled costs are a pure function of (network description,
+// NNE/DDR config, L, S) and the calibration scale is fixed after startup,
+// so every decision derived from CostModel is reproducible given the same
+// queue contents and stats window.
+#ifndef BNN_SERVE_COST_MODEL_H
+#define BNN_SERVE_COST_MODEL_H
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "core/perf_model.h"
+#include "nn/netdesc.h"
+
+namespace bnn::core {
+class Accelerator;
+}
+
+namespace bnn::serve {
+
+struct RequestOptions;
+
+class CostModel {
+ public:
+  CostModel(nn::NetworkDesc desc, core::PerfConfig config, bool use_intermediate_caching);
+
+  // Builds the model for the network/config an accelerator serves (the
+  // same estimate_mc inputs as Accelerator::estimate). Heap-allocated
+  // because the internal cache mutex pins the object in place.
+  static std::unique_ptr<CostModel> for_accelerator(const core::Accelerator& accelerator);
+
+  // Modelled milliseconds of one image's MC inference at {L, S} — cached
+  // per (L, S) pair; thread-safe.
+  double modelled_ms(int bayes_layers, int num_samples) const;
+
+  // Modelled cost of the FIRST accelerator pass a request triggers: the
+  // screening pass for routed requests, the full-S pass otherwise. This is
+  // the dispatcher's group-ranking unit (the escalation second pass is not
+  // known at dispatch time).
+  double first_pass_ms(const RequestOptions& options) const;
+
+  // Worst-case modelled total: first pass plus the escalation pass for
+  // routed requests. The adaptive policy's admission unit — overload
+  // decisions assume a routed request may escalate.
+  double admission_ms(const RequestOptions& options) const;
+
+  // Modelled cost after a shedding downgrade: screening pass only for
+  // routed requests (the downgrade's saving), the full pass otherwise.
+  double downgraded_ms(const RequestOptions& options) const;
+
+  // Calibration scale onto measured wall milliseconds (default identity).
+  // Set once at startup, before concurrent readers exist.
+  void set_calibration(core::PerfCalibration calibration) { calibration_ = calibration; }
+  const core::PerfCalibration& calibration() const { return calibration_; }
+
+  // Modelled milliseconds mapped onto the calibrated wall clock.
+  double wall_ms(double modelled) const {
+    return modelled * calibration_.wall_ms_per_modelled_ms;
+  }
+
+  int num_sites() const { return num_sites_; }
+
+ private:
+  int resolve_layers(int bayes_layers) const;
+
+  nn::NetworkDesc desc_;
+  core::PerfConfig config_;
+  bool use_intermediate_caching_;
+  int num_sites_;
+  core::PerfCalibration calibration_;
+  mutable std::mutex mutex_;
+  mutable std::map<std::pair<int, int>, double> cache_;
+};
+
+}  // namespace bnn::serve
+
+#endif  // BNN_SERVE_COST_MODEL_H

@@ -1,6 +1,7 @@
 #include "serve/server.h"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "metrics/metrics.h"
@@ -24,9 +25,19 @@ double percentile_sorted(const std::vector<double>& samples, double pct) {
 
 double latency_percentile(std::vector<double> samples, double pct) {
   util::require(!samples.empty(), "serve: percentile of an empty sample set");
+  // Note: NaN pct fails both comparisons and is rejected here too.
   util::require(pct >= 0.0 && pct <= 100.0, "serve: percentile must be in [0, 100]");
   std::sort(samples.begin(), samples.end());
   return percentile_sorted(samples, pct);
+}
+
+AdmissionAction adaptive_admission(const AdmissionInputs& inputs) {
+  if (inputs.queue_full) return AdmissionAction::reject;
+  if (!(inputs.p99_ms > inputs.latency_target_ms)) return AdmissionAction::admit;
+  if (inputs.downgrade_eligible) return AdmissionAction::downgrade;
+  if (inputs.backlog_ms + inputs.request_ms <= inputs.latency_target_ms)
+    return AdmissionAction::admit;
+  return AdmissionAction::reject;
 }
 
 Server::Server(core::Accelerator accelerator, ServerConfig config) : config_(config) {
@@ -34,6 +45,16 @@ Server::Server(core::Accelerator accelerator, ServerConfig config) : config_(con
   util::require(config_.num_replicas >= 1, "serve: num_replicas must be >= 1");
   util::require(config_.max_queue_depth >= 0,
                 "serve: max_queue_depth must be >= 0 (0 = unbounded)");
+  util::require(config_.admission_log_capacity >= 0,
+                "serve: admission_log_capacity must be >= 0 (0 = disabled)");
+  const bool adaptive = config_.overload_policy == OverloadPolicy::adaptive;
+  util::require(!adaptive || config_.latency_target_ms > 0.0,
+                "serve: OverloadPolicy::adaptive requires latency_target_ms > 0");
+
+  // The dispatch/shedding oracle: the paper's performance model over this
+  // network and NNE/DDR configuration (shared by all replicas).
+  if (config_.dispatch_mode == DispatchMode::cost_aware || adaptive)
+    cost_model_ = CostModel::for_accelerator(accelerator);
 
   // Partition the worker-lane budget: each replica's pair loop gets an
   // equal slice of the pool (at least one lane), so R replicas divide the
@@ -46,6 +67,35 @@ Server::Server(core::Accelerator accelerator, ServerConfig config) : config_(con
   const int per_replica = std::max(1, budget / config_.num_replicas);
   accelerator.set_thread_pool(config_.pool);
   accelerator.set_num_threads(per_replica);
+
+  // Calibrate the cost model once against a measured anchor pass BEFORE
+  // any replica starts: the adaptive policy compares modelled cost against
+  // a wall-clock latency target, so modelled milliseconds must be mapped
+  // onto this host's wall clock. One warmup + one measured pass over a
+  // zero image at {L = num_sites, S = 2} on the serving configuration. The
+  // scale is fixed afterwards — shedding decisions stay a pure function of
+  // (queue contents, stats window).
+  if (adaptive && config_.calibrate_cost_model) {
+    const quant::QuantNetwork& net = accelerator.network();
+    const nn::HwLayer& first = net.layers.front().geom;
+    nn::Tensor probe(first.op == nn::HwLayer::Op::conv
+                         ? std::vector<int>{1, first.in_c, first.in_h, first.in_w}
+                         : std::vector<int>{1, static_cast<int>(first.in_elems()), 1, 1});
+    const std::vector<core::Accelerator::ImageRequest> anchor{
+        {net.num_sites, 2, /*stream_id=*/0}};
+    (void)accelerator.predict_batch(probe, anchor);  // warmup (pool spin-up etc.)
+    const auto started = std::chrono::steady_clock::now();
+    (void)accelerator.predict_batch(probe, anchor);
+    const double measured_ms = std::chrono::duration<double, std::milli>(
+                                   std::chrono::steady_clock::now() - started)
+                                   .count();
+    const double modelled = cost_model_->modelled_ms(net.num_sites, 2);
+    if (std::isfinite(measured_ms) && measured_ms > 0.0 && modelled > 0.0)
+      cost_model_->set_calibration(core::calibrate_perf(measured_ms, modelled));
+  }
+
+  if (config_.admission_log_capacity > 0)
+    admission_log_.reserve(static_cast<std::size_t>(config_.admission_log_capacity));
 
   replicas_.reserve(static_cast<std::size_t>(config_.num_replicas));
   replicas_.push_back(std::make_unique<Replica>(std::move(accelerator)));
@@ -87,6 +137,50 @@ void Server::shutdown() {
   for (std::thread& thread : claimed) thread.join();
 }
 
+double Server::window_p99_locked() const {
+  if (latency_window_.empty()) return 0.0;
+  if (sorted_version_ != window_version_) {
+    sorted_window_ = latency_window_;
+    std::sort(sorted_window_.begin(), sorted_window_.end());
+    sorted_version_ = window_version_;
+  }
+  return percentile_sorted(sorted_window_, 99.0);
+}
+
+double Server::queue_backlog_ms_locked() const {
+  // Summed on demand (no incremental running total): exact, drift-free,
+  // and O(queue) only on adaptive submissions while overloaded.
+  double backlog = 0.0;
+  for (const Pending& pending : queue_) backlog += pending.admission_ms;
+  return cost_model_->wall_ms(backlog);
+}
+
+void Server::record_admission_locked(const AdmissionInputs& inputs,
+                                     AdmissionAction action) {
+  if (config_.admission_log_capacity <= 0) return;
+  AdmissionRecord record;
+  record.submit_seq = stats_.submitted;  // pre-increment submission sequence
+  record.inputs = inputs;
+  record.action = action;
+  const std::size_t capacity = static_cast<std::size_t>(config_.admission_log_capacity);
+  if (admission_log_.size() < capacity) {
+    admission_log_.push_back(record);
+  } else {
+    admission_log_[admission_next_] = record;
+    admission_next_ = (admission_next_ + 1) % capacity;
+  }
+}
+
+std::vector<AdmissionRecord> Server::admission_log() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<AdmissionRecord> log;
+  log.reserve(admission_log_.size());
+  // Unwrap the ring: oldest first.
+  for (std::size_t i = 0; i < admission_log_.size(); ++i)
+    log.push_back(admission_log_[(admission_next_ + i) % admission_log_.size()]);
+  return log;
+}
+
 std::future<Response> Server::submit(Request request) {
   const RequestOptions& options = request.options;
   util::require(options.num_samples >= 1, "serve: num_samples must be >= 1");
@@ -119,29 +213,80 @@ std::future<Response> Server::submit(Request request) {
                                                 request.image.size(2)})
                       : std::move(request.image);
   pending.options = options;
+  if (cost_model_) {
+    // Modelled costs are computed OUTSIDE the queue lock (the (L, S) cache
+    // has its own) — pure functions of the options, so precomputing them
+    // here keeps the admission decision itself O(queue).
+    pending.first_pass_ms = cost_model_->first_pass_ms(options);
+    pending.admission_ms = cost_model_->admission_ms(options);
+  }
   std::future<Response> future = pending.promise.get_future();
 
   {
     std::unique_lock<std::mutex> lock(mutex_);
-    if (stopping_) throw std::runtime_error("serve: server is shut down");
-    if (config_.max_queue_depth > 0 &&
-        queue_.size() >= static_cast<std::size_t>(config_.max_queue_depth)) {
-      if (config_.overload_policy == OverloadPolicy::fail_fast) {
-        // The request never enters the queue and consumes no ticket, so a
-        // rejection cannot shift later requests' default stream ids.
-        ++stats_.submitted;
-        ++stats_.rejected;
-        pending.promise.set_exception(std::make_exception_ptr(QueueFullError(
-            "serve: queue full (max_queue_depth=" +
-            std::to_string(config_.max_queue_depth) + "), request rejected")));
-        return future;
+    if (stopping_) throw ShutdownError("serve: server is shut down");
+    const auto reject_with = [&](const char* reason) {
+      ++stats_.submitted;
+      ++stats_.rejected;
+      pending.promise.set_exception(std::make_exception_ptr(QueueFullError(reason)));
+    };
+    const bool queue_full =
+        config_.max_queue_depth > 0 &&
+        queue_.size() >= static_cast<std::size_t>(config_.max_queue_depth);
+    switch (config_.overload_policy) {
+      case OverloadPolicy::fail_fast:
+        if (queue_full) {
+          // The request never enters the queue and consumes no ticket, so a
+          // rejection cannot shift later requests' default stream ids.
+          reject_with("serve: queue full, request rejected (fail_fast)");
+          return future;
+        }
+        break;
+      case OverloadPolicy::block:
+        if (queue_full) {
+          // Wait for a replica to pull a batch group. A submitter woken by
+          // shutdown() fails deterministically and NEVER enqueues after
+          // the dispatcher stopped (checked before any push below).
+          queue_space_.wait(lock, [this] {
+            return stopping_ ||
+                   queue_.size() < static_cast<std::size_t>(config_.max_queue_depth);
+          });
+          if (stopping_) throw ShutdownError("serve: server shut down while blocked");
+        }
+        break;
+      case OverloadPolicy::adaptive: {
+        AdmissionInputs inputs;
+        inputs.queue_full = queue_full;
+        inputs.p99_ms = window_p99_locked();
+        inputs.latency_target_ms = config_.latency_target_ms;
+        inputs.downgrade_eligible = options.use_uncertainty_router;
+        // Backlog/request costs only matter past the overload gate; skip
+        // the queue walk when the window is within target.
+        if (!inputs.queue_full && inputs.p99_ms > inputs.latency_target_ms) {
+          inputs.backlog_ms = queue_backlog_ms_locked();
+          inputs.request_ms = cost_model_->wall_ms(pending.admission_ms);
+        }
+        const AdmissionAction action = adaptive_admission(inputs);
+        record_admission_locked(inputs, action);
+        if (action == AdmissionAction::reject) {
+          ++stats_.shed_rejected;
+          reject_with(inputs.queue_full
+                          ? "serve: queue full, request rejected (adaptive)"
+                          : "serve: latency target exceeded, request shed by "
+                            "predicted cost (adaptive)");
+          return future;
+        }
+        if (action == AdmissionAction::downgrade) {
+          pending.shed_downgrade = true;
+          // The queue backlog must reflect what will actually run: a
+          // downgraded request never escalates, so its modelled cost drops
+          // to the screening pass — otherwise every queued downgrade would
+          // inflate backlog_ms by its never-to-run escalation pass and
+          // over-shed later arrivals.
+          pending.admission_ms = cost_model_->downgraded_ms(options);
+        }
+        break;
       }
-      // OverloadPolicy::block: wait for a replica to pull a batch group.
-      queue_space_.wait(lock, [this] {
-        return stopping_ ||
-               queue_.size() < static_cast<std::size_t>(config_.max_queue_depth);
-      });
-      if (stopping_) throw std::runtime_error("serve: server shut down while blocked");
     }
     ++stats_.submitted;
     // Submission-order ticket; a caller-pinned stream id skips the default
@@ -166,12 +311,15 @@ ServerStats Server::stats() const {
   ServerStats stats;
   std::vector<double> window;
   {
-    // Only the copies happen under the lock; the sort runs after release
-    // so a polling monitor cannot stall submit() or the replicas.
+    // One mutex hold snapshots the counters AND the latency ring together,
+    // so a poller never sees counters from one instant paired with a
+    // window from another; the sort runs after release so a polling
+    // monitor cannot stall submit() or the replicas.
     std::lock_guard<std::mutex> lock(mutex_);
     stats = stats_;
     window = latency_window_;
   }
+  stats.latency_window_count = static_cast<std::uint64_t>(window.size());
   if (!window.empty()) {
     std::sort(window.begin(), window.end());
     stats.latency_p50_ms = percentile_sorted(window, 50.0);
@@ -205,13 +353,50 @@ void Server::replica_loop(Replica& replica) {
       // The linger releases the lock, so a concurrently idle replica may
       // have drained the queue in the meantime.
       if (queue_.empty()) continue;
-      // Per-shape batch group: coalesce the oldest request with every
-      // queued request of the same image shape (up to max_batch); other
-      // shapes stay queued and form their own group for the next idle
-      // replica. The accelerator pass therefore always sees one
-      // homogeneous (N, C, H, W) tensor, and a mixed-shape wave can never
-      // fault a replica worker.
-      const std::vector<int> shape = queue_.front().image.shape();
+      // Pick this pull's per-shape batch group. FIFO coalesces around the
+      // oldest request. Cost-aware ranks every queued group (the first
+      // max_batch queued requests of each distinct shape) by its summed
+      // modelled first-pass cost and takes the costliest — idle replicas
+      // therefore run longest-processing-time-first, balancing modelled
+      // load across replicas; ties keep the oldest group, and within a
+      // group requests always leave in queue order. Selection only decides
+      // WHERE and WHEN a request runs — responses are pure functions of
+      // (request, stream id), so both modes serve bit-identical responses.
+      std::vector<int> shape = queue_.front().image.shape();
+      if (config_.dispatch_mode == DispatchMode::cost_aware && cost_model_) {
+        std::vector<const std::vector<int>*> shapes;  // first-occurrence order
+        std::vector<double> group_cost;
+        std::vector<int> group_count;
+        for (const Pending& pending : queue_) {
+          const std::vector<int>& s = pending.image.shape();
+          std::size_t g = 0;
+          while (g < shapes.size() && *shapes[g] != s) ++g;
+          if (g == shapes.size()) {
+            shapes.push_back(&pending.image.shape());
+            group_cost.push_back(0.0);
+            group_count.push_back(0);
+          }
+          if (group_count[g] < config_.max_batch) {
+            group_cost[g] += pending.first_pass_ms;
+            ++group_count[g];
+          }
+        }
+        std::size_t best = 0;
+        for (std::size_t g = 1; g < shapes.size(); ++g)
+          if (group_cost[g] > group_cost[best]) best = g;  // ties keep oldest
+        shape = *shapes[best];
+        // Starvation guard: a cheap shape group could otherwise wait
+        // forever while costlier groups keep arriving. After
+        // kMaxHeadBypass consecutive pulls that passed over the oldest
+        // queued request, force its group once (deterministic in the pull
+        // sequence, no wall clock involved).
+        if (shape == queue_.front().image.shape()) {
+          head_bypass_ = 0;
+        } else if (++head_bypass_ >= kMaxHeadBypass) {
+          shape = queue_.front().image.shape();
+          head_bypass_ = 0;
+        }
+      }
       batch.reserve(static_cast<std::size_t>(
           std::min<int>(config_.max_batch, static_cast<int>(queue_.size()))));
       for (auto it = queue_.begin();
@@ -227,6 +412,16 @@ void Server::replica_loop(Replica& replica) {
     queue_space_.notify_all();  // backpressured submitters may proceed
     serve_batch(replica.accelerator, std::move(batch));
   }
+}
+
+void Server::append_latency_locked(double ms) {
+  if (latency_window_.size() < kLatencyWindow) {
+    latency_window_.push_back(ms);
+  } else {
+    latency_window_[latency_next_] = ms;
+    latency_next_ = (latency_next_ + 1) % kLatencyWindow;
+  }
+  ++window_version_;  // invalidates the lazily-sorted p99 copy
 }
 
 void Server::serve_batch(core::Accelerator& accelerator, std::vector<Pending> batch) {
@@ -257,7 +452,9 @@ void Server::serve_batch(core::Accelerator& accelerator, std::vector<Pending> ba
 
   try {
     // Pass 1: full quality for direct requests, the cheap screening S for
-    // routed ones — one coalesced accelerator batch either way.
+    // routed ones — one coalesced accelerator batch either way. A
+    // shed-downgraded request IS a routed request here; the downgrade only
+    // suppresses its escalation below.
     nn::Tensor images({count, batch.front().image.size(1), batch.front().image.size(2),
                        batch.front().image.size(3)});
     std::vector<core::Accelerator::ImageRequest> pass(static_cast<std::size_t>(count));
@@ -274,10 +471,15 @@ void Server::serve_batch(core::Accelerator& accelerator, std::vector<Pending> ba
     core::Accelerator::BatchPrediction first = accelerator.predict_batch(images, pass);
 
     // Route: responses for settled requests, an escalation list for inputs
-    // whose screening entropy crossed the threshold (Opt-Uncertainty).
+    // whose screening entropy crossed the threshold (Opt-Uncertainty). A
+    // shed-downgraded request never escalates — its response is the
+    // screening pass verbatim, which is exactly what a direct
+    // never-escalating routed request with the same stream id would get
+    // (bit-identity of the downgrade).
     std::vector<Response> responses(static_cast<std::size_t>(count));
     std::vector<int> escalate;
     std::uint64_t screened = 0;
+    std::uint64_t downgraded = 0;
     for (int n = 0; n < count; ++n) {
       const Pending& pending = batch[static_cast<std::size_t>(n)];
       Response& response = responses[static_cast<std::size_t>(n)];
@@ -289,7 +491,10 @@ void Server::serve_batch(core::Accelerator& accelerator, std::vector<Pending> ba
       response.stats = first.stats[static_cast<std::size_t>(n)];
       if (pending.options.use_uncertainty_router) {
         ++screened;
-        if (response.entropy_nats > pending.options.entropy_threshold_nats) {
+        if (pending.shed_downgrade) {
+          response.shed_downgraded = true;
+          ++downgraded;
+        } else if (response.entropy_nats > pending.options.entropy_threshold_nats) {
           escalate.push_back(n);
           continue;
         }
@@ -341,15 +546,11 @@ void Server::serve_batch(core::Accelerator& accelerator, std::vector<Pending> ba
       stats_.batches += 1 + extra_batches;
       stats_.screened += screened;
       stats_.escalations += static_cast<std::uint64_t>(escalate.size());
+      stats_.shed_downgraded += downgraded;
       for (const Pending& pending : batch) {
-        const double ms =
-            std::chrono::duration<double, std::milli>(completed - pending.submitted).count();
-        if (latency_window_.size() < kLatencyWindow) {
-          latency_window_.push_back(ms);
-        } else {
-          latency_window_[latency_next_] = ms;
-          latency_next_ = (latency_next_ + 1) % kLatencyWindow;
-        }
+        append_latency_locked(std::chrono::duration<double, std::milli>(
+                                  completed - pending.submitted)
+                                  .count());
       }
     }
     for (int n = 0; n < count; ++n)

@@ -12,11 +12,25 @@
 // and slice the shared runtime::ThreadPool between them, so each group's
 // flattened (image, sample) pair loop fills its share of the pool lanes.
 //
+// Dispatch: by default the dispatcher is COST-AWARE — a serve::CostModel
+// (the paper's own performance model re-used as a serving oracle) estimates
+// each queued per-shape batch group's modelled latency from its requests'
+// {L, S} knobs, and an idle replica pulls the COSTLIEST group first
+// (longest-processing-time-first across replicas). LPT balances modelled
+// load between replicas and cuts tail latency under mixed cheap/expensive
+// traffic; `DispatchMode::fifo` restores the greedy oldest-first pull.
+// Routing only changes WHICH replica serves a group and WHEN — never what
+// any request's response is (see Determinism below).
+//
 // Backpressure: `max_queue_depth` bounds the coalescing queue. When it is
 // full, submit() either blocks the caller until a replica frees space
 // (OverloadPolicy::block) or resolves the returned future immediately with
-// a QueueFullError (OverloadPolicy::fail_fast) — the server degrades
-// predictably under overload instead of queueing without bound.
+// a QueueFullError (OverloadPolicy::fail_fast). OverloadPolicy::adaptive
+// instead sheds load by PREDICTED COST when the served-latency p99 drifts
+// past `latency_target_ms`: eligible (router-enabled) requests are
+// downgraded to screening-only first, and only requests whose modelled cost
+// no longer fits the latency budget are rejected — the server degrades by
+// shedding the costliest work instead of everything that arrives late.
 //
 // The uncertainty-threshold router implements the paper's Opt-Uncertainty
 // serving mode: a cheap screening pass with few samples first; only inputs
@@ -27,11 +41,17 @@
 // Determinism: every request gets a stream id (a submission-order ticket,
 // or a caller-chosen id), and the accelerator's sampler lanes are seeded
 // per (stream id, sample). A request's response is therefore a pure
-// function of (network weights, image, its options, its stream id) — the
-// same no matter how the dispatcher batched it, WHICH REPLICA ran it, how
-// many worker threads ran, or what other traffic was in flight. An
-// escalated response is bit-identical to what a direct full-S request
-// would have returned.
+// function of (network weights, image, its options, its stream id, its
+// shed-downgrade flag) — the same no matter how the dispatcher batched it,
+// WHICH REPLICA ran it, WHICH DISPATCH MODE picked it, how many worker
+// threads ran, or what other traffic was in flight. An escalated response
+// is bit-identical to what a direct full-S request would have returned; a
+// shed-downgraded response is bit-identical to the screening pass a direct
+// never-escalating request would have returned. Across overload policies
+// only ADMISSION decisions (reject / downgrade) may differ, and each
+// adaptive decision is a pure function of its recorded inputs
+// (adaptive_admission + AdmissionRecord), reproducible by a
+// single-threaded replay.
 #ifndef BNN_SERVE_SERVER_H
 #define BNN_SERVE_SERVER_H
 
@@ -49,6 +69,7 @@
 
 #include "core/accelerator.h"
 #include "nn/tensor.h"
+#include "serve/cost_model.h"
 
 namespace bnn::serve {
 
@@ -84,27 +105,61 @@ struct Response {
   int predicted_class = -1;
   double entropy_nats = 0.0;  ///< predictive entropy of `probs`
   bool escalated = false;     ///< router promoted this input to full S
-  int samples_used = 0;       ///< S of the pass that produced `probs`
-  int bayes_layers = 0;       ///< resolved L
+  /// Adaptive shedding answered this routed request from the screening
+  /// pass regardless of its entropy (bit-identical to that pass).
+  bool shed_downgraded = false;
+  int samples_used = 0;  ///< S of the pass that produced `probs`
+  int bayes_layers = 0;  ///< resolved L
   std::uint64_t stream_id = 0;
   core::RunStats stats;  ///< modelled hardware cost of the producing pass
 };
 
-/// What submit() does when the queue already holds `max_queue_depth`
-/// requests.
+/// What submit() does when the server is overloaded.
 enum class OverloadPolicy {
-  /// Block the submitting thread until a replica frees queue space (or the
-  /// server shuts down, which throws std::runtime_error to the submitter).
+  /// Block the submitting thread on a full queue until a replica frees
+  /// space (or the server shuts down, which throws ShutdownError to the
+  /// submitter).
   block,
-  /// Resolve the returned future immediately with QueueFullError; the
-  /// request never enters the queue and consumes no stream-id ticket.
+  /// On a full queue, resolve the returned future immediately with
+  /// QueueFullError; the request never enters the queue and consumes no
+  /// stream-id ticket.
   fail_fast,
+  /// Latency-target shedding (requires ServerConfig::latency_target_ms
+  /// > 0): while the served p99 exceeds the target, routed requests are
+  /// admitted DOWNGRADED to screening-only, and non-routed requests are
+  /// rejected with QueueFullError unless their modelled cost still fits
+  /// the latency budget on top of the queue's modelled backlog. A full
+  /// queue (max_queue_depth) still rejects outright. Decisions are a pure
+  /// function of (queue contents, stats window, request) — see
+  /// adaptive_admission.
+  adaptive,
 };
 
-/// The distinct error a fail-fast rejection carries: clients can tell "the
-/// server is overloaded, retry later" apart from malformed-request
-/// (std::invalid_argument) and shutdown (plain std::runtime_error) failures.
+/// How an idle replica picks its next per-shape batch group.
+enum class DispatchMode {
+  /// Greedy FIFO: coalesce around the oldest queued request.
+  fifo,
+  /// Longest-processing-time-first: coalesce the per-shape group with the
+  /// highest modelled cost (serve::CostModel over each request's first
+  /// accelerator pass). Ties fall back to the oldest group. Default.
+  cost_aware,
+};
+
+/// The distinct error a backpressure rejection carries: clients can tell
+/// "the server is overloaded, retry later" apart from malformed-request
+/// (std::invalid_argument) and shutdown (ShutdownError) failures. Thrown
+/// into the future by fail_fast and by adaptive shedding.
 class QueueFullError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// The distinct error shutdown delivers to submitters: thrown by submit()
+/// after shutdown() and to submitters blocked on a full queue when
+/// shutdown arrives — a woken submitter NEVER enqueues after the
+/// dispatcher stopped. Derives from std::runtime_error, so pre-existing
+/// catch sites keep working.
+class ShutdownError : public std::runtime_error {
  public:
   using std::runtime_error::runtime_error;
 };
@@ -127,25 +182,50 @@ struct ServerConfig {
   /// share the quantized network read-only; responses are bit-identical
   /// for every replica count (sampler lanes depend only on stream ids).
   int num_replicas = 1;
-  /// Queue bound for backpressure; 0 = unbounded (no admission control).
+  /// Queue bound for backpressure; 0 = unbounded (no fixed admission
+  /// bound; adaptive shedding still applies under ::adaptive).
   int max_queue_depth = 0;
-  /// What submit() does when the queue is full (see OverloadPolicy).
+  /// What submit() does under overload (see OverloadPolicy).
   OverloadPolicy overload_policy = OverloadPolicy::block;
+  /// Group-selection strategy of idle replicas (see DispatchMode).
+  /// Scheduling only — responses are bit-identical in both modes.
+  DispatchMode dispatch_mode = DispatchMode::cost_aware;
+  /// Wall-clock p99 target (milliseconds) for OverloadPolicy::adaptive;
+  /// must be > 0 under that policy, ignored otherwise.
+  double latency_target_ms = 0.0;
+  /// Under ::adaptive, measure one accelerator pass at construction and
+  /// scale the cost model's modelled milliseconds onto the measured wall
+  /// clock (core::PerfCalibration). Disable for tests that want modelled
+  /// milliseconds compared against the target as-is.
+  bool calibrate_cost_model = true;
+  /// Ring capacity of the adaptive admission-decision log (0 = disabled).
+  /// Tests and replay harnesses read it via Server::admission_log().
+  int admission_log_capacity = 0;
 };
 
 /// Aggregate serving counters (monotonic since construction) plus latency
 /// percentiles over a sliding window of recently served requests.
-/// Invariant (once the queue is drained): requests + rejected == submitted.
+/// Invariants (once the queue is drained): requests + rejected ==
+/// submitted; shed_downgraded <= requests; shed_rejected <= rejected —
+/// equivalently (requests - shed_downgraded) + shed_downgraded + rejected
+/// == submitted (full-quality + downgraded-then-served + rejected).
 struct ServerStats {
   std::uint64_t submitted = 0;    ///< valid submissions (accepted + rejected)
   std::uint64_t requests = 0;     ///< responses produced
-  std::uint64_t rejected = 0;     ///< fail-fast backpressure rejections
+  std::uint64_t rejected = 0;     ///< backpressure rejections (all policies)
   std::uint64_t batches = 0;      ///< accelerator passes issued
   std::uint64_t screened = 0;     ///< requests that took the screening pass
   std::uint64_t escalations = 0;  ///< screened requests promoted to full S
+  /// Served screening-only because adaptive shedding downgraded them.
+  std::uint64_t shed_downgraded = 0;
+  /// Rejections decided by adaptive shedding (subset of `rejected`).
+  std::uint64_t shed_rejected = 0;
   /// High-water mark of the coalescing queue length; never exceeds
   /// max_queue_depth when that bound is set.
   std::uint64_t peak_queue_depth = 0;
+  /// How many served-request samples back the percentiles below (at most
+  /// Server::kLatencyWindow).
+  std::uint64_t latency_window_count = 0;
   /// End-to-end request latency (submit() to response ready, wall clock,
   /// milliseconds) over the last `Server::kLatencyWindow` served requests;
   /// 0 until the first response.
@@ -156,9 +236,40 @@ struct ServerStats {
 
 /// Percentile with linear interpolation between closest ranks: pct in
 /// [0, 100], pct=50 of {1,2,3,4} is 2.5. Sorts a copy; the input need not
-/// be ordered. Throws std::invalid_argument on an empty sample set or an
-/// out-of-range pct.
+/// be ordered. A single sample is every percentile of itself. Throws
+/// std::invalid_argument on an empty sample set or an out-of-range (or
+/// NaN) pct.
 double latency_percentile(std::vector<double> samples, double pct);
+
+/// What the adaptive policy decided for one submission.
+enum class AdmissionAction { admit, downgrade, reject };
+
+/// Everything an adaptive admission decision depends on. Snapshotting
+/// these makes each decision a pure function — see adaptive_admission —
+/// and hence replayable single-threadedly.
+struct AdmissionInputs {
+  bool queue_full = false;        ///< fixed max_queue_depth bound hit
+  double p99_ms = 0.0;            ///< served-latency p99 over the stats window
+  double latency_target_ms = 0.0; ///< configured target
+  double backlog_ms = 0.0;        ///< calibrated modelled cost of the queue
+  double request_ms = 0.0;        ///< calibrated worst-case cost of this request
+  bool downgrade_eligible = false;///< routed and therefore screenable
+};
+
+/// The deterministic adaptive shedding rule (pure function):
+///   1. full queue                         -> reject (hard bound),
+///   2. p99 <= target (not overloaded)     -> admit,
+///   3. eligible (router on)               -> downgrade to screening-only,
+///   4. backlog + request fits the target  -> admit (cheap enough),
+///   5. otherwise                          -> reject (the costly are shed).
+AdmissionAction adaptive_admission(const AdmissionInputs& inputs);
+
+/// One logged adaptive decision (submission order).
+struct AdmissionRecord {
+  std::uint64_t submit_seq = 0;  ///< value of ServerStats::submitted when decided
+  AdmissionInputs inputs;
+  AdmissionAction action = AdmissionAction::admit;
+};
 
 /// Batched-serving front end over R replica accelerators. Thread-safe: any
 /// number of client threads may submit concurrently; each replica worker
@@ -166,11 +277,11 @@ double latency_percentile(std::vector<double> samples, double pct);
 /// request before returning.
 ///
 /// Batches are grouped per image shape: a replica only coalesces queued
-/// requests whose (C, H, W) matches the oldest waiting request and leaves
-/// the rest queued (for itself on its next pull, or for a concurrently
-/// idle replica), so heterogeneous traffic (possible when the network's
-/// first layer is linear, which constrains only the element count) splits
-/// into homogeneous accelerator passes instead of faulting — and a shape
+/// requests whose (C, H, W) matches the chosen group head and leaves the
+/// rest queued (for itself on its next pull, or for a concurrently idle
+/// replica), so heterogeneous traffic (possible when the network's first
+/// layer is linear, which constrains only the element count) splits into
+/// homogeneous accelerator passes instead of faulting — and a shape
 /// problem can only ever fail its own request, never a batch neighbour or
 /// a replica worker.
 class Server {
@@ -178,7 +289,10 @@ class Server {
   /// Takes ownership of the accelerator and replicates it
   /// `config.num_replicas` times (replicas share the quantized network);
   /// `config.pool`/`config.num_threads` override the accelerator's own
-  /// executor knobs.
+  /// executor knobs. Under OverloadPolicy::adaptive,
+  /// `config.latency_target_ms` must be positive, and (unless
+  /// calibrate_cost_model is off) one measured accelerator pass anchors
+  /// the cost model's wall-clock scale before the replicas start.
   explicit Server(core::Accelerator accelerator, ServerConfig config = {});
   ~Server();
 
@@ -187,10 +301,10 @@ class Server {
 
   /// Enqueues a request; the future resolves when its batch completes.
   /// Throws std::invalid_argument on malformed options or image shape, and
-  /// std::runtime_error after shutdown() has been called (including to
-  /// submitters blocked on a full queue when shutdown arrives). Under
-  /// fail-fast overload the returned future holds a QueueFullError instead
-  /// of a value.
+  /// ShutdownError after shutdown() has been called (including to
+  /// submitters blocked on a full queue when shutdown arrives — a woken
+  /// submitter never enqueues). Under fail_fast or adaptive overload the
+  /// returned future holds a QueueFullError instead of a value.
   std::future<Response> submit(Request request);
 
   /// Synchronous convenience: submit + wait.
@@ -202,6 +316,15 @@ class Server {
   void shutdown();
 
   ServerStats stats() const;
+
+  /// The dispatcher's cost oracle; nullptr when neither cost-aware
+  /// dispatch nor adaptive shedding is configured.
+  const CostModel* cost_model() const { return cost_model_.get(); }
+
+  /// The logged adaptive admission decisions, oldest first (at most
+  /// `admission_log_capacity` retained). Empty unless the adaptive policy
+  /// and a positive capacity are configured.
+  std::vector<AdmissionRecord> admission_log() const;
 
   /// Replica 0's accelerator (all replicas share its network and config).
   const core::Accelerator& accelerator() const { return replicas_.front()->accelerator; }
@@ -215,6 +338,9 @@ class Server {
     nn::Tensor image;  // (1, C, H, W)
     RequestOptions options;
     std::uint64_t stream_id = 0;
+    bool shed_downgrade = false;     // adaptive: answer from the screening pass
+    double first_pass_ms = 0.0;      // modelled dispatch cost (group ranking)
+    double admission_ms = 0.0;       // modelled worst-case cost (backlog)
     std::promise<Response> promise;
     std::chrono::steady_clock::time_point submitted;
   };
@@ -228,19 +354,36 @@ class Server {
 
   void replica_loop(Replica& replica);
   void serve_batch(core::Accelerator& accelerator, std::vector<Pending> batch);
+  // Latency p99 over the current window; requires mutex_ held. Re-sorts
+  // only when the window changed since the last call.
+  double window_p99_locked() const;
+  // Calibrated modelled backlog of the queue; requires mutex_ held.
+  double queue_backlog_ms_locked() const;
+  void record_admission_locked(const AdmissionInputs& inputs, AdmissionAction action);
+  void append_latency_locked(double ms);
 
   ServerConfig config_;
+  std::unique_ptr<CostModel> cost_model_;  // set iff cost-aware or adaptive
   std::vector<std::unique_ptr<Replica>> replicas_;
 
   mutable std::mutex mutex_;
   std::condition_variable queue_ready_;  // replicas wait for work
   std::condition_variable queue_space_;  // blocked submitters wait for room
   std::deque<Pending> queue_;
+  /// Consecutive cost-aware pulls that bypassed the oldest queued request;
+  /// at kMaxHeadBypass its group is forced once (LPT starvation guard).
+  int head_bypass_ = 0;
+  static constexpr int kMaxHeadBypass = 4;
   std::uint64_t next_ticket_ = 0;
   bool stopping_ = false;
   ServerStats stats_;
   std::vector<double> latency_window_;  // ring buffer, capacity kLatencyWindow
   std::size_t latency_next_ = 0;
+  std::uint64_t window_version_ = 0;  // bumped per append (p99 cache key)
+  mutable std::vector<double> sorted_window_;  // lazily re-sorted copy
+  mutable std::uint64_t sorted_version_ = ~std::uint64_t{0};
+  std::vector<AdmissionRecord> admission_log_;  // ring, capacity from config
+  std::size_t admission_next_ = 0;
 };
 
 }  // namespace bnn::serve

@@ -139,5 +139,84 @@ TEST(Network, ActivationAccessor) {
   EXPECT_FLOAT_EQ(net.activation(Network::input_id).v2(0, 0), 4.0f);
 }
 
+// --- replay arena ----------------------------------------------------------
+
+// A deep all-Bayesian suffix (replay from node 1, every layer kind on the
+// path: conv, batchnorm-free residual add, pooling, flatten, linear, relu,
+// two active MCD sites) replayed with ONE reused arena must be bit-identical
+// to arena-free replays, sample for sample and row for row — the arena (and
+// the Layer::forward_into in-place paths underneath it) only changes where
+// the scratch lives, never the arithmetic.
+TEST(Network, ReplayArenaBitIdenticalToFreshScratchAcrossSamplesAndRows) {
+  util::Rng rng(2024);
+  Network net;
+  auto conv = std::make_unique<Conv2d>(1, 4, 3, 1, 1);
+  conv->init_kaiming(rng);
+  const auto c1 = net.add(std::move(conv), Network::input_id);
+  const auto r1 = net.add(std::make_unique<ReLU>(), c1);
+  auto site1 = std::make_unique<McDropout>(0.25, 11);
+  site1->set_active(true);
+  const auto s1 = net.add(std::move(site1), r1);
+  auto proj = std::make_unique<Conv2d>(4, 4, 1, 1, 0);
+  proj->init_kaiming(rng);
+  const auto c2 = net.add(std::move(proj), s1);
+  const auto sum = net.add(std::make_unique<Add>(), c2, s1);  // residual
+  const auto flat = net.add(std::make_unique<Flatten>(), sum);
+  auto fc = std::make_unique<Linear>(4 * 6 * 6, 8);
+  fc->init_kaiming(rng);
+  const auto l1 = net.add(std::move(fc), flat);
+  auto site2 = std::make_unique<McDropout>(0.25, 12);
+  site2->set_active(true);
+  const auto s2 = net.add(std::move(site2), l1);
+  net.add(make_identity_linear(8), s2);
+  net.set_training(false);
+
+  Tensor x = Tensor::randn({3, 1, 6, 6}, rng);
+  net.prepare_replay(x, /*first_node=*/1);  // L = N: the whole net replays
+
+  Network::ReplayArena arena;  // ONE arena reused across every replay below
+  for (int row = 0; row < 3; ++row) {
+    for (int sample = 0; sample < 4; ++sample) {
+      // Identical mask streams for both replays of this (row, sample).
+      const auto masks_for = [&](std::vector<std::unique_ptr<RngMaskSource>>& keep) {
+        std::vector<MaskSource*> site_masks(static_cast<std::size_t>(net.num_nodes()),
+                                            nullptr);
+        for (const Network::NodeId node : {s1, s2}) {
+          keep.push_back(std::make_unique<RngMaskSource>(
+              0.25, util::Rng(100 + static_cast<std::uint64_t>(node))
+                        .fork(static_cast<std::uint64_t>(row))
+                        .fork(static_cast<std::uint64_t>(sample))));
+          site_masks[static_cast<std::size_t>(node)] = keep.back().get();
+        }
+        return site_masks;
+      };
+      std::vector<std::unique_ptr<RngMaskSource>> keep_a, keep_b;
+      const Tensor with_arena =
+          net.replay_suffix_row(1, masks_for(keep_a), row, nullptr, &arena);
+      const Tensor without =
+          net.replay_suffix_row(1, masks_for(keep_b), row, nullptr, nullptr);
+      ASSERT_EQ(with_arena.shape(), without.shape());
+      EXPECT_EQ(with_arena.max_abs_diff(without), 0.0f)
+          << "row " << row << ", sample " << sample;
+    }
+  }
+}
+
+// Tensor::reset reuses capacity and never leaks stale element counts.
+TEST(Tensor, ResetReusesCapacityAndReshapes) {
+  Tensor t({2, 8});
+  const float* storage = t.data();
+  t.reset({4, 2});  // shrink within capacity: same storage
+  EXPECT_EQ(t.data(), storage);
+  EXPECT_EQ(t.numel(), 8);
+  EXPECT_EQ(t.shape(), (std::vector<int>{4, 2}));
+  t.reset({1, 100});  // regrow past capacity: fresh zeroed storage
+  EXPECT_EQ(t.numel(), 100);
+  for (std::int64_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t[i], 0.0f);
+  EXPECT_THROW(t.reshape_({3, 3}), std::invalid_argument);
+  t.reshape_({10, 10});
+  EXPECT_EQ(t.shape(), (std::vector<int>{10, 10}));
+}
+
 }  // namespace
 }  // namespace bnn::nn

@@ -378,6 +378,84 @@ TEST(Server, ReplicasBitIdenticalAcrossCountsAndThreadCounts) {
   }
 }
 
+// Dispatcher determinism suite: mixed S/L traffic (cheap shallow, heavy
+// full-depth, and always-escalating routed requests) served under BOTH
+// dispatch modes at R in {1,2,4} x threads in {1,2,8} must be bit-identical
+// to direct single-threaded evaluation at the same stream ids — cost-aware
+// LPT group selection changes which replica serves a group and when, never
+// what any request's response is.
+TEST(Server, CostAwareDispatchBitIdenticalAcrossModesReplicasAndThreads) {
+  auto& fx = fixture();
+  const int count = 8;
+  const data::Batch batch = fx.dataset->batch(0, count);
+
+  // Mixed S/L: heavy {4S-ish, all sites} every fourth request, routed
+  // always-escalate every third, cheap {S=2, L=1} otherwise.
+  std::vector<serve::RequestOptions> options(static_cast<std::size_t>(count));
+  for (int n = 0; n < count; ++n) {
+    serve::RequestOptions& o = options[static_cast<std::size_t>(n)];
+    if (n % 4 == 3) {
+      o.num_samples = 8;
+      o.bayes_layers = -1;  // every site
+    } else {
+      o.num_samples = 2;
+      o.bayes_layers = 1;
+    }
+    if (n % 3 == 0) {
+      o.use_uncertainty_router = true;
+      o.screening_samples = 2;
+      o.entropy_threshold_nats = -1.0;  // always escalate to full S
+    }
+  }
+
+  // Direct one-image-at-a-time reference (an escalated routed response is
+  // bit-identical to a direct full-S request by the router contract).
+  core::Accelerator reference(*fx.qnet, accel_config(1));
+  const int num_sites = fx.qnet->num_sites;
+  std::vector<nn::Tensor> rows;
+  for (int n = 0; n < count; ++n) {
+    const serve::RequestOptions& o = options[static_cast<std::size_t>(n)];
+    const int resolved = o.bayes_layers < 0 ? num_sites : o.bayes_layers;
+    rows.push_back(reference
+                       .predict_batch(batch.images.batch_row(n),
+                                      {{resolved, o.num_samples,
+                                        static_cast<std::uint64_t>(70 + n)}})
+                       .probs);
+  }
+
+  for (const serve::DispatchMode mode :
+       {serve::DispatchMode::fifo, serve::DispatchMode::cost_aware}) {
+    for (int replicas : {1, 2, 4}) {
+      for (int threads : {1, 2, 8}) {
+        serve::ServerConfig config;
+        config.max_batch = 3;  // several groups per wave
+        config.num_replicas = replicas;
+        config.num_threads = threads;
+        config.dispatch_mode = mode;
+        serve::Server server(core::Accelerator(*fx.qnet, accel_config(0)), config);
+        EXPECT_EQ(server.cost_model() != nullptr,
+                  mode == serve::DispatchMode::cost_aware);
+        std::vector<std::future<serve::Response>> futures;
+        for (int n = 0; n < count; ++n)
+          futures.push_back(server.submit(request_for(
+              batch, n, options[static_cast<std::size_t>(n)],
+              static_cast<std::uint64_t>(70 + n))));
+        for (int n = 0; n < count; ++n) {
+          const serve::Response response = futures[static_cast<std::size_t>(n)].get();
+          EXPECT_EQ(response.probs.max_abs_diff(rows[static_cast<std::size_t>(n)]), 0.0f)
+              << "image " << n << ", dispatch "
+              << (mode == serve::DispatchMode::fifo ? "fifo" : "cost") << ", replicas "
+              << replicas << ", threads " << threads;
+          EXPECT_FALSE(response.shed_downgraded);
+        }
+        const serve::ServerStats stats = server.stats();
+        EXPECT_EQ(stats.requests, static_cast<std::uint64_t>(count));
+        EXPECT_EQ(stats.rejected, 0u);
+      }
+    }
+  }
+}
+
 TEST(Server, ReplicasShareOneNetworkCopy) {
   auto& fx = fixture();
   serve::ServerConfig config;
@@ -504,6 +582,69 @@ TEST(Server, MixedShapeWaveIsSplitPerShapeAndEveryRequestResolves) {
   after.options = options;
   EXPECT_EQ(server.infer(std::move(after)).probs.shape(), (std::vector<int>{1, 10}));
   EXPECT_EQ(server.stats().requests, 9u);
+}
+
+// Mixed-SHAPE mixed-cost traffic (the linear-first MLP accepts flat and
+// square views of equal numel): cost-aware group selection ranks real
+// multi-shape groups, and both modes still serve every request bit-equal
+// to a single-threaded one-at-a-time replay at the same stream id.
+TEST(Server, CostAwareDispatchHandlesMixedShapeGroups) {
+  auto& fx = mlp_fixture();
+
+  for (const serve::DispatchMode mode :
+       {serve::DispatchMode::fifo, serve::DispatchMode::cost_aware}) {
+    serve::ServerConfig config;
+    config.max_batch = 4;
+    config.num_replicas = 2;
+    config.batch_linger = std::chrono::milliseconds(10);  // force coalescing
+    config.dispatch_mode = mode;
+    serve::Server server(core::Accelerator(*fx.qnet, accel_config(1)), config);
+
+    // Flat/square views of the same pixels, with the square half heavy
+    // (S=6, L=2) and the flat half cheap (S=2, L=1): the cost-aware
+    // dispatcher ranks the heavy shape group first without ever changing a
+    // response.
+    std::vector<std::future<serve::Response>> futures;
+    for (int n = 0; n < 4; ++n) {
+      serve::Request flat;
+      flat.image = fx.dataset->images().batch_row(n);  // (1, 49, 1, 1)
+      flat.options.num_samples = 2;
+      flat.options.bayes_layers = 1;
+      flat.stream_id = static_cast<std::uint64_t>(n);
+      futures.push_back(server.submit(std::move(flat)));
+
+      serve::Request square;
+      square.image = fx.dataset->images().batch_row(n).reshaped({1, 1, 7, 7});
+      square.options.num_samples = 6;
+      square.options.bayes_layers = 2;
+      square.stream_id = static_cast<std::uint64_t>(n);
+      futures.push_back(server.submit(std::move(square)));
+    }
+    // Reference: single-threaded one-at-a-time replay of the same requests.
+    serve::ServerConfig replay_config;
+    replay_config.max_batch = 1;
+    replay_config.num_threads = 1;
+    serve::Server replay(core::Accelerator(*fx.qnet, accel_config(1)), replay_config);
+    for (int n = 0; n < 4; ++n) {
+      const serve::Response flat = futures[static_cast<std::size_t>(2 * n)].get();
+      const serve::Response square = futures[static_cast<std::size_t>(2 * n + 1)].get();
+      serve::Request ref_flat;
+      ref_flat.image = fx.dataset->images().batch_row(n);
+      ref_flat.options.num_samples = 2;
+      ref_flat.options.bayes_layers = 1;
+      ref_flat.stream_id = static_cast<std::uint64_t>(n);
+      serve::Request ref_square;
+      ref_square.image = fx.dataset->images().batch_row(n).reshaped({1, 1, 7, 7});
+      ref_square.options.num_samples = 6;
+      ref_square.options.bayes_layers = 2;
+      ref_square.stream_id = static_cast<std::uint64_t>(n);
+      EXPECT_EQ(flat.probs.max_abs_diff(replay.infer(std::move(ref_flat)).probs), 0.0f)
+          << "flat image " << n;
+      EXPECT_EQ(square.probs.max_abs_diff(replay.infer(std::move(ref_square)).probs),
+                0.0f)
+          << "square image " << n;
+    }
+  }
 }
 
 TEST(Server, KeepsServingAfterARejectedSubmission) {

@@ -381,14 +381,18 @@ TEST(ServeBackpressure, ShutdownReleasesBlockedSubmitters) {
   accepted.push_back(server.submit(slow_request(*fx.dataset, 1, 400, 1)));
 
   std::atomic<int> blocked_outcomes{0};
+  std::atomic<int> wrong_error{0};
   std::vector<std::thread> submitters;
   for (int t = 0; t < 2; ++t) {
     submitters.emplace_back([&, t] {
       try {
         (void)server.infer(slow_request(*fx.dataset, 2 + t, 400,
                                         static_cast<std::uint64_t>(10 + t)));
-      } catch (const std::runtime_error&) {
-        // shutdown released this submitter
+      } catch (const serve::ShutdownError&) {
+        // shutdown released this submitter with the DISTINCT error — a
+        // woken submitter must fail this way, never enqueue post-stop.
+      } catch (const std::exception&) {
+        wrong_error.fetch_add(1);  // any other failure type is a bug
       }
       blocked_outcomes.fetch_add(1);
     });
@@ -398,10 +402,89 @@ TEST(ServeBackpressure, ShutdownReleasesBlockedSubmitters) {
   server.shutdown();
   for (std::thread& submitter : submitters) submitter.join();
   EXPECT_EQ(blocked_outcomes.load(), 2);
+  EXPECT_EQ(wrong_error.load(), 0);
 
   // Accepted-before-shutdown requests were drained, not dropped.
   for (auto& future : accepted)
     EXPECT_EQ(future.get().probs.shape(), (std::vector<int>{1, 10}));
+
+  // Post-shutdown submissions carry the same distinct error.
+  EXPECT_THROW((void)server.submit(slow_request(*fx.dataset, 0, 2, 99)),
+               serve::ShutdownError);
+}
+
+// Shutdown racing an ADAPTIVE-policy wave: every submission must land in
+// exactly one of {served, QueueFullError (shed), ShutdownError at submit},
+// the counters must balance, and the decision log must replay exactly —
+// even with the shutdown arriving mid-flood.
+TEST(ServeBackpressure, AdaptiveShutdownRaceResolvesEveryOutcomeExactlyOnce) {
+  auto& fx = cnn_fixture();
+  serve::ServerConfig config;
+  config.max_batch = 2;
+  config.num_threads = 1;
+  config.num_replicas = 2;
+  config.max_queue_depth = 3;
+  config.overload_policy = serve::OverloadPolicy::adaptive;
+  config.latency_target_ms = 1e-9;  // sheds as soon as the window is warm
+  config.calibrate_cost_model = false;
+  config.admission_log_capacity = 256;
+  serve::Server server(core::Accelerator(*fx.qnet, accel_config(1)), config);
+
+  // Warm the window so the shedding path is live during the race.
+  (void)server.infer(slow_request(*fx.dataset, 0, 2, 1000));
+
+  constexpr int kSubmitters = 3;
+  constexpr int kPerThread = 12;
+  std::atomic<int> served{0};
+  std::atomic<int> shed{0};
+  std::atomic<int> shutdown_errors{0};
+  std::atomic<int> wrong_outcome{0};
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < kSubmitters; ++t) {
+    submitters.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const std::uint64_t stream_id =
+            static_cast<std::uint64_t>(t) * 100 + static_cast<std::uint64_t>(i);
+        serve::Request request =
+            slow_request(*fx.dataset, (t + i) % fx.dataset->size(), 12, stream_id);
+        if (i % 2 == 0) {
+          request.options.use_uncertainty_router = true;  // downgrade-eligible
+          request.options.screening_samples = 2;
+        }
+        try {
+          (void)server.submit(std::move(request)).get();
+          served.fetch_add(1);
+        } catch (const serve::QueueFullError&) {
+          shed.fetch_add(1);
+        } catch (const serve::ShutdownError&) {
+          shutdown_errors.fetch_add(1);
+          break;  // server is gone; later submits would throw the same
+        } catch (const std::exception&) {
+          wrong_outcome.fetch_add(1);
+        }
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  server.shutdown();
+  for (std::thread& submitter : submitters) submitter.join();
+
+  EXPECT_EQ(wrong_outcome.load(), 0);
+  const serve::ServerStats stats = server.stats();
+  // Everything accepted was served (+1 for the warm request), everything
+  // shed got its QueueFullError, and the books balance.
+  EXPECT_EQ(stats.requests, static_cast<std::uint64_t>(served.load()) + 1);
+  EXPECT_EQ(stats.rejected, static_cast<std::uint64_t>(shed.load()));
+  EXPECT_EQ(stats.requests + stats.rejected, stats.submitted);
+  EXPECT_EQ(stats.submitted,
+            (stats.requests - stats.shed_downgraded) + stats.shed_downgraded +
+                stats.rejected);
+  EXPECT_LE(stats.peak_queue_depth, 3u);
+
+  // Single-threaded replay of the recorded admission inputs reproduces
+  // every decision the adaptive policy made during the race.
+  for (const serve::AdmissionRecord& record : server.admission_log())
+    EXPECT_EQ(serve::adaptive_admission(record.inputs), record.action);
 }
 
 }  // namespace
