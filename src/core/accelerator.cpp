@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <memory>
 #include <mutex>
+#include <optional>
 
 #include "nn/activations.h"
 #include "runtime/thread_pool.h"
@@ -11,13 +12,49 @@
 
 namespace bnn::core {
 
+namespace {
+
+// Reusable per-worker storage for predict lanes — the quantized analogue of
+// the float path's ReplayArena. Thread-local so lanes never contend: a lane
+// keeps every layer output, the NNE scratch (accumulators, packed windows)
+// and its Bernoulli sampler across (image, sample) pairs, predict calls and
+// accelerator instances. All buffers grow to the largest shapes seen and
+// are fully overwritten per use, so steady-state lanes are allocation-free;
+// grow_events counts the warmup growths (plus NneScratch's own counter).
+struct LaneArena {
+  NneScratch scratch;
+  std::vector<quant::QTensor> outputs;  // indexed by TRUE layer index
+  std::optional<BernoulliSampler> sampler;
+  std::uint64_t grow_events = 0;
+};
+
+LaneArena& lane_arena() {
+  thread_local LaneArena arena;
+  return arena;
+}
+
+quant::QuantNetwork annotate(quant::QuantNetwork network) {
+  quant::annotate_weight_tiers(network);
+  return network;
+}
+
+}  // namespace
+
+std::uint64_t Accelerator::lane_arena_grow_events() {
+  const LaneArena& arena = lane_arena();
+  return arena.grow_events + arena.scratch.grow_events;
+}
+
 Accelerator::Accelerator(quant::QuantNetwork network, AcceleratorConfig config)
-    : Accelerator(std::make_shared<const quant::QuantNetwork>(std::move(network)), config) {}
+    : Accelerator(std::make_shared<const quant::QuantNetwork>(annotate(std::move(network))),
+                  config) {}
 
 Accelerator::Accelerator(std::shared_ptr<const quant::QuantNetwork> network,
                          AcceleratorConfig config)
     : network_(std::move(network)), config_(config) {
   util::require(network_ != nullptr, "accelerator: null network");
+  plan_ = std::make_shared<const quant::NetworkExecPlan>(
+      quant::build_network_exec_plan(*network_));
   desc_ = network_->describe();
   // Fail fast on a non-realizable dropout probability instead of at the
   // first predict() (each (image, sample) lane builds its own sampler).
@@ -72,6 +109,7 @@ Accelerator::BatchPrediction Accelerator::predict_batch(
   for (int n = 0; n < batch; ++n) {
     const ImageRequest& request = requests[static_cast<std::size_t>(n)];
     util::require(request.num_samples >= 1, "accelerator: need at least one sample");
+    util::require(request.sample_offset >= 0, "accelerator: sample_offset must be >= 0");
     util::require(request.bayes_layers >= 0 && request.bayes_layers <= network_->num_sites,
                   "accelerator: bayes_layers out of range");
     ImagePlan& plan = plans[static_cast<std::size_t>(n)];
@@ -100,35 +138,64 @@ Accelerator::BatchPrediction Accelerator::predict_batch(
   };
   std::unique_ptr<ImageState[]> states(new ImageState[static_cast<std::size_t>(batch)]);
 
-  std::vector<nn::Tensor> pair_probs(static_cast<std::size_t>(total_pairs));
+  // One preallocated probability row per (image, sample) pair: lanes write
+  // logits into their row and softmax it in place (nn::softmax_row — the
+  // exact per-row computation of nn::softmax_rows), so the per-sample path
+  // allocates nothing.
+  const int num_classes = network_->num_classes;
+  nn::Tensor all_probs({static_cast<int>(total_pairs), num_classes});
   std::vector<std::int64_t> pair_cycles(static_cast<std::size_t>(total_pairs), 0);
 
   // Each (image, sample) lane runs on its own decorrelated sampler stream,
   // so a sample's masks never depend on which thread (or in which order)
-  // the other samples ran.
-  auto make_sampler = [this](std::uint64_t stream_id, int sample) {
-    BernoulliSamplerConfig sampler_config;
-    sampler_config.p = network_->dropout_p;
-    sampler_config.pf = config_.nne.pf;
-    sampler_config.fifo_depth = config_.sampler_fifo_depth;
-    sampler_config.seed = sample_stream_seed(config_.sampler_seed, stream_id, sample);
-    return BernoulliSampler(sampler_config);
+  // the other samples ran. The lane arena's sampler is REUSED via reseed()
+  // (bit-identical to a fresh sampler) whenever its structural knobs match.
+  auto lane_sampler = [this](LaneArena& arena, std::uint64_t stream_id,
+                             int sample) -> BernoulliSampler& {
+    const std::uint64_t seed = sample_stream_seed(config_.sampler_seed, stream_id, sample);
+    if (arena.sampler && arena.sampler->p() == network_->dropout_p &&
+        arena.sampler->pf() == config_.nne.pf &&
+        arena.sampler->fifo_depth() == config_.sampler_fifo_depth) {
+      arena.sampler->reseed(seed);
+    } else {
+      BernoulliSamplerConfig sampler_config;
+      sampler_config.p = network_->dropout_p;
+      sampler_config.pf = config_.nne.pf;
+      sampler_config.fifo_depth = config_.sampler_fifo_depth;
+      sampler_config.seed = seed;
+      arena.sampler.emplace(sampler_config);
+      ++arena.grow_events;
+    }
+    return *arena.sampler;
   };
 
   // `stored(i)` resolves layer i's retained output in whatever storage the
-  // calling lane uses (one local vector, or shared prefix + lane-local
-  // suffix).
+  // calling lane uses (the arena's output slots, or shared prefix + arena
+  // suffix slots). `out` must be the slot layer `index` retires into.
   auto run_layer = [this](int index, const auto& stored, const quant::QTensor& image,
-                          bool site_active, nn::MaskSource* masks, std::int64_t& cycles) {
+                          bool site_active, nn::MaskSource* masks, std::int64_t& cycles,
+                          NneScratch& scratch, quant::QTensor& out) {
     const quant::QLayer& layer = network_->layers[static_cast<std::size_t>(index)];
     const quant::QTensor& input =
         layer.input_source < 0 ? image : stored(layer.input_source);
     const quant::QTensor* shortcut =
         layer.geom.has_shortcut ? &stored(layer.shortcut_source) : nullptr;
-    NneLayerResult result = nne_run_layer(layer, input, shortcut, site_active, masks,
-                                          network_->dropout_keep, config_.nne);
-    cycles += result.compute_cycles;
-    return std::move(result.output);
+    const NneLayerStats stats = nne_run_layer_into(
+        layer, plan_->layers[static_cast<std::size_t>(index)], input, shortcut, site_active,
+        masks, network_->dropout_keep, config_.nne, config_.kernel_tier, scratch, out);
+    cycles += stats.compute_cycles;
+  };
+
+  // Dequantized logits of the final layer into a preallocated row, then
+  // softmax in place — same float operations as
+  // softmax_rows(ref_logits(net, last)), without the temporaries.
+  auto store_probs = [this, num_classes](const quant::QTensor& last, float* row) {
+    util::require(last.numel() == num_classes, "accelerator: wrong final output size");
+    for (int k = 0; k < num_classes; ++k)
+      row[k] = last.params.scale *
+               static_cast<float>(last.data[static_cast<std::size_t>(k)] -
+                                  last.params.zero_point);
+    nn::softmax_row(row, row, num_classes);
   };
 
   runtime::ThreadPool& pool = config_.pool ? *config_.pool : runtime::shared_pool();
@@ -145,43 +212,58 @@ Accelerator::BatchPrediction Accelerator::predict_batch(
           state.qimage = quant::quantize_image(images, n, network_->input);
           if (!plan.use_ic) return;
           // Prefix once, shared read-only across lanes: the cut layer's
-          // pre-DU output is the on-chip boundary of the IC schedule.
+          // pre-DU output is the on-chip boundary of the IC schedule. The
+          // prefix tensors are call-local shared state, so they use a local
+          // scratch — their one-off allocations are per-image warmup, not
+          // lane steady state, and stay out of the arena's growth counter.
+          NneScratch prefix_scratch;
           state.prefix.reserve(static_cast<std::size_t>(plan.cut + 1));
           const auto stored_prefix = [&state](int index) -> const quant::QTensor& {
             return state.prefix[static_cast<std::size_t>(index)];
           };
-          for (int l = 0; l <= plan.cut; ++l)
-            state.prefix.push_back(run_layer(l, stored_prefix, state.qimage,
-                                             /*site_active=*/false, nullptr,
-                                             state.prefix_cycles));
+          for (int l = 0; l <= plan.cut; ++l) {
+            quant::QTensor out;
+            run_layer(l, stored_prefix, state.qimage, /*site_active=*/false, nullptr,
+                      state.prefix_cycles, prefix_scratch, out);
+            state.prefix.push_back(std::move(out));
+          }
         });
 
-        BernoulliSampler sampler = make_sampler(request.stream_id, s);
+        LaneArena& arena = lane_arena();
+        if (arena.outputs.size() < network_->layers.size()) {
+          arena.outputs.resize(network_->layers.size());
+          ++arena.grow_events;
+        }
+        BernoulliSampler& sampler =
+            lane_sampler(arena, request.stream_id, request.sample_offset + s);
         std::int64_t cycles = 0;
+        float* prob_row = all_probs.data() + all_probs.index2(static_cast<int>(pair), 0);
 
         if (!plan.use_ic) {
-          std::vector<quant::QTensor> outputs;
-          outputs.reserve(network_->layers.size());
-          const auto stored = [&outputs](int index) -> const quant::QTensor& {
-            return outputs[static_cast<std::size_t>(index)];
+          const auto stored = [&arena](int index) -> const quant::QTensor& {
+            return arena.outputs[static_cast<std::size_t>(index)];
           };
           for (int l = 0; l < network_->num_layers(); ++l) {
             const quant::QLayer& layer = network_->layers[static_cast<std::size_t>(l)];
             const bool active = request.bayes_layers > 0 && layer.geom.is_bayes_site &&
                                 layer.geom.site_index >= plan.first_active_site;
-            outputs.push_back(
-                run_layer(l, stored, state.qimage, active, &sampler, cycles));
+            run_layer(l, stored, state.qimage, active, &sampler, cycles, arena.scratch,
+                      arena.outputs[static_cast<std::size_t>(l)]);
           }
-          pair_probs[static_cast<std::size_t>(pair)] =
-              nn::softmax_rows(quant::ref_logits(*network_, outputs.back()));
+          store_probs(arena.outputs[static_cast<std::size_t>(network_->num_layers() - 1)],
+                      prob_row);
         } else {
           const quant::QTensor& boundary = state.prefix.back();
+          const int cut = plan.cut;
 
-          // DU pass over the cached boundary with this sample's fresh mask.
-          quant::QTensor masked = boundary;
+          // DU pass over the cached boundary with this sample's fresh mask,
+          // into the cut layer's arena slot (copy-assign reuses capacity).
+          quant::QTensor& masked = arena.outputs[static_cast<std::size_t>(cut)];
+          if (boundary.data.size() > masked.data.capacity()) ++arena.grow_events;
+          masked = boundary;
           {
             const quant::QLayer& cut_layer =
-                network_->layers[static_cast<std::size_t>(plan.cut)];
+                network_->layers[static_cast<std::size_t>(cut)];
             const std::int32_t zp = cut_layer.out.zero_point;
             const int plane = masked.height() * masked.width();
             for (int f = 0; f < masked.channels(); ++f) {
@@ -200,47 +282,45 @@ Accelerator::BatchPrediction Accelerator::predict_batch(
             }
           }
 
-          // Suffix layers into lane-local storage; inputs before the cut
-          // resolve against the shared prefix, the cut itself to this
-          // sample's masked boundary.
-          std::vector<quant::QTensor> suffix;
-          suffix.reserve(network_->layers.size() - static_cast<std::size_t>(plan.cut));
-          suffix.push_back(std::move(masked));
-          const int cut = plan.cut;
-          const auto stored = [&state, &suffix, cut](int index) -> const quant::QTensor& {
+          // Suffix layers into the arena's true-index slots; inputs before
+          // the cut resolve against the shared prefix, the cut itself to
+          // this sample's masked boundary.
+          const auto stored = [&state, &arena, cut](int index) -> const quant::QTensor& {
             return index < cut ? state.prefix[static_cast<std::size_t>(index)]
-                               : suffix[static_cast<std::size_t>(index - cut)];
+                               : arena.outputs[static_cast<std::size_t>(index)];
           };
           for (int l = cut + 1; l < network_->num_layers(); ++l) {
             const quant::QLayer& layer = network_->layers[static_cast<std::size_t>(l)];
             const bool active = layer.geom.is_bayes_site &&
                                 layer.geom.site_index >= plan.first_active_site;
-            suffix.push_back(
-                run_layer(l, stored, state.qimage, active, &sampler, cycles));
+            run_layer(l, stored, state.qimage, active, &sampler, cycles, arena.scratch,
+                      arena.outputs[static_cast<std::size_t>(l)]);
           }
-          pair_probs[static_cast<std::size_t>(pair)] =
-              nn::softmax_rows(quant::ref_logits(*network_, suffix.back()));
+          store_probs(arena.outputs[static_cast<std::size_t>(network_->num_layers() - 1)],
+                      prob_row);
         }
         pair_cycles[static_cast<std::size_t>(pair)] = cycles;
       },
       runtime::resolve_thread_count(config_.num_threads));
 
-  // Fixed-order reduction per image: bit-identical for every thread count
-  // and every batch composition.
+  // Fixed-order reduction per image: rows summed in ascending sample order
+  // then scaled — the same per-element float operation sequence as the
+  // historical add_/scale_ reduction, so results are bit-identical for
+  // every thread count and every batch composition.
   BatchPrediction out;
-  out.probs = nn::Tensor({batch, network_->num_classes});
+  out.probs = nn::Tensor({batch, num_classes});
   out.stats.reserve(static_cast<std::size_t>(batch));
   functional_cycles_ = 0;
   for (int n = 0; n < batch; ++n) {
     const ImagePlan& plan = plans[static_cast<std::size_t>(n)];
     const ImageRequest& request = requests[static_cast<std::size_t>(n)];
-    nn::Tensor accumulated =
-        std::move(pair_probs[static_cast<std::size_t>(plan.pair_offset)]);
-    for (int s = 1; s < plan.samples; ++s)
-      accumulated.add_(pair_probs[static_cast<std::size_t>(plan.pair_offset + s)]);
-    accumulated.scale_(1.0f / static_cast<float>(plan.samples));
-    for (int k = 0; k < network_->num_classes; ++k)
-      out.probs.v2(n, k) = accumulated.v2(0, k);
+    const float inv_samples = 1.0f / static_cast<float>(plan.samples);
+    for (int k = 0; k < num_classes; ++k) {
+      float acc = all_probs.v2(static_cast<int>(plan.pair_offset), k);
+      for (int s = 1; s < plan.samples; ++s)
+        acc += all_probs.v2(static_cast<int>(plan.pair_offset + s), k);
+      out.probs.v2(n, k) = acc * inv_samples;
+    }
 
     functional_cycles_ += states[static_cast<std::size_t>(n)].prefix_cycles;
     for (int s = 0; s < plan.samples; ++s)

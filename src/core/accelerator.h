@@ -14,8 +14,10 @@
 #include "core/bernoulli_sampler.h"
 #include "core/perf_model.h"
 #include "core/resource_model.h"
+#include "nn/gemm_kernels.h"
 #include "quant/qnetwork.h"
 #include "quant/qops.h"
+#include "quant/qplan.h"
 
 namespace bnn::runtime {
 class ThreadPool;
@@ -42,6 +44,12 @@ struct AcceleratorConfig {
   /// this accelerator uses. Supplying a pool lets a serving layer share one
   /// set of worker threads across many accelerators and requests.
   runtime::ThreadPool* pool = nullptr;
+  /// Kernel-tier CAP for the NNE inner product (see nn/gemm_kernels.h).
+  /// bitpack (the default) routes weights-binarizable layers with two-valued
+  /// activations through the XNOR/popcount path and falls back to int8
+  /// everywhere else; outputs are bit-identical for every setting, so this
+  /// knob trades host simulation speed only.
+  nn::kernels::Tier kernel_tier = nn::kernels::Tier::bitpack;
 };
 
 /// Simulated BNN accelerator. Thread-safety: a given Accelerator must be
@@ -58,10 +66,14 @@ struct AcceleratorConfig {
 /// never observe each other.
 class Accelerator {
  public:
+  /// Takes ownership of the network. Runs quant::annotate_weight_tiers on it
+  /// first, so the timing/cost models see binarizable layers even for
+  /// hand-assembled networks (quantize_model output is already annotated).
   Accelerator(quant::QuantNetwork network, AcceleratorConfig config);
 
   /// Shares an already-wrapped network (no copy). The network must not be
-  /// mutated for the accelerator's lifetime.
+  /// mutated for the accelerator's lifetime. Callers wanting the binary
+  /// cycle model should annotate before wrapping (quantize_model does).
   Accelerator(std::shared_ptr<const quant::QuantNetwork> network, AcceleratorConfig config);
 
   /// Per-image knobs of one batched prediction — the request-level unit of
@@ -72,6 +84,16 @@ class Accelerator {
     int bayes_layers = 0;         ///< L: last-L sites active (0 = deterministic)
     int num_samples = 1;          ///< S: MC samples averaged for this image
     std::uint64_t stream_id = 0;  ///< lane family fed to sample_stream_seed
+    /// First sample index of this request's lane range: sample s draws from
+    /// sample_stream_seed(seed, stream_id, sample_offset + s). Lets a caller
+    /// split one logical S-sample prediction across multiple requests with
+    /// non-overlapping sample windows (the serving layer's escalation-reuse
+    /// mode): {offset 0, S1 samples} followed by {offset S1, S - S1 samples}
+    /// consumes exactly the mask streams a single {offset 0, S} request
+    /// would. The AVERAGES then differ from the single-request result only
+    /// in float summation order (each window is averaged before merging) —
+    /// deterministic, but not bit-identical to the unsplit reduction.
+    int sample_offset = 0;
   };
 
   struct Prediction {
@@ -131,6 +153,16 @@ class Accelerator {
   /// all layer executions (used by the model-vs-simulation cycle tests).
   std::int64_t last_functional_compute_cycles() const { return functional_cycles_; }
 
+  /// Cumulative allocation (capacity-growth) count of THIS THREAD's lane
+  /// arena — the reusable per-worker storage (layer outputs, NNE scratch,
+  /// packed-activation buffers, sampler) that predict lanes run out of.
+  /// After a warmup predict over a network's largest shapes, further
+  /// predicts on the same thread leave it unchanged: steady-state lanes are
+  /// allocation-free (pinned by tests). Thread-local by design — call it
+  /// from the thread that ran the lanes (num_threads = 1 runs them on the
+  /// caller).
+  static std::uint64_t lane_arena_grow_events();
+
   /// Seed of the LFSR sampler stream that lane (stream_id, sample) consumes
   /// inside predict() — the software analogue of giving every concurrent
   /// sampling lane its own decorrelated LFSR bank. predict() uses the batch
@@ -142,6 +174,9 @@ class Accelerator {
 
  private:
   std::shared_ptr<const quant::QuantNetwork> network_;
+  // Prebuilt kernel execution plans (index tables, packed weight masks),
+  // one per layer — shared read-only by every lane and every replica copy.
+  std::shared_ptr<const quant::NetworkExecPlan> plan_;
   AcceleratorConfig config_;
   nn::NetworkDesc desc_;
   std::int64_t functional_cycles_ = 0;

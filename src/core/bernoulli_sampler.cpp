@@ -1,5 +1,6 @@
 #include "core/bernoulli_sampler.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/check.h"
@@ -21,6 +22,7 @@ BernoulliSampler::BernoulliSampler(const BernoulliSamplerConfig& config) : confi
   util::require(config.pf >= 1, "bernoulli sampler: pf must be positive");
   util::require(config.fifo_depth >= 1, "bernoulli sampler: fifo_depth must be positive");
   const int k = lfsrs_for_probability(config.p);
+  lfsrs_.reserve(static_cast<std::size_t>(k));
   // Decorrelate the k register chains with independent non-zero seeds.
   util::Rng seeder(config.seed);
   for (int i = 0; i < k; ++i) {
@@ -33,6 +35,28 @@ BernoulliSampler::BernoulliSampler(const BernoulliSamplerConfig& config) : confi
     lfsrs_.push_back(make_lfsr128(lo, hi));
   }
   sipo_.assign(static_cast<std::size_t>(config.pf), 0);
+}
+
+void BernoulliSampler::reseed(std::uint64_t seed) {
+  config_.seed = seed;
+  // Same derivation as the constructor: one shared Rng, skipping all-zero
+  // draws, in LFSR order — so the register contents match a fresh sampler's.
+  util::Rng seeder(seed);
+  for (Lfsr& lfsr : lfsrs_) {
+    std::uint64_t lo = 0;
+    std::uint64_t hi = 0;
+    while (lo == 0 && hi == 0) {
+      lo = seeder.next_u64();
+      hi = seeder.next_u64();
+    }
+    lfsr.reseed(lo, hi);
+  }
+  std::fill(sipo_.begin(), sipo_.end(), static_cast<std::uint8_t>(0));
+  sipo_fill_ = 0;
+  fifo_.clear();
+  bits_produced_ = 0;
+  words_pushed_ = 0;
+  stall_cycles_ = 0;
 }
 
 int BernoulliSampler::raw_drop_bit() {

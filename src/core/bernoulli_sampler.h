@@ -34,6 +34,14 @@ class BernoulliSampler final : public nn::MaskSource {
  public:
   explicit BernoulliSampler(const BernoulliSamplerConfig& config);
 
+  // Rewinds the sampler to the freshly-constructed state under a new seed:
+  // re-derives every LFSR's registers exactly as the constructor does and
+  // clears the SIPO/FIFO/statistics. Bit-identical to constructing a new
+  // sampler with the same config and `seed` (pinned by tests), but
+  // allocation-free — the accelerator's lane arena reuses one sampler
+  // across Monte Carlo samples. p/pf/fifo_depth are unchanged.
+  void reseed(std::uint64_t seed);
+
   // --- functional interface -------------------------------------------
   // One raw drop decision (advances every LFSR one step).
   bool next_drop() override;
@@ -50,6 +58,7 @@ class BernoulliSampler final : public nn::MaskSource {
   int num_lfsrs() const { return static_cast<int>(lfsrs_.size()); }
   double p() const { return config_.p; }
   int pf() const { return config_.pf; }
+  int fifo_depth() const { return config_.fifo_depth; }
   std::uint64_t bits_produced() const { return bits_produced_; }
   std::uint64_t words_pushed() const { return words_pushed_; }
   std::uint64_t stall_cycles() const { return stall_cycles_; }

@@ -15,6 +15,12 @@ Lfsr::Lfsr(int width, std::vector<int> taps, std::uint64_t seed_lo, std::uint64_
   util::require(std::find(taps_.begin(), taps_.end(), width) != taps_.end(),
                 "lfsr: the output register (tap == width) must be tapped");
 
+  reseed(seed_lo, seed_hi);
+}
+
+void Lfsr::reseed(std::uint64_t seed_lo, std::uint64_t seed_hi) {
+  state_lo_ = seed_lo;
+  state_hi_ = seed_hi;
   // Mask the seed to the register width and forbid the all-zero state.
   if (width_ <= 64) {
     state_lo_ &= width_ == 64 ? ~0ull : ((1ull << width_) - 1);

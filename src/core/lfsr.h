@@ -25,6 +25,12 @@ class Lfsr {
   // last register).
   int step();
 
+  // Reloads the register chain from a new seed — exactly the constructor's
+  // seeding (width masking, all-zero state forbidden) without rebuilding the
+  // tap list. Lets the accelerator's per-lane sampler be reused across
+  // samples instead of reconstructed.
+  void reseed(std::uint64_t seed_lo, std::uint64_t seed_hi = 0);
+
   int width() const { return width_; }
   const std::vector<int>& taps() const { return taps_; }
   std::uint64_t state_lo() const { return state_lo_; }

@@ -13,21 +13,35 @@
 // (BN -> SC -> ReLU -> Pool) and the Dropout Unit are pipelined behind the
 // PE and add only fill latency.
 //
-// `nne_run_layer` is the cycle-counted FUNCTIONAL implementation: it
+// `nne_run_layer_into` is the cycle-counted FUNCTIONAL implementation: it
 // executes the exact tiled loop structure of the hardware on int8 data and
 // must match the untiled reference executor (quant/qops.h) bit-for-bit —
 // int32 accumulation is order-independent, which is the invariant the
 // equivalence tests pin down. `estimate_layer_cycles` is the closed-form
 // cycle count used for networks too large to execute functionally; the two
 // are asserted equal in tests.
+//
+// Kernel tiers: the inner product dispatches through nn::kernels::Tier. The
+// tier changes only HOW the int32 accumulators are computed (scalar loops,
+// vectorized int8 dot kernels, or the packed popcount path of quant/qplan.h)
+// — never WHAT they contain, so outputs are bit-identical across tiers.
+// Cycle counts are likewise tier-independent at runtime: a layer is charged
+// by the closed-form formula below, which credits binary term parallelism
+// from the STATIC HwLayer::weights_binarizable annotation alone. An
+// un-annotated net that happens to hit the packed path simply runs faster
+// than modelled; an annotated net that falls back (three-valued
+// activations) is modelled as binary hardware would be — the modelled
+// machine has the popcount datapath either way.
 #ifndef BNN_CORE_NNE_H
 #define BNN_CORE_NNE_H
 
 #include <cstdint>
 
 #include "nn/dropout.h"
+#include "nn/gemm_kernels.h"
 #include "nn/netdesc.h"
 #include "quant/qnetwork.h"
+#include "quant/qplan.h"
 #include "quant/qtensor.h"
 
 namespace bnn::core {
@@ -40,6 +54,12 @@ struct NneConfig {
   int data_width_bits = 8;
   // Pipeline depth of PE + FU + DU, charged once per layer.
   int pipeline_fill_cycles = 24;
+  // Extra term parallelism for weights-binarizable layers: the XNOR/popcount
+  // datapath reduces this many more terms per multiplier lane per cycle
+  // (single-bit products cost ~1/8 of an 8-bit MAC in LUTs, so the same
+  // fabric fits 8x the reducers). Credited per layer by the STATIC
+  // HwLayer::weights_binarizable annotation; see the header comment.
+  int binary_term_parallelism = 8;
 
   std::int64_t macs_per_cycle() const {
     return static_cast<std::int64_t>(pc) * pf * pv;
@@ -65,9 +85,42 @@ struct NneLayerResult {
   int mask_bits_consumed = 0;
 };
 
-// Executes one layer with the hardware tiling and returns output + cycles.
-// `shortcut` must be non-null iff the layer has a shortcut; `masks` must be
-// non-null when `site_active`.
+// Counters alone — the allocation-free entry point writes its output into a
+// caller-owned tensor instead.
+struct NneLayerStats {
+  std::int64_t compute_cycles = 0;
+  std::int64_t macs_retired = 0;
+  int mask_bits_consumed = 0;
+};
+
+// Reusable per-lane working memory. All buffers grow monotonically and are
+// fully overwritten each call, so after one pass over a network's largest
+// layer every subsequent nne_run_layer_into is allocation-free;
+// `grow_events` counts the capacity growths that did happen (the
+// accelerator's steady-state-zero-allocation test watches it).
+struct NneScratch {
+  quant::QTensor pre;                // pre-pool position map (pooled layers)
+  std::vector<std::int32_t> acc;     // PF x PV retiring accumulators
+  std::vector<std::uint64_t> xbits;  // packed activation windows, [positions][words]
+  std::vector<std::int32_t> x_pop;   // per-position popcounts of xbits
+  std::uint64_t grow_events = 0;
+};
+
+// Executes one layer with the hardware tiling into `out` (resized in place,
+// capacity reused; must not alias `input`/`shortcut`). `plan` must be
+// build_layer_exec_plan(layer). `tier` is a CAP (see nn/gemm_kernels.h):
+// bitpack falls back to int8 unless the layer's weights are binarizable and
+// this input is two-valued. `shortcut` must be non-null iff the layer has a
+// shortcut; `masks` must be non-null when `site_active`.
+NneLayerStats nne_run_layer_into(const quant::QLayer& layer, const quant::LayerExecPlan& plan,
+                                 const quant::QTensor& input, const quant::QTensor* shortcut,
+                                 bool site_active, nn::MaskSource* masks,
+                                 quant::FixedMultiplier dropout_keep, const NneConfig& config,
+                                 nn::kernels::Tier tier, NneScratch& scratch,
+                                 quant::QTensor& out);
+
+// Convenience form: builds the plan and scratch per call and runs at the
+// bitpack cap (identical bits to every other tier by the contract above).
 NneLayerResult nne_run_layer(const quant::QLayer& layer, const quant::QTensor& input,
                              const quant::QTensor* shortcut, bool site_active,
                              nn::MaskSource* masks, quant::FixedMultiplier dropout_keep,

@@ -47,22 +47,26 @@ Tensor Quadratic::backward(const Tensor& grad_out) {
   return grad_in;
 }
 
+void softmax_row(const float* logits, float* out, int classes) {
+  // Aliasing-safe in-place: the max pass reads all of `logits` before any
+  // write, the exp pass overwrites out[k] from logits[k] position-by-position,
+  // and the divide pass touches only `out`.
+  const float row_max = *std::max_element(logits, logits + classes);
+  float denom = 0.0f;
+  for (int k = 0; k < classes; ++k) {
+    out[k] = std::exp(logits[k] - row_max);
+    denom += out[k];
+  }
+  for (int k = 0; k < classes; ++k) out[k] /= denom;
+}
+
 void softmax_rows_into(const Tensor& logits, Tensor& probs) {
   util::require(logits.dim() == 2, "softmax expects (N, K) input");
   const int batch = logits.size(0);
   const int classes = logits.size(1);
   probs.reset(logits.shape());
-  for (int n = 0; n < batch; ++n) {
-    const float* row = logits.data() + logits.index2(n, 0);
-    float* out = probs.data() + probs.index2(n, 0);
-    const float row_max = *std::max_element(row, row + classes);
-    float denom = 0.0f;
-    for (int k = 0; k < classes; ++k) {
-      out[k] = std::exp(row[k] - row_max);
-      denom += out[k];
-    }
-    for (int k = 0; k < classes; ++k) out[k] /= denom;
-  }
+  for (int n = 0; n < batch; ++n)
+    softmax_row(logits.data() + logits.index2(n, 0), probs.data() + probs.index2(n, 0), classes);
 }
 
 Tensor softmax_rows(const Tensor& logits) {

@@ -63,6 +63,13 @@ Tensor softmax_rows(const Tensor& logits);
 // `probs` must not alias `logits`.
 void softmax_rows_into(const Tensor& logits, Tensor& probs);
 
+// One row of the same computation, allocation-free: softmax of logits[0, k)
+// into out[0, k). `out` MAY alias `logits` (in-place). softmax_rows and
+// softmax_rows_into route every row through this function, so a caller
+// computing rows directly into preallocated storage (the accelerator's lane
+// arena) is bit-identical to softmax_rows by construction.
+void softmax_row(const float* logits, float* out, int classes);
+
 }  // namespace bnn::nn
 
 #endif  // BNN_NN_ACTIVATIONS_H

@@ -1,0 +1,74 @@
+// Compiled with BNN_KERNEL_OPTIONS (optionally -march=native, see
+// CMakeLists.txt): __builtin_popcountll lowers to a single POPCNT where the
+// ISA has it and to the compiler's SWAR sequence otherwise — integer
+// results are identical either way, so the bit-identity contract is
+// independent of the build flags.
+#include "nn/bitpack_kernels.h"
+
+namespace bnn::nn::kernels {
+
+std::int32_t pack_eq_bits(const std::int8_t* x, int len, std::int8_t hi, std::uint64_t* out) {
+  const int words = bit_words(len);
+  std::int32_t pop = 0;
+  for (int w = 0; w < words; ++w) {
+    const int t0 = w * kBitWordBits;
+    const int count = len - t0 < kBitWordBits ? len - t0 : kBitWordBits;
+    std::uint64_t bits = 0;
+    for (int i = 0; i < count; ++i)
+      bits |= static_cast<std::uint64_t>(x[t0 + i] == hi) << i;
+    out[w] = bits;  // tail bits of the last word stay zero
+    pop += __builtin_popcountll(bits);
+  }
+  return pop;
+}
+
+std::int32_t pack_eq_bits_gather(const std::int8_t* x, const std::int32_t* offsets, int len,
+                                 std::int8_t hi, std::uint64_t* out) {
+  const int words = bit_words(len);
+  std::int32_t pop = 0;
+  for (int w = 0; w < words; ++w) {
+    const int t0 = w * kBitWordBits;
+    const int count = len - t0 < kBitWordBits ? len - t0 : kBitWordBits;
+    std::uint64_t bits = 0;
+    for (int i = 0; i < count; ++i)
+      bits |= static_cast<std::uint64_t>(x[offsets[t0 + i]] == hi) << i;
+    out[w] = bits;
+    pop += __builtin_popcountll(bits);
+  }
+  return pop;
+}
+
+std::int32_t popcount_words(const std::uint64_t* a, int words) {
+  std::int32_t pop = 0;
+  for (int w = 0; w < words; ++w) pop += __builtin_popcountll(a[w]);
+  return pop;
+}
+
+std::int32_t popcount_xor(const std::uint64_t* __restrict a, const std::uint64_t* __restrict b,
+                          int words) {
+  std::int32_t pop = 0;
+  for (int w = 0; w < words; ++w) pop += __builtin_popcountll(a[w] ^ b[w]);
+  return pop;
+}
+
+std::int32_t popcount_and(const std::uint64_t* __restrict a, const std::uint64_t* __restrict b,
+                          int words) {
+  std::int32_t pop = 0;
+  for (int w = 0; w < words; ++w) pop += __builtin_popcountll(a[w] & b[w]);
+  return pop;
+}
+
+void popcount_and2(const std::uint64_t* __restrict x, const std::uint64_t* __restrict plus,
+                   const std::uint64_t* __restrict minus, int words, std::int32_t* pb,
+                   std::int32_t* mb) {
+  std::int32_t p = 0, m = 0;
+  for (int w = 0; w < words; ++w) {
+    const std::uint64_t xv = x[w];
+    p += __builtin_popcountll(xv & plus[w]);
+    m += __builtin_popcountll(xv & minus[w]);
+  }
+  *pb = p;
+  *mb = m;
+}
+
+}  // namespace bnn::nn::kernels

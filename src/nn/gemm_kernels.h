@@ -20,6 +20,21 @@
 
 namespace bnn::nn::kernels {
 
+// --- kernel tiers -----------------------------------------------------------
+// The quantized compute path (core/nne.cpp and quant/qops.cpp) dispatches
+// its inner product through one of three tiers. The tier a caller passes is
+// a CAP, not a demand: Tier::bitpack routes a layer through the packed
+// popcount path only when the layer's weights are binarizable AND the pass's
+// activations are two-valued (quant/qplan.h), and falls back to Tier::int8
+// otherwise — so outputs are bit-identical across tiers unconditionally.
+enum class Tier {
+  scalar,   // plain per-term reference loops (the specification)
+  int8,     // vectorized dot_i8_zp / dot_i8_zp_gather kernels
+  bitpack,  // bit-packed XNOR/popcount (+ ternary pass/negate/zero) tier
+};
+
+const char* tier_name(Tier tier);
+
 // Register-block geometry lives inside gemm_kernels.cpp: the output-tile
 // width is chosen per target ISA (4x16 with AVX, 4x8 with baseline SSE2) so
 // the accumulator tile plus operands fit the vector register file without

@@ -7,6 +7,7 @@
 #include "nn/batchnorm.h"
 #include "nn/conv2d.h"
 #include "nn/linear.h"
+#include "quant/qplan.h"
 #include "util/check.h"
 
 namespace bnn::quant {
@@ -245,6 +246,10 @@ QuantNetwork quantize_model(nn::Model& model, const data::Dataset& calibration,
 
     qnet.layers.push_back(std::move(qlayer));
   }
+  // Stamp the static kernel-tier annotation so describe() (and through it
+  // the performance and serving cost models) sees which layers admit the
+  // packed binary/ternary tier.
+  annotate_weight_tiers(qnet);
   return qnet;
 }
 

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "nn/activations.h"
+#include "nn/bitpack_kernels.h"
 #include "nn/gemm_kernels.h"
 #include "util/check.h"
 
@@ -11,22 +12,58 @@ namespace bnn::quant {
 
 namespace {
 
+using nn::kernels::Tier;
+
+// Resolves the tier CAP against what this (layer, input) pair supports:
+// Tier::bitpack demotes to Tier::int8 unless the weights are binarizable AND
+// the activations are two-valued. On success fills lo/hi.
+Tier resolve_tier(Tier tier, const LayerExecPlan& plan, const QTensor& input, std::int8_t* lo,
+                  std::int8_t* hi) {
+  if (tier != Tier::bitpack) return tier;
+  if (!plan.weights_binarizable || !two_valued_activations(input, lo, hi)) return Tier::int8;
+  return Tier::bitpack;
+}
+
 // PE + FU/BN + FU/SC + FU/ReLU for one layer, before pooling: returns the
-// int8 map of conv_out_h x conv_out_w positions.
-QTensor compute_pre_pool(const QLayer& layer, const QTensor& input, const QTensor* shortcut) {
+// int8 map of conv_out_h x conv_out_w positions. All three tiers produce the
+// same int32 accumulator values (int32 accumulation is exact and associative;
+// the packed closed form is exact by the qplan.h identity), hence identical
+// int8 bits after the FU stages.
+QTensor compute_pre_pool(const QLayer& layer, const LayerExecPlan& plan, Tier tier,
+                         const QTensor& input, const QTensor* shortcut) {
   const nn::HwLayer& g = layer.geom;
   const std::int32_t zp_in = layer.in.zero_point;
   const std::int32_t zp_out = layer.out.zero_point;
+  const int terms = plan.terms;
+
+  std::int8_t lo = 0, hi = 0;
+  tier = resolve_tier(tier, plan, input, &lo, &hi);
+  const std::int32_t base = static_cast<std::int32_t>(lo) - zp_in;
+  const std::int32_t delta = static_cast<std::int32_t>(hi) - lo;
 
   QTensor pre({g.out_c, g.conv_out_h, g.conv_out_w}, layer.out);
   if (g.op == nn::HwLayer::Op::linear) {
     util::require(input.numel() == g.in_c, "qops: linear input size mismatch");
+    std::vector<std::uint64_t> xbits;
+    std::int32_t x_pop = 0;
+    if (tier == Tier::bitpack) {
+      xbits.resize(static_cast<std::size_t>(plan.words));
+      x_pop = nn::kernels::pack_eq_bits(input.data.data(), terms, hi, xbits.data());
+    }
     for (int f = 0; f < g.out_c; ++f) {
-      // int32 accumulation is exact, so the vectorized dot kernel matches
-      // the plain per-term loop bit-for-bit.
-      const std::int32_t acc =
-          layer.bias[static_cast<std::size_t>(f)] +
-          nn::kernels::dot_i8_zp(input.data.data(), layer.weight_row(f), g.in_c, zp_in);
+      std::int32_t acc = layer.bias[static_cast<std::size_t>(f)];
+      if (tier == Tier::bitpack) {
+        acc += packed_row_dot(plan, f, xbits.data(), x_pop, base, delta);
+      } else if (tier == Tier::int8) {
+        // int32 accumulation is exact, so the vectorized dot kernel matches
+        // the plain per-term loop bit-for-bit.
+        acc += nn::kernels::dot_i8_zp(input.data.data(), layer.weight_row(f), terms, zp_in);
+      } else {
+        const std::int8_t* w = layer.weight_row(f);
+        for (int t = 0; t < terms; ++t)
+          acc += (static_cast<std::int32_t>(input.data[static_cast<std::size_t>(t)]) - zp_in) *
+                 static_cast<std::int32_t>(w[t]);
+      }
       std::int32_t q = fixed_multiply(acc, layer.requant[static_cast<std::size_t>(f)]) +
                        layer.post_add[static_cast<std::size_t>(f)] + zp_out;
       if (g.has_relu) q = std::max(q, zp_out);
@@ -46,30 +83,78 @@ QTensor compute_pre_pool(const QLayer& layer, const QTensor& input, const QTenso
                   "qops: shortcut operand shape mismatch");
   }
 
-  // Hoisted conv index math (mirrors core/nne.cpp): term t addresses input
-  // channel t/(k*k) at kernel offset (rem/k, rem%k); term_off[t] is the flat
-  // input offset of term t relative to the window's top-left element, valid
+  // Hoisted conv index math (built once per layer in the LayerExecPlan,
+  // shared with core/nne.cpp): term t addresses input channel t/(k*k) at
+  // kernel offset (term_dh[t], term_dw[t]); term_off[t] is the flat input
+  // offset of term t relative to the window's top-left element, valid
   // wherever the window is in bounds. int32 accumulation is exact, so the
   // gather kernel matches the historical per-position (c, kh, kw) loop
   // bit-for-bit (pinned by tests/test_quant.cpp on strided/padded shapes).
-  const int terms = g.in_c * g.kernel * g.kernel;
-  std::vector<std::int32_t> term_dh(static_cast<std::size_t>(terms));
-  std::vector<std::int32_t> term_dw(static_cast<std::size_t>(terms));
-  std::vector<std::int32_t> term_off(static_cast<std::size_t>(terms));
-  const int kk2 = g.kernel * g.kernel;
-  for (int t = 0; t < terms; ++t) {
-    const int ch = t / kk2;
-    const int rem = t % kk2;
-    const int dh = rem / g.kernel;
-    const int dw = rem % g.kernel;
-    term_dh[static_cast<std::size_t>(t)] = dh;
-    term_dw[static_cast<std::size_t>(t)] = dw;
-    term_off[static_cast<std::size_t>(t)] = (ch * g.in_h + dh) * g.in_w + dw;
-  }
   const std::int8_t* in_data = input.data.data();
+  const std::int32_t* term_dh = plan.term_dh.data();
+  const std::int32_t* term_dw = plan.term_dw.data();
+  const std::int32_t* term_off = plan.term_off.data();
 
   const std::int32_t zp_sc =
       g.has_shortcut ? shortcut->params.zero_point : 0;
+
+  // Border window: padding terms contribute zero; every term bound-checked.
+  // Shared verbatim by all tiers (the packed path never packs borders), so
+  // border bits agree across tiers by construction.
+  const auto border_dot = [&](const std::int8_t* w, int ih0, int iw0) {
+    std::int32_t acc = 0;
+    for (int t = 0; t < terms; ++t) {
+      const int ih = ih0 + term_dh[static_cast<std::size_t>(t)];
+      const int iw = iw0 + term_dw[static_cast<std::size_t>(t)];
+      if (ih < 0 || ih >= g.in_h || iw < 0 || iw >= g.in_w) continue;
+      acc += (static_cast<std::int32_t>(
+                  in_data[term_off[static_cast<std::size_t>(t)] +
+                          static_cast<std::ptrdiff_t>(ih0) * g.in_w + iw0]) -
+              zp_in) *
+             static_cast<std::int32_t>(w[t]);
+    }
+    return acc;
+  };
+
+  // FU chain epilogue for one retiring accumulator.
+  const auto fu_store = [&](int f, int oh, int ow, std::int32_t acc) {
+    std::int32_t q = fixed_multiply(acc, layer.requant[static_cast<std::size_t>(f)]) +
+                     layer.post_add[static_cast<std::size_t>(f)] + zp_out;
+    if (g.has_shortcut)
+      q += fixed_multiply(static_cast<std::int32_t>(shortcut->at(f, oh, ow)) - zp_sc,
+                          layer.shortcut_rescale);
+    if (g.has_relu) q = std::max(q, zp_out);
+    pre.at(f, oh, ow) = saturate_int8(q);
+  };
+
+  if (tier == Tier::bitpack) {
+    // Position-outer so each interior window is packed ONCE and amortized
+    // over all out_c filter rows. Each output element is written exactly
+    // once, so the loop-order change from the f-outer tiers is observationally
+    // identical.
+    std::vector<std::uint64_t> xbits(static_cast<std::size_t>(plan.words));
+    for (int oh = 0; oh < g.conv_out_h; ++oh) {
+      for (int ow = 0; ow < g.conv_out_w; ++ow) {
+        const int ih0 = oh * g.stride - g.pad;
+        const int iw0 = ow * g.stride - g.pad;
+        const bool interior =
+            ih0 >= 0 && iw0 >= 0 && ih0 + g.kernel <= g.in_h && iw0 + g.kernel <= g.in_w;
+        std::int32_t x_pop = 0;
+        if (interior)
+          x_pop = nn::kernels::pack_eq_bits_gather(
+              in_data + static_cast<std::size_t>(ih0) * g.in_w + iw0, term_off, terms, hi,
+              xbits.data());
+        for (int f = 0; f < g.out_c; ++f) {
+          std::int32_t acc = layer.bias[static_cast<std::size_t>(f)];
+          acc += interior ? packed_row_dot(plan, f, xbits.data(), x_pop, base, delta)
+                          : border_dot(layer.weight_row(f), ih0, iw0);
+          fu_store(f, oh, ow, acc);
+        }
+      }
+    }
+    return pre;
+  }
+
   for (int f = 0; f < g.out_c; ++f) {
     const std::int8_t* w = layer.weight_row(f);
     for (int oh = 0; oh < g.conv_out_h; ++oh) {
@@ -77,33 +162,18 @@ QTensor compute_pre_pool(const QLayer& layer, const QTensor& input, const QTenso
         const int ih0 = oh * g.stride - g.pad;
         const int iw0 = ow * g.stride - g.pad;
         std::int32_t acc = layer.bias[static_cast<std::size_t>(f)];
-        if (ih0 >= 0 && iw0 >= 0 && ih0 + g.kernel <= g.in_h &&
+        if (tier == Tier::int8 && ih0 >= 0 && iw0 >= 0 && ih0 + g.kernel <= g.in_h &&
             iw0 + g.kernel <= g.in_w) {
           // Interior window: every term in bounds, gather through the
-          // precomputed offset table.
+          // precomputed offset table. The scalar tier takes the checked
+          // border loop for every window instead.
           acc += nn::kernels::dot_i8_zp_gather(
               in_data + static_cast<std::size_t>(ih0) * g.in_w + iw0,
-              term_off.data(), w, terms, zp_in);
+              term_off, w, terms, zp_in);
         } else {
-          // Border window: padding terms contribute zero.
-          for (int t = 0; t < terms; ++t) {
-            const int ih = ih0 + term_dh[static_cast<std::size_t>(t)];
-            const int iw = iw0 + term_dw[static_cast<std::size_t>(t)];
-            if (ih < 0 || ih >= g.in_h || iw < 0 || iw >= g.in_w) continue;
-            acc += (static_cast<std::int32_t>(
-                        in_data[term_off[static_cast<std::size_t>(t)] +
-                                static_cast<std::ptrdiff_t>(ih0) * g.in_w + iw0]) -
-                    zp_in) *
-                   static_cast<std::int32_t>(w[t]);
-          }
+          acc += border_dot(w, ih0, iw0);
         }
-        std::int32_t q = fixed_multiply(acc, layer.requant[static_cast<std::size_t>(f)]) +
-                         layer.post_add[static_cast<std::size_t>(f)] + zp_out;
-        if (g.has_shortcut)
-          q += fixed_multiply(static_cast<std::int32_t>(shortcut->at(f, oh, ow)) - zp_sc,
-                              layer.shortcut_rescale);
-        if (g.has_relu) q = std::max(q, zp_out);
-        pre.at(f, oh, ow) = saturate_int8(q);
+        fu_store(f, oh, ow, acc);
       }
     }
   }
@@ -169,26 +239,18 @@ void apply_dropout(const QLayer& layer, QTensor& out, nn::MaskSource& masks,
   }
 }
 
-}  // namespace
-
-QTensor ref_run_layer(const QLayer& layer, const QTensor& input, const QTensor* shortcut,
-                      bool site_active, nn::MaskSource* masks, FixedMultiplier dropout_keep) {
-  QTensor out = apply_pool(layer, compute_pre_pool(layer, input, shortcut));
-  if (site_active) {
-    util::require(masks != nullptr, "qops: active site requires a mask source");
-    apply_dropout(layer, out, *masks, dropout_keep);
-  }
-  return out;
-}
-
-std::vector<QTensor> ref_forward(const QuantNetwork& net, const QTensor& image,
-                                 int bayes_layers, nn::MaskSource* masks) {
+// ref_forward with a prebuilt network plan (the public wrapper builds one;
+// ref_mc_predict builds one per call and reuses it across samples).
+std::vector<QTensor> forward_with_plan(const QuantNetwork& net, const NetworkExecPlan& plan,
+                                       Tier tier, const QTensor& image, int bayes_layers,
+                                       nn::MaskSource* masks) {
   util::require(bayes_layers >= 0 && bayes_layers <= net.num_sites,
                 "ref_forward: bayes_layers out of range");
   const int first_active_site = net.num_sites - bayes_layers;
   std::vector<QTensor> outputs;
   outputs.reserve(net.layers.size());
-  for (const QLayer& layer : net.layers) {
+  for (std::size_t l = 0; l < net.layers.size(); ++l) {
+    const QLayer& layer = net.layers[l];
     const QTensor& input =
         layer.input_source < 0 ? image
                                : outputs[static_cast<std::size_t>(layer.input_source)];
@@ -198,10 +260,35 @@ std::vector<QTensor> ref_forward(const QuantNetwork& net, const QTensor& image,
             : nullptr;
     const bool active =
         layer.geom.is_bayes_site && layer.geom.site_index >= first_active_site;
-    outputs.push_back(
-        ref_run_layer(layer, input, shortcut, active, masks, net.dropout_keep));
+    outputs.push_back(ref_run_layer(layer, plan.layers[l], tier, input, shortcut, active,
+                                    masks, net.dropout_keep));
   }
   return outputs;
+}
+
+}  // namespace
+
+QTensor ref_run_layer(const QLayer& layer, const LayerExecPlan& plan, nn::kernels::Tier tier,
+                      const QTensor& input, const QTensor* shortcut, bool site_active,
+                      nn::MaskSource* masks, FixedMultiplier dropout_keep) {
+  QTensor out = apply_pool(layer, compute_pre_pool(layer, plan, tier, input, shortcut));
+  if (site_active) {
+    util::require(masks != nullptr, "qops: active site requires a mask source");
+    apply_dropout(layer, out, *masks, dropout_keep);
+  }
+  return out;
+}
+
+QTensor ref_run_layer(const QLayer& layer, const QTensor& input, const QTensor* shortcut,
+                      bool site_active, nn::MaskSource* masks, FixedMultiplier dropout_keep) {
+  return ref_run_layer(layer, build_layer_exec_plan(layer), Tier::int8, input, shortcut,
+                       site_active, masks, dropout_keep);
+}
+
+std::vector<QTensor> ref_forward(const QuantNetwork& net, const QTensor& image,
+                                 int bayes_layers, nn::MaskSource* masks) {
+  return forward_with_plan(net, build_network_exec_plan(net), Tier::int8, image, bayes_layers,
+                           masks);
 }
 
 nn::Tensor ref_logits(const QuantNetwork& net, const QTensor& final_output) {
@@ -240,18 +327,22 @@ nn::Tensor ref_mc_predict(const QuantNetwork& net, const nn::Tensor& images, int
 
   const int cut = net.cut_layer_for(bayes_layers);
   const int first_active_site = net.num_sites - bayes_layers;
+  // One plan for the whole batch: the per-layer index tables and weight
+  // masks are input-independent.
+  const NetworkExecPlan plan = build_network_exec_plan(net);
 
   for (int n = 0; n < batch; ++n) {
     const QTensor image = quantize_image(images, n, net.input);
     nn::Tensor accumulated({1, net.num_classes});
     if (bayes_layers == 0) {
-      const std::vector<QTensor> outputs = ref_forward(net, image, 0, nullptr);
+      const std::vector<QTensor> outputs =
+          forward_with_plan(net, plan, Tier::int8, image, 0, nullptr);
       accumulated = nn::softmax_rows(ref_logits(net, outputs.back()));
     } else if (!use_intermediate_caching) {
       for (int s = 0; s < num_samples; ++s) {
         const std::unique_ptr<nn::MaskSource> lane = streams(n, s);
         const std::vector<QTensor> outputs =
-            ref_forward(net, image, bayes_layers, lane.get());
+            forward_with_plan(net, plan, Tier::int8, image, bayes_layers, lane.get());
         accumulated.add_(nn::softmax_rows(ref_logits(net, outputs.back())));
       }
       accumulated.scale_(1.0f / static_cast<float>(num_samples));
@@ -270,7 +361,8 @@ nn::Tensor ref_mc_predict(const QuantNetwork& net, const nn::Tensor& images, int
             layer.geom.has_shortcut
                 ? &outputs[static_cast<std::size_t>(layer.shortcut_source)]
                 : nullptr;
-        outputs.push_back(ref_run_layer(layer, input, shortcut, /*site_active=*/false,
+        outputs.push_back(ref_run_layer(layer, plan.layers[static_cast<std::size_t>(l)],
+                                        Tier::int8, input, shortcut, /*site_active=*/false,
                                         nullptr, net.dropout_keep));
       }
       const QTensor boundary = outputs.back();  // pre-DU cache
@@ -313,8 +405,9 @@ nn::Tensor ref_mc_predict(const QuantNetwork& net, const nn::Tensor& images, int
                   : nullptr;
           const bool active =
               layer.geom.is_bayes_site && layer.geom.site_index >= first_active_site;
-          outputs.push_back(
-              ref_run_layer(layer, input, shortcut, active, lane.get(), net.dropout_keep));
+          outputs.push_back(ref_run_layer(layer, plan.layers[static_cast<std::size_t>(l)],
+                                          Tier::int8, input, shortcut, active, lane.get(),
+                                          net.dropout_keep));
         }
         accumulated.add_(nn::softmax_rows(ref_logits(net, outputs.back())));
       }

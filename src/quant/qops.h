@@ -17,7 +17,9 @@
 #include <vector>
 
 #include "nn/dropout.h"
+#include "nn/gemm_kernels.h"
 #include "quant/qnetwork.h"
+#include "quant/qplan.h"
 #include "quant/qtensor.h"
 
 namespace bnn::quant {
@@ -27,6 +29,16 @@ namespace bnn::quant {
 // from `masks` (which must then be non-null), in ascending filter order.
 QTensor ref_run_layer(const QLayer& layer, const QTensor& input, const QTensor* shortcut,
                       bool site_active, nn::MaskSource* masks, FixedMultiplier dropout_keep);
+
+// Tier-explicit form: `plan` must be build_layer_exec_plan(layer). The tier
+// is a CAP (see nn/gemm_kernels.h): Tier::bitpack falls back to Tier::int8
+// unless the layer's weights are binarizable and this input is two-valued,
+// so outputs are bit-identical across tiers unconditionally (enforced by
+// tests/test_bitpack.cpp). The convenience overload above is equivalent to
+// Tier::int8 with a freshly built plan.
+QTensor ref_run_layer(const QLayer& layer, const LayerExecPlan& plan, nn::kernels::Tier tier,
+                      const QTensor& input, const QTensor* shortcut, bool site_active,
+                      nn::MaskSource* masks, FixedMultiplier dropout_keep);
 
 // Executes the whole network (last `bayes_layers` sites active) and returns
 // every layer's stored (post-DU) output. `masks` may be null when

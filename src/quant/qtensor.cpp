@@ -42,6 +42,19 @@ QTensor::QTensor(std::vector<int> shape_in, QuantParams params_in) {
               static_cast<std::int8_t>(saturate_int8(params.zero_point)));
 }
 
+bool QTensor::reset(const std::vector<int>& shape_in, QuantParams params_in) {
+  shape = shape_in;
+  params = params_in;
+  std::int64_t n = 1;
+  for (int s : shape) {
+    util::require(s > 0, "qtensor: shape entries must be positive");
+    n *= s;
+  }
+  const bool grew = static_cast<std::size_t>(n) > data.capacity();
+  data.resize(static_cast<std::size_t>(n));
+  return grew;
+}
+
 QTensor quantize_image(const nn::Tensor& image, int n, QuantParams params) {
   util::require(image.dim() == 3 || image.dim() == 4, "quantize_image: expects CHW or NCHW");
   const int offset = image.dim() == 4 ? 1 : 0;

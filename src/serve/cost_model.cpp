@@ -44,8 +44,15 @@ double CostModel::first_pass_ms(const RequestOptions& options) const {
 
 double CostModel::admission_ms(const RequestOptions& options) const {
   double ms = first_pass_ms(options);
-  if (options.use_uncertainty_router)
-    ms += modelled_ms(options.bayes_layers, options.num_samples);
+  if (options.use_uncertainty_router) {
+    // Escalation-reuse servers rerun only the samples the screening pass
+    // did not already draw (when there are any); classic servers recompute
+    // the full S from scratch.
+    const int second_pass =
+        escalation_reuse_ ? options.num_samples - options.screening_samples
+                          : options.num_samples;
+    if (second_pass > 0) ms += modelled_ms(options.bayes_layers, second_pass);
+  }
   return ms;
 }
 

@@ -62,8 +62,15 @@ class CostModel {
 
   // Worst-case modelled total: first pass plus the escalation pass for
   // routed requests. The adaptive policy's admission unit — overload
-  // decisions assume a routed request may escalate.
+  // decisions assume a routed request may escalate. With escalation reuse
+  // enabled (ServerConfig::reuse_screening_samples) the second pass runs
+  // only the num_samples - screening_samples NEW samples, and the admission
+  // bound tightens accordingly.
   double admission_ms(const RequestOptions& options) const;
+
+  // Mirrors ServerConfig::reuse_screening_samples into admission_ms. Set
+  // once at startup, before concurrent readers exist.
+  void set_escalation_reuse(bool reuse) { escalation_reuse_ = reuse; }
 
   // Modelled cost after a shedding downgrade: screening pass only for
   // routed requests (the downgrade's saving), the full pass otherwise.
@@ -87,6 +94,7 @@ class CostModel {
   nn::NetworkDesc desc_;
   core::PerfConfig config_;
   bool use_intermediate_caching_;
+  bool escalation_reuse_ = false;
   int num_sites_;
   core::PerfCalibration calibration_;
   mutable std::mutex mutex_;

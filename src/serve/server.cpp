@@ -53,8 +53,12 @@ Server::Server(core::Accelerator accelerator, ServerConfig config) : config_(con
 
   // The dispatch/shedding oracle: the paper's performance model over this
   // network and NNE/DDR configuration (shared by all replicas).
-  if (config_.dispatch_mode == DispatchMode::cost_aware || adaptive)
+  if (config_.dispatch_mode == DispatchMode::cost_aware || adaptive) {
     cost_model_ = CostModel::for_accelerator(accelerator);
+    // The admission bound must price the escalation pass the server will
+    // actually run: reuse reruns only the new samples.
+    cost_model_->set_escalation_reuse(config_.reuse_screening_samples);
+  }
 
   // Partition the worker-lane budget: each replica's pair loop gets an
   // equal slice of the pool (at least one lane), so R replicas divide the
@@ -502,9 +506,15 @@ void Server::serve_batch(core::Accelerator& accelerator, std::vector<Pending> ba
       response.predicted_class = metrics::argmax_rows(response.probs).front();
     }
 
-    // Pass 2: full S for the escalated subset, same stream ids — the
-    // response is bit-identical to a direct full-S request, the screening
-    // samples are simply recomputed (they are the same deterministic lanes).
+    // Pass 2: the escalated subset, same stream ids. Classic mode reruns
+    // the full S from scratch — the response is bit-identical to a direct
+    // full-S request (the screening samples are the same deterministic
+    // lanes, simply recomputed). With reuse_screening_samples on, a
+    // promoted request whose full S exceeds its screening S instead reruns
+    // ONLY the new samples (sample_offset = screening S picks up exactly
+    // where the screening window stopped) and the two window averages are
+    // merged by sample count — deterministic, but a different float
+    // reduction order than the direct full-S pass (see ServerConfig).
     std::uint64_t extra_batches = 0;
     if (!escalate.empty()) {
       extra_batches = 1;
@@ -518,20 +528,50 @@ void Server::serve_batch(core::Accelerator& accelerator, std::vector<Pending> ba
         const Pending& pending = batch[static_cast<std::size_t>(escalate[i])];
         std::copy(pending.image.data(), pending.image.data() + elems,
                   subset.data() + static_cast<std::int64_t>(i) * elems);
+        const int screen = pass[static_cast<std::size_t>(escalate[i])].num_samples;
+        const bool reuse =
+            config_.reuse_screening_samples && pending.options.num_samples > screen;
         full[static_cast<std::size_t>(i)] = core::Accelerator::ImageRequest{
-            resolve_layers(pending.options), pending.options.num_samples,
-            pending.stream_id};
+            resolve_layers(pending.options),
+            reuse ? pending.options.num_samples - screen : pending.options.num_samples,
+            pending.stream_id,
+            /*sample_offset=*/reuse ? screen : 0};
       }
       core::Accelerator::BatchPrediction second = accelerator.predict_batch(subset, full);
       for (int i = 0; i < promoted; ++i) {
         Response& response = responses[static_cast<std::size_t>(escalate[i])];
-        response.probs = second.probs.batch_row(i);
+        const core::Accelerator::ImageRequest& request =
+            full[static_cast<std::size_t>(i)];
+        const Pending& pending = batch[static_cast<std::size_t>(escalate[i])];
+        if (request.sample_offset > 0) {
+          // Merge the screening average (already in response.probs) with
+          // the new-sample average, weighted by window size, and charge the
+          // request the modelled cost of BOTH passes it consumed.
+          const int total = pending.options.num_samples;
+          const float screen_weight =
+              static_cast<float>(request.sample_offset) / static_cast<float>(total);
+          const float second_weight =
+              static_cast<float>(request.num_samples) / static_cast<float>(total);
+          const nn::Tensor second_row = second.probs.batch_row(i);
+          for (std::int64_t k = 0; k < response.probs.numel(); ++k) {
+            response.probs.data()[k] = response.probs.data()[k] * screen_weight +
+                                       second_row.data()[k] * second_weight;
+          }
+          const core::RunStats& extra = second.stats[static_cast<std::size_t>(i)];
+          response.stats.total_cycles += extra.total_cycles;
+          response.stats.latency_ms += extra.latency_ms;
+          response.stats.macs += extra.macs;
+          response.stats.ddr_bytes += extra.ddr_bytes;
+          response.stats.mask_bits += extra.mask_bits;
+        } else {
+          response.probs = second.probs.batch_row(i);
+          response.stats = second.stats[static_cast<std::size_t>(i)];
+        }
         response.entropy_nats = metrics::average_predictive_entropy(response.probs);
         response.predicted_class = metrics::argmax_rows(response.probs).front();
         response.escalated = true;
-        response.bayes_layers = full[static_cast<std::size_t>(i)].bayes_layers;
-        response.samples_used = full[static_cast<std::size_t>(i)].num_samples;
-        response.stats = second.stats[static_cast<std::size_t>(i)];
+        response.bayes_layers = request.bayes_layers;
+        response.samples_used = pending.options.num_samples;
       }
     }
 

@@ -142,6 +142,100 @@ TEST(Accelerator, ResourceReportFitsDevice) {
   EXPECT_EQ(usage.multipliers, 16 * 8 * 4);
 }
 
+TEST(Accelerator, LaneArenaIsAllocationFreeAndBitIdenticalAfterWarmup) {
+  auto& fx = fixture();
+  // num_threads defaults to 1, so every lane runs on this thread and the
+  // thread-local arena counter observes all of them.
+  Accelerator accelerator(*fx.qnet, fx.accel_config(true, 55));
+  const data::Batch batch = fx.dataset->batch(0, 4);
+  const auto warm = accelerator.predict(batch.images, 2, 6);
+
+  const std::uint64_t after_warmup = Accelerator::lane_arena_grow_events();
+  Accelerator::Prediction repeat_prediction = accelerator.predict(batch.images, 2, 6);
+  for (int i = 0; i < 2; ++i)
+    repeat_prediction = accelerator.predict(batch.images, 2, 6);
+  EXPECT_EQ(Accelerator::lane_arena_grow_events(), after_warmup)
+      << "steady-state predict lanes must not allocate arena storage";
+
+  // Reused arena storage (outputs, scratch, reseeded sampler) must not leak
+  // state between calls: the repeat prediction is bit-identical to the
+  // first, and to a fresh accelerator with a cold arena-independent config.
+  EXPECT_EQ(warm.probs.max_abs_diff(repeat_prediction.probs), 0.0f);
+  Accelerator fresh(*fx.qnet, fx.accel_config(true, 55));
+  const auto cold = fresh.predict(batch.images, 2, 6);
+  EXPECT_EQ(warm.probs.max_abs_diff(cold.probs), 0.0f);
+}
+
+TEST(Accelerator, SampleOffsetShiftsTheSamplerLaneWindow) {
+  auto& fx = fixture();
+  const std::uint64_t seed = 91;
+  Accelerator accelerator(*fx.qnet, fx.accel_config(true, seed));
+  const data::Batch batch = fx.dataset->batch(0, 2);
+  const int bayes_layers = 2;
+  const int offset = 4;
+  std::vector<Accelerator::ImageRequest> requests;
+  for (int n = 0; n < 2; ++n)
+    requests.push_back({bayes_layers, 3, static_cast<std::uint64_t>(n), offset});
+  const auto shifted = accelerator.predict_batch(batch.images, requests);
+
+  // A request with sample_offset k must consume exactly the lanes
+  // sample_stream_seed(seed, stream, k + s) — the tail window of the
+  // single-request lane family, which is what lets the serving layer's
+  // escalation-reuse mode run only the NEW samples of an escalated request.
+  const auto lanes = [&fx, seed, offset](int image, int sample) {
+    BernoulliSamplerConfig sampler_config;
+    sampler_config.p = fx.qnet->dropout_p;
+    sampler_config.pf = fx.accel_config().nne.pf;
+    sampler_config.seed = Accelerator::sample_stream_seed(
+        seed, static_cast<std::uint64_t>(image), offset + sample);
+    return std::make_unique<BernoulliSampler>(sampler_config);
+  };
+  const nn::Tensor expected =
+      quant::ref_mc_predict(*fx.qnet, batch.images, bayes_layers, 3, lanes, true);
+  EXPECT_EQ(shifted.probs.max_abs_diff(expected), 0.0f);
+}
+
+TEST(Accelerator, KernelTiersProduceBitIdenticalPredictions) {
+  auto& fx = fixture();
+  const data::Batch batch = fx.dataset->batch(0, 3);
+
+  // Trained weights are not binarizable, so bitpack demotes everywhere —
+  // the cap must be a no-op.
+  const auto with_tier = [&fx](nn::kernels::Tier tier, const quant::QuantNetwork& net,
+                               const nn::Tensor& images) {
+    AcceleratorConfig config = fx.accel_config(true, 66);
+    config.kernel_tier = tier;
+    Accelerator accelerator(net, config);
+    return accelerator.predict(images, 2, 5);
+  };
+  const auto scalar = with_tier(nn::kernels::Tier::scalar, *fx.qnet, batch.images);
+  const auto int8 = with_tier(nn::kernels::Tier::int8, *fx.qnet, batch.images);
+  const auto bitpack = with_tier(nn::kernels::Tier::bitpack, *fx.qnet, batch.images);
+  EXPECT_EQ(scalar.probs.max_abs_diff(int8.probs), 0.0f);
+  EXPECT_EQ(int8.probs.max_abs_diff(bitpack.probs), 0.0f);
+
+  // Force the packed path to actually engage: binarize the first conv's
+  // weights and feed a two-valued image batch (the Accelerator ctor
+  // re-annotates the network).
+  quant::QuantNetwork binarized = *fx.qnet;
+  for (auto& w : binarized.layers.front().weights)
+    w = static_cast<std::int8_t>(w >= 0 ? 3 : -3);
+  ASSERT_TRUE(quant::layer_weights_binarizable(binarized.layers.front()));
+  util::Rng rng(67);
+  nn::Tensor two_valued({3, 1, 12, 12});
+  for (std::int64_t i = 0; i < two_valued.numel(); ++i)
+    two_valued.data()[i] = rng.uniform_int(0, 1) != 0 ? 1.0f : 0.0f;
+  const quant::QTensor qimage = quant::quantize_image(two_valued, 0, binarized.input);
+  std::int8_t lo = 0, hi = 0;
+  ASSERT_TRUE(quant::two_valued_activations(qimage, &lo, &hi));
+
+  const auto b_scalar = with_tier(nn::kernels::Tier::scalar, binarized, two_valued);
+  const auto b_int8 = with_tier(nn::kernels::Tier::int8, binarized, two_valued);
+  const auto b_bitpack = with_tier(nn::kernels::Tier::bitpack, binarized, two_valued);
+  EXPECT_EQ(b_scalar.probs.max_abs_diff(b_int8.probs), 0.0f);
+  EXPECT_EQ(b_int8.probs.max_abs_diff(b_bitpack.probs), 0.0f);
+}
+
 TEST(Accelerator, RejectsBadArguments) {
   auto& fx = fixture();
   Accelerator accelerator(*fx.qnet, fx.accel_config());

@@ -1,0 +1,536 @@
+// The bit-packed XNOR/popcount kernel tier must be bit-identical to the
+// int8 and scalar tiers at every level: the word primitives against naive
+// bit loops, packed_row_dot against dot_i8_zp, and the full layer
+// executors (quant/qops and core/nne) across edge-case geometries. Also
+// pins the tier-dependent cycle model and the sampler reseed contract the
+// accelerator's lane arena relies on.
+#include "nn/bitpack_kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "core/bernoulli_sampler.h"
+#include "core/nne.h"
+#include "nn/gemm_kernels.h"
+#include "quant/qops.h"
+#include "quant/qplan.h"
+#include "serve/cost_model.h"
+#include "util/rng.h"
+
+namespace bnn {
+namespace {
+
+namespace kernels = nn::kernels;
+using kernels::Tier;
+
+std::vector<std::int8_t> random_two_valued(util::Rng& rng, int len, std::int8_t lo,
+                                           std::int8_t hi) {
+  std::vector<std::int8_t> x(static_cast<std::size_t>(len));
+  for (auto& v : x) v = rng.uniform_int(0, 1) != 0 ? hi : lo;
+  return x;
+}
+
+TEST(BitpackKernels, PackRoundTripAndTailBits) {
+  util::Rng rng(301);
+  for (const int len : {1, 63, 64, 65, 128, 1000, 1152}) {
+    const std::int8_t lo = -7, hi = 9;
+    const std::vector<std::int8_t> x = random_two_valued(rng, len, lo, hi);
+    std::vector<std::uint64_t> bits(static_cast<std::size_t>(kernels::bit_words(len)),
+                                    ~std::uint64_t{0});  // dirty buffer: pack must clear
+    const std::int32_t pop = kernels::pack_eq_bits(x.data(), len, hi, bits.data());
+
+    std::int32_t expected_pop = 0;
+    for (int t = 0; t < len; ++t) {
+      const bool set = x[static_cast<std::size_t>(t)] == hi;
+      expected_pop += set ? 1 : 0;
+      EXPECT_EQ(kernels::get_bit(bits.data(), t), set) << "len " << len << " bit " << t;
+    }
+    EXPECT_EQ(pop, expected_pop) << "len " << len;
+    // Tail bits past len must be zero (the XOR identities depend on it).
+    for (int t = len; t < kernels::bit_words(len) * kernels::kBitWordBits; ++t)
+      EXPECT_FALSE(kernels::get_bit(bits.data(), t)) << "len " << len << " tail bit " << t;
+  }
+}
+
+TEST(BitpackKernels, GatherPackMatchesDirectPackOfGatheredCopy) {
+  util::Rng rng(302);
+  for (const int len : {5, 64, 200, 1152}) {
+    const std::int8_t lo = -3, hi = 2;
+    const std::vector<std::int8_t> x = random_two_valued(rng, 4 * len, lo, hi);
+    std::vector<std::int32_t> offsets(static_cast<std::size_t>(len));
+    for (auto& o : offsets) o = rng.uniform_int(0, 4 * len - 1);
+
+    std::vector<std::int8_t> gathered(static_cast<std::size_t>(len));
+    for (int t = 0; t < len; ++t)
+      gathered[static_cast<std::size_t>(t)] =
+          x[static_cast<std::size_t>(offsets[static_cast<std::size_t>(t)])];
+
+    const int words = kernels::bit_words(len);
+    std::vector<std::uint64_t> direct(static_cast<std::size_t>(words));
+    std::vector<std::uint64_t> gather(static_cast<std::size_t>(words));
+    const std::int32_t pop_direct =
+        kernels::pack_eq_bits(gathered.data(), len, hi, direct.data());
+    const std::int32_t pop_gather =
+        kernels::pack_eq_bits_gather(x.data(), offsets.data(), len, hi, gather.data());
+    EXPECT_EQ(direct, gather) << "len " << len;
+    EXPECT_EQ(pop_direct, pop_gather);
+  }
+}
+
+TEST(BitpackKernels, PopcountPrimitivesMatchNaiveLoops) {
+  util::Rng rng(303);
+  for (const int words : {1, 2, 7, 18}) {
+    std::vector<std::uint64_t> a(static_cast<std::size_t>(words)),
+        b(static_cast<std::size_t>(words)), c(static_cast<std::size_t>(words));
+    for (auto& w : a)
+      w = (static_cast<std::uint64_t>(rng.uniform_int(0, 0x7fffffff)) << 33) ^
+          static_cast<std::uint64_t>(rng.uniform_int(0, 0x7fffffff));
+    for (auto& w : b)
+      w = (static_cast<std::uint64_t>(rng.uniform_int(0, 0x7fffffff)) << 31) ^
+          static_cast<std::uint64_t>(rng.uniform_int(0, 0x7fffffff));
+    // c disjoint from b (the ternary plus/minus masks never overlap).
+    for (int i = 0; i < words; ++i)
+      c[static_cast<std::size_t>(i)] = ~b[static_cast<std::size_t>(i)] &
+                                       a[static_cast<std::size_t>(i)];
+
+    std::int32_t pop = 0, pxor = 0, pand = 0;
+    for (int i = 0; i < words; ++i) {
+      pop += std::popcount(a[static_cast<std::size_t>(i)]);
+      pxor += std::popcount(a[static_cast<std::size_t>(i)] ^ b[static_cast<std::size_t>(i)]);
+      pand += std::popcount(a[static_cast<std::size_t>(i)] & b[static_cast<std::size_t>(i)]);
+    }
+    EXPECT_EQ(kernels::popcount_words(a.data(), words), pop);
+    EXPECT_EQ(kernels::popcount_xor(a.data(), b.data(), words), pxor);
+    EXPECT_EQ(kernels::popcount_and(a.data(), b.data(), words), pand);
+
+    std::int32_t pb = -1, mb = -1;
+    kernels::popcount_and2(a.data(), b.data(), c.data(), words, &pb, &mb);
+    EXPECT_EQ(pb, kernels::popcount_and(a.data(), b.data(), words));
+    EXPECT_EQ(mb, kernels::popcount_and(a.data(), c.data(), words));
+  }
+}
+
+// A binarizable linear layer mixing per-row magnitudes, a minus-only
+// W = 128 row (the one magnitude int8 can only reach negatively), and an
+// all-zero row.
+quant::QLayer make_binarizable_linear(util::Rng& rng, int rows, int len, bool pure_binary) {
+  quant::QLayer layer;
+  layer.geom.op = nn::HwLayer::Op::linear;
+  layer.geom.in_c = len;
+  layer.geom.out_c = rows;
+  layer.weights.resize(static_cast<std::size_t>(rows) * len);
+  const std::int32_t magnitudes[] = {1, 5, 127};
+  for (int f = 0; f < rows; ++f) {
+    std::int8_t* w = layer.weights.data() + static_cast<std::size_t>(f) * len;
+    if (!pure_binary && f == rows - 1) {
+      // Minus-only W=128 row with zeros sprinkled in.
+      for (int t = 0; t < len; ++t)
+        w[t] = rng.uniform_int(0, 2) != 0 ? static_cast<std::int8_t>(-128)
+                                          : static_cast<std::int8_t>(0);
+      continue;
+    }
+    if (!pure_binary && f == rows - 2) {
+      for (int t = 0; t < len; ++t) w[t] = 0;  // all-zero row (W = 0)
+      continue;
+    }
+    const std::int32_t mag = magnitudes[f % 3];
+    for (int t = 0; t < len; ++t) {
+      const int pick = rng.uniform_int(0, pure_binary ? 1 : 2);
+      w[t] = static_cast<std::int8_t>(pick == 0 ? -mag : pick == 1 ? mag : 0);
+    }
+  }
+  layer.bias.assign(static_cast<std::size_t>(rows), 0);
+  layer.weight_scales.assign(static_cast<std::size_t>(rows), 1.0f);
+  layer.requant.assign(static_cast<std::size_t>(rows), quant::quantize_multiplier(0.02));
+  layer.post_add.assign(static_cast<std::size_t>(rows), 0);
+  return layer;
+}
+
+TEST(PackedRowDot, EqualsInt8DotOverRandomBinarizableRows) {
+  util::Rng rng(304);
+  for (const int len : {1, 64, 130, 1152}) {
+    for (const bool pure_binary : {true, false}) {
+      const int rows = 8;
+      const quant::QLayer layer = make_binarizable_linear(rng, rows, len, pure_binary);
+      const quant::LayerExecPlan plan = quant::build_layer_exec_plan(layer);
+      ASSERT_TRUE(plan.weights_binarizable);
+      EXPECT_EQ(plan.pure_binary, pure_binary);
+
+      // Extreme activation pairs (including full-range) and zero points.
+      const struct {
+        std::int8_t lo, hi;
+        std::int32_t zp;
+      } cases[] = {{-128, 127, 0}, {-128, 127, -128}, {-7, 9, -3}, {0, 1, 5}, {4, 4, -2}};
+      for (const auto& c : cases) {
+        std::vector<std::int8_t> x(static_cast<std::size_t>(len));
+        for (auto& v : x) v = rng.uniform_int(0, 1) != 0 ? c.hi : c.lo;
+        std::vector<std::uint64_t> xbits(static_cast<std::size_t>(plan.words));
+        const std::int32_t x_pop = kernels::pack_eq_bits(x.data(), len, c.hi, xbits.data());
+        const std::int32_t base = static_cast<std::int32_t>(c.lo) - c.zp;
+        const std::int32_t delta = static_cast<std::int32_t>(c.hi) - c.lo;
+        for (int f = 0; f < rows; ++f) {
+          EXPECT_EQ(quant::packed_row_dot(plan, f, xbits.data(), x_pop, base, delta),
+                    kernels::dot_i8_zp(x.data(), layer.weight_row(f), len, c.zp))
+              << "len " << len << " pure_binary " << pure_binary << " row " << f << " lo "
+              << static_cast<int>(c.lo) << " hi " << static_cast<int>(c.hi) << " zp "
+              << c.zp;
+        }
+      }
+    }
+  }
+}
+
+TEST(WeightBinarizability, StaticRulesAndTermBound) {
+  util::Rng rng(305);
+  quant::QLayer good = make_binarizable_linear(rng, 4, 100, false);
+  EXPECT_TRUE(quant::layer_weights_binarizable(good));
+
+  // Two distinct nonzero magnitudes in one row break binarizability.
+  quant::QLayer mixed = good;
+  mixed.weights[0] = 3;
+  mixed.weights[1] = 7;
+  EXPECT_FALSE(quant::layer_weights_binarizable(mixed));
+
+  // Term count past the int32 overflow bound is rejected statically.
+  quant::QLayer wide;
+  wide.geom.op = nn::HwLayer::Op::linear;
+  wide.geom.in_c = quant::kMaxBinarizableTerms + 1;
+  wide.geom.out_c = 1;
+  wide.weights.assign(static_cast<std::size_t>(wide.geom.in_c), 1);
+  EXPECT_FALSE(quant::layer_weights_binarizable(wide));
+  wide.geom.in_c = quant::kMaxBinarizableTerms;
+  wide.weights.assign(static_cast<std::size_t>(wide.geom.in_c), 1);
+  EXPECT_TRUE(quant::layer_weights_binarizable(wide));
+}
+
+TEST(WeightBinarizability, AnnotateStampsTheGeometry) {
+  util::Rng rng(306);
+  quant::QuantNetwork net;
+  net.layers.push_back(make_binarizable_linear(rng, 4, 50, true));
+  quant::QLayer plain = make_binarizable_linear(rng, 4, 50, true);
+  plain.weights[3] = 2;  // second magnitude in row 0
+  net.layers.push_back(std::move(plain));
+  quant::annotate_weight_tiers(net);
+  EXPECT_TRUE(net.layers[0].geom.weights_binarizable);
+  EXPECT_FALSE(net.layers[1].geom.weights_binarizable);
+}
+
+TEST(TwoValuedActivations, DetectsUpToTwoDistinctValues) {
+  quant::QTensor x({2, 2, 2}, quant::QuantParams{1.0f, 0});
+  std::int8_t lo = 0, hi = 0;
+  x.data = {5, 5, 5, 5, 5, 5, 5, 5};
+  EXPECT_TRUE(quant::two_valued_activations(x, &lo, &hi));
+  EXPECT_EQ(lo, 5);
+  EXPECT_EQ(hi, 5);
+  x.data = {9, -4, 9, 9, -4, -4, 9, -4};
+  EXPECT_TRUE(quant::two_valued_activations(x, &lo, &hi));
+  EXPECT_EQ(lo, -4);
+  EXPECT_EQ(hi, 9);
+  x.data[5] = 0;  // third value
+  EXPECT_FALSE(quant::two_valued_activations(x, &lo, &hi));
+}
+
+// --- full-layer tier identity ----------------------------------------------
+
+struct ConvSpec {
+  int in_c, in_h, in_w, out_c, kernel, stride, pad;
+  bool relu = false;
+  int pool_kernel = 0;  // 0: none (pool_stride = pool_kernel)
+  bool shortcut = false;
+  bool ternary = true;
+};
+
+quant::QLayer make_binarizable_conv(util::Rng& rng, const ConvSpec& spec) {
+  quant::QLayer layer;
+  nn::HwLayer& g = layer.geom;
+  g.op = nn::HwLayer::Op::conv;
+  g.in_c = spec.in_c;
+  g.in_h = spec.in_h;
+  g.in_w = spec.in_w;
+  g.out_c = spec.out_c;
+  g.kernel = spec.kernel;
+  g.stride = spec.stride;
+  g.pad = spec.pad;
+  g.conv_out_h = (spec.in_h + 2 * spec.pad - spec.kernel) / spec.stride + 1;
+  g.conv_out_w = (spec.in_w + 2 * spec.pad - spec.kernel) / spec.stride + 1;
+  g.has_relu = spec.relu;
+  g.has_shortcut = spec.shortcut;
+  if (spec.pool_kernel > 0) {
+    g.pool_kernel = spec.pool_kernel;
+    g.pool_stride = spec.pool_kernel;
+    g.out_h = (g.conv_out_h - g.pool_kernel) / g.pool_stride + 1;
+    g.out_w = (g.conv_out_w - g.pool_kernel) / g.pool_stride + 1;
+  } else {
+    g.out_h = g.conv_out_h;
+    g.out_w = g.conv_out_w;
+  }
+
+  const int terms = spec.in_c * spec.kernel * spec.kernel;
+  layer.weights.resize(static_cast<std::size_t>(spec.out_c) * terms);
+  const std::int32_t magnitudes[] = {1, 4, 127};
+  for (int f = 0; f < spec.out_c; ++f) {
+    const std::int32_t mag = magnitudes[f % 3];
+    std::int8_t* w = layer.weights.data() + static_cast<std::size_t>(f) * terms;
+    for (int t = 0; t < terms; ++t) {
+      const int pick = rng.uniform_int(0, spec.ternary ? 2 : 1);
+      w[t] = static_cast<std::int8_t>(pick == 0 ? -mag : pick == 1 ? mag : 0);
+    }
+  }
+  layer.bias.resize(static_cast<std::size_t>(spec.out_c));
+  for (auto& b : layer.bias) b = rng.uniform_int(-200, 200);
+  layer.weight_scales.assign(static_cast<std::size_t>(spec.out_c), 1.0f);
+  layer.requant.resize(static_cast<std::size_t>(spec.out_c));
+  for (int f = 0; f < spec.out_c; ++f)
+    layer.requant[static_cast<std::size_t>(f)] =
+        quant::quantize_multiplier(0.01 + 0.005 * (f % 5));
+  layer.post_add.resize(static_cast<std::size_t>(spec.out_c));
+  for (auto& p : layer.post_add) p = rng.uniform_int(-4, 4);
+  layer.in = quant::QuantParams{0.05f, -3};
+  layer.out = quant::QuantParams{0.1f, 4};
+  layer.shortcut_rescale = quant::quantize_multiplier(0.5);
+  return layer;
+}
+
+void expect_tier_identity(const quant::QLayer& layer, const quant::QTensor& input,
+                          const quant::QTensor* shortcut, const char* label) {
+  const quant::LayerExecPlan plan = quant::build_layer_exec_plan(layer);
+  ASSERT_TRUE(plan.weights_binarizable) << label;
+  std::int8_t lo = 0, hi = 0;
+  ASSERT_TRUE(quant::two_valued_activations(input, &lo, &hi)) << label;
+
+  const quant::FixedMultiplier keep = quant::quantize_multiplier(1.0 / 0.75);
+  const quant::QTensor scalar =
+      quant::ref_run_layer(layer, plan, Tier::scalar, input, shortcut, false, nullptr, keep);
+  const quant::QTensor int8 =
+      quant::ref_run_layer(layer, plan, Tier::int8, input, shortcut, false, nullptr, keep);
+  const quant::QTensor bitpack =
+      quant::ref_run_layer(layer, plan, Tier::bitpack, input, shortcut, false, nullptr, keep);
+  EXPECT_EQ(scalar.data, int8.data) << label << ": scalar vs int8";
+  EXPECT_EQ(int8.data, bitpack.data) << label << ": int8 vs bitpack";
+
+  // The NNE tiling must agree with the reference at every tier and charge
+  // the closed-form cycle count for both annotation states.
+  for (const auto& tc : {std::array<int, 3>{8, 8, 1}, std::array<int, 3>{64, 64, 1},
+                         std::array<int, 3>{16, 8, 4}, std::array<int, 3>{128, 128, 16}}) {
+    core::NneConfig config;
+    config.pc = tc[0];
+    config.pf = tc[1];
+    config.pv = tc[2];
+    for (const bool annotated : {false, true}) {
+      quant::QLayer geom_layer = layer;
+      geom_layer.geom.weights_binarizable = annotated;
+      for (const Tier tier : {Tier::scalar, Tier::int8, Tier::bitpack}) {
+        core::NneScratch scratch;
+        quant::QTensor out;
+        const core::NneLayerStats stats =
+            core::nne_run_layer_into(geom_layer, plan, input, shortcut, false, nullptr, keep,
+                                     config, tier, scratch, out);
+        EXPECT_EQ(out.data, int8.data)
+            << label << ": nne tier " << nn::kernels::tier_name(tier) << " PC=" << tc[0]
+            << " PF=" << tc[1] << " PV=" << tc[2];
+        EXPECT_EQ(stats.compute_cycles,
+                  core::estimate_layer_cycles(geom_layer.geom, config))
+            << label << ": cycles, annotated=" << annotated;
+        EXPECT_EQ(stats.macs_retired, geom_layer.geom.macs());
+      }
+    }
+  }
+}
+
+TEST(TierIdentity, LinearLayersIncludingPartialTailWord) {
+  util::Rng rng(307);
+  for (const int len : {64, 130, 300}) {
+    for (const bool pure_binary : {true, false}) {
+      quant::QLayer layer = make_binarizable_linear(rng, 10, len, pure_binary);
+      layer.in = quant::QuantParams{0.05f, -3};
+      layer.out = quant::QuantParams{0.1f, 4};
+      for (auto& b : layer.bias) b = rng.uniform_int(-200, 200);
+      quant::QTensor input({len, 1, 1}, layer.in);
+      for (auto& v : input.data) v = rng.uniform_int(0, 1) != 0 ? 9 : -7;
+      expect_tier_identity(layer, input, nullptr, "linear");
+    }
+  }
+}
+
+TEST(TierIdentity, ConvEdgeGeometries) {
+  util::Rng rng(308);
+  const struct {
+    const char* label;
+    ConvSpec spec;
+  } cases[] = {
+      {"k3 pad1 stride2 odd map", {3, 5, 7, 4, 3, 2, 1}},
+      {"single channel k1", {1, 5, 5, 6, 1, 1, 0, false, 0, false, false}},
+      {"relu + maxpool", {4, 8, 8, 5, 3, 1, 0, true, 2}},
+      {"terms not word multiple", {13, 6, 6, 3, 3, 1, 1}},  // 117 terms
+      {"pure binary k3", {8, 7, 7, 4, 3, 1, 1, false, 0, false, false}},
+  };
+  for (const auto& c : cases) {
+    const quant::QLayer layer = make_binarizable_conv(rng, c.spec);
+    quant::QTensor input({c.spec.in_c, c.spec.in_h, c.spec.in_w}, layer.in);
+    for (auto& v : input.data) v = rng.uniform_int(0, 1) != 0 ? 6 : -2;
+    expect_tier_identity(layer, input, nullptr, c.label);
+  }
+}
+
+TEST(TierIdentity, ConvWithShortcutOperand) {
+  util::Rng rng(309);
+  ConvSpec spec{3, 6, 6, 4, 3, 1, 1};
+  spec.shortcut = true;
+  const quant::QLayer layer = make_binarizable_conv(rng, spec);
+  quant::QTensor input({3, 6, 6}, layer.in);
+  for (auto& v : input.data) v = rng.uniform_int(0, 1) != 0 ? 6 : -2;
+  // The shortcut operand is NOT tier-constrained — arbitrary int8 values.
+  quant::QTensor shortcut({4, 6, 6}, quant::QuantParams{0.2f, 7});
+  for (auto& v : shortcut.data) v = static_cast<std::int8_t>(rng.uniform_int(-128, 127));
+  expect_tier_identity(layer, input, &shortcut, "conv + shortcut");
+}
+
+TEST(TierIdentity, BitpackCapFallsBackOnThreeValuedInput) {
+  util::Rng rng(310);
+  const quant::QLayer layer = make_binarizable_conv(rng, ConvSpec{3, 6, 6, 4, 3, 1, 1});
+  const quant::LayerExecPlan plan = quant::build_layer_exec_plan(layer);
+  quant::QTensor input({3, 6, 6}, layer.in);
+  for (auto& v : input.data) v = static_cast<std::int8_t>(rng.uniform_int(-5, 5));
+  std::int8_t lo = 0, hi = 0;
+  ASSERT_FALSE(quant::two_valued_activations(input, &lo, &hi));
+
+  const quant::FixedMultiplier keep = quant::quantize_multiplier(1.0 / 0.75);
+  const quant::QTensor int8 =
+      quant::ref_run_layer(layer, plan, Tier::int8, input, nullptr, false, nullptr, keep);
+  const quant::QTensor capped =
+      quant::ref_run_layer(layer, plan, Tier::bitpack, input, nullptr, false, nullptr, keep);
+  EXPECT_EQ(int8.data, capped.data);
+
+  core::NneConfig config;
+  core::NneScratch scratch;
+  quant::QTensor out;
+  core::nne_run_layer_into(layer, plan, input, nullptr, false, nullptr, keep, config,
+                           Tier::bitpack, scratch, out);
+  EXPECT_EQ(out.data, int8.data);
+}
+
+TEST(NneScratchArena, SecondRunOverSameShapesIsAllocationFree) {
+  util::Rng rng(311);
+  const quant::QLayer conv = make_binarizable_conv(rng, ConvSpec{4, 8, 8, 5, 3, 1, 1});
+  const quant::LayerExecPlan plan = quant::build_layer_exec_plan(conv);
+  quant::QTensor input({4, 8, 8}, conv.in);
+  for (auto& v : input.data) v = rng.uniform_int(0, 1) != 0 ? 6 : -2;
+  const quant::FixedMultiplier keep = quant::quantize_multiplier(1.0 / 0.75);
+
+  core::NneConfig config;
+  core::NneScratch scratch;
+  quant::QTensor out;
+  core::nne_run_layer_into(conv, plan, input, nullptr, false, nullptr, keep, config,
+                           Tier::bitpack, scratch, out);
+  const std::uint64_t after_warmup = scratch.grow_events;
+  EXPECT_GT(after_warmup, 0u);
+  for (int i = 0; i < 3; ++i)
+    core::nne_run_layer_into(conv, plan, input, nullptr, false, nullptr, keep, config,
+                             Tier::bitpack, scratch, out);
+  EXPECT_EQ(scratch.grow_events, after_warmup);
+}
+
+// --- tier-aware cycle/cost model -------------------------------------------
+
+TEST(BinaryCycleModel, AnnotationCreditsTermParallelism) {
+  nn::HwLayer layer;
+  layer.op = nn::HwLayer::Op::conv;
+  layer.in_c = 128;
+  layer.out_c = 128;
+  layer.kernel = 3;
+  layer.conv_out_h = 14;
+  layer.conv_out_w = 14;
+  core::NneConfig config;
+  config.pc = 8;
+  config.pf = 8;
+  config.pv = 1;
+  // 1152 terms: ceil(1152/8) = 144 tiles plain, ceil(1152/64) = 18 binary.
+  const std::int64_t plain = core::estimate_layer_cycles(layer, config);
+  layer.weights_binarizable = true;
+  const std::int64_t binary = core::estimate_layer_cycles(layer, config);
+  EXPECT_EQ(plain, 16LL * 144 * 196);
+  EXPECT_EQ(binary, 16LL * 18 * 196);
+}
+
+TEST(BinaryCycleModel, CostModelChargesBinarizableLayersLess) {
+  nn::NetworkDesc desc;
+  desc.name = "binary-vs-plain";
+  desc.input_shape = {128, 16, 16};
+  desc.num_classes = 10;
+  nn::HwLayer layer;
+  layer.op = nn::HwLayer::Op::conv;
+  layer.in_c = 128;
+  layer.in_h = 16;
+  layer.in_w = 16;
+  layer.out_c = 128;
+  layer.kernel = 3;
+  layer.stride = 1;
+  layer.pad = 1;
+  layer.conv_out_h = 16;
+  layer.conv_out_w = 16;
+  layer.out_h = 16;
+  layer.out_w = 16;
+  layer.is_bayes_site = true;
+  layer.site_index = 0;
+  desc.layers.push_back(layer);
+
+  core::PerfConfig config;
+  config.nne.pc = 8;
+  config.nne.pf = 8;
+  config.nne.pv = 1;
+  const double plain_ms =
+      core::estimate_mc(desc, config, /*bayes_layers=*/1, /*num_samples=*/4, true).latency_ms;
+  desc.layers[0].weights_binarizable = true;
+  const double binary_ms =
+      core::estimate_mc(desc, config, 1, 4, true).latency_ms;
+  EXPECT_LT(binary_ms, plain_ms);
+
+  // serve::CostModel wraps the same model, so the serving oracle sees the
+  // tier discount too.
+  desc.layers[0].weights_binarizable = false;
+  serve::CostModel plain_model(desc, config, true);
+  desc.layers[0].weights_binarizable = true;
+  serve::CostModel binary_model(desc, config, true);
+  EXPECT_LT(binary_model.modelled_ms(1, 4), plain_model.modelled_ms(1, 4));
+}
+
+// --- sampler reseed (the lane arena's reuse contract) -----------------------
+
+TEST(SamplerReseed, MatchesFreshlyConstructedSampler) {
+  core::BernoulliSamplerConfig config;
+  config.p = 0.25;
+  config.pf = 16;
+  config.fifo_depth = 4;
+  config.seed = 5;
+  core::BernoulliSampler reused(config);
+  for (int i = 0; i < 100; ++i) (void)reused.next_drop();
+  for (int i = 0; i < 40; ++i) reused.step_cycle();
+
+  reused.reseed(99);
+  config.seed = 99;
+  core::BernoulliSampler fresh(config);
+  for (int i = 0; i < 200; ++i)
+    EXPECT_EQ(reused.next_drop(), fresh.next_drop()) << "drop bit " << i;
+
+  // Cycle-level state was cleared too: both produce the same mask words.
+  reused.reseed(7);
+  config.seed = 7;
+  core::BernoulliSampler fresh7(config);
+  for (int i = 0; i < 64; ++i) {
+    reused.step_cycle();
+    fresh7.step_cycle();
+  }
+  EXPECT_EQ(reused.fifo_occupancy(), fresh7.fifo_occupancy());
+  std::vector<std::uint8_t> word_a, word_b;
+  while (reused.pop_word(word_a)) {
+    ASSERT_TRUE(fresh7.pop_word(word_b));
+    EXPECT_EQ(word_a, word_b);
+  }
+  EXPECT_FALSE(fresh7.pop_word(word_b));
+}
+
+}  // namespace
+}  // namespace bnn

@@ -121,6 +121,33 @@ TEST(CostModel, RequestCostsReflectRoutingAndDowngrade) {
   EXPECT_LT(model->downgraded_ms(routed), model->admission_ms(routed));
 }
 
+TEST(CostModel, EscalationReuseTightensRoutedAdmission) {
+  auto& fx = fixture();
+  core::Accelerator accelerator(*fx.qnet, accel_config(1));
+  auto model = serve::CostModel::for_accelerator(accelerator);
+
+  serve::RequestOptions routed;
+  routed.num_samples = 10;
+  routed.bayes_layers = 2;
+  routed.use_uncertainty_router = true;
+  routed.screening_samples = 2;
+  serve::RequestOptions direct;
+  direct.num_samples = 10;
+  direct.bayes_layers = 2;
+
+  const double classic = model->admission_ms(routed);
+  model->set_escalation_reuse(true);
+  // With screening-sample reuse the escalation pass only runs the NEW
+  // samples, so worst-case admission is screening + (full - screening).
+  EXPECT_DOUBLE_EQ(model->admission_ms(routed),
+                   model->modelled_ms(2, 2) + model->modelled_ms(2, 8));
+  EXPECT_LT(model->admission_ms(routed), classic);
+  // Non-routed requests have no escalation pass to shrink.
+  EXPECT_DOUBLE_EQ(model->admission_ms(direct), model->modelled_ms(2, 10));
+  model->set_escalation_reuse(false);
+  EXPECT_DOUBLE_EQ(model->admission_ms(routed), classic);
+}
+
 // --- calibration ------------------------------------------------------------
 
 TEST(PerfCalibration, ScalesModelledLatencyAndGuardsInputs) {
