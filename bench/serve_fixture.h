@@ -1,0 +1,121 @@
+// Shared serving fixtures for bench/tools/examples: the tiny quantized CNN
+// on 12x12 synthetic digits and the linear-first MLP on flattened 7x7
+// digits, trained deterministically from pinned seeds. Every binary that
+// records or replays traces builds its weights HERE, so a trace header's
+// workload id names one reproducible network: a trace recorded by
+// scenario_gen replays bit-clean in trace_replay (or any other consumer)
+// because both processes derive the identical QuantNetwork.
+#ifndef BNN_BENCH_SERVE_FIXTURE_H
+#define BNN_BENCH_SERVE_FIXTURE_H
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "core/accelerator.h"
+#include "data/synth.h"
+#include "nn/models.h"
+#include "quant/qnetwork.h"
+#include "serve/scenario.h"
+#include "train/trainer.h"
+
+namespace bnn::bench {
+
+/// TraceMeta::workload_id values of the shared fixtures.
+inline constexpr std::uint32_t kWorkloadCnn12 = 1;
+inline constexpr std::uint32_t kWorkloadMlp49 = 2;
+
+struct ServeFixture {
+  quant::QuantNetwork qnet;
+  data::Dataset dataset;  ///< stimulus images (indexed modulo size)
+  std::uint32_t workload_id = 0;
+};
+
+/// The serving benchmark accelerator configuration (PC=16 PF=8 PV=4,
+/// sampler seed 5, all shared-pool lanes) — identical across recorder and
+/// replayer processes by construction.
+inline core::AcceleratorConfig serve_accel_config() {
+  core::AcceleratorConfig config;
+  config.nne.pc = 16;
+  config.nne.pf = 8;
+  config.nne.pv = 4;
+  config.sampler_seed = 5;
+  config.num_threads = 0;
+  return config;
+}
+
+/// Tiny quantized CNN on 12x12 synthetic digits (the fast test workload).
+inline ServeFixture make_cnn12_fixture() {
+  util::Rng rng(21);
+  nn::Model tiny = nn::make_tiny_cnn(rng, 10, 1, 12);
+  util::Rng data_rng(22);
+  data::Dataset dataset = data::make_synth_digits_small(96, data_rng);
+  train::TrainConfig config;
+  config.epochs = 1;
+  config.batch_size = 16;
+  train::fit(tiny, dataset, config);
+  quant::QuantNetwork qnet = quant::quantize_model(tiny, dataset);
+  return ServeFixture{std::move(qnet), std::move(dataset), kWorkloadCnn12};
+}
+
+/// Linear-first MLP on flattened 7x7 digits: equal-numel flat/square views
+/// are both valid inputs, so mixed_shapes scenarios carry two shape groups.
+inline ServeFixture make_mlp49_fixture() {
+  util::Rng rng(91);
+  nn::Model mlp = nn::make_mlp3(rng, 49, 24, 10, nn::MlpActivation::relu,
+                                /*with_mcd_sites=*/true);
+  util::Rng data_rng(92);
+  data::Dataset digits = data::make_synth_digits(96, data_rng);
+  nn::Tensor small({digits.size(), 49, 1, 1});
+  for (int n = 0; n < digits.size(); ++n)
+    for (int y = 0; y < 7; ++y)
+      for (int x = 0; x < 7; ++x)
+        small.v4(n, y * 7 + x, 0, 0) = digits.images().v4(n, 0, 4 * y + 2, 4 * x + 2);
+  data::Dataset dataset(std::move(small), digits.labels(), 10);
+  train::TrainConfig config;
+  config.epochs = 1;
+  config.batch_size = 16;
+  train::fit(mlp, dataset, config);
+  quant::QuantNetwork qnet = quant::quantize_model(mlp, dataset);
+  return ServeFixture{std::move(qnet), std::move(dataset), kWorkloadMlp49};
+}
+
+/// Process-wide shared instances (tests): train each fixture at most once
+/// per binary however many test suites touch it.
+inline const ServeFixture& shared_cnn12_fixture() {
+  static const ServeFixture fixture = make_cnn12_fixture();
+  return fixture;
+}
+inline const ServeFixture& shared_mlp49_fixture() {
+  static const ServeFixture fixture = make_mlp49_fixture();
+  return fixture;
+}
+
+/// Fixture for a trace header's workload id (standalone replay tools).
+inline ServeFixture make_workload_fixture(std::uint32_t workload_id) {
+  switch (workload_id) {
+    case kWorkloadCnn12: return make_cnn12_fixture();
+    case kWorkloadMlp49: return make_mlp49_fixture();
+    default:
+      throw std::invalid_argument("serve_fixture: unknown workload id " +
+                                  std::to_string(workload_id) +
+                                  " (trace recorded against a caller-supplied network?)");
+  }
+}
+
+/// ScenarioImageFn over a fixture's dataset: image r modulo the dataset
+/// size. shape_variant 1 (mixed_shapes, MLP-49 only) reshapes the flat
+/// (49,1,1) view to the equal-numel square (1,7,7) view, giving the
+/// dispatcher a second batch-group shape.
+inline nn::Tensor fixture_image(const ServeFixture& fixture,
+                                const serve::ScenarioEvent& event) {
+  nn::Tensor image =
+      fixture.dataset.images().batch_row(event.image_index % fixture.dataset.size());
+  if (event.shape_variant == 1) image = image.reshaped({1, 1, 7, 7});
+  return image;
+}
+
+}  // namespace bnn::bench
+
+#endif  // BNN_BENCH_SERVE_FIXTURE_H

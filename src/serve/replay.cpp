@@ -1,0 +1,123 @@
+#include "serve/replay.h"
+
+#include <future>
+#include <limits>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "util/check.h"
+
+namespace bnn::serve {
+
+namespace {
+
+/// The replay transform for one record: served records go back exactly as
+/// recorded; downgraded records are re-submitted as never-escalating routed
+/// requests — the screening-pass-only request the bit-identity invariant
+/// documents as equivalent to a shed-downgraded response.
+Request request_for(const TraceRecord& record) {
+  Request request;
+  request.image = nn::Tensor::from_values(
+      {1, record.image_c, record.image_h, record.image_w}, record.image);
+  request.options = record.options;
+  request.stream_id = record.stream_id;
+  if (record.outcome == TraceOutcome::downgraded) {
+    request.options.use_uncertainty_router = true;
+    request.options.entropy_threshold_nats = std::numeric_limits<double>::infinity();
+  }
+  return request;
+}
+
+}  // namespace
+
+ReplayReport replay_trace(const Trace& trace, const core::Accelerator& accelerator,
+                          const ReplayConfig& config) {
+  util::require(config.num_replicas >= 1, "replay: num_replicas must be >= 1");
+  util::require(config.max_batch >= 1, "replay: max_batch must be >= 1");
+
+  if (config.verify_fingerprint) {
+    const std::uint64_t fingerprint = network_fingerprint(accelerator.network());
+    if (trace.meta.network_fingerprint != 0 &&
+        fingerprint != trace.meta.network_fingerprint) {
+      std::ostringstream message;
+      message << "replay: network fingerprint mismatch: trace was recorded against "
+              << std::hex << trace.meta.network_fingerprint
+              << " but the supplied accelerator serves " << fingerprint
+              << " — wrong weights, every checksum would diverge";
+      throw std::runtime_error(message.str());
+    }
+    if (accelerator.config().sampler_seed != trace.meta.sampler_seed) {
+      throw std::runtime_error(
+          "replay: sampler_seed mismatch: trace was recorded with seed " +
+          std::to_string(trace.meta.sampler_seed) + " but the accelerator uses " +
+          std::to_string(accelerator.config().sampler_seed) +
+          " — mask streams would differ");
+    }
+  }
+
+  ServerConfig server_config;
+  server_config.max_batch = config.max_batch;
+  server_config.num_threads = config.num_threads;
+  server_config.num_replicas = config.num_replicas;
+  server_config.dispatch_mode = config.dispatch_mode;
+  server_config.overload_policy = OverloadPolicy::block;  // replay sheds nothing
+  server_config.max_queue_depth = 0;
+  server_config.reuse_screening_samples = trace.meta.reuse_screening_samples;
+
+  ReplayReport report;
+  struct InFlight {
+    const TraceRecord* record;
+    std::future<Response> future;
+  };
+  std::vector<InFlight> in_flight;
+  in_flight.reserve(trace.records.size());
+
+  {
+    Server server(accelerator, server_config);
+    const auto start = std::chrono::steady_clock::now();
+    for (const TraceRecord& record : trace.records) {
+      if (record.outcome == TraceOutcome::rejected ||
+          record.outcome == TraceOutcome::failed) {
+        ++report.skipped;
+        continue;
+      }
+      if (!config.as_fast_as_possible) {
+        const auto due = start + std::chrono::microseconds(record.arrival_us);
+        std::this_thread::sleep_until(due);
+      }
+      in_flight.push_back(InFlight{&record, server.submit(request_for(record))});
+    }
+    // Leaving the scope drains the queue; collect below once all batches
+    // have a chance to land (futures block individually anyway).
+    for (InFlight& flight : in_flight) {
+      const TraceRecord& record = *flight.record;
+      const Response response = flight.future.get();
+      const std::uint64_t actual = response_checksum(response);
+      ++report.replayed;
+      if (actual == record.checksum) {
+        ++report.matched;
+      } else {
+        report.divergences.push_back(
+            ReplayDivergence{record.seq, record.stream_id, record.checksum, actual});
+      }
+    }
+  }
+
+  for (const AdmissionRecord& record : trace.admission) {
+    ++report.admission_records;
+    if (adaptive_admission(record.inputs) != record.action) ++report.admission_mismatches;
+  }
+  return report;
+}
+
+std::string replay_summary(const ReplayReport& report) {
+  std::ostringstream out;
+  out << "replayed " << report.replayed << ", matched " << report.matched
+      << ", skipped " << report.skipped << ", divergent " << report.divergences.size()
+      << "; admission " << report.admission_records << " checked, "
+      << report.admission_mismatches << " mismatched";
+  return out.str();
+}
+
+}  // namespace bnn::serve

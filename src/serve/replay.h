@@ -1,0 +1,79 @@
+// Trace replay: re-serve a recorded request trace under an arbitrary
+// serving configuration and hard-fail on checksum divergence.
+//
+// replay_trace stands up a fresh serve::Server around a copy of the given
+// accelerator (replica/thread/dispatch knobs from ReplayConfig), re-submits
+// every served/downgraded record at its recorded stream id — downgraded
+// records as never-escalating routed requests, the transform the bit-
+// identity invariant guarantees is equivalent — and compares each replayed
+// Response's FNV-1a checksum against the recorded golden value. It then
+// re-evaluates the recorded adaptive admission log through the pure
+// adaptive_admission function, decision by decision. A trace recorded at
+// R=1/threads=1 must therefore replay clean at ANY R × threads × dispatch
+// mode; any divergence names the exact request.
+#ifndef BNN_SERVE_REPLAY_H
+#define BNN_SERVE_REPLAY_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/server.h"
+#include "serve/trace.h"
+
+namespace bnn::serve {
+
+/// Serving configuration to replay under. Defaults differ from the usual
+/// recording configuration on purpose (cost-aware dispatch, as fast as
+/// possible): a replay is a cross-configuration check, not a re-run.
+struct ReplayConfig {
+  int num_replicas = 1;
+  int num_threads = 1;
+  int max_batch = 8;
+  DispatchMode dispatch_mode = DispatchMode::cost_aware;
+  /// false: pace submissions to the recorded arrival_us offsets (original
+  /// timing); true: submit back-to-back.
+  bool as_fast_as_possible = true;
+  /// Require the accelerator's network fingerprint and sampler seed to
+  /// match the trace header before submitting anything — a replay against
+  /// the wrong weights fails fast with one clear error instead of
+  /// reporting every checksum as divergent. Disable only for tests that
+  /// hand-build fixtures without recording metadata.
+  bool verify_fingerprint = true;
+};
+
+/// One checksum mismatch: the replayed Response of record `seq` hashed to
+/// `actual` instead of the recorded `expected`.
+struct ReplayDivergence {
+  std::uint64_t seq = 0;
+  std::uint64_t stream_id = 0;
+  std::uint64_t expected = 0;
+  std::uint64_t actual = 0;
+};
+
+struct ReplayReport {
+  std::uint64_t replayed = 0;  ///< records re-submitted (served + downgraded)
+  std::uint64_t matched = 0;   ///< replayed records whose checksum matched
+  std::uint64_t skipped = 0;   ///< rejected/failed records (nothing to check)
+  std::vector<ReplayDivergence> divergences;
+  std::uint64_t admission_records = 0;  ///< recorded adaptive decisions checked
+  /// Recorded decisions where adaptive_admission(inputs) != recorded action
+  /// (would indicate the admission rule changed since the recording).
+  std::uint64_t admission_mismatches = 0;
+
+  bool ok() const { return divergences.empty() && admission_mismatches == 0; }
+};
+
+/// Re-serves `trace` on a fresh Server built around a copy of
+/// `accelerator`. Throws std::runtime_error when verify_fingerprint is on
+/// and the accelerator does not match the trace header (fingerprint or
+/// sampler seed); std::invalid_argument on malformed records.
+ReplayReport replay_trace(const Trace& trace, const core::Accelerator& accelerator,
+                          const ReplayConfig& config = {});
+
+/// Human-readable one-line summary ("replayed 48, matched 48, ...").
+std::string replay_summary(const ReplayReport& report);
+
+}  // namespace bnn::serve
+
+#endif  // BNN_SERVE_REPLAY_H

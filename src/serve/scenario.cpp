@@ -1,0 +1,183 @@
+#include "serve/scenario.h"
+
+#include <chrono>
+#include <cmath>
+#include <future>
+#include <thread>
+#include <utility>
+
+#include "util/check.h"
+
+namespace bnn::serve {
+
+const char* scenario_kind_name(ScenarioKind kind) {
+  switch (kind) {
+    case ScenarioKind::uniform: return "uniform";
+    case ScenarioKind::mixed_shapes: return "mixed_shapes";
+    case ScenarioKind::two_phase_overload: return "two_phase_overload";
+    case ScenarioKind::diurnal: return "diurnal";
+    case ScenarioKind::burst: return "burst";
+    case ScenarioKind::adversarial_escalate: return "adversarial_escalate";
+  }
+  return "?";
+}
+
+ScenarioKind scenario_kind_from_name(const std::string& name) {
+  for (const ScenarioKind kind : all_scenario_kinds())
+    if (name == scenario_kind_name(kind)) return kind;
+  throw std::invalid_argument("scenario: unknown kind '" + name + "'");
+}
+
+const std::vector<ScenarioKind>& all_scenario_kinds() {
+  static const std::vector<ScenarioKind> kinds = {
+      ScenarioKind::uniform,       ScenarioKind::mixed_shapes,
+      ScenarioKind::two_phase_overload, ScenarioKind::diurnal,
+      ScenarioKind::burst,         ScenarioKind::adversarial_escalate,
+  };
+  return kinds;
+}
+
+std::vector<ScenarioEvent> generate_scenario(const ScenarioSpec& spec) {
+  util::require(spec.num_requests >= 1, "scenario: num_requests must be >= 1");
+  util::require(spec.num_samples >= 1, "scenario: num_samples must be >= 1");
+  util::require(spec.screening_samples >= 1,
+                "scenario: screening_samples must be >= 1");
+  util::require(spec.arrival_gap_ms >= 0.0, "scenario: arrival_gap_ms must be >= 0");
+  util::require(spec.burst_size >= 1, "scenario: burst_size must be >= 1");
+  util::require(spec.diurnal_amplitude >= 0.0 && spec.diurnal_amplitude < 1.0,
+                "scenario: diurnal_amplitude must be in [0, 1)");
+  util::require(spec.diurnal_periods >= 1, "scenario: diurnal_periods must be >= 1");
+
+  std::vector<ScenarioEvent> events;
+  events.reserve(static_cast<std::size_t>(spec.num_requests));
+
+  // The historical serve_throughput warm/flood split.
+  const int warm = spec.warm_requests >= 0 ? spec.warm_requests
+                                           : std::max(1, spec.num_requests / 4);
+
+  double clock_ms = 0.0;
+  for (int r = 0; r < spec.num_requests; ++r) {
+    ScenarioEvent event;
+    event.image_index = r;
+    event.stream_id = static_cast<std::uint64_t>(r);
+    event.options.num_samples = spec.num_samples;
+    event.options.screening_samples = spec.screening_samples;
+
+    switch (spec.kind) {
+      case ScenarioKind::uniform:
+        event.options.bayes_layers = 2;
+        event.options.use_uncertainty_router = spec.routed;
+        event.options.entropy_threshold_nats = spec.entropy_threshold_nats;
+        event.arrival_ms = clock_ms;
+        clock_ms += spec.arrival_gap_ms;
+        break;
+
+      case ScenarioKind::mixed_shapes: {
+        // Two-shape flat/square wave, 1-in-4 heavy {4S, all-L}, the rest
+        // light {S=2, L=1} — the mixed S/L traffic the LPT dispatcher
+        // targets (formerly serve_throughput's "mixed" workload).
+        event.shape_variant = r % 2;
+        const bool heavy = r % 4 == 3;
+        event.options.num_samples = heavy ? 4 * spec.num_samples : 2;
+        event.options.bayes_layers = heavy ? -1 : 1;
+        if (!heavy && spec.routed) {
+          event.options.use_uncertainty_router = true;
+          event.options.entropy_threshold_nats = spec.entropy_threshold_nats;
+        }
+        event.arrival_ms = clock_ms;
+        clock_ms += spec.arrival_gap_ms;
+        break;
+      }
+
+      case ScenarioKind::two_phase_overload:
+        // Closed-loop warm phase, then an open-loop flood at a fixed gap;
+        // 3/4 routed with an always-escalate threshold (the requests
+        // adaptive shedding can downgrade instead of rejecting). This is
+        // serve_throughput's hand-rolled two-phase loop, extracted.
+        event.options.bayes_layers = 2;
+        event.options.use_uncertainty_router = r % 4 != 0;
+        event.options.entropy_threshold_nats = -1.0;
+        if (r < warm) {
+          event.closed_loop_warm = true;
+        } else {
+          event.arrival_ms = clock_ms;
+          clock_ms += spec.arrival_gap_ms;
+        }
+        break;
+
+      case ScenarioKind::diurnal: {
+        // Sinusoidal load curve: the inter-arrival gap shrinks by
+        // `amplitude` at the peak and stretches at the trough, completing
+        // `periods` cycles over the scenario. Odd requests are routed.
+        event.options.bayes_layers = 2;
+        event.options.use_uncertainty_router = r % 2 == 1;
+        event.options.entropy_threshold_nats = spec.entropy_threshold_nats;
+        event.arrival_ms = clock_ms;
+        const double phase = 2.0 * 3.14159265358979323846 * spec.diurnal_periods *
+                             static_cast<double>(r) / spec.num_requests;
+        clock_ms += spec.arrival_gap_ms * (1.0 - spec.diurnal_amplitude * std::sin(phase));
+        break;
+      }
+
+      case ScenarioKind::burst:
+        // burst_size arrivals back-to-back, then a quiet gap.
+        event.options.bayes_layers = 2;
+        event.options.use_uncertainty_router = spec.routed;
+        event.options.entropy_threshold_nats = spec.entropy_threshold_nats;
+        event.arrival_ms = clock_ms;
+        if ((r + 1) % spec.burst_size == 0) clock_ms += spec.burst_quiet_ms;
+        break;
+
+      case ScenarioKind::adversarial_escalate:
+        // Every request routed and every screening pass escalates: the
+        // router's worst case (all traffic pays screening + full S).
+        event.options.bayes_layers = -1;
+        event.options.use_uncertainty_router = true;
+        event.options.entropy_threshold_nats = -1.0;
+        event.arrival_ms = clock_ms;
+        clock_ms += spec.arrival_gap_ms;
+        break;
+    }
+    events.push_back(std::move(event));
+  }
+  return events;
+}
+
+std::vector<std::optional<Response>> play_scenario(
+    Server& server, const std::vector<ScenarioEvent>& events,
+    const ScenarioImageFn& image_for, bool as_fast_as_possible) {
+  std::vector<std::optional<Response>> responses(events.size());
+  std::vector<std::future<Response>> futures(events.size());
+  std::vector<bool> resolved(events.size(), true);  // flipped false on submit
+
+  const auto resolve = [&](std::size_t i) {
+    if (resolved[i]) return;
+    resolved[i] = true;
+    try {
+      responses[i] = futures[i].get();
+    } catch (const QueueFullError&) {
+      // rejected by backpressure/shedding — the slot stays nullopt
+    }
+  };
+
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const ScenarioEvent& event = events[i];
+    Request request;
+    request.image = image_for(event);
+    request.options = event.options;
+    request.stream_id = event.stream_id;
+    if (!as_fast_as_possible && !event.closed_loop_warm && event.arrival_ms > 0.0) {
+      std::this_thread::sleep_until(
+          start + std::chrono::microseconds(
+                      static_cast<std::int64_t>(event.arrival_ms * 1000.0)));
+    }
+    futures[i] = server.submit(std::move(request));
+    resolved[i] = false;
+    if (event.closed_loop_warm) resolve(i);
+  }
+  for (std::size_t i = 0; i < events.size(); ++i) resolve(i);
+  return responses;
+}
+
+}  // namespace bnn::serve

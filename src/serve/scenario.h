@@ -1,0 +1,122 @@
+// Scenario generator: deterministic serving workloads as data.
+//
+// A scenario is a list of ScenarioEvents — arrival offset, request options,
+// stream id, image index — generated purely from a ScenarioSpec (no RNG:
+// the patterns are index-driven, so the same spec always yields the same
+// stimulus stream). bench/serve_throughput, bench/scenario_gen, and the
+// replay tests all consume the SAME generator, so open-loop arrival
+// generation has exactly one implementation (previously serve_throughput
+// hand-rolled its two-phase overload loop).
+//
+// Kinds:
+//   uniform              every request {S, L=2}, optionally routed — the
+//                        coalescing-sweep wave.
+//   mixed_shapes         two-shape flat/square wave with 1-in-4 heavy
+//                        {4S, all-L} requests — the LPT dispatch wave.
+//   two_phase_overload   closed-loop warm phase (fills the latency window
+//                        with healthy service times), then an open-loop
+//                        flood at a fixed arrival gap — the overload wave,
+//                        3/4 routed with an always-escalate threshold.
+//   diurnal              arrival gap modulated by a sinusoidal load curve
+//                        (peaks arrive faster than troughs), alternating
+//                        routed/direct traffic.
+//   burst                quiet gaps separating bursts that arrive
+//                        back-to-back — queue-depth stress.
+//   adversarial_escalate every request routed with an always-escalate
+//                        threshold: the worst case for screening routing
+//                        (every request pays screening + full S).
+#ifndef BNN_SERVE_SCENARIO_H
+#define BNN_SERVE_SCENARIO_H
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "serve/server.h"
+
+namespace bnn::serve {
+
+enum class ScenarioKind {
+  uniform,
+  mixed_shapes,
+  two_phase_overload,
+  diurnal,
+  burst,
+  adversarial_escalate,
+};
+
+/// Display name ("burst", "mixed_shapes", ...).
+const char* scenario_kind_name(ScenarioKind kind);
+/// Inverse of scenario_kind_name; throws std::invalid_argument on an
+/// unknown name.
+ScenarioKind scenario_kind_from_name(const std::string& name);
+/// Every kind, in declaration order (tools iterating "all").
+const std::vector<ScenarioKind>& all_scenario_kinds();
+
+struct ScenarioSpec {
+  ScenarioKind kind = ScenarioKind::uniform;
+  int num_requests = 48;
+  /// S of a full-quality request (heavy mixed-shape requests use 4x this).
+  int num_samples = 8;
+  int screening_samples = 2;
+  /// Router flag for kinds where routing is optional (uniform, diurnal
+  /// light traffic, mixed_shapes light traffic). Overload / adversarial
+  /// traffic routes by its own pattern regardless.
+  bool routed = false;
+  /// Escalation threshold of optionally-routed traffic (nats).
+  double entropy_threshold_nats = 1.2;
+  /// Base open-loop inter-arrival gap (two_phase_overload flood, diurnal
+  /// mean). 0 = everything arrives at once.
+  double arrival_gap_ms = 0.0;
+  /// two_phase_overload: closed-loop warm requests; -1 = num_requests / 4
+  /// (at least 1), the historical serve_throughput split.
+  int warm_requests = -1;
+  /// burst: requests per burst / quiet time between bursts.
+  int burst_size = 8;
+  double burst_quiet_ms = 2.0;
+  /// diurnal: full sine periods over the scenario and the relative
+  /// amplitude of the gap modulation (0 = flat, must stay < 1).
+  int diurnal_periods = 2;
+  double diurnal_amplitude = 0.9;
+};
+
+/// One generated arrival.
+struct ScenarioEvent {
+  /// Arrival offset from scenario start (open-loop events).
+  double arrival_ms = 0.0;
+  /// Submit-and-wait instead of open-loop (the warm phase of
+  /// two_phase_overload paces itself on service completions).
+  bool closed_loop_warm = false;
+  /// Which stimulus image to attach (callers typically index a dataset
+  /// modulo its size).
+  int image_index = 0;
+  /// mixed_shapes: 0 = flat (F,1,1) view, 1 = square (1,H,W) view of the
+  /// same image. Always 0 for other kinds.
+  int shape_variant = 0;
+  std::uint64_t stream_id = 0;  ///< pinned to the event index
+  RequestOptions options;
+};
+
+/// Generates the deterministic event list for `spec`. Throws
+/// std::invalid_argument on nonsensical specs (num_requests < 1,
+/// amplitude >= 1, ...).
+std::vector<ScenarioEvent> generate_scenario(const ScenarioSpec& spec);
+
+/// Maps an event to its stimulus image, (C, H, W) or (1, C, H, W).
+using ScenarioImageFn = std::function<nn::Tensor(const ScenarioEvent&)>;
+
+/// Drives `server` with a generated scenario: closed-loop warm events are
+/// submitted and awaited one at a time; open-loop events are submitted at
+/// their arrival offsets (or back-to-back when `as_fast_as_possible`).
+/// Returns one slot per event — nullopt marks a backpressure/shedding
+/// rejection (QueueFullError).
+std::vector<std::optional<Response>> play_scenario(Server& server,
+                                                   const std::vector<ScenarioEvent>& events,
+                                                   const ScenarioImageFn& image_for,
+                                                   bool as_fast_as_possible = false);
+
+}  // namespace bnn::serve
+
+#endif  // BNN_SERVE_SCENARIO_H

@@ -6,6 +6,7 @@
 
 #include "metrics/metrics.h"
 #include "runtime/thread_pool.h"
+#include "serve/trace.h"
 #include "util/check.h"
 
 namespace bnn::serve {
@@ -101,6 +102,18 @@ Server::Server(core::Accelerator accelerator, ServerConfig config) : config_(con
   if (config_.admission_log_capacity > 0)
     admission_log_.reserve(static_cast<std::size_t>(config_.admission_log_capacity));
 
+  // Request-trace journal (see serve/trace.h): the header pins everything a
+  // replayer must match — the weights fingerprint, the sampler seed, and
+  // the escalation-reuse mode — before the first record lands.
+  if (!config_.trace_path.empty()) {
+    TraceMeta meta;
+    meta.workload_id = config_.trace_workload_id;
+    meta.sampler_seed = accelerator.config().sampler_seed;
+    meta.network_fingerprint = network_fingerprint(accelerator.network());
+    meta.reuse_screening_samples = config_.reuse_screening_samples;
+    recorder_ = std::make_unique<TraceRecorder>(config_.trace_path, meta);
+  }
+
   replicas_.reserve(static_cast<std::size_t>(config_.num_replicas));
   replicas_.push_back(std::make_unique<Replica>(std::move(accelerator)));
   for (int r = 1; r < config_.num_replicas; ++r) {
@@ -139,6 +152,9 @@ void Server::shutdown() {
   queue_ready_.notify_all();
   queue_space_.notify_all();  // release submitters blocked on a full queue
   for (std::thread& thread : claimed) thread.join();
+  // The workers have drained the queue: every begun record is completed, so
+  // finalizing here writes the full journal and patches the header counts.
+  if (recorder_) recorder_->finalize();
 }
 
 double Server::window_p99_locked() const {
@@ -189,6 +205,7 @@ std::future<Response> Server::submit(Request request) {
   const RequestOptions& options = request.options;
   util::require(options.num_samples >= 1, "serve: num_samples must be >= 1");
   util::require(options.screening_samples >= 1, "serve: screening_samples must be >= 1");
+  util::require(options.sample_offset >= 0, "serve: sample_offset must be >= 0");
   util::require(options.bayes_layers >= -1 &&
                     options.bayes_layers <= accelerator().network().num_sites,
                 "serve: bayes_layers out of range (-1 = all sites)");
@@ -226,12 +243,32 @@ std::future<Response> Server::submit(Request request) {
   }
   std::future<Response> future = pending.promise.get_future();
 
+  // The journal slot is prepared OUTSIDE the queue lock (the image copy is
+  // the expensive part); only the O(1) begin() happens under it, so tracing
+  // adds no meaningful hold time to the submission path.
+  TraceRecord trace_record;
+  if (recorder_) {
+    trace_record.options = pending.options;
+    trace_record.image_c = pending.image.size(1);
+    trace_record.image_h = pending.image.size(2);
+    trace_record.image_w = pending.image.size(3);
+    trace_record.image.assign(pending.image.data(),
+                              pending.image.data() + pending.image.numel());
+  }
+
   {
     std::unique_lock<std::mutex> lock(mutex_);
     if (stopping_) throw ShutdownError("serve: server is shut down");
     const auto reject_with = [&](const char* reason) {
       ++stats_.submitted;
       ++stats_.rejected;
+      if (recorder_) {
+        // A rejection consumes no stream ticket; journal the id the
+        // request WOULD have served under (pinned or the current ticket).
+        trace_record.stream_id = request.stream_id.value_or(next_ticket_);
+        recorder_->complete(recorder_->begin(std::move(trace_record)),
+                            TraceOutcome::rejected, nullptr);
+      }
       pending.promise.set_exception(std::make_exception_ptr(QueueFullError(reason)));
     };
     const bool queue_full =
@@ -272,6 +309,10 @@ std::future<Response> Server::submit(Request request) {
         }
         const AdmissionAction action = adaptive_admission(inputs);
         record_admission_locked(inputs, action);
+        // The trace trailer keeps EVERY decision (the in-memory log is a
+        // bounded ring) so a replay can re-derive the whole sequence.
+        if (recorder_)
+          recorder_->record_admission(AdmissionRecord{stats_.submitted, inputs, action});
         if (action == AdmissionAction::reject) {
           ++stats_.shed_rejected;
           reject_with(inputs.queue_full
@@ -297,6 +338,11 @@ std::future<Response> Server::submit(Request request) {
     // but still consumes a ticket so later defaults stay order-stable.
     pending.stream_id = request.stream_id.value_or(next_ticket_);
     ++next_ticket_;
+    if (recorder_) {
+      trace_record.stream_id = pending.stream_id;
+      pending.trace_seq = recorder_->begin(std::move(trace_record));
+      pending.traced = true;
+    }
     queue_.push_back(std::move(pending));
     stats_.peak_queue_depth =
         std::max<std::uint64_t>(stats_.peak_queue_depth, queue_.size());
@@ -415,6 +461,9 @@ void Server::replica_loop(Replica& replica) {
     }
     queue_space_.notify_all();  // backpressured submitters may proceed
     serve_batch(replica.accelerator, std::move(batch));
+    // Journal I/O runs on the replica thread between batches — submitters
+    // never pay for the disk write.
+    if (recorder_) recorder_->flush();
   }
 }
 
@@ -442,6 +491,8 @@ void Server::serve_batch(core::Accelerator& accelerator, std::vector<Pending> ba
       if (keep != i) batch[keep] = std::move(batch[i]);
       ++keep;
     } else {
+      if (batch[i].traced)
+        recorder_->complete(batch[i].trace_seq, TraceOutcome::failed, nullptr);
       batch[i].promise.set_exception(std::make_exception_ptr(
           std::invalid_argument("serve: image shape differs from its batch group")));
     }
@@ -470,7 +521,7 @@ void Server::serve_batch(core::Accelerator& accelerator, std::vector<Pending> ba
           resolve_layers(pending.options),
           pending.options.use_uncertainty_router ? pending.options.screening_samples
                                                  : pending.options.num_samples,
-          pending.stream_id};
+          pending.stream_id, pending.options.sample_offset};
     }
     core::Accelerator::BatchPrediction first = accelerator.predict_batch(images, pass);
 
@@ -531,11 +582,14 @@ void Server::serve_batch(core::Accelerator& accelerator, std::vector<Pending> ba
         const int screen = pass[static_cast<std::size_t>(escalate[i])].num_samples;
         const bool reuse =
             config_.reuse_screening_samples && pending.options.num_samples > screen;
+        // The request's own window offset composes with the reuse offset:
+        // the escalation pass continues where the screening window stopped
+        // INSIDE the caller-chosen window.
         full[static_cast<std::size_t>(i)] = core::Accelerator::ImageRequest{
             resolve_layers(pending.options),
             reuse ? pending.options.num_samples - screen : pending.options.num_samples,
             pending.stream_id,
-            /*sample_offset=*/reuse ? screen : 0};
+            pending.options.sample_offset + (reuse ? screen : 0)};
       }
       core::Accelerator::BatchPrediction second = accelerator.predict_batch(subset, full);
       for (int i = 0; i < promoted; ++i) {
@@ -543,13 +597,16 @@ void Server::serve_batch(core::Accelerator& accelerator, std::vector<Pending> ba
         const core::Accelerator::ImageRequest& request =
             full[static_cast<std::size_t>(i)];
         const Pending& pending = batch[static_cast<std::size_t>(escalate[i])];
-        if (request.sample_offset > 0) {
+        const int screen = pass[static_cast<std::size_t>(escalate[i])].num_samples;
+        const bool reused =
+            config_.reuse_screening_samples && pending.options.num_samples > screen;
+        if (reused) {
           // Merge the screening average (already in response.probs) with
           // the new-sample average, weighted by window size, and charge the
           // request the modelled cost of BOTH passes it consumed.
           const int total = pending.options.num_samples;
           const float screen_weight =
-              static_cast<float>(request.sample_offset) / static_cast<float>(total);
+              static_cast<float>(screen) / static_cast<float>(total);
           const float second_weight =
               static_cast<float>(request.num_samples) / static_cast<float>(total);
           const nn::Tensor second_row = second.probs.batch_row(i);
@@ -593,11 +650,29 @@ void Server::serve_batch(core::Accelerator& accelerator, std::vector<Pending> ba
                                   .count());
       }
     }
+    // Journal outcomes BEFORE resolving promises: once a client holds its
+    // response, its trace record is already completed (the dispatcher may
+    // flush it at any time after).
+    if (recorder_) {
+      for (int n = 0; n < count; ++n) {
+        const Pending& pending = batch[static_cast<std::size_t>(n)];
+        if (!pending.traced) continue;
+        const Response& response = responses[static_cast<std::size_t>(n)];
+        recorder_->complete(pending.trace_seq,
+                            response.shed_downgraded ? TraceOutcome::downgraded
+                                                     : TraceOutcome::served,
+                            &response);
+      }
+    }
     for (int n = 0; n < count; ++n)
       batch[static_cast<std::size_t>(n)].promise.set_value(
           std::move(responses[static_cast<std::size_t>(n)]));
   } catch (...) {
     for (Pending& pending : batch) {
+      // complete() is idempotent, so a record journaled as served above
+      // keeps its outcome even if a later promise resolution threw.
+      if (pending.traced)
+        recorder_->complete(pending.trace_seq, TraceOutcome::failed, nullptr);
       try {
         pending.promise.set_exception(std::current_exception());
       } catch (const std::future_error&) {

@@ -70,6 +70,7 @@
 #include <mutex>
 #include <optional>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -78,6 +79,8 @@
 #include "serve/cost_model.h"
 
 namespace bnn::serve {
+
+class TraceRecorder;  // serve/trace.h — journal behind ServerConfig::trace_path
 
 /// Per-request inference knobs: the paper's {L, S} made request-level.
 struct RequestOptions {
@@ -93,6 +96,13 @@ struct RequestOptions {
   /// entropy (nats) exceeds this. <= 0 escalates everything; >= ln(K)
   /// effectively nothing.
   double entropy_threshold_nats = 0.5;
+  /// First sample index of this request's sampler-lane range (see
+  /// core::Accelerator::ImageRequest::sample_offset): sample s draws from
+  /// stream (stream_id, sample_offset + s). Lets a caller split one logical
+  /// S-sample prediction across requests with non-overlapping windows; the
+  /// router's escalation pass adds its own reuse offset ON TOP of this.
+  /// Must be >= 0.
+  int sample_offset = 0;
 };
 
 /// One inference request: a single image plus its knobs.
@@ -219,6 +229,15 @@ struct ServerConfig {
   /// differs. Default off to preserve the strict escalation bit-identity
   /// documented above.
   bool reuse_screening_samples = false;
+  /// When non-empty, journal every submission to this trace file (see
+  /// serve/trace.h): stimulus + golden response checksum per request, plus
+  /// the adaptive admission log. The recorder's ring is flushed by the
+  /// replica workers between batches and finalized by shutdown(). Throws
+  /// from the constructor when the file cannot be created.
+  std::string trace_path;
+  /// Workload id stamped into the trace header — names the weights fixture
+  /// for standalone replay tools (see TraceMeta::workload_id).
+  std::uint32_t trace_workload_id = 0;
 };
 
 /// Aggregate serving counters (monotonic since construction) plus latency
@@ -359,6 +378,8 @@ class Server {
     bool shed_downgrade = false;     // adaptive: answer from the screening pass
     double first_pass_ms = 0.0;      // modelled dispatch cost (group ranking)
     double admission_ms = 0.0;       // modelled worst-case cost (backlog)
+    std::uint64_t trace_seq = 0;     // recorder slot, valid iff traced
+    bool traced = false;
     std::promise<Response> promise;
     std::chrono::steady_clock::time_point submitted;
   };
@@ -382,6 +403,7 @@ class Server {
 
   ServerConfig config_;
   std::unique_ptr<CostModel> cost_model_;  // set iff cost-aware or adaptive
+  std::unique_ptr<TraceRecorder> recorder_;  // set iff trace_path configured
   std::vector<std::unique_ptr<Replica>> replicas_;
 
   mutable std::mutex mutex_;

@@ -1,0 +1,21 @@
+#!/bin/sh
+# Scenario smoke gate: generate a scenario, record it through a traced
+# server at R=1/threads=1, then replay the trace under two different
+# serving configurations — any checksum divergence fails the run.
+#
+#   scenario_smoke.sh BUILD_DIR
+set -eu
+
+BUILD_DIR="${1:?usage: scenario_smoke.sh BUILD_DIR}"
+OUT="$BUILD_DIR/scenario_smoke"
+mkdir -p "$OUT"
+
+"$BUILD_DIR/bench/scenario_gen" --scenario burst --requests 12 --S 4 \
+    --out "$OUT/burst.trace"
+
+"$BUILD_DIR/tools/trace_replay" --trace "$OUT/burst.trace" \
+    --replicas 2 --threads 2 --dispatch cost
+"$BUILD_DIR/tools/trace_replay" --trace "$OUT/burst.trace" \
+    --replicas 1 --threads 1 --dispatch fifo
+
+echo "scenario smoke OK: recorded trace replayed checksum-clean"

@@ -1,0 +1,133 @@
+// Trace replayer CLI: re-serves a recorded request trace (bench/scenario_gen
+// or any ServerConfig::trace_path journal over the shared bench fixtures)
+// under an arbitrary serving configuration and exits non-zero on the first
+// checksum divergence, naming the divergent request.
+//
+//   ./build/tools/trace_replay --trace PATH
+//       [--replicas R] [--threads T] [--max-batch B] [--dispatch fifo|cost]
+//       [--timed] [--no-verify] [--matrix]
+//
+// --timed paces submissions to the recorded arrival offsets instead of
+// replaying as fast as possible. --matrix runs the full acceptance grid —
+// R in {1,2,4} x threads in {1,2,8} x both dispatch modes (18 replays) —
+// the gate that a trace recorded at R=1/threads=1 replays checksum-clean
+// under every serving configuration.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "bench/serve_fixture.h"
+#include "serve/replay.h"
+#include "serve/trace.h"
+
+namespace {
+
+using namespace bnn;
+
+const char* dispatch_name(serve::DispatchMode mode) {
+  return mode == serve::DispatchMode::fifo ? "fifo" : "cost";
+}
+
+int report_result(const serve::ReplayReport& report, const serve::ReplayConfig& config) {
+  std::printf("R=%d threads=%d dispatch=%-4s : %s\n", config.num_replicas,
+              config.num_threads, dispatch_name(config.dispatch_mode),
+              serve::replay_summary(report).c_str());
+  for (const serve::ReplayDivergence& divergence : report.divergences) {
+    std::fprintf(stderr,
+                 "DIVERGENT: request seq=%llu stream=%llu expected=%016llx "
+                 "actual=%016llx\n",
+                 static_cast<unsigned long long>(divergence.seq),
+                 static_cast<unsigned long long>(divergence.stream_id),
+                 static_cast<unsigned long long>(divergence.expected),
+                 static_cast<unsigned long long>(divergence.actual));
+  }
+  if (report.admission_mismatches > 0)
+    std::fprintf(stderr, "ADMISSION MISMATCH: %llu of %llu recorded decisions\n",
+                 static_cast<unsigned long long>(report.admission_mismatches),
+                 static_cast<unsigned long long>(report.admission_records));
+  return report.ok() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string trace_path;
+  serve::ReplayConfig config;
+  bool matrix = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc)
+      trace_path = argv[++i];
+    else if (std::strcmp(argv[i], "--replicas") == 0 && i + 1 < argc)
+      config.num_replicas = std::atoi(argv[++i]);
+    else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc)
+      config.num_threads = std::atoi(argv[++i]);
+    else if (std::strcmp(argv[i], "--max-batch") == 0 && i + 1 < argc)
+      config.max_batch = std::atoi(argv[++i]);
+    else if (std::strcmp(argv[i], "--dispatch") == 0 && i + 1 < argc) {
+      const char* name = argv[++i];
+      if (std::strcmp(name, "fifo") == 0)
+        config.dispatch_mode = serve::DispatchMode::fifo;
+      else if (std::strcmp(name, "cost") == 0 || std::strcmp(name, "cost_aware") == 0)
+        config.dispatch_mode = serve::DispatchMode::cost_aware;
+      else {
+        std::fprintf(stderr, "trace_replay: unknown --dispatch '%s'\n", name);
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--timed") == 0)
+      config.as_fast_as_possible = false;
+    else if (std::strcmp(argv[i], "--no-verify") == 0)
+      config.verify_fingerprint = false;
+    else if (std::strcmp(argv[i], "--matrix") == 0)
+      matrix = true;
+    else {
+      std::fprintf(stderr, "trace_replay: unknown argument '%s'\n", argv[i]);
+      return 2;
+    }
+  }
+  if (trace_path.empty()) {
+    std::fprintf(stderr, "usage: trace_replay --trace PATH [options]\n");
+    return 2;
+  }
+
+  try {
+    const serve::Trace trace = serve::read_trace(trace_path);
+    std::printf("trace %s: workload %u, %zu records, %zu admission decisions, "
+                "seed %llu, fingerprint %016llx%s\n",
+                trace_path.c_str(), trace.meta.workload_id, trace.records.size(),
+                trace.admission.size(),
+                static_cast<unsigned long long>(trace.meta.sampler_seed),
+                static_cast<unsigned long long>(trace.meta.network_fingerprint),
+                trace.meta.reuse_screening_samples ? ", escalation reuse" : "");
+
+    // The header names the fixture; the sampler seed travels with the trace
+    // so the replaying accelerator consumes identical mask streams.
+    bench::ServeFixture fixture = bench::make_workload_fixture(trace.meta.workload_id);
+    core::AcceleratorConfig accel_config = bench::serve_accel_config();
+    accel_config.sampler_seed = trace.meta.sampler_seed;
+    const core::Accelerator accelerator(std::move(fixture.qnet), accel_config);
+
+    if (!matrix) return report_result(serve::replay_trace(trace, accelerator, config), config);
+
+    int status = 0;
+    for (const int replicas : {1, 2, 4}) {
+      for (const int threads : {1, 2, 8}) {
+        for (const serve::DispatchMode mode :
+             {serve::DispatchMode::fifo, serve::DispatchMode::cost_aware}) {
+          serve::ReplayConfig cell = config;
+          cell.num_replicas = replicas;
+          cell.num_threads = threads;
+          cell.dispatch_mode = mode;
+          status |= report_result(serve::replay_trace(trace, accelerator, cell), cell);
+        }
+      }
+    }
+    if (status == 0)
+      std::printf("matrix clean: every R x threads x dispatch cell matched the "
+                  "recorded checksums\n");
+    return status;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "trace_replay: %s\n", error.what());
+    return 1;
+  }
+}
