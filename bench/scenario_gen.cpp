@@ -6,7 +6,7 @@
 //                              [--screening N] [--gap-ms MS] [--timed]
 //                              [--replicas R] [--threads T] [--max-batch B]
 //                              [--policy block|adaptive] [--latency-target MS]
-//                              [--queue-depth N]
+//                              [--queue-depth N] [--models N]
 //                              [--out PATH | --out-dir DIR]
 //
 // Recording defaults to R=1/threads=1 — the canonical recording
@@ -14,6 +14,9 @@
 // R × threads × dispatch combination. --policy adaptive (with
 // --latency-target and usually --queue-depth) records downgrade/reject
 // outcomes and an admission trailer for shedding-replay tests.
+// --models N (up to 3) records a MULTI-TENANT trace: the shared fixtures
+// (cnn12, mlp49, cnn12b) published into one ModelRegistry, event r routed
+// to tenant r % N, model ids journalled per record (v2 model table).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -33,15 +36,44 @@ int run_one(serve::ScenarioKind kind, serve::ScenarioSpec spec,
             serve::ServerConfig server_config, const std::string& out_path,
             bool as_fast) {
   spec.kind = kind;
-  const bench::ServeFixture fixture = kind == serve::ScenarioKind::mixed_shapes
-                                          ? bench::make_mlp49_fixture()
-                                          : bench::make_cnn12_fixture();
+  if (spec.num_models > 1 && kind == serve::ScenarioKind::mixed_shapes) {
+    std::fprintf(stderr,
+                 "scenario_gen: mixed_shapes reshapes stimuli for the MLP-49 "
+                 "geometry and cannot be multi-tenant\n");
+    return 2;
+  }
   server_config.trace_path = out_path;
-  server_config.trace_workload_id = fixture.workload_id;
 
   const std::vector<serve::ScenarioEvent> events = serve::generate_scenario(spec);
   std::uint64_t served = 0, rejected = 0, downgraded = 0;
-  {
+  if (spec.num_models > 1) {
+    // Multi-tenant recording: shared fixtures in one registry, each event
+    // routed to its model_index tenant. trace_workload_id stays 0 — the
+    // per-record model table names every tenant's fixture.
+    const bench::MultiTenantFixture multi =
+        bench::make_multi_tenant_fixture(spec.num_models);
+    server_config.default_model = multi.names.front();
+    serve::Server server(multi.registry, bench::serve_accel_config(), server_config);
+    const auto responses = serve::play_scenario(
+        server, events, multi.names,
+        [&multi](const serve::ScenarioEvent& event) {
+          return bench::multi_fixture_image(multi, event);
+        },
+        as_fast);
+    for (const auto& response : responses) {
+      if (!response.has_value()) {
+        ++rejected;
+      } else if (response->shed_downgraded) {
+        ++downgraded;
+      } else {
+        ++served;
+      }
+    }
+  } else {
+    const bench::ServeFixture fixture = kind == serve::ScenarioKind::mixed_shapes
+                                            ? bench::make_mlp49_fixture()
+                                            : bench::make_cnn12_fixture();
+    server_config.trace_workload_id = fixture.workload_id;
     serve::Server server(core::Accelerator(fixture.qnet, bench::serve_accel_config()),
                          server_config);
     const auto responses = serve::play_scenario(
@@ -125,6 +157,8 @@ int main(int argc, char** argv) {
       server_config.latency_target_ms = std::atof(argv[++i]);
     else if (std::strcmp(argv[i], "--queue-depth") == 0 && i + 1 < argc)
       server_config.max_queue_depth = std::atoi(argv[++i]);
+    else if (std::strcmp(argv[i], "--models") == 0 && i + 1 < argc)
+      spec.num_models = std::atoi(argv[++i]);
     else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
       out_path = argv[++i];
     else if (std::strcmp(argv[i], "--out-dir") == 0 && i + 1 < argc)

@@ -9,14 +9,17 @@
 #define BNN_BENCH_SERVE_FIXTURE_H
 
 #include <cstdint>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "core/accelerator.h"
 #include "data/synth.h"
 #include "nn/models.h"
 #include "quant/qnetwork.h"
+#include "serve/model_registry.h"
 #include "serve/scenario.h"
 #include "train/trainer.h"
 
@@ -25,6 +28,7 @@ namespace bnn::bench {
 /// TraceMeta::workload_id values of the shared fixtures.
 inline constexpr std::uint32_t kWorkloadCnn12 = 1;
 inline constexpr std::uint32_t kWorkloadMlp49 = 2;
+inline constexpr std::uint32_t kWorkloadCnn12b = 3;
 
 struct ServeFixture {
   quant::QuantNetwork qnet;
@@ -81,6 +85,23 @@ inline ServeFixture make_mlp49_fixture() {
   return ServeFixture{std::move(qnet), std::move(dataset), kWorkloadMlp49};
 }
 
+/// Second tiny CNN on the cnn12 topology, trained from different pinned
+/// seeds: same geometry as cnn12, different weights. The multi-tenant
+/// scenarios serve it as a third tenant, and hot-swap tests publish it as
+/// "version 2" of a cnn12-shaped tenant.
+inline ServeFixture make_cnn12b_fixture() {
+  util::Rng rng(31);
+  nn::Model tiny = nn::make_tiny_cnn(rng, 10, 1, 12);
+  util::Rng data_rng(32);
+  data::Dataset dataset = data::make_synth_digits_small(96, data_rng);
+  train::TrainConfig config;
+  config.epochs = 1;
+  config.batch_size = 16;
+  train::fit(tiny, dataset, config);
+  quant::QuantNetwork qnet = quant::quantize_model(tiny, dataset);
+  return ServeFixture{std::move(qnet), std::move(dataset), kWorkloadCnn12b};
+}
+
 /// Process-wide shared instances (tests): train each fixture at most once
 /// per binary however many test suites touch it.
 inline const ServeFixture& shared_cnn12_fixture() {
@@ -91,17 +112,65 @@ inline const ServeFixture& shared_mlp49_fixture() {
   static const ServeFixture fixture = make_mlp49_fixture();
   return fixture;
 }
+inline const ServeFixture& shared_cnn12b_fixture() {
+  static const ServeFixture fixture = make_cnn12b_fixture();
+  return fixture;
+}
 
 /// Fixture for a trace header's workload id (standalone replay tools).
 inline ServeFixture make_workload_fixture(std::uint32_t workload_id) {
   switch (workload_id) {
     case kWorkloadCnn12: return make_cnn12_fixture();
     case kWorkloadMlp49: return make_mlp49_fixture();
+    case kWorkloadCnn12b: return make_cnn12b_fixture();
     default:
       throw std::invalid_argument("serve_fixture: unknown workload id " +
                                   std::to_string(workload_id) +
                                   " (trace recorded against a caller-supplied network?)");
   }
+}
+
+/// The canonical registry tenant name of a fixture workload — the name
+/// multi-model traces and benches publish the fixture under, so a trace's
+/// model table round-trips to the identical registry across processes.
+inline const char* workload_model_name(std::uint32_t workload_id) {
+  switch (workload_id) {
+    case kWorkloadCnn12: return "cnn12";
+    case kWorkloadMlp49: return "mlp49";
+    case kWorkloadCnn12b: return "cnn12b";
+    default:
+      throw std::invalid_argument("serve_fixture: unknown workload id " +
+                                  std::to_string(workload_id));
+  }
+}
+
+/// A multi-tenant serving fixture: N fixtures (cnn12, mlp49, cnn12b — in
+/// that order) published into one ModelRegistry under their canonical
+/// names. Scenario event model_index i routes to names[i]; stimulus images
+/// come from fixtures[i] (tenants have different input geometries on
+/// purpose — the server resolves the tenant before checking geometry).
+struct MultiTenantFixture {
+  std::vector<ServeFixture> fixtures;  ///< index = scenario model_index
+  std::vector<std::string> names;      ///< registry tenant names, same order
+  std::shared_ptr<serve::ModelRegistry> registry;
+};
+
+inline MultiTenantFixture make_multi_tenant_fixture(
+    int num_models, serve::RegistryConfig registry_config = {}) {
+  if (num_models < 1 || num_models > 3)
+    throw std::invalid_argument("serve_fixture: num_models must be in [1, 3]");
+  MultiTenantFixture multi;
+  multi.registry = std::make_shared<serve::ModelRegistry>(registry_config);
+  const std::uint32_t workloads[] = {kWorkloadCnn12, kWorkloadMlp49, kWorkloadCnn12b};
+  for (int m = 0; m < num_models; ++m) {
+    ServeFixture fixture = make_workload_fixture(workloads[m]);
+    serve::ModelConfig model_config;
+    model_config.workload_id = fixture.workload_id;
+    multi.names.emplace_back(workload_model_name(fixture.workload_id));
+    multi.registry->publish(multi.names.back(), fixture.qnet, model_config);
+    multi.fixtures.push_back(std::move(fixture));
+  }
+  return multi;
 }
 
 /// ScenarioImageFn over a fixture's dataset: image r modulo the dataset
@@ -114,6 +183,14 @@ inline nn::Tensor fixture_image(const ServeFixture& fixture,
       fixture.dataset.images().batch_row(event.image_index % fixture.dataset.size());
   if (event.shape_variant == 1) image = image.reshaped({1, 1, 7, 7});
   return image;
+}
+
+/// ScenarioImageFn over a multi-tenant fixture: events index their own
+/// tenant's dataset.
+inline nn::Tensor multi_fixture_image(const MultiTenantFixture& multi,
+                                      const serve::ScenarioEvent& event) {
+  return fixture_image(multi.fixtures[static_cast<std::size_t>(event.model_index)],
+                       event);
 }
 
 }  // namespace bnn::bench

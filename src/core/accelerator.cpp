@@ -61,6 +61,18 @@ Accelerator::Accelerator(std::shared_ptr<const quant::QuantNetwork> network,
   (void)lfsrs_for_probability(network_->dropout_p);
 }
 
+Accelerator::Accelerator(std::shared_ptr<const quant::QuantNetwork> network,
+                         std::shared_ptr<const quant::NetworkExecPlan> plan,
+                         AcceleratorConfig config)
+    : network_(std::move(network)), plan_(std::move(plan)), config_(config) {
+  util::require(network_ != nullptr, "accelerator: null network");
+  util::require(plan_ != nullptr, "accelerator: null execution plan");
+  util::require(plan_->layers.size() == network_->layers.size(),
+                "accelerator: plan does not match the network");
+  desc_ = network_->describe();
+  (void)lfsrs_for_probability(network_->dropout_p);
+}
+
 std::uint64_t Accelerator::sample_stream_seed(std::uint64_t base_seed,
                                               std::uint64_t stream_id, int sample) {
   return util::Rng(base_seed)

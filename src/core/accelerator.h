@@ -76,6 +76,13 @@ class Accelerator {
   /// cycle model should annotate before wrapping (quantize_model does).
   Accelerator(std::shared_ptr<const quant::QuantNetwork> network, AcceleratorConfig config);
 
+  /// Shares both the network AND a prebuilt execution plan (which must be
+  /// build_network_exec_plan(*network) or equivalent). The registry-serving
+  /// path uses this to bind many (replica, model) accelerators without
+  /// rebuilding per-layer plans each time.
+  Accelerator(std::shared_ptr<const quant::QuantNetwork> network,
+              std::shared_ptr<const quant::NetworkExecPlan> plan, AcceleratorConfig config);
+
   /// Per-image knobs of one batched prediction — the request-level unit of
   /// the serving layer. The paper's L (Bayesian depth) and S (MC samples)
   /// are free per image; `stream_id` names the sampler-lane family so a
@@ -138,6 +145,10 @@ class Accelerator {
   const std::shared_ptr<const quant::QuantNetwork>& shared_network() const {
     return network_;
   }
+
+  /// The shared execution-plan handle (for binding further accelerators to
+  /// the same model without a plan rebuild).
+  const std::shared_ptr<const quant::NetworkExecPlan>& shared_plan() const { return plan_; }
   const AcceleratorConfig& config() const { return config_; }
 
   /// Replaces the executor used by subsequent predict calls (see

@@ -122,6 +122,26 @@ NneLayerStats nne_run_layer_into(const quant::QLayer& layer, const quant::LayerE
   const std::int32_t* term_dw = plan.term_dw.data();
   const std::int32_t* term_off = plan.term_off.data();
 
+  // Packed-weight layers dropped their byte rows. The bitpack interior path
+  // reads only the masks, but the int8/scalar tiers and conv border windows
+  // still need byte rows — materialize them into the arena once per layer
+  // call (exact reconstruction, so bits are unchanged).
+  const bool has_border =
+      !is_linear &&
+      (g.pad > 0 || (g.conv_out_h - 1) * g.stride + g.kernel > g.in_h ||
+       (g.conv_out_w - 1) * g.stride + g.kernel > g.in_w);
+  const std::int8_t* wmatrix = layer.weights.data();
+  if (layer.weights_packed && (tier != Tier::bitpack || has_border)) {
+    grow_to(scratch.wrows, static_cast<std::size_t>(g.out_c) * terms, scratch.grow_events);
+    for (int f = 0; f < g.out_c; ++f)
+      layer.materialize_weight_row(f, scratch.wrows.data() +
+                                          static_cast<std::size_t>(f) * terms);
+    wmatrix = scratch.wrows.data();
+  }
+  const auto weight_row = [&](int f) {
+    return wmatrix + static_cast<std::size_t>(f) * terms;
+  };
+
   // Packed-activation prepass (bitpack tier only): sign-pack the input once
   // per layer so every filter row reuses the same window words. Linear
   // layers pack the whole input vector; conv layers pack each INTERIOR
@@ -203,7 +223,7 @@ NneLayerStats nne_run_layer_into(const quant::QLayer& layer, const quant::LayerE
                     scratch.xbits.data() + static_cast<std::size_t>(position) * plan.words,
                     scratch.x_pop[static_cast<std::size_t>(position)], base, delta);
               } else {
-                tree = border_dot(layer.weight_row(f), ih0, iw0, 0, terms);
+                tree = border_dot(weight_row(f), ih0, iw0, 0, terms);
               }
             }
             acc[static_cast<std::size_t>(fl) * config.pv + vl] += tree;
@@ -216,7 +236,7 @@ NneLayerStats nne_run_layer_into(const quant::QLayer& layer, const quant::LayerE
           const int t_base = static_cast<int>(ct) * config.pc;
           const int t_count = std::min(config.pc, terms - t_base);
           for (int fl = 0; fl < f_count; ++fl) {
-            const std::int8_t* w = layer.weight_row(f_base + fl);
+            const std::int8_t* w = weight_row(f_base + fl);
             for (int vl = 0; vl < p_count; ++vl) {
               const int position = p_base + vl;
               // Adder-tree partial sum for this cycle. int32 accumulation is

@@ -103,6 +103,7 @@ struct NneScratch {
   std::vector<std::int32_t> acc;     // PF x PV retiring accumulators
   std::vector<std::uint64_t> xbits;  // packed activation windows, [positions][words]
   std::vector<std::int32_t> x_pop;   // per-position popcounts of xbits
+  std::vector<std::int8_t> wrows;    // materialized byte rows of packed-weight layers
   std::uint64_t grow_events = 0;
 };
 

@@ -41,6 +41,22 @@ QTensor compute_pre_pool(const QLayer& layer, const LayerExecPlan& plan, Tier ti
   const std::int32_t base = static_cast<std::int32_t>(lo) - zp_in;
   const std::int32_t delta = static_cast<std::int32_t>(hi) - lo;
 
+  // Packed-weight layers have no byte rows; the int8/scalar tiers and conv
+  // border windows need them, so reconstruct (exactly) when required. This
+  // is the reference executor — the allocation is acceptable here.
+  std::vector<std::int8_t> wrows;
+  const std::int8_t* wmatrix = layer.weights.data();
+  if (layer.weights_packed &&
+      (tier != Tier::bitpack || g.op == nn::HwLayer::Op::conv)) {
+    wrows.resize(static_cast<std::size_t>(g.out_c) * terms);
+    for (int f = 0; f < g.out_c; ++f)
+      layer.materialize_weight_row(f, wrows.data() + static_cast<std::size_t>(f) * terms);
+    wmatrix = wrows.data();
+  }
+  const auto weight_row = [&](int f) {
+    return wmatrix + static_cast<std::size_t>(f) * terms;
+  };
+
   QTensor pre({g.out_c, g.conv_out_h, g.conv_out_w}, layer.out);
   if (g.op == nn::HwLayer::Op::linear) {
     util::require(input.numel() == g.in_c, "qops: linear input size mismatch");
@@ -57,9 +73,9 @@ QTensor compute_pre_pool(const QLayer& layer, const LayerExecPlan& plan, Tier ti
       } else if (tier == Tier::int8) {
         // int32 accumulation is exact, so the vectorized dot kernel matches
         // the plain per-term loop bit-for-bit.
-        acc += nn::kernels::dot_i8_zp(input.data.data(), layer.weight_row(f), terms, zp_in);
+        acc += nn::kernels::dot_i8_zp(input.data.data(), weight_row(f), terms, zp_in);
       } else {
-        const std::int8_t* w = layer.weight_row(f);
+        const std::int8_t* w = weight_row(f);
         for (int t = 0; t < terms; ++t)
           acc += (static_cast<std::int32_t>(input.data[static_cast<std::size_t>(t)]) - zp_in) *
                  static_cast<std::int32_t>(w[t]);
@@ -147,7 +163,7 @@ QTensor compute_pre_pool(const QLayer& layer, const LayerExecPlan& plan, Tier ti
         for (int f = 0; f < g.out_c; ++f) {
           std::int32_t acc = layer.bias[static_cast<std::size_t>(f)];
           acc += interior ? packed_row_dot(plan, f, xbits.data(), x_pop, base, delta)
-                          : border_dot(layer.weight_row(f), ih0, iw0);
+                          : border_dot(weight_row(f), ih0, iw0);
           fu_store(f, oh, ow, acc);
         }
       }
@@ -156,7 +172,7 @@ QTensor compute_pre_pool(const QLayer& layer, const LayerExecPlan& plan, Tier ti
   }
 
   for (int f = 0; f < g.out_c; ++f) {
-    const std::int8_t* w = layer.weight_row(f);
+    const std::int8_t* w = weight_row(f);
     for (int oh = 0; oh < g.conv_out_h; ++oh) {
       for (int ow = 0; ow < g.conv_out_w; ++ow) {
         const int ih0 = oh * g.stride - g.pad;

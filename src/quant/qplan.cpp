@@ -32,9 +32,29 @@ bool layer_weights_binarizable(const QLayer& layer) {
   const nn::HwLayer& g = layer.geom;
   const int terms = g.in_c * g.kernel * g.kernel;
   if (terms <= 0 || terms > kMaxBinarizableTerms) return false;
+  if (layer.weights_packed) return true;  // packing proved it already
   for (int f = 0; f < g.out_c; ++f)
     if (row_magnitude(layer.weight_row(f), terms) < 0) return false;
   return true;
+}
+
+int pack_binarizable_weights(QuantNetwork& net) {
+  int packed = 0;
+  for (QLayer& layer : net.layers) {
+    if (layer.weights_packed || !layer_weights_binarizable(layer)) continue;
+    // Build the masks once from the byte rows, then drop the rows.
+    LayerExecPlan plan = build_layer_exec_plan(layer);
+    layer.packed_words = plan.words;
+    layer.packed_magnitude = std::move(plan.magnitude);
+    layer.packed_plus = std::move(plan.plus_bits);
+    layer.packed_minus = std::move(plan.minus_bits);
+    layer.weights_packed = true;
+    layer.weights.clear();
+    layer.weights.shrink_to_fit();
+    layer.geom.weights_binarizable = true;
+    ++packed;
+  }
+  return packed;
 }
 
 void annotate_weight_tiers(QuantNetwork& net) {
@@ -65,6 +85,27 @@ LayerExecPlan build_layer_exec_plan(const QLayer& layer) {
 
   plan.weights_binarizable = layer_weights_binarizable(layer);
   if (!plan.weights_binarizable) return plan;
+
+  if (layer.weights_packed) {
+    // Packed layers already store exactly the plan's mask representation;
+    // copy it and rederive the per-row popcounts.
+    plan.words = layer.packed_words;
+    plan.magnitude = layer.packed_magnitude;
+    plan.plus_bits = layer.packed_plus;
+    plan.minus_bits = layer.packed_minus;
+    plan.plus_count.resize(static_cast<std::size_t>(g.out_c));
+    plan.minus_count.resize(static_cast<std::size_t>(g.out_c));
+    plan.pure_binary = true;
+    for (int f = 0; f < g.out_c; ++f) {
+      const std::int32_t pp = nn::kernels::popcount_words(plan.plus_row(f), plan.words);
+      const std::int32_t pm = nn::kernels::popcount_words(plan.minus_row(f), plan.words);
+      plan.plus_count[static_cast<std::size_t>(f)] = pp;
+      plan.minus_count[static_cast<std::size_t>(f)] = pm;
+      if (plan.magnitude[static_cast<std::size_t>(f)] == 0 || pp + pm != plan.terms)
+        plan.pure_binary = false;
+    }
+    return plan;
+  }
 
   plan.words = nn::kernels::bit_words(plan.terms);
   plan.magnitude.resize(static_cast<std::size_t>(g.out_c));

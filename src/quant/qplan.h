@@ -75,8 +75,17 @@ LayerExecPlan build_layer_exec_plan(const QLayer& layer);
 NetworkExecPlan build_network_exec_plan(const QuantNetwork& net);
 
 // The static weight-side test described above (shared per-row magnitude,
-// term bound). Pure weight property — independent of any input.
+// term bound). Pure weight property — independent of any input. Layers
+// already carrying packed storage pass by construction.
 bool layer_weights_binarizable(const QLayer& layer);
+
+// Converts every binarizable layer to packed storage: builds the plus/minus
+// masks, moves them into the QLayer, and drops the int8 byte rows (~8x
+// resident shrink). Bit-preserving — materialize_weight_row reconstructs the
+// exact rows, and plans built from packed layers are identical to plans
+// built from the byte rows they replaced. Idempotent; returns the number of
+// layers (newly) packed. Call after annotate_weight_tiers.
+int pack_binarizable_weights(QuantNetwork& net);
 
 // Stamps layer.geom.weights_binarizable on every layer so the flag flows
 // through describe() into the performance/cost models. quantize_model calls

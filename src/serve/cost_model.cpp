@@ -6,44 +6,81 @@
 
 namespace bnn::serve {
 
+CostModel::CostModel(core::PerfConfig config, bool use_intermediate_caching)
+    : config_(config), use_intermediate_caching_(use_intermediate_caching) {}
+
 CostModel::CostModel(nn::NetworkDesc desc, core::PerfConfig config,
                      bool use_intermediate_caching)
-    : desc_(std::move(desc)),
-      config_(config),
-      use_intermediate_caching_(use_intermediate_caching),
-      num_sites_(desc_.num_sites()) {}
+    : CostModel(config, use_intermediate_caching) {
+  bind_model(0, std::move(desc), 0);
+}
 
 std::unique_ptr<CostModel> CostModel::for_accelerator(const core::Accelerator& accelerator) {
   const core::AcceleratorConfig& config = accelerator.config();
-  return std::make_unique<CostModel>(accelerator.network().describe(),
-                                     core::PerfConfig{config.nne, config.ddr},
-                                     config.use_intermediate_caching);
+  auto model = std::make_unique<CostModel>(core::PerfConfig{config.nne, config.ddr},
+                                           config.use_intermediate_caching);
+  model->bind_model(0, accelerator.network().describe(),
+                    accelerator.network().resident_weight_bytes());
+  return model;
 }
 
-int CostModel::resolve_layers(int bayes_layers) const {
-  return bayes_layers < 0 ? num_sites_ : bayes_layers;
-}
-
-double CostModel::modelled_ms(int bayes_layers, int num_samples) const {
-  const auto key = std::make_pair(resolve_layers(bayes_layers), num_samples);
+void CostModel::bind_model(ModelKey key, nn::NetworkDesc desc, std::uint64_t weight_bytes,
+                           const void* tag) {
   std::lock_guard<std::mutex> lock(mutex_);
-  const auto hit = cache_.find(key);
-  if (hit != cache_.end()) return hit->second;
+  if (entries_.size() <= key) entries_.resize(static_cast<std::size_t>(key) + 1);
+  auto entry = std::make_unique<Entry>();
+  entry->num_sites = desc.num_sites();
+  entry->desc = std::move(desc);
+  entry->weight_bytes = weight_bytes;
+  entry->tag = tag;
+  // A swap keeps the tenant's calibration override: the scale corrects for
+  // simulator-vs-model skew of the HOST, not of one weight set.
+  if (entries_[key] != nullptr) entry->calibration = entries_[key]->calibration;
+  entries_[key] = std::move(entry);
+}
+
+const void* CostModel::bound_tag(ModelKey key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (key >= entries_.size() || entries_[key] == nullptr) return nullptr;
+  return entries_[key]->tag;
+}
+
+bool CostModel::has_model(ModelKey key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return key < entries_.size() && entries_[key] != nullptr;
+}
+
+CostModel::Entry& CostModel::entry_locked(ModelKey key) const {
+  util::require(key < entries_.size() && entries_[key] != nullptr,
+                "cost model: unbound model key");
+  return *entries_[key];
+}
+
+double CostModel::modelled_ms_locked(Entry& entry, int bayes_layers, int num_samples) const {
+  const int layers = bayes_layers < 0 ? entry.num_sites : bayes_layers;
+  const auto key = std::make_pair(layers, num_samples);
+  const auto hit = entry.cache.find(key);
+  if (hit != entry.cache.end()) return hit->second;
   const double ms =
-      core::estimate_mc(desc_, config_, key.first, key.second, use_intermediate_caching_)
+      core::estimate_mc(entry.desc, config_, layers, num_samples, use_intermediate_caching_)
           .latency_ms;
-  cache_.emplace(key, ms);
+  entry.cache.emplace(key, ms);
   return ms;
 }
 
-double CostModel::first_pass_ms(const RequestOptions& options) const {
-  const int samples = options.use_uncertainty_router ? options.screening_samples
-                                                     : options.num_samples;
-  return modelled_ms(options.bayes_layers, samples);
+double CostModel::modelled_ms(ModelKey key, int bayes_layers, int num_samples) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return modelled_ms_locked(entry_locked(key), bayes_layers, num_samples);
 }
 
-double CostModel::admission_ms(const RequestOptions& options) const {
-  double ms = first_pass_ms(options);
+double CostModel::first_pass_ms(ModelKey key, const RequestOptions& options) const {
+  const int samples = options.use_uncertainty_router ? options.screening_samples
+                                                     : options.num_samples;
+  return modelled_ms(key, options.bayes_layers, samples);
+}
+
+double CostModel::admission_ms(ModelKey key, const RequestOptions& options) const {
+  double ms = first_pass_ms(key, options);
   if (options.use_uncertainty_router) {
     // Escalation-reuse servers rerun only the samples the screening pass
     // did not already draw (when there are any); classic servers recompute
@@ -51,13 +88,40 @@ double CostModel::admission_ms(const RequestOptions& options) const {
     const int second_pass =
         escalation_reuse_ ? options.num_samples - options.screening_samples
                           : options.num_samples;
-    if (second_pass > 0) ms += modelled_ms(options.bayes_layers, second_pass);
+    if (second_pass > 0) ms += modelled_ms(key, options.bayes_layers, second_pass);
   }
   return ms;
 }
 
-double CostModel::downgraded_ms(const RequestOptions& options) const {
-  return first_pass_ms(options);
+double CostModel::downgraded_ms(ModelKey key, const RequestOptions& options) const {
+  return first_pass_ms(key, options);
+}
+
+double CostModel::cold_reload_ms(ModelKey key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const Entry& entry = entry_locked(key);
+  const double cycles = config_.ddr.transfer_cycles(
+      static_cast<std::int64_t>(entry.weight_bytes), config_.nne.clock_mhz);
+  // cycles / (MHz * 1e6) seconds -> * 1e3 ms.
+  return cycles / (config_.nne.clock_mhz * 1e3);
+}
+
+void CostModel::set_model_calibration(ModelKey key, core::PerfCalibration calibration) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entry_locked(key).calibration = calibration;
+}
+
+double CostModel::wall_ms(ModelKey key, double modelled) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (key < entries_.size() && entries_[key] != nullptr &&
+      entries_[key]->calibration.has_value())
+    return modelled * entries_[key]->calibration->wall_ms_per_modelled_ms;
+  return modelled * calibration_.wall_ms_per_modelled_ms;
+}
+
+int CostModel::num_sites(ModelKey key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entry_locked(key).num_sites;
 }
 
 }  // namespace bnn::serve

@@ -11,24 +11,36 @@
 // overload policy sheds load by predicted cost against a wall-clock
 // latency target.
 //
-// Modelled milliseconds are accelerator-clock milliseconds; a single
-// calibration scale (core::PerfCalibration) maps them onto measured wall
-// milliseconds of the software simulator that actually serves the request.
-// Relative costs — all the LPT dispatcher needs — are calibration-free;
-// only the adaptive policy's comparison against `latency_target_ms` needs
-// the calibrated scale (serve::Server measures one anchor pass at startup).
+// Multi-tenancy: the model is KEYED PER MODEL (serve::ModelKey). Each bound
+// tenant carries its own NetworkDesc, (L, S) cache, weight footprint, and
+// optional calibration override; bind_model() replaces an entry on hot-swap
+// (the `tag` lets callers detect staleness by version-pointer identity).
+// cold_reload_ms() prices streaming an evicted tenant's weights back from
+// DDR (core::DdrModel at the accelerator clock), which is how dispatch and
+// admission learn that a cold model is costlier than a hot one. The legacy
+// single-model methods delegate to key 0.
+//
+// Modelled milliseconds are accelerator-clock milliseconds; a calibration
+// scale (core::PerfCalibration) maps them onto measured wall milliseconds
+// of the software simulator that actually serves the request. Relative
+// costs — all the LPT dispatcher needs — are calibration-free; only the
+// adaptive policy's comparison against `latency_target_ms` needs the
+// calibrated scale (serve::Server measures one anchor pass at startup).
 //
 // Determinism: modelled costs are a pure function of (network description,
-// NNE/DDR config, L, S) and the calibration scale is fixed after startup,
+// NNE/DDR config, L, S) and the calibration scales are fixed after startup,
 // so every decision derived from CostModel is reproducible given the same
 // queue contents and stats window.
 #ifndef BNN_SERVE_COST_MODEL_H
 #define BNN_SERVE_COST_MODEL_H
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <utility>
+#include <vector>
 
 #include "core/perf_model.h"
 #include "nn/netdesc.h"
@@ -40,25 +52,46 @@ class Accelerator;
 namespace bnn::serve {
 
 struct RequestOptions;
+using ModelKey = std::uint32_t;
 
 class CostModel {
  public:
+  // Empty multi-tenant model: bind tenants with bind_model().
+  CostModel(core::PerfConfig config, bool use_intermediate_caching);
+
+  // Legacy single-model form: binds `desc` as key 0.
   CostModel(nn::NetworkDesc desc, core::PerfConfig config, bool use_intermediate_caching);
 
   // Builds the model for the network/config an accelerator serves (the
-  // same estimate_mc inputs as Accelerator::estimate). Heap-allocated
-  // because the internal cache mutex pins the object in place.
+  // same estimate_mc inputs as Accelerator::estimate), bound as key 0.
+  // Heap-allocated because the internal cache mutex pins the object.
   static std::unique_ptr<CostModel> for_accelerator(const core::Accelerator& accelerator);
 
-  // Modelled milliseconds of one image's MC inference at {L, S} — cached
-  // per (L, S) pair; thread-safe.
-  double modelled_ms(int bayes_layers, int num_samples) const;
+  // Registers (or on hot-swap replaces) tenant `key`: its description, its
+  // resident weight footprint (the DDR reload payload), and an opaque
+  // identity tag (typically the ModelVersion pointer) readable back via
+  // bound_tag. Replacing clears the (L, S) cache. Thread-safe.
+  void bind_model(ModelKey key, nn::NetworkDesc desc, std::uint64_t weight_bytes,
+                  const void* tag = nullptr);
+  // Tag of the bound entry; nullptr when `key` is unbound (or bound tagless).
+  const void* bound_tag(ModelKey key) const;
+  bool has_model(ModelKey key) const;
+
+  // Modelled milliseconds of one image's MC inference at {L, S} on tenant
+  // `key` — cached per (L, S) pair; thread-safe.
+  double modelled_ms(ModelKey key, int bayes_layers, int num_samples) const;
+  double modelled_ms(int bayes_layers, int num_samples) const {
+    return modelled_ms(0, bayes_layers, num_samples);
+  }
 
   // Modelled cost of the FIRST accelerator pass a request triggers: the
   // screening pass for routed requests, the full-S pass otherwise. This is
   // the dispatcher's group-ranking unit (the escalation second pass is not
   // known at dispatch time).
-  double first_pass_ms(const RequestOptions& options) const;
+  double first_pass_ms(ModelKey key, const RequestOptions& options) const;
+  double first_pass_ms(const RequestOptions& options) const {
+    return first_pass_ms(0, options);
+  }
 
   // Worst-case modelled total: first pass plus the escalation pass for
   // routed requests. The adaptive policy's admission unit — overload
@@ -66,7 +99,8 @@ class CostModel {
   // enabled (ServerConfig::reuse_screening_samples) the second pass runs
   // only the num_samples - screening_samples NEW samples, and the admission
   // bound tightens accordingly.
-  double admission_ms(const RequestOptions& options) const;
+  double admission_ms(ModelKey key, const RequestOptions& options) const;
+  double admission_ms(const RequestOptions& options) const { return admission_ms(0, options); }
 
   // Mirrors ServerConfig::reuse_screening_samples into admission_ms. Set
   // once at startup, before concurrent readers exist.
@@ -74,31 +108,56 @@ class CostModel {
 
   // Modelled cost after a shedding downgrade: screening pass only for
   // routed requests (the downgrade's saving), the full pass otherwise.
-  double downgraded_ms(const RequestOptions& options) const;
+  double downgraded_ms(ModelKey key, const RequestOptions& options) const;
+  double downgraded_ms(const RequestOptions& options) const {
+    return downgraded_ms(0, options);
+  }
 
-  // Calibration scale onto measured wall milliseconds (default identity).
-  // Set once at startup, before concurrent readers exist.
+  // Modelled milliseconds of streaming tenant `key`'s weights back from DDR
+  // after an eviction (core::DdrModel transfer at the NNE clock). Charged
+  // on top of the first pass / admission cost of the request whose resolve
+  // paid the reload.
+  double cold_reload_ms(ModelKey key) const;
+
+  // Global calibration scale onto measured wall milliseconds (default
+  // identity). Set once at startup, before concurrent readers exist.
   void set_calibration(core::PerfCalibration calibration) { calibration_ = calibration; }
   const core::PerfCalibration& calibration() const { return calibration_; }
 
-  // Modelled milliseconds mapped onto the calibrated wall clock.
+  // Per-tenant calibration override (a tenant whose measured/modelled ratio
+  // differs from the anchor's). Thread-safe.
+  void set_model_calibration(ModelKey key, core::PerfCalibration calibration);
+
+  // Modelled milliseconds mapped onto the calibrated wall clock — the
+  // tenant's override when set, the global scale otherwise.
+  double wall_ms(ModelKey key, double modelled) const;
   double wall_ms(double modelled) const {
     return modelled * calibration_.wall_ms_per_modelled_ms;
   }
 
-  int num_sites() const { return num_sites_; }
+  int num_sites(ModelKey key) const;
+  int num_sites() const { return num_sites(0); }
 
  private:
-  int resolve_layers(int bayes_layers) const;
+  struct Entry {
+    nn::NetworkDesc desc;
+    int num_sites = 0;
+    std::uint64_t weight_bytes = 0;
+    const void* tag = nullptr;
+    std::optional<core::PerfCalibration> calibration;
+    std::map<std::pair<int, int>, double> cache;
+  };
 
-  nn::NetworkDesc desc_;
+  Entry& entry_locked(ModelKey key) const;
+  double modelled_ms_locked(Entry& entry, int bayes_layers, int num_samples) const;
+
   core::PerfConfig config_;
   bool use_intermediate_caching_;
   bool escalation_reuse_ = false;
-  int num_sites_;
   core::PerfCalibration calibration_;
   mutable std::mutex mutex_;
-  mutable std::map<std::pair<int, int>, double> cache_;
+  // unique_ptr so entries stay put as tenants bind (indexed by ModelKey).
+  mutable std::vector<std::unique_ptr<Entry>> entries_;
 };
 
 }  // namespace bnn::serve

@@ -1,0 +1,163 @@
+#include "serve/model_registry.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "serve/trace.h"
+#include "util/check.h"
+
+namespace bnn::serve {
+
+ModelRegistry::ModelRegistry(RegistryConfig config) : config_(config) {}
+
+ModelRegistry::Entry& ModelRegistry::entry_for(const std::string& name) {
+  for (std::size_t i = 0; i < order_.size(); ++i)
+    if (order_[i] == name) return entries_[i];
+  throw std::invalid_argument("model registry: unknown model '" + name + "'");
+}
+
+const ModelRegistry::Entry& ModelRegistry::entry_for(const std::string& name) const {
+  for (std::size_t i = 0; i < order_.size(); ++i)
+    if (order_[i] == name) return entries_[i];
+  throw std::invalid_argument("model registry: unknown model '" + name + "'");
+}
+
+std::uint64_t ModelRegistry::resident_bytes_locked() const {
+  std::uint64_t total = 0;
+  for (const Entry& entry : entries_)
+    if (entry.plan != nullptr) total += entry.current->weight_bytes;
+  return total;
+}
+
+void ModelRegistry::enforce_budget_locked(const Entry* keep) {
+  if (config_.residency_budget_bytes == 0) return;
+  while (resident_bytes_locked() > config_.residency_budget_bytes) {
+    Entry* victim = nullptr;
+    for (Entry& entry : entries_) {
+      if (entry.plan == nullptr || &entry == keep) continue;
+      if (victim == nullptr || entry.last_use < victim->last_use) victim = &entry;
+    }
+    if (victim == nullptr) return;  // only `keep` is hot — it stays
+    victim->plan = nullptr;
+    ++stats_.evictions;
+  }
+}
+
+std::shared_ptr<const ModelVersion> ModelRegistry::publish(const std::string& name,
+                                                           quant::QuantNetwork network,
+                                                           ModelConfig config) {
+  quant::annotate_weight_tiers(network);
+  if (config.pack_binarizable_weights) quant::pack_binarizable_weights(network);
+  return publish(name, std::make_shared<const quant::QuantNetwork>(std::move(network)),
+                 config);
+}
+
+std::shared_ptr<const ModelVersion> ModelRegistry::publish(
+    const std::string& name, std::shared_ptr<const quant::QuantNetwork> network,
+    ModelConfig config) {
+  util::require(network != nullptr, "model registry: null network");
+  util::require(!network->layers.empty(), "model registry: empty network");
+
+  // Everything expensive — plan build, fingerprint — happens before the
+  // mutex; the flip below is a pointer swap.
+  auto plan = std::make_shared<const quant::NetworkExecPlan>(
+      quant::build_network_exec_plan(*network));
+  const std::uint64_t fingerprint = network_fingerprint(*network);
+  const std::uint64_t weight_bytes = network->resident_weight_bytes();
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry* entry = nullptr;
+  std::uint64_t version = 1;
+  ModelKey key = 0;
+  for (std::size_t i = 0; i < order_.size(); ++i) {
+    if (order_[i] == name) {
+      entry = &entries_[i];
+      key = static_cast<ModelKey>(i);
+      version = entry->current->version + 1;
+      ++stats_.swaps;
+      break;
+    }
+  }
+  if (entry == nullptr) {
+    key = static_cast<ModelKey>(entries_.size());
+    order_.push_back(name);
+    entries_.emplace_back();
+    entry = &entries_.back();
+    ++stats_.models;
+  }
+
+  auto snapshot = std::make_shared<ModelVersion>();
+  snapshot->name = name;
+  snapshot->version = version;
+  snapshot->key = key;
+  snapshot->workload_id = config.workload_id;
+  snapshot->network = std::move(network);
+  snapshot->fingerprint = fingerprint;
+  snapshot->weight_bytes = weight_bytes;
+
+  entry->current = std::move(snapshot);
+  entry->plan = std::move(plan);  // publishing makes (or keeps) the tenant hot
+  entry->model_config = config;
+  entry->last_use = ++tick_;
+  enforce_budget_locked(entry);
+  return entry->current;
+}
+
+ModelRegistry::Bound ModelRegistry::resolve(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& entry = entry_for(name);
+  Bound bound;
+  if (entry.plan == nullptr) {
+    // Cold tenant: stream the weights back in (modelled — the plan rebuild
+    // is a pure function of the immutable network, so responses are
+    // bit-identical to a never-evicted serve) and charge this resolve.
+    entry.plan = std::make_shared<const quant::NetworkExecPlan>(
+        quant::build_network_exec_plan(*entry.current->network));
+    ++stats_.reloads;
+    bound.cold_start = true;
+  }
+  entry.last_use = ++tick_;
+  bound.version = entry.current;
+  bound.plan = entry.plan;
+  enforce_budget_locked(&entry);
+  return bound;
+}
+
+bool ModelRegistry::has(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const std::string& existing : order_)
+    if (existing == name) return true;
+  return false;
+}
+
+std::vector<std::string> ModelRegistry::names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return order_;
+}
+
+bool ModelRegistry::hot(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entry_for(name).plan != nullptr;
+}
+
+std::shared_ptr<const ModelVersion> ModelRegistry::current(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entry_for(name).current;
+}
+
+ModelConfig ModelRegistry::model_config(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entry_for(name).model_config;
+}
+
+RegistryStats ModelRegistry::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  RegistryStats stats = stats_;
+  stats.resident_bytes = resident_bytes_locked();
+  stats.hot_models = 0;
+  for (const Entry& entry : entries_)
+    if (entry.plan != nullptr) ++stats.hot_models;
+  return stats;
+}
+
+}  // namespace bnn::serve

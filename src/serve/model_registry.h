@@ -1,0 +1,159 @@
+// Multi-tenant model registry: the named, versioned model table behind a
+// serve::Server — breaks the one-model-per-server assumption.
+//
+// Each tenant ("model name") maps to an immutable ModelVersion snapshot: a
+// shared_ptr-const QuantNetwork plus the prebuilt NetworkExecPlan every
+// replica binds lazily. publish() registers a new tenant or HOT-SWAPS an
+// existing one: quantization/annotation/packing happen before the registry
+// mutex is taken, the flip itself is one pointer swap, and in-flight
+// requests keep their old ModelVersion handle alive through shared_ptr, so
+// they complete on the old weights bit-identically while every submit that
+// starts after publish() returns resolves the new version — the swap is a
+// linearization point because submit() resolves under the same mutex.
+//
+// Residency: weights on a real board live in DDR and only a budget's worth
+// stays resident (streamed/double-buffered burst loads, as in the
+// FPGA-accelerator survey literature). The registry models that with
+// RegistryConfig::residency_budget_bytes: when the hot set exceeds it, the
+// least-recently-used tenants drop their exec plan and go COLD. A cold
+// tenant still serves — resolve() rebuilds the plan (a pure function of the
+// weights, so responses are bit-identical across eviction states) — but the
+// resolve is flagged cold_start so the serving layer charges the DDR reload
+// through core::DdrModel into its CostModel: dispatch and admission know a
+// cold model is costlier than a hot one.
+#ifndef BNN_SERVE_MODEL_REGISTRY_H
+#define BNN_SERVE_MODEL_REGISTRY_H
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "quant/qnetwork.h"
+#include "quant/qplan.h"
+
+namespace bnn::serve {
+
+/// Dense per-tenant slot id, stable for the registry's lifetime (survives
+/// hot-swaps; version changes, key does not). Keys index cost-model entries
+/// and per-tenant counters cheaply.
+using ModelKey = std::uint32_t;
+
+/// Immutable snapshot of one published model version. Requests hold one via
+/// shared_ptr for their whole flight, which is what makes hot-swap draining
+/// safe: the old weights outlive the flip for exactly as long as someone
+/// still computes on them.
+struct ModelVersion {
+  std::string name;
+  std::uint64_t version = 1;  ///< monotonic per tenant, starts at 1
+  ModelKey key = 0;
+  std::uint32_t workload_id = 0;  ///< trace/fixture hint (serve_fixture ids)
+  std::shared_ptr<const quant::QuantNetwork> network;
+  std::uint64_t fingerprint = 0;    ///< serve::network_fingerprint
+  std::uint64_t weight_bytes = 0;   ///< resident weight footprint
+};
+
+/// Per-tenant knobs fixed at publish time.
+struct ModelConfig {
+  /// Fixture hint stamped into traces (bench/serve_fixture.h ids; 0 = none).
+  std::uint32_t workload_id = 0;
+  /// Per-tenant quota: max requests of this model queued in the server at
+  /// once (0 = unlimited). Excess submits are rejected with
+  /// QuotaExceededError and counted in ServerStats::quota_rejected.
+  int max_queued = 0;
+  /// Convert binarizable layers to packed mask storage at publish (~8x
+  /// smaller resident footprint, bit-identical responses).
+  bool pack_binarizable_weights = true;
+};
+
+struct RegistryConfig {
+  /// Hot-set weight budget in bytes; tenants beyond it evict to cold
+  /// (plan dropped, reload charged on next use). 0 = unlimited.
+  std::uint64_t residency_budget_bytes = 0;
+};
+
+struct RegistryStats {
+  std::uint64_t models = 0;
+  std::uint64_t hot_models = 0;
+  std::uint64_t resident_bytes = 0;  ///< weight bytes of the hot set
+  std::uint64_t evictions = 0;       ///< hot -> cold transitions
+  std::uint64_t reloads = 0;         ///< cold -> hot transitions at resolve
+  std::uint64_t swaps = 0;           ///< hot-swaps of an existing tenant
+};
+
+/// Thread-safe table of named, versioned quantized models. See the header
+/// comment for swap and residency semantics.
+class ModelRegistry {
+ public:
+  explicit ModelRegistry(RegistryConfig config = {});
+
+  /// What a request (or a replica bind) holds while in flight.
+  struct Bound {
+    std::shared_ptr<const ModelVersion> version;
+    std::shared_ptr<const quant::NetworkExecPlan> plan;
+    /// True when THIS resolve paid a cold reload (the request it admits
+    /// should carry the DDR reload cost).
+    bool cold_start = false;
+  };
+
+  /// Registers `name`, or hot-swaps it when already present (version + 1).
+  /// Annotates weight tiers and (per `config.pack_binarizable_weights`)
+  /// packs binarizable layers before publishing; the published network is
+  /// immutable afterwards. Returns the new version snapshot.
+  std::shared_ptr<const ModelVersion> publish(const std::string& name,
+                                              quant::QuantNetwork network,
+                                              ModelConfig config = {});
+
+  /// Same, for an already-wrapped immutable network (no copy, no repack —
+  /// the caller finished preparing it; annotate/pack before wrapping).
+  std::shared_ptr<const ModelVersion> publish(
+      const std::string& name, std::shared_ptr<const quant::QuantNetwork> network,
+      ModelConfig config = {});
+
+  /// Resolves `name` to its current version + exec plan, reloading it when
+  /// cold (Bound::cold_start reports that) and bumping its LRU stamp.
+  /// Throws std::invalid_argument for an unknown name.
+  Bound resolve(const std::string& name);
+
+  bool has(const std::string& name) const;
+  /// Tenant names in registration order.
+  std::vector<std::string> names() const;
+  /// True when the tenant's plan is resident (not evicted). Throws
+  /// std::invalid_argument for an unknown name.
+  bool hot(const std::string& name) const;
+  /// Current version snapshot (no LRU bump, no reload). Throws
+  /// std::invalid_argument for an unknown name.
+  std::shared_ptr<const ModelVersion> current(const std::string& name) const;
+  /// The publish-time per-tenant config. Throws on unknown name.
+  ModelConfig model_config(const std::string& name) const;
+
+  RegistryStats stats() const;
+  const RegistryConfig& config() const { return config_; }
+
+ private:
+  struct Entry {
+    std::shared_ptr<const ModelVersion> current;
+    std::shared_ptr<const quant::NetworkExecPlan> plan;  // null = cold
+    ModelConfig model_config;
+    std::uint64_t last_use = 0;  // LRU stamp (resolve ticks)
+  };
+
+  Entry& entry_for(const std::string& name);
+  const Entry& entry_for(const std::string& name) const;
+  // Drops LRU plans until the hot set fits the budget; `keep` is never
+  // evicted (the entry just published or resolved).
+  void enforce_budget_locked(const Entry* keep);
+  std::uint64_t resident_bytes_locked() const;
+
+  RegistryConfig config_;
+  mutable std::mutex mutex_;
+  std::vector<std::string> order_;  // registration order of names
+  std::vector<Entry> entries_;      // indexed by ModelKey
+  std::uint64_t tick_ = 0;
+  RegistryStats stats_;
+};
+
+}  // namespace bnn::serve
+
+#endif  // BNN_SERVE_MODEL_REGISTRY_H

@@ -67,12 +67,55 @@ struct ReplayReport {
 /// Re-serves `trace` on a fresh Server built around a copy of
 /// `accelerator`. Throws std::runtime_error when verify_fingerprint is on
 /// and the accelerator does not match the trace header (fingerprint or
-/// sampler seed); std::invalid_argument on malformed records.
+/// sampler seed); std::invalid_argument on malformed records or on a
+/// MULTI-model trace (more than one model-table entry — replay those
+/// through the registry overload below).
 ReplayReport replay_trace(const Trace& trace, const core::Accelerator& accelerator,
+                          const ReplayConfig& config = {});
+
+/// Multi-model replay: re-serves `trace` on a fresh Server over `registry`,
+/// routing every record to the registry tenant its model-table entry names
+/// (so a trace recorded against a 3-tenant server replays against 3
+/// tenants). With verify_fingerprint on, every referenced tenant must be
+/// published and its CURRENT version's fingerprint must match the table
+/// entry — per-model, so one stale tenant fails fast by name. Throws
+/// std::invalid_argument when the table lists two versions of one model
+/// key: a trace spanning a mid-run hot-swap pins two weight sets per name
+/// and is not replayable against a single registry state.
+ReplayReport replay_trace(const Trace& trace, std::shared_ptr<ModelRegistry> registry,
+                          const core::AcceleratorConfig& accel_config,
                           const ReplayConfig& config = {});
 
 /// Human-readable one-line summary ("replayed 48, matched 48, ...").
 std::string replay_summary(const ReplayReport& report);
+
+/// Result of diffing two recorded traces record-by-record (by position:
+/// record i of A against record i of B — both sides of an A/B comparison
+/// should be recorded from the same stimulus sequence).
+struct TraceDiff {
+  bool meta_matches = true;  ///< sampler seed, reuse flag, model table agree
+  std::uint64_t compared = 0;     ///< record pairs examined
+  std::uint64_t equal = 0;        ///< pairs with identical outcome + checksum
+  std::uint64_t extra_a = 0;      ///< unpaired trailing records of A
+  std::uint64_t extra_b = 0;      ///< unpaired trailing records of B
+  /// seq of the first divergent pair (record count of the shorter trace
+  /// when one is a prefix of the other); ~0 when the traces match.
+  std::uint64_t first_divergent_seq = ~std::uint64_t{0};
+  /// What diverged there ("checksum", "outcome", ...); empty when equal.
+  std::string first_divergence;
+
+  bool identical() const {
+    return meta_matches && compared == equal && extra_a == 0 && extra_b == 0;
+  }
+};
+
+/// Compares two recorded traces: metadata, then record-by-record outcome +
+/// golden checksum, naming the first divergent seq. Pure function of the
+/// two traces — no serving involved.
+TraceDiff diff_traces(const Trace& a, const Trace& b);
+
+/// Human-readable one-line summary of a diff.
+std::string diff_summary(const TraceDiff& diff);
 
 }  // namespace bnn::serve
 

@@ -47,6 +47,7 @@ std::vector<ScenarioEvent> generate_scenario(const ScenarioSpec& spec) {
   util::require(spec.diurnal_amplitude >= 0.0 && spec.diurnal_amplitude < 1.0,
                 "scenario: diurnal_amplitude must be in [0, 1)");
   util::require(spec.diurnal_periods >= 1, "scenario: diurnal_periods must be >= 1");
+  util::require(spec.num_models >= 1, "scenario: num_models must be >= 1");
 
   std::vector<ScenarioEvent> events;
   events.reserve(static_cast<std::size_t>(spec.num_requests));
@@ -59,6 +60,7 @@ std::vector<ScenarioEvent> generate_scenario(const ScenarioSpec& spec) {
   for (int r = 0; r < spec.num_requests; ++r) {
     ScenarioEvent event;
     event.image_index = r;
+    event.model_index = r % spec.num_models;
     event.stream_id = static_cast<std::uint64_t>(r);
     event.options.num_samples = spec.num_samples;
     event.options.screening_samples = spec.screening_samples;
@@ -146,6 +148,17 @@ std::vector<ScenarioEvent> generate_scenario(const ScenarioSpec& spec) {
 std::vector<std::optional<Response>> play_scenario(
     Server& server, const std::vector<ScenarioEvent>& events,
     const ScenarioImageFn& image_for, bool as_fast_as_possible) {
+  return play_scenario(server, events, {}, image_for, as_fast_as_possible);
+}
+
+std::vector<std::optional<Response>> play_scenario(
+    Server& server, const std::vector<ScenarioEvent>& events,
+    const std::vector<std::string>& model_names, const ScenarioImageFn& image_for,
+    bool as_fast_as_possible) {
+  for (const ScenarioEvent& event : events)
+    util::require(model_names.empty() ||
+                      static_cast<std::size_t>(event.model_index) < model_names.size(),
+                  "scenario: event model_index out of range for model_names");
   std::vector<std::optional<Response>> responses(events.size());
   std::vector<std::future<Response>> futures(events.size());
   std::vector<bool> resolved(events.size(), true);  // flipped false on submit
@@ -166,6 +179,8 @@ std::vector<std::optional<Response>> play_scenario(
     Request request;
     request.image = image_for(event);
     request.options = event.options;
+    if (!model_names.empty())
+      request.model = model_names[static_cast<std::size_t>(event.model_index)];
     request.stream_id = event.stream_id;
     if (!as_fast_as_possible && !event.closed_loop_warm && event.arrival_ms > 0.0) {
       std::this_thread::sleep_until(

@@ -80,6 +80,10 @@ struct ScenarioSpec {
   /// amplitude of the gap modulation (0 = flat, must stay < 1).
   int diurnal_periods = 2;
   double diurnal_amplitude = 0.9;
+  /// Tenants to spread the stimulus over: event r targets model index
+  /// r % num_models (round-robin, so every tenant sees every traffic
+  /// pattern position). 1 = the single-model scenarios of old.
+  int num_models = 1;
 };
 
 /// One generated arrival.
@@ -95,6 +99,9 @@ struct ScenarioEvent {
   /// mixed_shapes: 0 = flat (F,1,1) view, 1 = square (1,H,W) view of the
   /// same image. Always 0 for other kinds.
   int shape_variant = 0;
+  /// Which tenant this event targets (< ScenarioSpec::num_models); callers
+  /// map it to a registry model name. Always 0 for single-model specs.
+  int model_index = 0;
   std::uint64_t stream_id = 0;  ///< pinned to the event index
   RequestOptions options;
 };
@@ -114,6 +121,17 @@ using ScenarioImageFn = std::function<nn::Tensor(const ScenarioEvent&)>;
 /// rejection (QueueFullError).
 std::vector<std::optional<Response>> play_scenario(Server& server,
                                                    const std::vector<ScenarioEvent>& events,
+                                                   const ScenarioImageFn& image_for,
+                                                   bool as_fast_as_possible = false);
+
+/// Multi-tenant overload: each event's request is additionally routed to
+/// `model_names[event.model_index]` (an empty vector or name falls back to
+/// the server's default model). Event model indices must stay within the
+/// vector; rejections — including per-tenant quota rejections — leave the
+/// slot nullopt exactly like the single-model overload.
+std::vector<std::optional<Response>> play_scenario(Server& server,
+                                                   const std::vector<ScenarioEvent>& events,
+                                                   const std::vector<std::string>& model_names,
                                                    const ScenarioImageFn& image_for,
                                                    bool as_fast_as_possible = false);
 

@@ -41,7 +41,36 @@ AdmissionAction adaptive_admission(const AdmissionInputs& inputs) {
   return AdmissionAction::reject;
 }
 
-Server::Server(core::Accelerator accelerator, ServerConfig config) : config_(config) {
+Server::Server(core::Accelerator accelerator, ServerConfig config)
+    : config_(std::move(config)),
+      registry_(std::make_shared<ModelRegistry>()),
+      accel_config_(accelerator.config()) {
+  // Single-model compatibility shim: the accelerator's network becomes the
+  // internal registry's only tenant. The network handle is shared const
+  // (already annotated by the Accelerator constructor) and is published
+  // as-is — no in-place repacking of weights another holder may be using.
+  ModelConfig model_config;
+  model_config.workload_id = config_.trace_workload_id;
+  registry_->publish(config_.default_model, accelerator.shared_network(), model_config);
+  anchor_ = std::make_unique<core::Accelerator>(std::move(accelerator));
+  init();
+}
+
+Server::Server(std::shared_ptr<ModelRegistry> registry, core::AcceleratorConfig accel_config,
+               ServerConfig config)
+    : config_(std::move(config)),
+      registry_(std::move(registry)),
+      accel_config_(accel_config) {
+  util::require(registry_ != nullptr, "serve: null model registry");
+  util::require(registry_->has(config_.default_model),
+                "serve: default_model is not published in the registry");
+  const ModelRegistry::Bound bound = registry_->resolve(config_.default_model);
+  anchor_ =
+      std::make_unique<core::Accelerator>(bound.version->network, bound.plan, accel_config_);
+  init();
+}
+
+void Server::init() {
   util::require(config_.max_batch >= 1, "serve: max_batch must be >= 1");
   util::require(config_.num_replicas >= 1, "serve: num_replicas must be >= 1");
   util::require(config_.max_queue_depth >= 0,
@@ -52,49 +81,61 @@ Server::Server(core::Accelerator accelerator, ServerConfig config) : config_(con
   util::require(!adaptive || config_.latency_target_ms > 0.0,
                 "serve: OverloadPolicy::adaptive requires latency_target_ms > 0");
 
-  // The dispatch/shedding oracle: the paper's performance model over this
-  // network and NNE/DDR configuration (shared by all replicas).
+  const std::shared_ptr<const ModelVersion> def = registry_->current(config_.default_model);
+
+  // The dispatch/shedding oracle: the paper's performance model over the
+  // shared NNE/DDR configuration. Tenants bind their network descriptions
+  // lazily at submit; the default model binds here so the calibration
+  // anchor below has an entry to price.
   if (config_.dispatch_mode == DispatchMode::cost_aware || adaptive) {
-    cost_model_ = CostModel::for_accelerator(accelerator);
+    cost_model_ = std::make_unique<CostModel>(
+        core::PerfConfig{accel_config_.nne, accel_config_.ddr},
+        accel_config_.use_intermediate_caching);
     // The admission bound must price the escalation pass the server will
     // actually run: reuse reruns only the new samples.
     cost_model_->set_escalation_reuse(config_.reuse_screening_samples);
+    cost_model_->bind_model(def->key, def->network->describe(), def->weight_bytes,
+                            def.get());
   }
 
   // Partition the worker-lane budget: each replica's pair loop gets an
   // equal slice of the pool (at least one lane), so R replicas divide the
   // hardware between them instead of stacking R full-width jobs. With a
   // caller-supplied pool the default budget is that pool's actual size,
-  // not the hardware concurrency.
+  // not the hardware concurrency. Every (replica, model) bind is created
+  // from accel_config_, so the slice applies to all tenants alike.
   const int budget = config_.num_threads == 0 && config_.pool != nullptr
                          ? config_.pool->size()
                          : runtime::resolve_thread_count(config_.num_threads);
   const int per_replica = std::max(1, budget / config_.num_replicas);
-  accelerator.set_thread_pool(config_.pool);
-  accelerator.set_num_threads(per_replica);
+  accel_config_.pool = config_.pool;
+  accel_config_.num_threads = per_replica;
+  anchor_->set_thread_pool(config_.pool);
+  anchor_->set_num_threads(per_replica);
 
   // Calibrate the cost model once against a measured anchor pass BEFORE
   // any replica starts: the adaptive policy compares modelled cost against
   // a wall-clock latency target, so modelled milliseconds must be mapped
   // onto this host's wall clock. One warmup + one measured pass over a
-  // zero image at {L = num_sites, S = 2} on the serving configuration. The
-  // scale is fixed afterwards — shedding decisions stay a pure function of
-  // (queue contents, stats window).
+  // zero image at {L = num_sites, S = 2} on the default model. The scale
+  // is fixed afterwards — shedding decisions stay a pure function of
+  // (queue contents, stats window); other tenants inherit the global
+  // scale unless a per-model calibration is installed.
   if (adaptive && config_.calibrate_cost_model) {
-    const quant::QuantNetwork& net = accelerator.network();
+    const quant::QuantNetwork& net = anchor_->network();
     const nn::HwLayer& first = net.layers.front().geom;
     nn::Tensor probe(first.op == nn::HwLayer::Op::conv
                          ? std::vector<int>{1, first.in_c, first.in_h, first.in_w}
                          : std::vector<int>{1, static_cast<int>(first.in_elems()), 1, 1});
     const std::vector<core::Accelerator::ImageRequest> anchor{
         {net.num_sites, 2, /*stream_id=*/0}};
-    (void)accelerator.predict_batch(probe, anchor);  // warmup (pool spin-up etc.)
+    (void)anchor_->predict_batch(probe, anchor);  // warmup (pool spin-up etc.)
     const auto started = std::chrono::steady_clock::now();
-    (void)accelerator.predict_batch(probe, anchor);
+    (void)anchor_->predict_batch(probe, anchor);
     const double measured_ms = std::chrono::duration<double, std::milli>(
                                    std::chrono::steady_clock::now() - started)
                                    .count();
-    const double modelled = cost_model_->modelled_ms(net.num_sites, 2);
+    const double modelled = cost_model_->modelled_ms(def->key, net.num_sites, 2);
     if (std::isfinite(measured_ms) && measured_ms > 0.0 && modelled > 0.0)
       cost_model_->set_calibration(core::calibrate_perf(measured_ms, modelled));
   }
@@ -103,25 +144,29 @@ Server::Server(core::Accelerator accelerator, ServerConfig config) : config_(con
     admission_log_.reserve(static_cast<std::size_t>(config_.admission_log_capacity));
 
   // Request-trace journal (see serve/trace.h): the header pins everything a
-  // replayer must match — the weights fingerprint, the sampler seed, and
-  // the escalation-reuse mode — before the first record lands.
+  // replayer must match — the default model's fingerprint, the sampler
+  // seed, and the escalation-reuse mode — before the first record lands.
+  // Further tenants enter the model table as their records arrive.
   if (!config_.trace_path.empty()) {
     TraceMeta meta;
-    meta.workload_id = config_.trace_workload_id;
-    meta.sampler_seed = accelerator.config().sampler_seed;
-    meta.network_fingerprint = network_fingerprint(accelerator.network());
+    meta.workload_id =
+        config_.trace_workload_id != 0 ? config_.trace_workload_id : def->workload_id;
+    meta.sampler_seed = accel_config_.sampler_seed;
+    meta.network_fingerprint = def->fingerprint;
     meta.reuse_screening_samples = config_.reuse_screening_samples;
+    TraceModelInfo info;
+    info.model_key = def->key;
+    info.model_version = def->version;
+    info.workload_id = def->workload_id;
+    info.fingerprint = def->fingerprint;
+    info.name = def->name;
+    meta.models.push_back(std::move(info));
     recorder_ = std::make_unique<TraceRecorder>(config_.trace_path, meta);
   }
 
   replicas_.reserve(static_cast<std::size_t>(config_.num_replicas));
-  replicas_.push_back(std::make_unique<Replica>(std::move(accelerator)));
-  for (int r = 1; r < config_.num_replicas; ++r) {
-    // Copying shares the quantized network read-only (shared_ptr inside
-    // core::Accelerator) — replicas cost a config struct, not the weights.
-    replicas_.push_back(std::make_unique<Replica>(
-        core::Accelerator(replicas_.front()->accelerator)));
-  }
+  for (int r = 0; r < config_.num_replicas; ++r)
+    replicas_.push_back(std::make_unique<Replica>());
   try {
     for (auto& replica : replicas_) {
       Replica* r = replica.get();
@@ -169,10 +214,12 @@ double Server::window_p99_locked() const {
 
 double Server::queue_backlog_ms_locked() const {
   // Summed on demand (no incremental running total): exact, drift-free,
-  // and O(queue) only on adaptive submissions while overloaded.
+  // and O(queue) only on adaptive submissions while overloaded. Queued
+  // admission costs are already calibrated wall milliseconds (per tenant),
+  // so the backlog is a plain sum.
   double backlog = 0.0;
   for (const Pending& pending : queue_) backlog += pending.admission_ms;
-  return cost_model_->wall_ms(backlog);
+  return backlog;
 }
 
 void Server::record_admission_locked(const AdmissionInputs& inputs,
@@ -201,18 +248,48 @@ std::vector<AdmissionRecord> Server::admission_log() const {
   return log;
 }
 
+ModelServeStats& Server::model_stats_locked(const ModelVersion& version) {
+  for (ModelServeStats& row : model_stats_) {
+    if (row.key == version.key) {
+      if (version.version > row.version) row.version = version.version;
+      return row;
+    }
+  }
+  ModelServeStats row;
+  row.name = version.name;
+  row.key = version.key;
+  row.version = version.version;
+  model_stats_.push_back(std::move(row));
+  return model_stats_.back();
+}
+
+std::vector<ModelServeStats> Server::model_stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return model_stats_;
+}
+
 std::future<Response> Server::submit(Request request) {
   const RequestOptions& options = request.options;
   util::require(options.num_samples >= 1, "serve: num_samples must be >= 1");
   util::require(options.screening_samples >= 1, "serve: screening_samples must be >= 1");
   util::require(options.sample_offset >= 0, "serve: sample_offset must be >= 0");
-  util::require(options.bayes_layers >= -1 &&
-                    options.bayes_layers <= accelerator().network().num_sites,
+
+  // Resolve the tenant FIRST: the returned snapshot fixes which weights
+  // serve this request (registry publish is the hot-swap linearization
+  // point), and all shape validation below is against the resolved
+  // network. Unknown names throw std::invalid_argument from the registry.
+  const std::string& model_name =
+      request.model.empty() ? config_.default_model : request.model;
+  ModelRegistry::Bound bound = registry_->resolve(model_name);
+  const ModelConfig model_config = registry_->model_config(model_name);
+  const quant::QuantNetwork& net = *bound.version->network;
+
+  util::require(options.bayes_layers >= -1 && options.bayes_layers <= net.num_sites,
                 "serve: bayes_layers out of range (-1 = all sites)");
   util::require(request.image.dim() == 3 ||
                     (request.image.dim() == 4 && request.image.size(0) == 1),
                 "serve: request image must be (C,H,W) or (1,C,H,W)");
-  const nn::HwLayer& first = accelerator().network().layers.front().geom;
+  const nn::HwLayer& first = net.layers.front().geom;
   if (first.op == nn::HwLayer::Op::conv) {
     // A conv input has real geometry: an element-count check alone would
     // silently accept transposed/HWC layouts and serve garbage.
@@ -234,12 +311,30 @@ std::future<Response> Server::submit(Request request) {
                                                 request.image.size(2)})
                       : std::move(request.image);
   pending.options = options;
+  pending.bound = std::move(bound);
+  const ModelKey key = pending.bound.version->key;
   if (cost_model_) {
-    // Modelled costs are computed OUTSIDE the queue lock (the (L, S) cache
-    // has its own) — pure functions of the options, so precomputing them
-    // here keeps the admission decision itself O(queue).
-    pending.first_pass_ms = cost_model_->first_pass_ms(options);
-    pending.admission_ms = cost_model_->admission_ms(options);
+    // Modelled costs are computed OUTSIDE the queue lock (the cost model
+    // has its own) — pure functions of (tenant, options), so precomputing
+    // them here keeps the admission decision itself O(queue). The tenant's
+    // description binds lazily, re-binding only when the version snapshot
+    // changed (hot-swap); a cold resolve charges the modelled DDR weight
+    // reload on top of both the dispatch and the admission cost. Stored
+    // values are CALIBRATED wall milliseconds so they compare across
+    // tenants with different calibration scales.
+    if (cost_model_->bound_tag(key) !=
+        static_cast<const void*>(pending.bound.version.get()))
+      cost_model_->bind_model(key, net.describe(), pending.bound.version->weight_bytes,
+                              pending.bound.version.get());
+    pending.first_pass_ms =
+        cost_model_->wall_ms(key, cost_model_->first_pass_ms(key, options));
+    pending.admission_ms =
+        cost_model_->wall_ms(key, cost_model_->admission_ms(key, options));
+    if (pending.bound.cold_start) {
+      const double reload = cost_model_->wall_ms(key, cost_model_->cold_reload_ms(key));
+      pending.first_pass_ms += reload;
+      pending.admission_ms += reload;
+    }
   }
   std::future<Response> future = pending.promise.get_future();
 
@@ -249,19 +344,26 @@ std::future<Response> Server::submit(Request request) {
   TraceRecord trace_record;
   if (recorder_) {
     trace_record.options = pending.options;
+    trace_record.model_key = key;
+    trace_record.model_version = pending.bound.version->version;
     trace_record.image_c = pending.image.size(1);
     trace_record.image_h = pending.image.size(2);
     trace_record.image_w = pending.image.size(3);
     trace_record.image.assign(pending.image.data(),
                               pending.image.data() + pending.image.numel());
+    TraceModelInfo info;
+    info.model_key = key;
+    info.model_version = pending.bound.version->version;
+    info.workload_id = pending.bound.version->workload_id;
+    info.fingerprint = pending.bound.version->fingerprint;
+    info.name = pending.bound.version->name;
+    recorder_->ensure_model(info);
   }
 
   {
     std::unique_lock<std::mutex> lock(mutex_);
     if (stopping_) throw ShutdownError("serve: server is shut down");
-    const auto reject_with = [&](const char* reason) {
-      ++stats_.submitted;
-      ++stats_.rejected;
+    const auto journal_rejection = [&] {
       if (recorder_) {
         // A rejection consumes no stream ticket; journal the id the
         // request WOULD have served under (pinned or the current ticket).
@@ -269,8 +371,35 @@ std::future<Response> Server::submit(Request request) {
         recorder_->complete(recorder_->begin(std::move(trace_record)),
                             TraceOutcome::rejected, nullptr);
       }
+    };
+    const auto reject_with = [&](const char* reason) {
+      ++stats_.submitted;
+      ++stats_.rejected;
+      ModelServeStats& row = model_stats_locked(*pending.bound.version);
+      ++row.submitted;
+      ++row.rejected;
+      journal_rejection();
       pending.promise.set_exception(std::make_exception_ptr(QueueFullError(reason)));
     };
+    // Per-tenant quota, ahead of every overload policy: a tenant over its
+    // share is rejected, never blocked, so one tenant's burst cannot
+    // capture submitter threads or the whole queue.
+    const std::uint64_t tenant_queued =
+        key < queued_by_key_.size() ? queued_by_key_[key] : 0;
+    if (model_config.max_queued > 0 &&
+        tenant_queued >= static_cast<std::uint64_t>(model_config.max_queued)) {
+      ++stats_.submitted;
+      ++stats_.rejected;
+      ++stats_.quota_rejected;
+      ModelServeStats& row = model_stats_locked(*pending.bound.version);
+      ++row.submitted;
+      ++row.rejected;
+      ++row.quota_rejected;
+      journal_rejection();
+      pending.promise.set_exception(std::make_exception_ptr(
+          QuotaExceededError("serve: tenant queue quota exceeded (max_queued)")));
+      return future;
+    }
     const bool queue_full =
         config_.max_queue_depth > 0 &&
         queue_.size() >= static_cast<std::size_t>(config_.max_queue_depth);
@@ -305,7 +434,7 @@ std::future<Response> Server::submit(Request request) {
         // the queue walk when the window is within target.
         if (!inputs.queue_full && inputs.p99_ms > inputs.latency_target_ms) {
           inputs.backlog_ms = queue_backlog_ms_locked();
-          inputs.request_ms = cost_model_->wall_ms(pending.admission_ms);
+          inputs.request_ms = pending.admission_ms;  // already calibrated
         }
         const AdmissionAction action = adaptive_admission(inputs);
         record_admission_locked(inputs, action);
@@ -328,12 +457,21 @@ std::future<Response> Server::submit(Request request) {
           // to the screening pass — otherwise every queued downgrade would
           // inflate backlog_ms by its never-to-run escalation pass and
           // over-shed later arrivals.
-          pending.admission_ms = cost_model_->downgraded_ms(options);
+          pending.admission_ms =
+              cost_model_->wall_ms(key, cost_model_->downgraded_ms(key, options));
         }
         break;
       }
     }
     ++stats_.submitted;
+    {
+      ModelServeStats& row = model_stats_locked(*pending.bound.version);
+      ++row.submitted;
+      if (pending.bound.cold_start) {
+        ++row.cold_starts;
+        ++stats_.cold_starts;
+      }
+    }
     // Submission-order ticket; a caller-pinned stream id skips the default
     // but still consumes a ticket so later defaults stay order-stable.
     pending.stream_id = request.stream_id.value_or(next_ticket_);
@@ -343,6 +481,9 @@ std::future<Response> Server::submit(Request request) {
       pending.trace_seq = recorder_->begin(std::move(trace_record));
       pending.traced = true;
     }
+    if (queued_by_key_.size() <= key)
+      queued_by_key_.resize(static_cast<std::size_t>(key) + 1, 0);
+    ++queued_by_key_[key];
     queue_.push_back(std::move(pending));
     stats_.peak_queue_depth =
         std::max<std::uint64_t>(stats_.peak_queue_depth, queue_.size());
@@ -403,26 +544,37 @@ void Server::replica_loop(Replica& replica) {
       // The linger releases the lock, so a concurrently idle replica may
       // have drained the queue in the meantime.
       if (queue_.empty()) continue;
-      // Pick this pull's per-shape batch group. FIFO coalesces around the
-      // oldest request. Cost-aware ranks every queued group (the first
-      // max_batch queued requests of each distinct shape) by its summed
-      // modelled first-pass cost and takes the costliest — idle replicas
-      // therefore run longest-processing-time-first, balancing modelled
-      // load across replicas; ties keep the oldest group, and within a
-      // group requests always leave in queue order. Selection only decides
-      // WHERE and WHEN a request runs — responses are pure functions of
-      // (request, stream id), so both modes serve bit-identical responses.
+      // Pick this pull's batch group — a (model version, image shape)
+      // pair: an accelerator pass runs one model over one homogeneous
+      // shape, and version-pointer identity keeps pre- and post-hot-swap
+      // requests of the same tenant in separate groups. FIFO coalesces
+      // around the oldest request. Cost-aware ranks every queued group
+      // (the first max_batch queued requests of each distinct group) by
+      // its summed modelled first-pass cost — calibrated wall ms, cold
+      // reloads included, so costs compare across tenants — and takes the
+      // costliest: idle replicas run longest-processing-time-first,
+      // balancing modelled load across replicas; ties keep the oldest
+      // group, and within a group requests always leave in queue order.
+      // Selection only decides WHERE and WHEN a request runs — responses
+      // are pure functions of (model version, request, stream id), so
+      // both modes serve bit-identical responses.
+      const ModelVersion* version = queue_.front().bound.version.get();
       std::vector<int> shape = queue_.front().image.shape();
       if (config_.dispatch_mode == DispatchMode::cost_aware && cost_model_) {
-        std::vector<const std::vector<int>*> shapes;  // first-occurrence order
+        std::vector<const ModelVersion*> group_version;  // first-occurrence order
+        std::vector<const std::vector<int>*> group_shape;
         std::vector<double> group_cost;
         std::vector<int> group_count;
         for (const Pending& pending : queue_) {
+          const ModelVersion* v = pending.bound.version.get();
           const std::vector<int>& s = pending.image.shape();
           std::size_t g = 0;
-          while (g < shapes.size() && *shapes[g] != s) ++g;
-          if (g == shapes.size()) {
-            shapes.push_back(&pending.image.shape());
+          while (g < group_version.size() &&
+                 !(group_version[g] == v && *group_shape[g] == s))
+            ++g;
+          if (g == group_version.size()) {
+            group_version.push_back(v);
+            group_shape.push_back(&pending.image.shape());
             group_cost.push_back(0.0);
             group_count.push_back(0);
           }
@@ -432,17 +584,20 @@ void Server::replica_loop(Replica& replica) {
           }
         }
         std::size_t best = 0;
-        for (std::size_t g = 1; g < shapes.size(); ++g)
+        for (std::size_t g = 1; g < group_version.size(); ++g)
           if (group_cost[g] > group_cost[best]) best = g;  // ties keep oldest
-        shape = *shapes[best];
-        // Starvation guard: a cheap shape group could otherwise wait
-        // forever while costlier groups keep arriving. After
-        // kMaxHeadBypass consecutive pulls that passed over the oldest
-        // queued request, force its group once (deterministic in the pull
-        // sequence, no wall clock involved).
-        if (shape == queue_.front().image.shape()) {
+        version = group_version[best];
+        shape = *group_shape[best];
+        // Starvation guard: a cheap group could otherwise wait forever
+        // while costlier groups keep arriving. After kMaxHeadBypass
+        // consecutive pulls that passed over the oldest queued request,
+        // force its group once (deterministic in the pull sequence, no
+        // wall clock involved).
+        if (version == queue_.front().bound.version.get() &&
+            shape == queue_.front().image.shape()) {
           head_bypass_ = 0;
         } else if (++head_bypass_ >= kMaxHeadBypass) {
+          version = queue_.front().bound.version.get();
           shape = queue_.front().image.shape();
           head_bypass_ = 0;
         }
@@ -451,7 +606,10 @@ void Server::replica_loop(Replica& replica) {
           std::min<int>(config_.max_batch, static_cast<int>(queue_.size()))));
       for (auto it = queue_.begin();
            it != queue_.end() && static_cast<int>(batch.size()) < config_.max_batch;) {
-        if (it->image.shape() == shape) {
+        if (it->bound.version.get() == version && it->image.shape() == shape) {
+          const ModelKey key = it->bound.version->key;
+          if (key < queued_by_key_.size() && queued_by_key_[key] > 0)
+            --queued_by_key_[key];
           batch.push_back(std::move(*it));
           it = queue_.erase(it);
         } else {
@@ -460,7 +618,7 @@ void Server::replica_loop(Replica& replica) {
       }
     }
     queue_space_.notify_all();  // backpressured submitters may proceed
-    serve_batch(replica.accelerator, std::move(batch));
+    serve_batch(replica, std::move(batch));
     // Journal I/O runs on the replica thread between batches — submitters
     // never pay for the disk write.
     if (recorder_) recorder_->flush();
@@ -477,30 +635,57 @@ void Server::append_latency_locked(double ms) {
   ++window_version_;  // invalidates the lazily-sorted p99 copy
 }
 
-void Server::serve_batch(core::Accelerator& accelerator, std::vector<Pending> batch) {
-  // Defensive backstop (structurally unreachable after per-shape batch
-  // grouping in replica_loop): a request whose shape differs from the
-  // batch head fails alone with set_exception; its neighbours and the
-  // replica worker itself are untouched. The historical behaviour — a
-  // util::require on this thread — failed the entire batch for one bad
-  // request.
+core::Accelerator& Server::bind_replica(Replica& replica,
+                                        const ModelRegistry::Bound& bound) {
+  for (Bind& bind : replica.binds) {
+    if (bind.version == bound.version) {
+      bind.last_use = ++replica.bind_tick;
+      return *bind.accelerator;
+    }
+  }
+  if (replica.binds.size() >= kReplicaBindCache) {
+    std::size_t victim = 0;
+    for (std::size_t i = 1; i < replica.binds.size(); ++i)
+      if (replica.binds[i].last_use < replica.binds[victim].last_use) victim = i;
+    replica.binds.erase(replica.binds.begin() + static_cast<std::ptrdiff_t>(victim));
+  }
+  // The bind holds the request's OWN plan handle: even if the registry
+  // evicted this tenant right after the batch was pulled, the plan the
+  // requests resolved stays alive, and a later re-resolve's rebuilt plan
+  // is a pure function of the same immutable weights — bit-identical.
+  Bind bind;
+  bind.version = bound.version;
+  bind.accelerator =
+      std::make_unique<core::Accelerator>(bound.version->network, bound.plan, accel_config_);
+  bind.last_use = ++replica.bind_tick;
+  replica.binds.push_back(std::move(bind));
+  return *replica.binds.back().accelerator;
+}
+
+void Server::serve_batch(Replica& replica, std::vector<Pending> batch) {
+  // Defensive backstop (structurally unreachable after per-(model, shape)
+  // batch grouping in replica_loop): a request whose shape or model
+  // differs from the batch head fails alone with set_exception; its
+  // neighbours and the replica worker itself are untouched.
   const std::vector<int> shape = batch.front().image.shape();
+  const ModelVersion* head_version = batch.front().bound.version.get();
   std::size_t keep = 0;
   for (std::size_t i = 0; i < batch.size(); ++i) {
-    if (batch[i].image.shape() == shape) {
+    if (batch[i].image.shape() == shape && batch[i].bound.version.get() == head_version) {
       if (keep != i) batch[keep] = std::move(batch[i]);
       ++keep;
     } else {
       if (batch[i].traced)
         recorder_->complete(batch[i].trace_seq, TraceOutcome::failed, nullptr);
       batch[i].promise.set_exception(std::make_exception_ptr(
-          std::invalid_argument("serve: image shape differs from its batch group")));
+          std::invalid_argument("serve: request differs from its batch group")));
     }
   }
   batch.resize(keep);
 
+  core::Accelerator& accelerator = bind_replica(replica, batch.front().bound);
   const int count = static_cast<int>(batch.size());
-  const int num_sites = accelerator.network().num_sites;
+  const int num_sites = batch.front().bound.version->network->num_sites;
   const auto resolve_layers = [num_sites](const RequestOptions& options) {
     return options.bayes_layers < 0 ? num_sites : options.bayes_layers;
   };
@@ -543,6 +728,9 @@ void Server::serve_batch(core::Accelerator& accelerator, std::vector<Pending> ba
       response.bayes_layers = pass[static_cast<std::size_t>(n)].bayes_layers;
       response.samples_used = pass[static_cast<std::size_t>(n)].num_samples;
       response.stream_id = pending.stream_id;
+      response.model_key = pending.bound.version->key;
+      response.model_version = pending.bound.version->version;
+      response.cold_start = pending.bound.cold_start;
       response.stats = first.stats[static_cast<std::size_t>(n)];
       if (pending.options.use_uncertainty_router) {
         ++screened;
@@ -645,6 +833,7 @@ void Server::serve_batch(core::Accelerator& accelerator, std::vector<Pending> ba
       stats_.escalations += static_cast<std::uint64_t>(escalate.size());
       stats_.shed_downgraded += downgraded;
       for (const Pending& pending : batch) {
+        ++model_stats_locked(*pending.bound.version).served;
         append_latency_locked(std::chrono::duration<double, std::milli>(
                                   completed - pending.submitted)
                                   .count());

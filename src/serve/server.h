@@ -5,17 +5,35 @@
 // ROADMAP north star). serve::Server is that front end in software: clients
 // submit single-image Requests with per-request knobs for S (MC samples)
 // and L (Bayesian depth); R replica workers (`ServerConfig::num_replicas`)
-// pull per-shape batch groups off one coalescing queue and run each group
-// through their own core::Accelerator — the software analogue of FPGA BNN
-// designs replicating processing engines to hide sampling and MC latency.
-// Replicas share the quantized network read-only (one copy of the weights)
-// and slice the shared runtime::ThreadPool between them, so each group's
-// flattened (image, sample) pair loop fills its share of the pool lanes.
+// pull per-(model, shape) batch groups off one coalescing queue and run
+// each group through a core::Accelerator bound to that group's model — the
+// software analogue of FPGA BNN designs replicating processing engines to
+// hide sampling and MC latency. Replicas share each quantized network
+// read-only (one copy of the weights per model) and slice the shared
+// runtime::ThreadPool between them, so each group's flattened
+// (image, sample) pair loop fills its share of the pool lanes.
+//
+// Multi-tenancy: the server fronts a serve::ModelRegistry — a table of
+// named, versioned quantized models. Request::model names the tenant
+// (empty = ServerConfig::default_model); submit() resolves the name to an
+// immutable ModelVersion snapshot, so a hot-swap (ModelRegistry::publish)
+// never affects requests already admitted: in-flight work completes on the
+// weights it resolved, bit-identically, while every later submit sees the
+// new version. Replicas bind an accelerator per (replica, model version)
+// lazily and cache a bounded LRU set of binds; a tenant evicted to cold by
+// the registry's residency budget still serves, but its resolve pays a
+// modelled DDR weight reload (CostModel::cold_reload_ms) that inflates the
+// request's dispatch/admission cost and is counted in
+// ServerStats::cold_starts. Per-tenant quotas (ModelConfig::max_queued)
+// bound how much of the queue one tenant may occupy; quota rejections
+// throw QuotaExceededError and count in ServerStats::quota_rejected.
 //
 // Dispatch: by default the dispatcher is COST-AWARE — a serve::CostModel
 // (the paper's own performance model re-used as a serving oracle) estimates
-// each queued per-shape batch group's modelled latency from its requests'
-// {L, S} knobs, and an idle replica pulls the COSTLIEST group first
+// each queued per-(model, shape) batch group's modelled latency from its
+// requests' {L, S} knobs (per-tenant model descriptions, calibrated onto
+// the wall clock so costs are cross-model comparable, cold reloads
+// included), and an idle replica pulls the COSTLIEST group first
 // (longest-processing-time-first across replicas). LPT balances modelled
 // load between replicas and cuts tail latency under mixed cheap/expensive
 // traffic; `DispatchMode::fifo` restores the greedy oldest-first pull.
@@ -41,21 +59,23 @@
 // Determinism: every request gets a stream id (a submission-order ticket,
 // or a caller-chosen id), and the accelerator's sampler lanes are seeded
 // per (stream id, sample). A request's response is therefore a pure
-// function of (network weights, image, its options, its stream id, its
-// shed-downgrade flag) — the same no matter how the dispatcher batched it,
-// WHICH REPLICA ran it, WHICH DISPATCH MODE picked it, how many worker
-// threads ran, or what other traffic was in flight. An escalated response
-// is bit-identical to what a direct full-S request would have returned; a
-// shed-downgraded response is bit-identical to the screening pass a direct
-// never-escalating request would have returned. Exception: with
-// ServerConfig::reuse_screening_samples on, an escalated response merges
-// the screening average with a second pass over only the NEW samples —
-// still a pure function of the same inputs (the merged windows consume
-// exactly the mask streams a direct full-S request would), but the float
-// reduction order differs, so it is deterministic without being
-// bit-identical to the direct full-S result. Across overload policies
-// only ADMISSION decisions (reject / downgrade) may differ, and each
-// adaptive decision is a pure function of its recorded inputs
+// function of (model version's weights, image, its options, its stream id,
+// its shed-downgrade flag) — the same no matter how the dispatcher batched
+// it, WHICH REPLICA ran it, WHICH DISPATCH MODE picked it, how many worker
+// threads ran, whether its model was EVICTED AND RELOADED in between
+// (plan rebuild is a pure function of the immutable weights), what other
+// TENANTS were hot-swapped mid-flight, or what other traffic was in
+// flight. An escalated response is bit-identical to what a direct full-S
+// request would have returned; a shed-downgraded response is bit-identical
+// to the screening pass a direct never-escalating request would have
+// returned. Exception: with ServerConfig::reuse_screening_samples on, an
+// escalated response merges the screening average with a second pass over
+// only the NEW samples — still a pure function of the same inputs (the
+// merged windows consume exactly the mask streams a direct full-S request
+// would), but the float reduction order differs, so it is deterministic
+// without being bit-identical to the direct full-S result. Across overload
+// policies only ADMISSION decisions (reject / downgrade) may differ, and
+// each adaptive decision is a pure function of its recorded inputs
 // (adaptive_admission + AdmissionRecord), reproducible by a
 // single-threaded replay.
 #ifndef BNN_SERVE_SERVER_H
@@ -77,6 +97,7 @@
 #include "core/accelerator.h"
 #include "nn/tensor.h"
 #include "serve/cost_model.h"
+#include "serve/model_registry.h"
 
 namespace bnn::serve {
 
@@ -109,6 +130,11 @@ struct RequestOptions {
 struct Request {
   nn::Tensor image;  ///< (C, H, W) or (1, C, H, W) float image
   RequestOptions options;
+  /// Registry name of the model to serve this request (empty =
+  /// ServerConfig::default_model). Resolved to an immutable version
+  /// snapshot at submit — a concurrent hot-swap never retargets an
+  /// admitted request. Unknown names throw std::invalid_argument.
+  std::string model;
   /// Sampler stream family for this request. Defaults to a submission-order
   /// ticket; fix it explicitly to make a request's masks independent of
   /// when it was submitted (e.g. for replay / A-B comparisons).
@@ -127,6 +153,13 @@ struct Response {
   int samples_used = 0;  ///< S of the pass that produced `probs`
   int bayes_layers = 0;  ///< resolved L
   std::uint64_t stream_id = 0;
+  /// Which registry tenant/version served this request (key 0 / version 1
+  /// under the legacy single-model constructor).
+  ModelKey model_key = 0;
+  std::uint64_t model_version = 1;
+  /// This request's resolve found its model evicted and paid the modelled
+  /// DDR reload (the response itself is bit-identical either way).
+  bool cold_start = false;
   core::RunStats stats;  ///< modelled hardware cost of the producing pass
 };
 
@@ -151,13 +184,15 @@ enum class OverloadPolicy {
   adaptive,
 };
 
-/// How an idle replica picks its next per-shape batch group.
+/// How an idle replica picks its next per-(model, shape) batch group.
 enum class DispatchMode {
   /// Greedy FIFO: coalesce around the oldest queued request.
   fifo,
-  /// Longest-processing-time-first: coalesce the per-shape group with the
-  /// highest modelled cost (serve::CostModel over each request's first
-  /// accelerator pass). Ties fall back to the oldest group. Default.
+  /// Longest-processing-time-first: coalesce the per-(model, shape) group
+  /// with the highest modelled cost (serve::CostModel over each request's
+  /// first accelerator pass, calibrated wall milliseconds so costs are
+  /// cross-model comparable, cold reloads included). Ties fall back to the
+  /// oldest group. Default.
   cost_aware,
 };
 
@@ -168,6 +203,17 @@ enum class DispatchMode {
 class QueueFullError : public std::runtime_error {
  public:
   using std::runtime_error::runtime_error;
+};
+
+/// A per-tenant quota rejection (ModelConfig::max_queued): THIS tenant has
+/// its share of the queue, not the whole server. Derives from
+/// QueueFullError so generic overload handling keeps working; counted in
+/// ServerStats::quota_rejected. Applied under every overload policy — a
+/// quota'd tenant is rejected, never blocked, so one tenant's burst cannot
+/// capture submitter threads.
+class QuotaExceededError : public QueueFullError {
+ public:
+  using QueueFullError::QueueFullError;
 };
 
 /// The distinct error shutdown delivers to submitters: thrown by submit()
@@ -195,7 +241,7 @@ struct ServerConfig {
   /// server). nullptr selects the process-wide runtime::shared_pool().
   runtime::ThreadPool* pool = nullptr;
   /// R: accelerator replicas serving the queue concurrently. Replicas
-  /// share the quantized network read-only; responses are bit-identical
+  /// share each quantized network read-only; responses are bit-identical
   /// for every replica count (sampler lanes depend only on stream ids).
   int num_replicas = 1;
   /// Queue bound for backpressure; 0 = unbounded (no fixed admission
@@ -229,23 +275,31 @@ struct ServerConfig {
   /// differs. Default off to preserve the strict escalation bit-identity
   /// documented above.
   bool reuse_screening_samples = false;
+  /// Registry name served when Request::model is empty. Must name a
+  /// published model of the registry handed to the multi-tenant
+  /// constructor; the legacy single-model constructor publishes its
+  /// accelerator's network under exactly this name.
+  std::string default_model;
   /// When non-empty, journal every submission to this trace file (see
   /// serve/trace.h): stimulus + golden response checksum per request, plus
-  /// the adaptive admission log. The recorder's ring is flushed by the
-  /// replica workers between batches and finalized by shutdown(). Throws
-  /// from the constructor when the file cannot be created.
+  /// the adaptive admission log and the model table of every tenant the
+  /// records reference. The recorder's ring is flushed by the replica
+  /// workers between batches and finalized by shutdown(). Throws from the
+  /// constructor when the file cannot be created.
   std::string trace_path;
   /// Workload id stamped into the trace header — names the weights fixture
-  /// for standalone replay tools (see TraceMeta::workload_id).
+  /// for standalone replay tools (see TraceMeta::workload_id). 0 falls
+  /// back to the default model's ModelConfig::workload_id.
   std::uint32_t trace_workload_id = 0;
 };
 
 /// Aggregate serving counters (monotonic since construction) plus latency
 /// percentiles over a sliding window of recently served requests.
 /// Invariants (once the queue is drained): requests + rejected ==
-/// submitted; shed_downgraded <= requests; shed_rejected <= rejected —
-/// equivalently (requests - shed_downgraded) + shed_downgraded + rejected
-/// == submitted (full-quality + downgraded-then-served + rejected).
+/// submitted; shed_downgraded <= requests; shed_rejected + quota_rejected
+/// <= rejected — equivalently (requests - shed_downgraded) +
+/// shed_downgraded + rejected == submitted (full-quality +
+/// downgraded-then-served + rejected).
 struct ServerStats {
   std::uint64_t submitted = 0;    ///< valid submissions (accepted + rejected)
   std::uint64_t requests = 0;     ///< responses produced
@@ -257,6 +311,12 @@ struct ServerStats {
   std::uint64_t shed_downgraded = 0;
   /// Rejections decided by adaptive shedding (subset of `rejected`).
   std::uint64_t shed_rejected = 0;
+  /// Rejections by a tenant's ModelConfig::max_queued quota (subset of
+  /// `rejected`, disjoint from shed_rejected).
+  std::uint64_t quota_rejected = 0;
+  /// Admissions whose registry resolve reloaded an evicted model (the
+  /// modelled DDR reload was charged to their dispatch/admission cost).
+  std::uint64_t cold_starts = 0;
   /// High-water mark of the coalescing queue length; never exceeds
   /// max_queue_depth when that bound is set.
   std::uint64_t peak_queue_depth = 0;
@@ -269,6 +329,20 @@ struct ServerStats {
   double latency_p50_ms = 0.0;
   double latency_p95_ms = 0.0;
   double latency_p99_ms = 0.0;
+};
+
+/// Per-tenant serving counters (Server::model_stats). A tenant appears
+/// once it has been submitted to; `version` tracks the latest version any
+/// of its submissions resolved.
+struct ModelServeStats {
+  std::string name;
+  ModelKey key = 0;
+  std::uint64_t version = 0;
+  std::uint64_t submitted = 0;
+  std::uint64_t served = 0;
+  std::uint64_t rejected = 0;        ///< all rejections of this tenant
+  std::uint64_t quota_rejected = 0;  ///< subset of `rejected`
+  std::uint64_t cold_starts = 0;
 };
 
 /// Percentile with linear interpolation between closest ranks: pct in
@@ -308,40 +382,55 @@ struct AdmissionRecord {
   AdmissionAction action = AdmissionAction::admit;
 };
 
-/// Batched-serving front end over R replica accelerators. Thread-safe: any
-/// number of client threads may submit concurrently; each replica worker
-/// thread owns its accelerator. The destructor drains every accepted
-/// request before returning.
+/// Batched-serving front end over R replica accelerators and a (possibly
+/// shared) model registry. Thread-safe: any number of client threads may
+/// submit concurrently; each replica worker thread owns its accelerator
+/// binds. The destructor drains every accepted request before returning.
 ///
-/// Batches are grouped per image shape: a replica only coalesces queued
-/// requests whose (C, H, W) matches the chosen group head and leaves the
-/// rest queued (for itself on its next pull, or for a concurrently idle
-/// replica), so heterogeneous traffic (possible when the network's first
-/// layer is linear, which constrains only the element count) splits into
-/// homogeneous accelerator passes instead of faulting — and a shape
-/// problem can only ever fail its own request, never a batch neighbour or
-/// a replica worker.
+/// Batches are grouped per (model version, image shape): a replica only
+/// coalesces queued requests whose model snapshot AND (C, H, W) match the
+/// chosen group head and leaves the rest queued (for itself on its next
+/// pull, or for a concurrently idle replica), so heterogeneous traffic
+/// splits into homogeneous accelerator passes instead of faulting — and a
+/// shape problem can only ever fail its own request, never a batch
+/// neighbour or a replica worker. Version-pointer grouping also means a
+/// hot-swap splits old-version and new-version requests into separate
+/// batches automatically.
 class Server {
  public:
-  /// Takes ownership of the accelerator and replicates it
-  /// `config.num_replicas` times (replicas share the quantized network);
-  /// `config.pool`/`config.num_threads` override the accelerator's own
-  /// executor knobs. Under OverloadPolicy::adaptive,
-  /// `config.latency_target_ms` must be positive, and (unless
-  /// calibrate_cost_model is off) one measured accelerator pass anchors
-  /// the cost model's wall-clock scale before the replicas start.
+  /// Legacy single-model form: takes ownership of the accelerator,
+  /// publishes its network into an internal one-entry registry under
+  /// `config.default_model` (normally ""), and serves it replicated
+  /// `config.num_replicas` times; `config.pool`/`config.num_threads`
+  /// override the accelerator's own executor knobs. Under
+  /// OverloadPolicy::adaptive, `config.latency_target_ms` must be
+  /// positive, and (unless calibrate_cost_model is off) one measured
+  /// accelerator pass anchors the cost model's wall-clock scale before the
+  /// replicas start.
   explicit Server(core::Accelerator accelerator, ServerConfig config = {});
+
+  /// Multi-tenant form: serves every model of `registry` (which may keep
+  /// gaining tenants and hot-swaps while the server runs — publish() is
+  /// the linearization point for in-flight vs. new submissions).
+  /// `accel_config` is the shared accelerator configuration every
+  /// (replica, model) bind uses: sampler seed, NNE/DDR geometry, kernel
+  /// tier. `config.default_model` must already be published.
+  Server(std::shared_ptr<ModelRegistry> registry, core::AcceleratorConfig accel_config,
+         ServerConfig config = {});
   ~Server();
 
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
   /// Enqueues a request; the future resolves when its batch completes.
-  /// Throws std::invalid_argument on malformed options or image shape, and
+  /// Throws std::invalid_argument on malformed options, an unknown model
+  /// name, or an image shape that does not match the resolved model; and
   /// ShutdownError after shutdown() has been called (including to
   /// submitters blocked on a full queue when shutdown arrives — a woken
   /// submitter never enqueues). Under fail_fast or adaptive overload the
-  /// returned future holds a QueueFullError instead of a value.
+  /// returned future holds a QueueFullError instead of a value; a tenant
+  /// over its ModelConfig::max_queued quota gets QuotaExceededError under
+  /// every policy.
   std::future<Response> submit(Request request);
 
   /// Synchronous convenience: submit + wait.
@@ -354,6 +443,14 @@ class Server {
 
   ServerStats stats() const;
 
+  /// Per-tenant counters, one entry per model that has been submitted to,
+  /// in first-submission order.
+  std::vector<ModelServeStats> model_stats() const;
+
+  /// The registry this server resolves models against (never null; the
+  /// legacy constructor's internal registry for single-model servers).
+  const std::shared_ptr<ModelRegistry>& registry() const { return registry_; }
+
   /// The dispatcher's cost oracle; nullptr when neither cost-aware
   /// dispatch nor adaptive shedding is configured.
   const CostModel* cost_model() const { return cost_model_.get(); }
@@ -363,36 +460,57 @@ class Server {
   /// and a positive capacity are configured.
   std::vector<AdmissionRecord> admission_log() const;
 
-  /// Replica 0's accelerator (all replicas share its network and config).
-  const core::Accelerator& accelerator() const { return replicas_.front()->accelerator; }
+  /// An accelerator bound to the default model's version at construction
+  /// (replica binds share its network and config). Retained for
+  /// single-model callers; under hot-swaps it keeps the construction-time
+  /// snapshot.
+  const core::Accelerator& accelerator() const { return *anchor_; }
 
   /// Latency-percentile window size (served requests retained for the
   /// ServerStats percentiles).
   static constexpr std::size_t kLatencyWindow = 1024;
 
+  /// Accelerator binds a replica keeps alive at once (per-replica LRU
+  /// cache over model versions; a bind is a config struct + shared
+  /// pointers — the weights and plans live in the registry).
+  static constexpr std::size_t kReplicaBindCache = 8;
+
  private:
   struct Pending {
     nn::Tensor image;  // (1, C, H, W)
     RequestOptions options;
+    ModelRegistry::Bound bound;      // resolved model snapshot (immutable)
     std::uint64_t stream_id = 0;
     bool shed_downgrade = false;     // adaptive: answer from the screening pass
-    double first_pass_ms = 0.0;      // modelled dispatch cost (group ranking)
-    double admission_ms = 0.0;       // modelled worst-case cost (backlog)
+    double first_pass_ms = 0.0;      // calibrated dispatch cost (group ranking)
+    double admission_ms = 0.0;       // calibrated worst-case cost (backlog)
     std::uint64_t trace_seq = 0;     // recorder slot, valid iff traced
     bool traced = false;
     std::promise<Response> promise;
     std::chrono::steady_clock::time_point submitted;
   };
 
-  /// One accelerator replica and the worker thread driving it.
+  /// One cached (model version -> accelerator) bind of a replica.
+  struct Bind {
+    std::shared_ptr<const ModelVersion> version;
+    std::unique_ptr<core::Accelerator> accelerator;
+    std::uint64_t last_use = 0;
+  };
+
+  /// One replica worker thread and its accelerator-bind cache. The cache
+  /// is only touched by the owning worker thread.
   struct Replica {
-    explicit Replica(core::Accelerator accel) : accelerator(std::move(accel)) {}
-    core::Accelerator accelerator;
+    std::vector<Bind> binds;
+    std::uint64_t bind_tick = 0;
     std::thread thread;
   };
 
+  void init();
   void replica_loop(Replica& replica);
-  void serve_batch(core::Accelerator& accelerator, std::vector<Pending> batch);
+  /// The replica's accelerator for this model version, binding (and LRU
+  /// evicting) as needed. Worker-thread only.
+  core::Accelerator& bind_replica(Replica& replica, const ModelRegistry::Bound& bound);
+  void serve_batch(Replica& replica, std::vector<Pending> batch);
   // Latency p99 over the current window; requires mutex_ held. Re-sorts
   // only when the window changed since the last call.
   double window_p99_locked() const;
@@ -400,8 +518,14 @@ class Server {
   double queue_backlog_ms_locked() const;
   void record_admission_locked(const AdmissionInputs& inputs, AdmissionAction action);
   void append_latency_locked(double ms);
+  // The per-tenant counter row for this version's tenant, growing the
+  // table as tenants first appear; requires mutex_ held.
+  ModelServeStats& model_stats_locked(const ModelVersion& version);
 
   ServerConfig config_;
+  std::shared_ptr<ModelRegistry> registry_;
+  core::AcceleratorConfig accel_config_;  // pool/threads resolved per replica
+  std::unique_ptr<core::Accelerator> anchor_;  // default model, construction-time
   std::unique_ptr<CostModel> cost_model_;  // set iff cost-aware or adaptive
   std::unique_ptr<TraceRecorder> recorder_;  // set iff trace_path configured
   std::vector<std::unique_ptr<Replica>> replicas_;
@@ -410,6 +534,11 @@ class Server {
   std::condition_variable queue_ready_;  // replicas wait for work
   std::condition_variable queue_space_;  // blocked submitters wait for room
   std::deque<Pending> queue_;
+  /// Queued requests per tenant key (quota accounting), indexed by
+  /// ModelKey; grows as tenants appear.
+  std::vector<std::uint64_t> queued_by_key_;
+  /// Per-tenant counters, in first-submission order.
+  std::vector<ModelServeStats> model_stats_;
   /// Consecutive cost-aware pulls that bypassed the oldest queued request;
   /// at kMaxHeadBypass its group is forced once (LPT starvation guard).
   int head_bypass_ = 0;

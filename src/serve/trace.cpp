@@ -78,14 +78,14 @@ double get_f64(std::FILE* file, const char* what) {
 // ---- section writers/readers ------------------------------------------------
 
 // magic(8) version(4) flags(4) workload(4) sampler_seed(8) fingerprint(8)
-// record_count(8) admission_count(8); the two counts sit at a fixed offset
-// so finalize can patch them in place.
+// record_count(8) admission_count(8) model_count(4); the three counts sit
+// at a fixed offset so finalize can patch them in place.
 constexpr long kCountsOffset = 8 + 4 + 4 + 4 + 8 + 8;
 
 constexpr std::uint32_t kFlagReuseScreeningSamples = 1u << 0;
 
 void write_header(std::FILE* file, const TraceMeta& meta, std::uint64_t record_count,
-                  std::uint64_t admission_count) {
+                  std::uint64_t admission_count, std::uint32_t model_count) {
   put_u64(file, kTraceMagic);
   put_u32(file, kTraceVersion);
   std::uint32_t flags = 0;
@@ -96,6 +96,7 @@ void write_header(std::FILE* file, const TraceMeta& meta, std::uint64_t record_c
   put_u64(file, meta.network_fingerprint);
   put_u64(file, record_count);
   put_u64(file, admission_count);
+  put_u32(file, model_count);
 }
 
 void write_record(std::FILE* file, const TraceRecord& record) {
@@ -106,6 +107,8 @@ void write_record(std::FILE* file, const TraceRecord& record) {
   put_u64(file, record.seq);
   put_u64(file, record.arrival_us);
   put_u64(file, record.stream_id);
+  put_u32(file, record.model_key);
+  put_u64(file, record.model_version);
   put_i32(file, record.options.num_samples);
   put_i32(file, record.options.bayes_layers);
   put_i32(file, record.options.screening_samples);
@@ -134,11 +137,40 @@ void write_admission(std::FILE* file, const AdmissionRecord& record) {
   put_f64(file, record.inputs.request_ms);
 }
 
-TraceRecord read_record(std::FILE* file) {
+void write_model_info(std::FILE* file, const TraceModelInfo& info) {
+  put_u32(file, info.model_key);
+  put_u32(file, info.workload_id);
+  put_u64(file, info.model_version);
+  put_u64(file, info.fingerprint);
+  put_u32(file, static_cast<std::uint32_t>(info.name.size()));
+  for (const char c : info.name) put_u8(file, static_cast<std::uint8_t>(c));
+}
+
+TraceModelInfo read_model_info(std::FILE* file) {
+  TraceModelInfo info;
+  info.model_key = get_u32(file, "model table key");
+  info.workload_id = get_u32(file, "model table workload");
+  info.model_version = get_u64(file, "model table version");
+  info.fingerprint = get_u64(file, "model table fingerprint");
+  const std::uint32_t len = get_u32(file, "model table name length");
+  constexpr std::uint32_t kMaxNameLen = 1u << 12;
+  if (len > kMaxNameLen)
+    throw TraceFormatError("trace: corrupted model table (absurd name length)");
+  info.name.resize(len);
+  for (char& c : info.name)
+    c = static_cast<char>(get_u8(file, "model table name"));
+  return info;
+}
+
+TraceRecord read_record(std::FILE* file, std::uint32_t version) {
   TraceRecord record;
   record.seq = get_u64(file, "record seq");
   record.arrival_us = get_u64(file, "record arrival");
   record.stream_id = get_u64(file, "record stream id");
+  if (version >= 2) {
+    record.model_key = get_u32(file, "record model key");
+    record.model_version = get_u64(file, "record model version");
+  }
   record.options.num_samples = get_i32(file, "record num_samples");
   record.options.bayes_layers = get_i32(file, "record bayes_layers");
   record.options.screening_samples = get_i32(file, "record screening_samples");
@@ -254,8 +286,23 @@ std::uint64_t network_fingerprint(const quant::QuantNetwork& network) {
     hash.i32(layer.in.zero_point);
     hash.f32(layer.out.scale);
     hash.i32(layer.out.zero_point);
-    hash.u64(layer.weights.size());
-    hash.bytes(layer.weights.data(), layer.weights.size());
+    // Weight bytes are hashed in materialized row-major form so packed and
+    // unpacked storage of the same weights share one fingerprint (and
+    // unpacked nets keep the exact digest of the pre-packing format:
+    // rows are contiguous, so this is the same byte stream).
+    const std::size_t row_terms = static_cast<std::size_t>(geom.in_c) *
+                                  geom.kernel * geom.kernel;
+    if (!layer.weights_packed) {
+      hash.u64(layer.weights.size());
+      hash.bytes(layer.weights.data(), layer.weights.size());
+    } else {
+      hash.u64(static_cast<std::uint64_t>(geom.out_c) * row_terms);
+      std::vector<std::int8_t> wrow(row_terms);
+      for (int f = 0; f < geom.out_c; ++f) {
+        layer.materialize_weight_row(f, wrow.data());
+        hash.bytes(wrow.data(), row_terms);
+      }
+    }
     for (const float scale : layer.weight_scales) hash.f32(scale);
     for (const std::int32_t bias : layer.bias) hash.i32(bias);
     for (const quant::FixedMultiplier& requant : layer.requant) {
@@ -276,10 +323,23 @@ void write_trace(const std::string& path, const Trace& trace) {
   if (file == nullptr)
     throw std::runtime_error("trace: cannot open '" + path +
                              "' for writing: " + std::strerror(errno));
-  write_header(file.get(), trace.meta, trace.records.size(), trace.admission.size());
+  // An empty model table gets the same single-model entry read_trace would
+  // synthesize, so write -> read -> write is byte-stable.
+  std::vector<TraceModelInfo> models = trace.meta.models;
+  if (models.empty()) {
+    TraceModelInfo info;
+    info.model_key = 0;
+    info.model_version = 1;
+    info.workload_id = trace.meta.workload_id;
+    info.fingerprint = trace.meta.network_fingerprint;
+    models.push_back(std::move(info));
+  }
+  write_header(file.get(), trace.meta, trace.records.size(), trace.admission.size(),
+               static_cast<std::uint32_t>(models.size()));
   for (const TraceRecord& record : trace.records) write_record(file.get(), record);
   for (const AdmissionRecord& record : trace.admission)
     write_admission(file.get(), record);
+  for (const TraceModelInfo& info : models) write_model_info(file.get(), info);
   if (std::fflush(file.get()) != 0)
     throw std::runtime_error("trace: flush of '" + path +
                              "' failed: " + std::strerror(errno));
@@ -294,7 +354,7 @@ Trace read_trace(const std::string& path) {
   if (get_u64(file.get(), "magic") != kTraceMagic)
     throw TraceFormatError("trace: '" + path + "' is not a BNTRACE file (bad magic)");
   const std::uint32_t version = get_u32(file.get(), "version");
-  if (version != kTraceVersion)
+  if (version < kTraceMinVersion || version > kTraceVersion)
     throw TraceFormatError("trace: version mismatch in '" + path + "': file v" +
                            std::to_string(version) + ", reader v" +
                            std::to_string(kTraceVersion));
@@ -307,16 +367,31 @@ Trace read_trace(const std::string& path) {
   trace.meta.network_fingerprint = get_u64(file.get(), "network fingerprint");
   const std::uint64_t record_count = get_u64(file.get(), "record count");
   const std::uint64_t admission_count = get_u64(file.get(), "admission count");
+  const std::uint64_t model_count =
+      version >= 2 ? get_u32(file.get(), "model count") : 0;
   constexpr std::uint64_t kMaxRecords = 1ull << 24;
-  if (record_count > kMaxRecords || admission_count > kMaxRecords)
+  if (record_count > kMaxRecords || admission_count > kMaxRecords ||
+      model_count > kMaxRecords)
     throw TraceFormatError("trace: corrupted header (absurd record count)");
 
   trace.records.reserve(static_cast<std::size_t>(record_count));
   for (std::uint64_t i = 0; i < record_count; ++i)
-    trace.records.push_back(read_record(file.get()));
+    trace.records.push_back(read_record(file.get(), version));
   trace.admission.reserve(static_cast<std::size_t>(admission_count));
   for (std::uint64_t i = 0; i < admission_count; ++i)
     trace.admission.push_back(read_admission(file.get()));
+  for (std::uint64_t i = 0; i < model_count; ++i)
+    trace.meta.models.push_back(read_model_info(file.get()));
+  if (trace.meta.models.empty()) {
+    // v1 files (and empty v2 headers) are single-model by construction:
+    // synthesize the table entry every record implicitly references.
+    TraceModelInfo info;
+    info.model_key = 0;
+    info.model_version = 1;
+    info.workload_id = trace.meta.workload_id;
+    info.fingerprint = trace.meta.network_fingerprint;
+    trace.meta.models.push_back(std::move(info));
+  }
 
   if (std::fgetc(file.get()) != EOF)
     throw TraceFormatError("trace: trailing bytes after the admission trailer in '" +
@@ -335,7 +410,8 @@ TraceRecorder::TraceRecorder(std::string path, TraceMeta meta)
   // Counts are zero until finalize patches them; a reader of an unfinalized
   // file sees a valid-but-empty trace instead of garbage — which requires
   // the header to actually be on disk, not in the stdio buffer.
-  write_header(file_, meta_, 0, 0);
+  models_ = meta_.models;
+  write_header(file_, meta_, 0, 0, 0);
   if (std::fflush(file_) != 0)
     throw std::runtime_error("trace: flush of '" + path_ +
                              "' failed: " + std::strerror(errno));
@@ -389,6 +465,16 @@ void TraceRecorder::record_admission(const AdmissionRecord& record) {
   admission_.push_back(record);
 }
 
+void TraceRecorder::ensure_model(const TraceModelInfo& info) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (finalized_) return;
+  for (const TraceModelInfo& existing : models_)
+    if (existing.model_key == info.model_key &&
+        existing.model_version == info.model_version)
+      return;
+  models_.push_back(info);
+}
+
 void TraceRecorder::flush_locked() {
   bool wrote = false;
   while (!slots_.empty() && slots_.front().completed) {
@@ -425,10 +511,12 @@ void TraceRecorder::finalize() {
   }
   flush_locked();
   for (const AdmissionRecord& record : admission_) write_admission(file_, record);
-  // Patch the header counts now that both totals are known.
+  for (const TraceModelInfo& info : models_) write_model_info(file_, info);
+  // Patch the header counts now that all totals are known.
   if (std::fseek(file_, kCountsOffset, SEEK_SET) == 0) {
     put_u64(file_, written_);
     put_u64(file_, admission_.size());
+    put_u32(file_, static_cast<std::uint32_t>(models_.size()));
   }
   const int rc = std::fclose(file_);
   file_ = nullptr;

@@ -12,17 +12,20 @@
 // stimulus streams (Fan et al., DAC 2021): a recorded trace is a permanent
 // cross-configuration regression asset.
 //
-// Format (version 1, all integers little-endian, written byte-by-byte so
+// Format (version 2, all integers little-endian, written byte-by-byte so
 // the file is identical on every host):
 //
 //   header  : magic u64 ("BNTRACE1"), version u32, flags u32 (bit 0 =
 //             reuse_screening_samples of the recording server), workload id
-//             u32 (fixture hint for standalone replay tools), sampler seed
-//             u64, network fingerprint u64 (FNV-1a over the quantized
-//             weights), record count u64, admission-record count u64. The
-//             two counts are patched in by TraceRecorder::finalize.
+//             u32 (fixture hint for standalone replay tools; the DEFAULT
+//             model's workload in a multi-model trace), sampler seed
+//             u64, network fingerprint u64 (FNV-1a over the default model's
+//             quantized weights), record count u64, admission-record count
+//             u64, model-table count u32. The three counts are patched in
+//             by TraceRecorder::finalize.
 //   record  : seq u64 (submission order), arrival us u64 (offset from
-//             recorder construction), stream id u64, the full
+//             recorder construction), stream id u64, model key u32 + model
+//             version u64 (which registry tenant served it), the full
 //             RequestOptions (S, L, screening S, sample offset, router
 //             flag, entropy threshold as f64 bits), the image ((C, H, W)
 //             u32 each + C*H*W f32 bit patterns — traces are self-contained
@@ -32,7 +35,14 @@
 //             was produced).
 //   trailer : the recorded AdmissionRecords (adaptive policy decisions),
 //             each {submit seq u64, queue_full u8, downgrade_eligible u8,
-//             action u8, p99 / target / backlog / request cost as f64 bits}.
+//             action u8, p99 / target / backlog / request cost as f64 bits},
+//             then the model table: one {key u32, workload id u32, version
+//             u64, fingerprint u64, name length u32 + bytes} per distinct
+//             (model key, model version) the records reference.
+//
+// Version 1 files (single-model, no model fields) still read: the reader
+// synthesizes a one-entry model table from the header's workload id and
+// fingerprint, and every record maps to it.
 //
 // Checksum coverage: response_checksum hashes the probability row (shape +
 // exact float bits), predicted class, entropy, escalated flag, samples
@@ -65,7 +75,9 @@ namespace bnn::serve {
 
 /// "BNTRACE1" as a little-endian u64.
 inline constexpr std::uint64_t kTraceMagic = 0x3145434152544E42ull;
-inline constexpr std::uint32_t kTraceVersion = 1;
+inline constexpr std::uint32_t kTraceVersion = 2;
+/// Oldest version read_trace still accepts (single-model records).
+inline constexpr std::uint32_t kTraceMinVersion = 1;
 
 /// Malformed trace file: wrong magic, unsupported version, truncation, or
 /// an out-of-range field. Distinct from I/O failures (std::runtime_error
@@ -83,6 +95,18 @@ enum class TraceOutcome : std::uint8_t {
   failed = 3,      ///< the request's promise received an exception
 };
 
+/// One model-table entry: a (registry key, version) the records reference.
+struct TraceModelInfo {
+  std::uint32_t model_key = 0;
+  std::uint64_t model_version = 1;
+  /// Fixture hint for standalone tools (bench/serve_fixture.h ids).
+  std::uint32_t workload_id = 0;
+  /// network_fingerprint of this tenant's weights.
+  std::uint64_t fingerprint = 0;
+  /// Registry name ("" = the recording server's default model).
+  std::string name;
+};
+
 /// Recording-time facts a replayer needs to reproduce the responses.
 struct TraceMeta {
   /// Which weights fixture the trace was recorded against — an opaque id
@@ -98,6 +122,10 @@ struct TraceMeta {
   /// ServerConfig::reuse_screening_samples of the recording server —
   /// escalated responses depend on it, so the replayer mirrors it.
   bool reuse_screening_samples = false;
+  /// The distinct (model key, model version) tenants the records reference.
+  /// Always at least one entry after read_trace (v1 files synthesize a
+  /// single entry from the header fields).
+  std::vector<TraceModelInfo> models;
 };
 
 /// One journaled request: the stimulus (image + options + stream id +
@@ -106,6 +134,8 @@ struct TraceRecord {
   std::uint64_t seq = 0;         ///< submission order, 0-based
   std::uint64_t arrival_us = 0;  ///< microseconds since recorder construction
   std::uint64_t stream_id = 0;
+  std::uint32_t model_key = 0;      ///< registry tenant (0 = default model)
+  std::uint64_t model_version = 1;  ///< tenant version that served it
   RequestOptions options;
   int image_c = 0, image_h = 0, image_w = 0;
   std::vector<float> image;  ///< C*H*W floats, exact bits
@@ -206,6 +236,10 @@ class TraceRecorder {
   /// Appends one adaptive admission decision to the trailer.
   void record_admission(const AdmissionRecord& record);
 
+  /// Registers a (model key, model version) in the model table (written at
+  /// finalize). Idempotent per (key, version); safe from any thread.
+  void ensure_model(const TraceModelInfo& info);
+
   /// Writes the contiguous completed prefix of the ring to disk.
   void flush();
 
@@ -236,6 +270,7 @@ class TraceRecorder {
   std::uint64_t next_seq_ = 0;
   std::uint64_t written_ = 0;
   std::vector<AdmissionRecord> admission_;
+  std::vector<TraceModelInfo> models_;
   bool finalized_ = false;
 };
 

@@ -14,6 +14,8 @@
 //     structure.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cmath>
 #include <string>
 #include <vector>
@@ -27,8 +29,11 @@
 namespace bnn {
 namespace {
 
+// Per-process path: ctest runs each TEST in its own process, and several of
+// them record the same trace — a shared name would race under ctest -j.
 std::string temp_path(const char* name) {
-  return std::string(::testing::TempDir()) + "/" + name;
+  return std::string(::testing::TempDir()) + "/" + std::to_string(::getpid()) +
+         "_" + name;
 }
 
 // Records `spec` through a traced server at the canonical recording
@@ -396,6 +401,124 @@ TEST(Scenario, KindsHaveTheirDocumentedStructure) {
   EXPECT_EQ(std::string("burst"),
             serve::scenario_kind_name(serve::scenario_kind_from_name("burst")));
   EXPECT_EQ(serve::all_scenario_kinds().size(), 6u);
+}
+
+// --- multi-model traces ------------------------------------------------------
+
+// Records a 3-tenant round-robin wave through a registry-backed server and
+// returns the journal (v2, 3-entry model table).
+const serve::Trace& multi_model_trace() {
+  static const serve::Trace trace = [] {
+    const std::string path = temp_path("multi_model.trace");
+    const bench::MultiTenantFixture multi = bench::make_multi_tenant_fixture(3);
+    serve::ScenarioSpec spec;
+    spec.num_requests = 12;
+    spec.num_samples = 4;
+    spec.num_models = 3;
+    serve::ServerConfig config;
+    config.max_batch = 2;
+    config.default_model = multi.names.front();
+    config.trace_path = path;
+    {
+      serve::Server server(multi.registry, bench::serve_accel_config(), config);
+      (void)serve::play_scenario(
+          server, serve::generate_scenario(spec), multi.names,
+          [&multi](const serve::ScenarioEvent& event) {
+            return bench::multi_fixture_image(multi, event);
+          },
+          /*as_fast_as_possible=*/true);
+    }
+    return serve::read_trace(path);
+  }();
+  return trace;
+}
+
+TEST(Replay, MultiModelTraceReplaysThroughARebuiltRegistry) {
+  const serve::Trace& trace = multi_model_trace();
+  ASSERT_EQ(trace.meta.models.size(), 3u);
+  for (const serve::TraceRecord& record : trace.records)
+    EXPECT_EQ(record.model_key, record.seq % 3);
+
+  // The single-model overload refuses a multi-model trace outright.
+  const bench::ServeFixture cnn = bench::make_cnn12_fixture();
+  EXPECT_THROW((void)serve::replay_trace(trace, replay_accelerator(cnn), {}),
+               std::invalid_argument);
+
+  // Registry replay: rebuild every tenant from its model-table workload id
+  // (exactly what tools/trace_replay does) and re-serve under a scaled-up
+  // configuration. Checksum-clean, per the core invariant.
+  auto registry = std::make_shared<serve::ModelRegistry>();
+  for (const serve::TraceModelInfo& info : trace.meta.models) {
+    bench::ServeFixture fixture = bench::make_workload_fixture(info.workload_id);
+    serve::ModelConfig model_config;
+    model_config.workload_id = fixture.workload_id;
+    registry->publish(info.name, std::move(fixture.qnet), model_config);
+  }
+  serve::ReplayConfig replay_config;
+  replay_config.num_replicas = 2;
+  replay_config.num_threads = 2;
+  const serve::ReplayReport report =
+      serve::replay_trace(trace, registry, bench::serve_accel_config(), replay_config);
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.replayed, 12u);
+  EXPECT_EQ(report.matched, 12u);
+
+  // Per-model fingerprint guard: hot-swap one tenant and the replay fails
+  // fast, naming it — unless verification is disabled.
+  bench::ServeFixture other = bench::make_cnn12b_fixture();
+  registry->publish(trace.meta.models.front().name, std::move(other.qnet), {});
+  EXPECT_THROW((void)serve::replay_trace(trace, registry,
+                                         bench::serve_accel_config(), replay_config),
+               std::runtime_error);
+
+  // A trace spanning a hot-swap (two versions of one key in the table) is
+  // not replayable against a single registry state.
+  serve::Trace swapped = trace;
+  serve::TraceModelInfo second = swapped.meta.models.front();
+  second.model_version = 2;
+  swapped.meta.models.push_back(second);
+  EXPECT_THROW((void)serve::replay_trace(swapped, registry,
+                                         bench::serve_accel_config(), replay_config),
+               std::invalid_argument);
+}
+
+// --- trace diffing -----------------------------------------------------------
+
+TEST(Replay, DiffTracesNamesTheFirstDivergentRecord) {
+  const serve::Trace& trace = mixed_escalation_trace();
+
+  serve::TraceDiff same = serve::diff_traces(trace, trace);
+  EXPECT_TRUE(same.identical());
+  EXPECT_EQ(same.compared, trace.records.size());
+  EXPECT_EQ(same.equal, trace.records.size());
+  EXPECT_NE(serve::diff_summary(same).find("identical"), std::string::npos);
+
+  // One flipped checksum: exactly that seq, labelled as a checksum diff.
+  serve::Trace mutated = trace;
+  mutated.records[5].checksum ^= 1;
+  serve::TraceDiff diff = serve::diff_traces(trace, mutated);
+  EXPECT_FALSE(diff.identical());
+  EXPECT_EQ(diff.equal, trace.records.size() - 1);
+  EXPECT_EQ(diff.first_divergent_seq, trace.records[5].seq);
+  EXPECT_EQ(diff.first_divergence, "checksum");
+  EXPECT_NE(serve::diff_summary(diff).find("first divergence"), std::string::npos);
+
+  // A truncated trace counts trailing extras on the longer side.
+  serve::Trace shorter = trace;
+  shorter.records.pop_back();
+  diff = serve::diff_traces(trace, shorter);
+  EXPECT_FALSE(diff.identical());
+  EXPECT_EQ(diff.extra_a, 1u);
+  EXPECT_EQ(diff.extra_b, 0u);
+  EXPECT_EQ(diff.first_divergence, "record count");
+
+  // Metadata divergence (different sampler seed) fails even when every
+  // record pair happens to agree.
+  serve::Trace reseeded = trace;
+  reseeded.meta.sampler_seed += 1;
+  diff = serve::diff_traces(trace, reseeded);
+  EXPECT_FALSE(diff.meta_matches);
+  EXPECT_FALSE(diff.identical());
 }
 
 }  // namespace

@@ -513,9 +513,18 @@ TEST(Server, ReplicasShareOneNetworkCopy) {
   serve::ServerConfig config;
   config.num_replicas = 4;
   serve::Server server(core::Accelerator(*fx.qnet, accel_config(1)), config);
-  // The replicas hold the quantized network through a shared_ptr: standing
-  // up 4 replicas must not deep-copy the weights.
-  EXPECT_GE(server.accelerator().shared_network().use_count(), 4);
+  // The registry publishes the accelerator's network HANDLE — no deep copy
+  // of the weights on the way in.
+  EXPECT_EQ(server.registry()->current("")->network.get(),
+            server.accelerator().shared_network().get());
+  // Replica binds share that same handle: after serving, the network has
+  // extra shared references (anchor + registry + the serving bind), never
+  // a duplicated weight set.
+  serve::Request request;
+  request.image = fx.dataset->images().batch_row(0);
+  request.options.num_samples = 4;
+  (void)server.infer(std::move(request));
+  EXPECT_GE(server.accelerator().shared_network().use_count(), 3);
 }
 
 TEST(Server, ValidatesReplicaAndQueueDepthConfig) {

@@ -6,15 +6,25 @@
 //   ./build/tools/trace_replay --trace PATH
 //       [--replicas R] [--threads T] [--max-batch B] [--dispatch fifo|cost]
 //       [--timed] [--no-verify] [--matrix]
+//   ./build/tools/trace_replay --diff PATH_A PATH_B
 //
 // --timed paces submissions to the recorded arrival offsets instead of
 // replaying as fast as possible. --matrix runs the full acceptance grid —
 // R in {1,2,4} x threads in {1,2,8} x both dispatch modes (18 replays) —
 // the gate that a trace recorded at R=1/threads=1 replays checksum-clean
-// under every serving configuration.
+// under every serving configuration. A multi-model (v2) trace is replayed
+// through a ModelRegistry rebuilt from its model table: each table entry's
+// workload id names a shared bench fixture, published under the recorded
+// tenant name, and every record routes back to its recorded tenant.
+//
+// --diff compares two recorded traces record-by-record (outcome, model,
+// stream id, golden checksum) without serving anything, and names the
+// first divergent seq — the A/B tool for "did this change alter any
+// response bit?".
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 
 #include "bench/serve_fixture.h"
@@ -49,16 +59,30 @@ int report_result(const serve::ReplayReport& report, const serve::ReplayConfig& 
   return report.ok() ? 0 : 1;
 }
 
+int run_diff(const std::string& path_a, const std::string& path_b) {
+  const serve::Trace a = serve::read_trace(path_a);
+  const serve::Trace b = serve::read_trace(path_b);
+  const serve::TraceDiff diff = serve::diff_traces(a, b);
+  std::printf("A %s: %zu records; B %s: %zu records\n", path_a.c_str(),
+              a.records.size(), path_b.c_str(), b.records.size());
+  std::printf("%s\n", serve::diff_summary(diff).c_str());
+  return diff.identical() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string trace_path;
+  std::string diff_a, diff_b;
   serve::ReplayConfig config;
   bool matrix = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc)
       trace_path = argv[++i];
-    else if (std::strcmp(argv[i], "--replicas") == 0 && i + 1 < argc)
+    else if (std::strcmp(argv[i], "--diff") == 0 && i + 2 < argc) {
+      diff_a = argv[++i];
+      diff_b = argv[++i];
+    } else if (std::strcmp(argv[i], "--replicas") == 0 && i + 1 < argc)
       config.num_replicas = std::atoi(argv[++i]);
     else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc)
       config.num_threads = std::atoi(argv[++i]);
@@ -85,29 +109,59 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  if (trace_path.empty()) {
-    std::fprintf(stderr, "usage: trace_replay --trace PATH [options]\n");
+  if (trace_path.empty() && diff_a.empty()) {
+    std::fprintf(stderr,
+                 "usage: trace_replay --trace PATH [options] | --diff A B\n");
     return 2;
   }
 
   try {
+    if (!diff_a.empty()) return run_diff(diff_a, diff_b);
+
     const serve::Trace trace = serve::read_trace(trace_path);
     std::printf("trace %s: workload %u, %zu records, %zu admission decisions, "
-                "seed %llu, fingerprint %016llx%s\n",
+                "seed %llu, fingerprint %016llx, %zu model(s)%s\n",
                 trace_path.c_str(), trace.meta.workload_id, trace.records.size(),
                 trace.admission.size(),
                 static_cast<unsigned long long>(trace.meta.sampler_seed),
                 static_cast<unsigned long long>(trace.meta.network_fingerprint),
+                trace.meta.models.size(),
                 trace.meta.reuse_screening_samples ? ", escalation reuse" : "");
 
-    // The header names the fixture; the sampler seed travels with the trace
-    // so the replaying accelerator consumes identical mask streams.
-    bench::ServeFixture fixture = bench::make_workload_fixture(trace.meta.workload_id);
+    // The header (or, multi-model, each model-table entry) names the
+    // fixture; the sampler seed travels with the trace so the replaying
+    // accelerator consumes identical mask streams.
     core::AcceleratorConfig accel_config = bench::serve_accel_config();
     accel_config.sampler_seed = trace.meta.sampler_seed;
-    const core::Accelerator accelerator(std::move(fixture.qnet), accel_config);
 
-    if (!matrix) return report_result(serve::replay_trace(trace, accelerator, config), config);
+    const bool multi_model = trace.meta.models.size() > 1;
+    std::shared_ptr<serve::ModelRegistry> registry;
+    std::unique_ptr<core::Accelerator> accelerator;
+    if (multi_model) {
+      registry = std::make_shared<serve::ModelRegistry>();
+      for (const serve::TraceModelInfo& info : trace.meta.models) {
+        bench::ServeFixture fixture = bench::make_workload_fixture(info.workload_id);
+        serve::ModelConfig model_config;
+        model_config.workload_id = fixture.workload_id;
+        registry->publish(info.name, std::move(fixture.qnet), model_config);
+        std::printf("  tenant '%s' (key %u, version %llu): workload %u rebuilt\n",
+                    info.name.c_str(), info.model_key,
+                    static_cast<unsigned long long>(info.model_version),
+                    info.workload_id);
+      }
+    } else {
+      bench::ServeFixture fixture =
+          bench::make_workload_fixture(trace.meta.workload_id);
+      accelerator = std::make_unique<core::Accelerator>(std::move(fixture.qnet),
+                                                        accel_config);
+    }
+
+    const auto replay_cell = [&](const serve::ReplayConfig& cell) {
+      return multi_model ? serve::replay_trace(trace, registry, accel_config, cell)
+                         : serve::replay_trace(trace, *accelerator, cell);
+    };
+
+    if (!matrix) return report_result(replay_cell(config), config);
 
     int status = 0;
     for (const int replicas : {1, 2, 4}) {
@@ -118,7 +172,7 @@ int main(int argc, char** argv) {
           cell.num_replicas = replicas;
           cell.num_threads = threads;
           cell.dispatch_mode = mode;
-          status |= report_result(serve::replay_trace(trace, accelerator, cell), cell);
+          status |= report_result(replay_cell(cell), cell);
         }
       }
     }
