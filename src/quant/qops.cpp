@@ -276,8 +276,8 @@ std::vector<QTensor> forward_with_plan(const QuantNetwork& net, const NetworkExe
             : nullptr;
     const bool active =
         layer.geom.is_bayes_site && layer.geom.site_index >= first_active_site;
-    outputs.push_back(ref_run_layer(layer, plan.layers[l], tier, input, shortcut, active,
-                                    masks, net.dropout_keep));
+    outputs.push_back(ref_run_layer(layer, plan.layer(static_cast<int>(l)), tier, input,
+                                    shortcut, active, masks, net.dropout_keep));
   }
   return outputs;
 }
@@ -377,9 +377,8 @@ nn::Tensor ref_mc_predict(const QuantNetwork& net, const nn::Tensor& images, int
             layer.geom.has_shortcut
                 ? &outputs[static_cast<std::size_t>(layer.shortcut_source)]
                 : nullptr;
-        outputs.push_back(ref_run_layer(layer, plan.layers[static_cast<std::size_t>(l)],
-                                        Tier::int8, input, shortcut, /*site_active=*/false,
-                                        nullptr, net.dropout_keep));
+        outputs.push_back(ref_run_layer(layer, plan.layer(l), Tier::int8, input, shortcut,
+                                        /*site_active=*/false, nullptr, net.dropout_keep));
       }
       const QTensor boundary = outputs.back();  // pre-DU cache
 
@@ -421,9 +420,8 @@ nn::Tensor ref_mc_predict(const QuantNetwork& net, const nn::Tensor& images, int
                   : nullptr;
           const bool active =
               layer.geom.is_bayes_site && layer.geom.site_index >= first_active_site;
-          outputs.push_back(ref_run_layer(layer, plan.layers[static_cast<std::size_t>(l)],
-                                          Tier::int8, input, shortcut, active, lane.get(),
-                                          net.dropout_keep));
+          outputs.push_back(ref_run_layer(layer, plan.layer(l), Tier::int8, input, shortcut,
+                                          active, lane.get(), net.dropout_keep));
         }
         accumulated.add_(nn::softmax_rows(ref_logits(net, outputs.back())));
       }

@@ -66,6 +66,7 @@ LayerExecPlan build_layer_exec_plan(const QLayer& layer) {
   const nn::HwLayer& g = layer.geom;
   LayerExecPlan plan;
   plan.terms = g.in_c * g.kernel * g.kernel;
+  plan.weight_bytes = layer.resident_weight_bytes();
 
   if (g.op == nn::HwLayer::Op::conv) {
     plan.term_dh.resize(static_cast<std::size_t>(plan.terms));
@@ -145,10 +146,14 @@ LayerExecPlan build_layer_exec_plan(const QLayer& layer) {
   return plan;
 }
 
+PlanSegment build_plan_segment(const QLayer& layer) {
+  return std::make_shared<const LayerExecPlan>(build_layer_exec_plan(layer));
+}
+
 NetworkExecPlan build_network_exec_plan(const QuantNetwork& net) {
   NetworkExecPlan plan;
   plan.layers.reserve(net.layers.size());
-  for (const QLayer& layer : net.layers) plan.layers.push_back(build_layer_exec_plan(layer));
+  for (const QLayer& layer : net.layers) plan.layers.push_back(build_plan_segment(layer));
   return plan;
 }
 

@@ -29,6 +29,7 @@
 #define BNN_QUANT_QPLAN_H
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "quant/qnetwork.h"
@@ -43,6 +44,10 @@ inline constexpr int kMaxBinarizableTerms = 32768;
 struct LayerExecPlan {
   int terms = 0;  // in_c * kernel * kernel
   int words = 0;  // bit_words(terms); 0 for non-binarizable layers
+
+  // Resident weight bytes of the QLayer this plan was built from — the
+  // residency currency a segment-granular registry budget is charged in.
+  std::uint64_t weight_bytes = 0;
 
   // Hoisted conv index math (empty for linear layers): term t addresses
   // input channel t/(k*k) at kernel offset (term_dh[t], term_dw[t]);
@@ -67,11 +72,62 @@ struct LayerExecPlan {
   }
 };
 
+// One independently buildable, independently evictable unit of exec-plan
+// state. Segments are immutable once built (build_layer_exec_plan is a pure
+// function of the QLayer constants), so any number of plans, providers, and
+// in-flight requests may share one.
+using PlanSegment = std::shared_ptr<const LayerExecPlan>;
+
 struct NetworkExecPlan {
-  std::vector<LayerExecPlan> layers;
+  std::vector<PlanSegment> layers;
+
+  int num_layers() const { return static_cast<int>(layers.size()); }
+  const LayerExecPlan& layer(int i) const {
+    return *layers[static_cast<std::size_t>(i)];
+  }
+  // Sum of per-segment weight bytes (null segments count zero).
+  std::uint64_t weight_bytes() const {
+    std::uint64_t total = 0;
+    for (const PlanSegment& segment : layers)
+      if (segment != nullptr) total += segment->weight_bytes;
+    return total;
+  }
+};
+
+// Resolves exec-plan segments on demand — the interface through which the
+// accelerator consumes a partially-resident plan. segment(i) blocks until
+// segment i is available (building it if needed) and MUST return the same
+// bits a whole-plan build would: segments are pure functions of the network
+// constants, so consumers stay bit-identical across residency states.
+// prefetch(i) is the double-buffer hook: a hint that segment i is needed
+// next, letting an implementation start (or model) layer i's weight reload
+// while layer i-1 computes. The default is a no-op.
+class PlanSource {
+ public:
+  virtual ~PlanSource() = default;
+  virtual int num_layers() const = 0;
+  virtual PlanSegment segment(int index) = 0;
+  virtual void prefetch(int index) { (void)index; }
+};
+
+// Trivial PlanSource over a fully-resident plan (everything already built).
+class ResidentPlanSource final : public PlanSource {
+ public:
+  explicit ResidentPlanSource(std::shared_ptr<const NetworkExecPlan> plan)
+      : plan_(std::move(plan)) {}
+  int num_layers() const override { return plan_->num_layers(); }
+  PlanSegment segment(int index) override {
+    return plan_->layers[static_cast<std::size_t>(index)];
+  }
+
+ private:
+  std::shared_ptr<const NetworkExecPlan> plan_;
 };
 
 LayerExecPlan build_layer_exec_plan(const QLayer& layer);
+// The shared-ownership form: builds layer's plan on the heap, ready to be
+// installed into any number of NetworkExecPlans or segment tables.
+PlanSegment build_plan_segment(const QLayer& layer);
 NetworkExecPlan build_network_exec_plan(const QuantNetwork& net);
 
 // The static weight-side test described above (shared per-row magnitude,

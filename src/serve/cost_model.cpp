@@ -1,5 +1,7 @@
 #include "serve/cost_model.h"
 
+#include <algorithm>
+
 #include "core/accelerator.h"
 #include "serve/server.h"
 #include "util/check.h"
@@ -25,13 +27,14 @@ std::unique_ptr<CostModel> CostModel::for_accelerator(const core::Accelerator& a
 }
 
 void CostModel::bind_model(ModelKey key, nn::NetworkDesc desc, std::uint64_t weight_bytes,
-                           const void* tag) {
+                           const void* tag, std::vector<std::uint64_t> segment_bytes) {
   std::lock_guard<std::mutex> lock(mutex_);
   if (entries_.size() <= key) entries_.resize(static_cast<std::size_t>(key) + 1);
   auto entry = std::make_unique<Entry>();
   entry->num_sites = desc.num_sites();
   entry->desc = std::move(desc);
   entry->weight_bytes = weight_bytes;
+  entry->segment_bytes = std::move(segment_bytes);
   entry->tag = tag;
   // A swap keeps the tenant's calibration override: the scale corrects for
   // simulator-vs-model skew of the HOST, not of one weight set.
@@ -104,6 +107,48 @@ double CostModel::cold_reload_ms(ModelKey key) const {
       static_cast<std::int64_t>(entry.weight_bytes), config_.nne.clock_mhz);
   // cycles / (MHz * 1e6) seconds -> * 1e3 ms.
   return cycles / (config_.nne.clock_mhz * 1e3);
+}
+
+double CostModel::streamed_reload_ms(ModelKey key, const std::vector<int>& missing) const {
+  if (missing.empty()) return 0.0;
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& entry = entry_locked(key);
+  const int num_layers = static_cast<int>(entry.segment_bytes.size());
+  if (num_layers == 0) {
+    // No per-layer payload info bound: flat whole-plan price.
+    const double cycles = config_.ddr.transfer_cycles(
+        static_cast<std::int64_t>(entry.weight_bytes), config_.nne.clock_mhz);
+    return cycles / (config_.nne.clock_mhz * 1e3);
+  }
+  if (entry.layer_cycles.empty()) {
+    // The deterministic pass's per-layer durations — the compute windows a
+    // double-buffered prefetch hides transfers behind. Cached per bind.
+    const core::RunStats pass = core::estimate_pass(
+        entry.desc, config_, 0, static_cast<int>(entry.desc.layers.size()) - 1,
+        /*input_from_chip=*/false, /*keep_last_on_chip=*/false);
+    entry.layer_cycles.reserve(pass.per_layer.size());
+    for (const core::LayerTiming& timing : pass.per_layer)
+      entry.layer_cycles.push_back(timing.cycles);
+  }
+  double stall_cycles = 0.0;
+  for (const int index : missing) {
+    util::require(index >= 0 && index < num_layers,
+                  "cost model: missing segment index out of range");
+    const double transfer = config_.ddr.transfer_cycles(
+        static_cast<std::int64_t>(entry.segment_bytes[static_cast<std::size_t>(index)]),
+        config_.nne.clock_mhz);
+    if (index == 0) {
+      // Nothing computes ahead of layer 0 — its reload charges in full.
+      stall_cycles += transfer;
+    } else {
+      // Layer index's burst rides behind layer index-1's compute; only the
+      // non-overlapped remainder stalls the pipeline.
+      const double window =
+          entry.layer_cycles[static_cast<std::size_t>(index) - 1];
+      stall_cycles += std::max(0.0, transfer - window);
+    }
+  }
+  return stall_cycles / (config_.nne.clock_mhz * 1e3);
 }
 
 void CostModel::set_model_calibration(ModelKey key, core::PerfCalibration calibration) {

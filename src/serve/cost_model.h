@@ -70,9 +70,12 @@ class CostModel {
   // Registers (or on hot-swap replaces) tenant `key`: its description, its
   // resident weight footprint (the DDR reload payload), and an opaque
   // identity tag (typically the ModelVersion pointer) readable back via
-  // bound_tag. Replacing clears the (L, S) cache. Thread-safe.
+  // bound_tag. `segment_bytes` carries the per-layer weight footprint
+  // (ModelVersion::segment_bytes) that streamed_reload_ms prices; empty
+  // degrades that method to the flat cold_reload_ms. Replacing clears the
+  // (L, S) cache. Thread-safe.
   void bind_model(ModelKey key, nn::NetworkDesc desc, std::uint64_t weight_bytes,
-                  const void* tag = nullptr);
+                  const void* tag = nullptr, std::vector<std::uint64_t> segment_bytes = {});
   // Tag of the bound entry; nullptr when `key` is unbound (or bound tagless).
   const void* bound_tag(ModelKey key) const;
   bool has_model(ModelKey key) const;
@@ -116,8 +119,20 @@ class CostModel {
   // Modelled milliseconds of streaming tenant `key`'s weights back from DDR
   // after an eviction (core::DdrModel transfer at the NNE clock). Charged
   // on top of the first pass / admission cost of the request whose resolve
-  // paid the reload.
+  // paid the reload. This is the WHOLE-PLAN price: every segment's transfer
+  // serializes ahead of the first pass.
   double cold_reload_ms(ModelKey key) const;
+
+  // Modelled milliseconds the first pass actually STALLS for when only
+  // `missing` segments (ascending layer indices) reload, double-buffered
+  // behind compute: layer i's transfer overlaps layer i-1's compute, so
+  // each missing segment past the first resident prefix charges only
+  // max(0, transfer_cycles(i) - compute_cycles(i-1)) — the non-overlapped
+  // remainder. A missing FIRST layer has nothing to hide behind and charges
+  // in full. Always <= cold_reload_ms for the full missing set; equals it
+  // when compute can hide nothing. Requires segment_bytes at bind;
+  // falls back to cold_reload_ms when absent.
+  double streamed_reload_ms(ModelKey key, const std::vector<int>& missing) const;
 
   // Global calibration scale onto measured wall milliseconds (default
   // identity). Set once at startup, before concurrent readers exist.
@@ -143,6 +158,10 @@ class CostModel {
     nn::NetworkDesc desc;
     int num_sites = 0;
     std::uint64_t weight_bytes = 0;
+    std::vector<std::uint64_t> segment_bytes;  // per-layer reload payloads
+    // Per-layer deterministic (L=0) pass cycles — the compute a prefetch
+    // can hide behind. Filled lazily on first streamed_reload_ms call.
+    std::vector<double> layer_cycles;
     const void* tag = nullptr;
     std::optional<core::PerfCalibration> calibration;
     std::map<std::pair<int, int>, double> cache;

@@ -65,8 +65,11 @@ Server::Server(std::shared_ptr<ModelRegistry> registry, core::AcceleratorConfig 
   util::require(registry_->has(config_.default_model),
                 "serve: default_model is not published in the registry");
   const ModelRegistry::Bound bound = registry_->resolve(config_.default_model);
-  anchor_ =
-      std::make_unique<core::Accelerator>(bound.version->network, bound.plan, accel_config_);
+  anchor_ = bound.plan != nullptr
+                ? std::make_unique<core::Accelerator>(bound.version->network, bound.plan,
+                                                      accel_config_)
+                : std::make_unique<core::Accelerator>(bound.version->network, bound.source,
+                                                      accel_config_);
   init();
 }
 
@@ -95,7 +98,7 @@ void Server::init() {
     // actually run: reuse reruns only the new samples.
     cost_model_->set_escalation_reuse(config_.reuse_screening_samples);
     cost_model_->bind_model(def->key, def->network->describe(), def->weight_bytes,
-                            def.get());
+                            def.get(), def->segment_bytes);
   }
 
   // Partition the worker-lane budget: each replica's pair loop gets an
@@ -161,7 +164,8 @@ void Server::init() {
     info.fingerprint = def->fingerprint;
     info.name = def->name;
     meta.models.push_back(std::move(info));
-    recorder_ = std::make_unique<TraceRecorder>(config_.trace_path, meta);
+    recorder_ = std::make_unique<TraceRecorder>(config_.trace_path, meta,
+                                                config_.trace_max_bytes);
   }
 
   replicas_.reserve(static_cast<std::size_t>(config_.num_replicas));
@@ -325,13 +329,20 @@ std::future<Response> Server::submit(Request request) {
     if (cost_model_->bound_tag(key) !=
         static_cast<const void*>(pending.bound.version.get()))
       cost_model_->bind_model(key, net.describe(), pending.bound.version->weight_bytes,
-                              pending.bound.version.get());
+                              pending.bound.version.get(),
+                              pending.bound.version->segment_bytes);
     pending.first_pass_ms =
         cost_model_->wall_ms(key, cost_model_->first_pass_ms(key, options));
     pending.admission_ms =
         cost_model_->wall_ms(key, cost_model_->admission_ms(key, options));
     if (pending.bound.cold_start) {
-      const double reload = cost_model_->wall_ms(key, cost_model_->cold_reload_ms(key));
+      // Charge only the NON-OVERLAPPED remainder of reloading the segments
+      // this resolve actually found missing: double-buffered prefetch hides
+      // each layer's burst behind the previous layer's compute, so a
+      // partially-resident tenant prices in far below a flat whole-plan
+      // reload (streamed_reload_ms <= cold_reload_ms always).
+      const double reload = cost_model_->wall_ms(
+          key, cost_model_->streamed_reload_ms(key, pending.bound.missing));
       pending.first_pass_ms += reload;
       pending.admission_ms += reload;
     }
@@ -473,7 +484,9 @@ std::future<Response> Server::submit(Request request) {
       }
     }
     // Submission-order ticket; a caller-pinned stream id skips the default
-    // but still consumes a ticket so later defaults stay order-stable.
+    // but still consumes a ticket so later defaults stay order-stable. The
+    // ticket itself also feeds the dispatcher's aging term.
+    pending.ticket = next_ticket_;
     pending.stream_id = request.stream_id.value_or(next_ticket_);
     ++next_ticket_;
     if (recorder_) {
@@ -565,6 +578,7 @@ void Server::replica_loop(Replica& replica) {
         std::vector<const std::vector<int>*> group_shape;
         std::vector<double> group_cost;
         std::vector<int> group_count;
+        std::vector<std::uint64_t> group_oldest;  // oldest member's ticket
         for (const Pending& pending : queue_) {
           const ModelVersion* v = pending.bound.version.get();
           const std::vector<int>& s = pending.image.shape();
@@ -577,30 +591,30 @@ void Server::replica_loop(Replica& replica) {
             group_shape.push_back(&pending.image.shape());
             group_cost.push_back(0.0);
             group_count.push_back(0);
+            // Queue order is admission order, so the group's first queued
+            // member carries its oldest ticket.
+            group_oldest.push_back(pending.ticket);
           }
           if (group_count[g] < config_.max_batch) {
             group_cost[g] += pending.first_pass_ms;
             ++group_count[g];
           }
         }
+        // Anti-starvation aging: a group's score grows with every ticket
+        // issued since its oldest member was admitted, so a cheap group
+        // passed over by costlier traffic is eventually the maximum —
+        // continuously, with no hard bypass cliff. Deterministic in the
+        // (queue contents, next_ticket_) state; no wall clock involved.
+        const auto score = [&](std::size_t g) {
+          return group_cost[g] +
+                 config_.aging_weight *
+                     static_cast<double>(next_ticket_ - group_oldest[g]);
+        };
         std::size_t best = 0;
         for (std::size_t g = 1; g < group_version.size(); ++g)
-          if (group_cost[g] > group_cost[best]) best = g;  // ties keep oldest
+          if (score(g) > score(best)) best = g;  // ties keep oldest
         version = group_version[best];
         shape = *group_shape[best];
-        // Starvation guard: a cheap group could otherwise wait forever
-        // while costlier groups keep arriving. After kMaxHeadBypass
-        // consecutive pulls that passed over the oldest queued request,
-        // force its group once (deterministic in the pull sequence, no
-        // wall clock involved).
-        if (version == queue_.front().bound.version.get() &&
-            shape == queue_.front().image.shape()) {
-          head_bypass_ = 0;
-        } else if (++head_bypass_ >= kMaxHeadBypass) {
-          version = queue_.front().bound.version.get();
-          shape = queue_.front().image.shape();
-          head_bypass_ = 0;
-        }
       }
       batch.reserve(static_cast<std::size_t>(
           std::min<int>(config_.max_batch, static_cast<int>(queue_.size()))));
@@ -650,13 +664,20 @@ core::Accelerator& Server::bind_replica(Replica& replica,
     replica.binds.erase(replica.binds.begin() + static_cast<std::ptrdiff_t>(victim));
   }
   // The bind holds the request's OWN plan handle: even if the registry
-  // evicted this tenant right after the batch was pulled, the plan the
-  // requests resolved stays alive, and a later re-resolve's rebuilt plan
-  // is a pure function of the same immutable weights — bit-identical.
+  // evicted this tenant right after the batch was pulled, the plan (or
+  // segment table) the requests resolved stays alive, and a later
+  // re-resolve's rebuilt segments are pure functions of the same immutable
+  // weights — bit-identical. A streamed cold resolve has no materialized
+  // plan yet; its accelerator consumes segments on demand through the
+  // bound source, prefetching layer k+1 while layer k computes.
   Bind bind;
   bind.version = bound.version;
   bind.accelerator =
-      std::make_unique<core::Accelerator>(bound.version->network, bound.plan, accel_config_);
+      bound.plan != nullptr
+          ? std::make_unique<core::Accelerator>(bound.version->network, bound.plan,
+                                                accel_config_)
+          : std::make_unique<core::Accelerator>(bound.version->network, bound.source,
+                                                accel_config_);
   bind.last_use = ++replica.bind_tick;
   replica.binds.push_back(std::move(bind));
   return *replica.binds.back().accelerator;

@@ -20,11 +20,12 @@
 // never affects requests already admitted: in-flight work completes on the
 // weights it resolved, bit-identically, while every later submit sees the
 // new version. Replicas bind an accelerator per (replica, model version)
-// lazily and cache a bounded LRU set of binds; a tenant evicted to cold by
-// the registry's residency budget still serves, but its resolve pays a
-// modelled DDR weight reload (CostModel::cold_reload_ms) that inflates the
-// request's dispatch/admission cost and is counted in
-// ServerStats::cold_starts. Per-tenant quotas (ModelConfig::max_queued)
+// lazily and cache a bounded LRU set of binds; a tenant whose exec-plan
+// segments the registry's residency budget partially evicted still serves,
+// but its resolve pays the non-overlapped remainder of the modelled DDR
+// segment reloads (CostModel::streamed_reload_ms — layer k+1's burst hides
+// behind layer k's compute) which inflates the request's
+// dispatch/admission cost and is counted in ServerStats::cold_starts. Per-tenant quotas (ModelConfig::max_queued)
 // bound how much of the queue one tenant may occupy; quota rejections
 // throw QuotaExceededError and count in ServerStats::quota_rejected.
 //
@@ -252,6 +253,16 @@ struct ServerConfig {
   /// Group-selection strategy of idle replicas (see DispatchMode).
   /// Scheduling only — responses are bit-identical in both modes.
   DispatchMode dispatch_mode = DispatchMode::cost_aware;
+  /// Cost-aware anti-starvation aging: each queued group's LPT score is its
+  /// summed modelled first-pass cost PLUS aging_weight * (tickets issued
+  /// since the group's oldest request was admitted). A cheap group's score
+  /// therefore grows continuously with the traffic that passes it, so it
+  /// is eventually picked no matter how costly the competition — the
+  /// continuous replacement of the old hard "force the head after 4
+  /// bypasses" guard. Units: calibrated wall milliseconds per ticket of
+  /// age. Deterministic (ticket counts, no wall clock); scheduling only —
+  /// responses are bit-identical for every value. 0 disables aging.
+  double aging_weight = 0.01;
   /// Wall-clock p99 target (milliseconds) for OverloadPolicy::adaptive;
   /// must be > 0 under that policy, ignored otherwise.
   double latency_target_ms = 0.0;
@@ -291,6 +302,12 @@ struct ServerConfig {
   /// for standalone replay tools (see TraceMeta::workload_id). 0 falls
   /// back to the default model's ModelConfig::workload_id.
   std::uint32_t trace_workload_id = 0;
+  /// Trace rotation threshold: when > 0 the recorder rolls to a new segment
+  /// file (`<trace_path>.000`, `.001`, ...) whenever the current segment
+  /// reaches this many bytes. Every segment is an independently valid,
+  /// independently replayable trace (own header, own model table, own
+  /// trailer). 0 writes one unrotated file at trace_path.
+  std::uint64_t trace_max_bytes = 0;
 };
 
 /// Aggregate serving counters (monotonic since construction) plus latency
@@ -481,6 +498,7 @@ class Server {
     RequestOptions options;
     ModelRegistry::Bound bound;      // resolved model snapshot (immutable)
     std::uint64_t stream_id = 0;
+    std::uint64_t ticket = 0;        // submission-order ticket (aging term)
     bool shed_downgrade = false;     // adaptive: answer from the screening pass
     double first_pass_ms = 0.0;      // calibrated dispatch cost (group ranking)
     double admission_ms = 0.0;       // calibrated worst-case cost (backlog)
@@ -539,10 +557,6 @@ class Server {
   std::vector<std::uint64_t> queued_by_key_;
   /// Per-tenant counters, in first-submission order.
   std::vector<ModelServeStats> model_stats_;
-  /// Consecutive cost-aware pulls that bypassed the oldest queued request;
-  /// at kMaxHeadBypass its group is forced once (LPT starvation guard).
-  int head_bypass_ = 0;
-  static constexpr int kMaxHeadBypass = 4;
   std::uint64_t next_ticket_ = 0;
   bool stopping_ = false;
   ServerStats stats_;

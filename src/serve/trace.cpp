@@ -1,6 +1,7 @@
 #include "serve/trace.h"
 
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 #include <utility>
 
@@ -401,20 +402,37 @@ Trace read_trace(const std::string& path) {
 
 // ---- TraceRecorder ----------------------------------------------------------
 
-TraceRecorder::TraceRecorder(std::string path, TraceMeta meta)
-    : path_(std::move(path)), meta_(meta), start_(std::chrono::steady_clock::now()) {
-  file_ = std::fopen(path_.c_str(), "wb");
+std::string TraceRecorder::segment_path(int index) const {
+  if (max_bytes_ == 0) return path_;
+  char suffix[16];
+  std::snprintf(suffix, sizeof(suffix), ".%03d", index);
+  return path_ + suffix;
+}
+
+void TraceRecorder::open_segment_locked() {
+  segment_path_ = segment_path(segment_index_);
+  file_ = std::fopen(segment_path_.c_str(), "wb");
   if (file_ == nullptr)
-    throw std::runtime_error("trace: cannot open '" + path_ +
+    throw std::runtime_error("trace: cannot open '" + segment_path_ +
                              "' for recording: " + std::strerror(errno));
-  // Counts are zero until finalize patches them; a reader of an unfinalized
-  // file sees a valid-but-empty trace instead of garbage — which requires
-  // the header to actually be on disk, not in the stdio buffer.
-  models_ = meta_.models;
+  // Counts are zero until finalize/rotation patches them; a reader of an
+  // unfinalized file sees a valid-but-empty trace instead of garbage —
+  // which requires the header to actually be on disk, not in the stdio
+  // buffer.
   write_header(file_, meta_, 0, 0, 0);
   if (std::fflush(file_) != 0)
-    throw std::runtime_error("trace: flush of '" + path_ +
+    throw std::runtime_error("trace: flush of '" + segment_path_ +
                              "' failed: " + std::strerror(errno));
+  segment_written_ = 0;
+}
+
+TraceRecorder::TraceRecorder(std::string path, TraceMeta meta, std::uint64_t max_bytes)
+    : path_(std::move(path)),
+      meta_(meta),
+      max_bytes_(max_bytes),
+      start_(std::chrono::steady_clock::now()) {
+  models_ = meta_.models;
+  open_segment_locked();  // no lock needed: no concurrent access yet
 }
 
 TraceRecorder::~TraceRecorder() {
@@ -475,6 +493,34 @@ void TraceRecorder::ensure_model(const TraceModelInfo& info) {
   models_.push_back(info);
 }
 
+void TraceRecorder::close_segment_locked() {
+  // The segment's trailer: the admission decisions no earlier segment took,
+  // plus the FULL cumulative model table (cheap, and it makes every record
+  // key in the segment resolvable without any other segment).
+  const std::size_t admission_here = admission_.size() - admission_flushed_;
+  for (std::size_t i = admission_flushed_; i < admission_.size(); ++i)
+    write_admission(file_, admission_[i]);
+  admission_flushed_ = admission_.size();
+  for (const TraceModelInfo& info : models_) write_model_info(file_, info);
+  // Patch the header counts now that the segment's totals are known.
+  if (std::fseek(file_, kCountsOffset, SEEK_SET) == 0) {
+    put_u64(file_, segment_written_);
+    put_u64(file_, admission_here);
+    put_u32(file_, static_cast<std::uint32_t>(models_.size()));
+  }
+}
+
+void TraceRecorder::roll_segment_locked() {
+  close_segment_locked();
+  const int rc = std::fclose(file_);
+  file_ = nullptr;
+  if (rc != 0)
+    throw std::runtime_error("trace: closing '" + segment_path_ +
+                             "' failed: " + std::strerror(errno));
+  ++segment_index_;
+  open_segment_locked();
+}
+
 void TraceRecorder::flush_locked() {
   bool wrote = false;
   while (!slots_.empty() && slots_.front().completed) {
@@ -482,12 +528,23 @@ void TraceRecorder::flush_locked() {
     slots_.pop_front();
     ++base_seq_;
     ++written_;
+    ++segment_written_;
     wrote = true;
+    // Size-based rotation: once the current segment reaches the threshold,
+    // close it out as a complete trace and continue in the next file. The
+    // check runs after each record, so every segment holds at least one.
+    if (max_bytes_ > 0) {
+      const long size = std::ftell(file_);
+      if (size >= 0 && static_cast<std::uint64_t>(size) >= max_bytes_) {
+        roll_segment_locked();
+        wrote = false;  // the fresh segment's header is already flushed
+      }
+    }
   }
   // Push the records out of the stdio buffer so a crash (or a concurrent
   // reader) loses at most the still-pending suffix.
   if (wrote && std::fflush(file_) != 0)
-    throw std::runtime_error("trace: flush of '" + path_ +
+    throw std::runtime_error("trace: flush of '" + segment_path_ +
                              "' failed: " + std::strerror(errno));
 }
 
@@ -510,25 +567,23 @@ void TraceRecorder::finalize() {
     }
   }
   flush_locked();
-  for (const AdmissionRecord& record : admission_) write_admission(file_, record);
-  for (const TraceModelInfo& info : models_) write_model_info(file_, info);
-  // Patch the header counts now that all totals are known.
-  if (std::fseek(file_, kCountsOffset, SEEK_SET) == 0) {
-    put_u64(file_, written_);
-    put_u64(file_, admission_.size());
-    put_u32(file_, static_cast<std::uint32_t>(models_.size()));
-  }
+  close_segment_locked();
   const int rc = std::fclose(file_);
   file_ = nullptr;
   finalized_ = true;
   if (rc != 0)
-    throw std::runtime_error("trace: closing '" + path_ +
+    throw std::runtime_error("trace: closing '" + segment_path_ +
                              "' failed: " + std::strerror(errno));
 }
 
 std::uint64_t TraceRecorder::begun() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return next_seq_;
+}
+
+int TraceRecorder::segments() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return segment_index_ + 1;
 }
 
 }  // namespace bnn::serve

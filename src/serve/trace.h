@@ -210,11 +210,22 @@ Trace read_trace(const std::string& path);
 /// Thread-safety: all methods lock the recorder's own mutex (never the
 /// server's), so begin/complete are safe from any thread and flush never
 /// blocks submitters for the duration of the file I/O it replaces.
+/// Rotation: constructed with max_bytes > 0 the recorder journals into
+/// size-bounded SEGMENT files named `<path>.000`, `<path>.001`, ... instead
+/// of one unbounded file. Whenever a flush pushes the current segment past
+/// max_bytes, the segment is closed out as a complete, independently valid
+/// trace — its own header (counts patched), the admission decisions
+/// recorded since the previous roll, and the FULL cumulative model table,
+/// so every record key in the segment resolves without any other segment —
+/// and the next segment opens. Record seq numbers and the arrival clock
+/// continue across segments, so concatenated segments reconstruct the
+/// unrotated journal; each segment alone read_traces and replays cleanly.
 class TraceRecorder {
  public:
-  /// Opens `path` and writes the header (counts zero until finalize).
-  /// Throws std::runtime_error when the file cannot be created.
-  TraceRecorder(std::string path, TraceMeta meta);
+  /// Opens `path` (or `path.000` when max_bytes > 0) and writes the header
+  /// (counts zero until finalize/rotation patches them). Throws
+  /// std::runtime_error when the file cannot be created.
+  TraceRecorder(std::string path, TraceMeta meta, std::uint64_t max_bytes = 0);
   ~TraceRecorder();  ///< finalizes if finalize() was not called explicitly
 
   TraceRecorder(const TraceRecorder&) = delete;
@@ -251,6 +262,9 @@ class TraceRecorder {
   /// Records begun so far (tests / tools).
   std::uint64_t begun() const;
 
+  /// Segment files completed or in progress (1 while unrotated).
+  int segments() const;
+
  private:
   struct Slot {
     TraceRecord record;
@@ -258,9 +272,17 @@ class TraceRecorder {
   };
 
   void flush_locked();
+  // Closes the current segment as a complete trace (trailer + patched
+  // counts) and opens the next one. Rotation mode only.
+  void roll_segment_locked();
+  // Writes the current segment's trailer and patches its header counts.
+  void close_segment_locked();
+  void open_segment_locked();
+  std::string segment_path(int index) const;
 
   std::string path_;
   TraceMeta meta_;
+  std::uint64_t max_bytes_ = 0;  // 0 = no rotation
   std::FILE* file_ = nullptr;
   std::chrono::steady_clock::time_point start_;
 
@@ -268,10 +290,16 @@ class TraceRecorder {
   std::deque<Slot> slots_;      // slots_[i] holds seq base_seq_ + i
   std::uint64_t base_seq_ = 0;  // seq of slots_.front()
   std::uint64_t next_seq_ = 0;
-  std::uint64_t written_ = 0;
+  std::uint64_t written_ = 0;   // records written, all segments
   std::vector<AdmissionRecord> admission_;
   std::vector<TraceModelInfo> models_;
   bool finalized_ = false;
+  // Rotation state: the open segment's path/index, how many records it
+  // holds, and how many admission records earlier segments already took.
+  std::string segment_path_;
+  int segment_index_ = 0;
+  std::uint64_t segment_written_ = 0;
+  std::size_t admission_flushed_ = 0;
 };
 
 }  // namespace bnn::serve

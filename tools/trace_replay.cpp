@@ -3,10 +3,17 @@
 // under an arbitrary serving configuration and exits non-zero on the first
 // checksum divergence, naming the divergent request.
 //
-//   ./build/tools/trace_replay --trace PATH
+//   ./build/tools/trace_replay --trace PATH_OR_GLOB
 //       [--replicas R] [--threads T] [--max-batch B] [--dispatch fifo|cost]
 //       [--timed] [--no-verify] [--matrix]
 //   ./build/tools/trace_replay --diff PATH_A PATH_B
+//
+// --trace also accepts a shell glob (quote it!) matching the size-rotated
+// segment files a ServerConfig::trace_max_bytes recorder emits
+// (foo.trace.000, foo.trace.001, ...). Each segment is a complete,
+// independently valid trace — every matching file is replayed on its own
+// (sorted by name, i.e. in rotation order) and the process exits non-zero
+// if ANY segment diverges.
 //
 // --timed paces submissions to the recorded arrival offsets instead of
 // replaying as fast as possible. --matrix runs the full acceptance grid —
@@ -21,11 +28,15 @@
 // stream id, golden checksum) without serving anything, and names the
 // first divergent seq — the A/B tool for "did this change alter any
 // response bit?".
+#include <glob.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "bench/serve_fixture.h"
 #include "serve/replay.h"
@@ -57,6 +68,92 @@ int report_result(const serve::ReplayReport& report, const serve::ReplayConfig& 
                  static_cast<unsigned long long>(report.admission_mismatches),
                  static_cast<unsigned long long>(report.admission_records));
   return report.ok() ? 0 : 1;
+}
+
+// Expands a --trace argument: a literal path maps to itself; a pattern
+// holding glob metacharacters (* ? [) expands via glob(3), sorted — the
+// natural order for zero-padded rotation suffixes. Throws when a pattern
+// matches nothing (a silent empty replay would read as success).
+std::vector<std::string> expand_trace_paths(const std::string& pattern) {
+  if (pattern.find_first_of("*?[") == std::string::npos) return {pattern};
+  glob_t matches;
+  const int rc = ::glob(pattern.c_str(), GLOB_ERR, nullptr, &matches);
+  std::vector<std::string> paths;
+  if (rc == 0) {
+    paths.reserve(matches.gl_pathc);
+    for (std::size_t i = 0; i < matches.gl_pathc; ++i)
+      paths.emplace_back(matches.gl_pathv[i]);
+  }
+  ::globfree(&matches);
+  if (paths.empty())
+    throw std::runtime_error("--trace glob matched no files: " + pattern);
+  return paths;
+}
+
+int replay_one_trace(const std::string& trace_path, const serve::ReplayConfig& config,
+                     bool matrix) {
+  const serve::Trace trace = serve::read_trace(trace_path);
+  std::printf("trace %s: workload %u, %zu records, %zu admission decisions, "
+              "seed %llu, fingerprint %016llx, %zu model(s)%s\n",
+              trace_path.c_str(), trace.meta.workload_id, trace.records.size(),
+              trace.admission.size(),
+              static_cast<unsigned long long>(trace.meta.sampler_seed),
+              static_cast<unsigned long long>(trace.meta.network_fingerprint),
+              trace.meta.models.size(),
+              trace.meta.reuse_screening_samples ? ", escalation reuse" : "");
+
+  // The header (or, multi-model, each model-table entry) names the
+  // fixture; the sampler seed travels with the trace so the replaying
+  // accelerator consumes identical mask streams.
+  core::AcceleratorConfig accel_config = bench::serve_accel_config();
+  accel_config.sampler_seed = trace.meta.sampler_seed;
+
+  const bool multi_model = trace.meta.models.size() > 1;
+  std::shared_ptr<serve::ModelRegistry> registry;
+  std::unique_ptr<core::Accelerator> accelerator;
+  if (multi_model) {
+    registry = std::make_shared<serve::ModelRegistry>();
+    for (const serve::TraceModelInfo& info : trace.meta.models) {
+      bench::ServeFixture fixture = bench::make_workload_fixture(info.workload_id);
+      serve::ModelConfig model_config;
+      model_config.workload_id = fixture.workload_id;
+      registry->publish(info.name, std::move(fixture.qnet), model_config);
+      std::printf("  tenant '%s' (key %u, version %llu): workload %u rebuilt\n",
+                  info.name.c_str(), info.model_key,
+                  static_cast<unsigned long long>(info.model_version),
+                  info.workload_id);
+    }
+  } else {
+    bench::ServeFixture fixture =
+        bench::make_workload_fixture(trace.meta.workload_id);
+    accelerator = std::make_unique<core::Accelerator>(std::move(fixture.qnet),
+                                                      accel_config);
+  }
+
+  const auto replay_cell = [&](const serve::ReplayConfig& cell) {
+    return multi_model ? serve::replay_trace(trace, registry, accel_config, cell)
+                       : serve::replay_trace(trace, *accelerator, cell);
+  };
+
+  if (!matrix) return report_result(replay_cell(config), config);
+
+  int status = 0;
+  for (const int replicas : {1, 2, 4}) {
+    for (const int threads : {1, 2, 8}) {
+      for (const serve::DispatchMode mode :
+           {serve::DispatchMode::fifo, serve::DispatchMode::cost_aware}) {
+        serve::ReplayConfig cell = config;
+        cell.num_replicas = replicas;
+        cell.num_threads = threads;
+        cell.dispatch_mode = mode;
+        status |= report_result(replay_cell(cell), cell);
+      }
+    }
+  }
+  if (status == 0)
+    std::printf("matrix clean: every R x threads x dispatch cell matched the "
+                "recorded checksums\n");
+  return status;
 }
 
 int run_diff(const std::string& path_a, const std::string& path_b) {
@@ -118,67 +215,15 @@ int main(int argc, char** argv) {
   try {
     if (!diff_a.empty()) return run_diff(diff_a, diff_b);
 
-    const serve::Trace trace = serve::read_trace(trace_path);
-    std::printf("trace %s: workload %u, %zu records, %zu admission decisions, "
-                "seed %llu, fingerprint %016llx, %zu model(s)%s\n",
-                trace_path.c_str(), trace.meta.workload_id, trace.records.size(),
-                trace.admission.size(),
-                static_cast<unsigned long long>(trace.meta.sampler_seed),
-                static_cast<unsigned long long>(trace.meta.network_fingerprint),
-                trace.meta.models.size(),
-                trace.meta.reuse_screening_samples ? ", escalation reuse" : "");
-
-    // The header (or, multi-model, each model-table entry) names the
-    // fixture; the sampler seed travels with the trace so the replaying
-    // accelerator consumes identical mask streams.
-    core::AcceleratorConfig accel_config = bench::serve_accel_config();
-    accel_config.sampler_seed = trace.meta.sampler_seed;
-
-    const bool multi_model = trace.meta.models.size() > 1;
-    std::shared_ptr<serve::ModelRegistry> registry;
-    std::unique_ptr<core::Accelerator> accelerator;
-    if (multi_model) {
-      registry = std::make_shared<serve::ModelRegistry>();
-      for (const serve::TraceModelInfo& info : trace.meta.models) {
-        bench::ServeFixture fixture = bench::make_workload_fixture(info.workload_id);
-        serve::ModelConfig model_config;
-        model_config.workload_id = fixture.workload_id;
-        registry->publish(info.name, std::move(fixture.qnet), model_config);
-        std::printf("  tenant '%s' (key %u, version %llu): workload %u rebuilt\n",
-                    info.name.c_str(), info.model_key,
-                    static_cast<unsigned long long>(info.model_version),
-                    info.workload_id);
-      }
-    } else {
-      bench::ServeFixture fixture =
-          bench::make_workload_fixture(trace.meta.workload_id);
-      accelerator = std::make_unique<core::Accelerator>(std::move(fixture.qnet),
-                                                        accel_config);
-    }
-
-    const auto replay_cell = [&](const serve::ReplayConfig& cell) {
-      return multi_model ? serve::replay_trace(trace, registry, accel_config, cell)
-                         : serve::replay_trace(trace, *accelerator, cell);
-    };
-
-    if (!matrix) return report_result(replay_cell(config), config);
-
+    const std::vector<std::string> paths = expand_trace_paths(trace_path);
+    if (paths.size() > 1)
+      std::printf("replaying %zu trace segments matching %s\n", paths.size(),
+                  trace_path.c_str());
     int status = 0;
-    for (const int replicas : {1, 2, 4}) {
-      for (const int threads : {1, 2, 8}) {
-        for (const serve::DispatchMode mode :
-             {serve::DispatchMode::fifo, serve::DispatchMode::cost_aware}) {
-          serve::ReplayConfig cell = config;
-          cell.num_replicas = replicas;
-          cell.num_threads = threads;
-          cell.dispatch_mode = mode;
-          status |= report_result(replay_cell(cell), cell);
-        }
-      }
-    }
-    if (status == 0)
-      std::printf("matrix clean: every R x threads x dispatch cell matched the "
-                  "recorded checksums\n");
+    for (const std::string& path : paths)
+      status |= replay_one_trace(path, config, matrix);
+    if (status == 0 && paths.size() > 1)
+      std::printf("all %zu segments replayed clean\n", paths.size());
     return status;
   } catch (const std::exception& error) {
     std::fprintf(stderr, "trace_replay: %s\n", error.what());
